@@ -1,0 +1,62 @@
+//! Bench E-T62 / E-RAND: deterministic ε-approximation (lossy trimmings) and the
+//! randomized sampling approximation for full SUM on the 3-path join, which is
+//! intractable exactly. The deterministic series should grow as ε shrinks (roughly
+//! quadratically in 1/ε), with the materialization baseline as the reference point.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_path_config;
+use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+use qjoin_core::sampling::{quantile_by_sampling, SamplingOptions};
+use qjoin_core::solver::{approximate_sum_quantile, ErrorBudget};
+use qjoin_ranking::Ranking;
+use std::hint::black_box;
+
+fn bench_approx(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approx_sum");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    let instance = scaling_path_config(500, 13).generate();
+    let ranking = Ranking::sum(instance.query().variables());
+
+    for epsilon in [0.25f64, 0.1, 0.05] {
+        group.bench_with_input(
+            BenchmarkId::new("deterministic", format!("eps_{epsilon}")),
+            &epsilon,
+            |b, &eps| {
+                b.iter(|| {
+                    black_box(
+                        approximate_sum_quantile(&instance, &ranking, 0.5, eps, ErrorBudget::Direct)
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("sampling", format!("eps_{epsilon}")),
+            &epsilon,
+            |b, &eps| {
+                let options = SamplingOptions {
+                    epsilon: eps,
+                    delta: 0.05,
+                    seed: 99,
+                };
+                b.iter(|| {
+                    black_box(quantile_by_sampling(&instance, &ranking, 0.5, &options).unwrap())
+                })
+            },
+        );
+    }
+    group.bench_function("baseline_exact", |b| {
+        b.iter(|| {
+            black_box(
+                quantile_by_materialization(&instance, &ranking, 0.5, BaselineStrategy::Selection)
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_approx);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Bench E-LEX: lexicographic-order quantiles (Section 5.2) — pivoting vs the
+//! materialization baseline on the 3-path join.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_path_config;
+use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+use qjoin_core::solver::exact_quantile;
+use qjoin_query::variable::vars;
+use qjoin_ranking::Ranking;
+use std::hint::black_box;
+
+fn bench_lex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lex_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for tuples in [500usize, 1_000, 2_000] {
+        let instance = scaling_path_config(tuples, 19).generate();
+        let ranking = Ranking::lex(vars(&["x2", "x4"]));
+        group.bench_with_input(
+            BenchmarkId::new("pivoting_p75", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(exact_quantile(&instance, &ranking, 0.75).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_p75", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        quantile_by_materialization(
+                            &instance,
+                            &ranking,
+                            0.75,
+                            BaselineStrategy::Selection,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lex);
+criterion_main!(benches);

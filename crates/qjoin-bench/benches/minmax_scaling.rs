@@ -1,0 +1,55 @@
+//! Bench E-T53: MIN/MAX quantiles (Theorem 5.3) — pivoting vs materialization as the
+//! database grows. The pivoting series should scale quasilinearly with the database,
+//! the baseline with the (much larger) join output.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_path_config;
+use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+use qjoin_core::solver::exact_quantile;
+use qjoin_query::variable::vars;
+use qjoin_ranking::Ranking;
+use std::hint::black_box;
+
+fn bench_minmax(c: &mut Criterion) {
+    let mut group = c.benchmark_group("minmax_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for tuples in [500usize, 1_000, 2_000] {
+        let instance = scaling_path_config(tuples, 7).generate();
+        let max_all = Ranking::max(instance.query().variables());
+        let min_ends = Ranking::min(vars(&["x1", "x4"]));
+
+        group.bench_with_input(
+            BenchmarkId::new("pivoting_max_median", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(exact_quantile(&instance, &max_all, 0.5).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("pivoting_min_p10", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(exact_quantile(&instance, &min_ends, 0.1).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_max_median", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        quantile_by_materialization(
+                            &instance,
+                            &max_all,
+                            0.5,
+                            BaselineStrategy::Selection,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_minmax);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Bench E-T56a: partial SUM quantiles on the tractable side of Theorem 5.6
+//! (`SUM(x1, x2, x3)` on the 3-path), pivoting with the adjacent-node trimming vs the
+//! materialization baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_path_config;
+use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+use qjoin_core::solver::exact_quantile;
+use qjoin_query::variable::vars;
+use qjoin_ranking::Ranking;
+use std::hint::black_box;
+
+fn bench_partial_sum(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partial_sum_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for tuples in [500usize, 1_000, 2_000] {
+        let instance = scaling_path_config(tuples, 11).generate();
+        let ranking = Ranking::sum(vars(&["x1", "x2", "x3"]));
+        group.bench_with_input(
+            BenchmarkId::new("pivoting_median", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(exact_quantile(&instance, &ranking, 0.5).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("baseline_median", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        quantile_by_materialization(
+                            &instance,
+                            &ranking,
+                            0.5,
+                            BaselineStrategy::Selection,
+                        )
+                        .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partial_sum);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Bench E-PIVOT: pivot selection (Lemma 4.1) must cost linear time in the database,
+//! independent of the number of join answers.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_path_config;
+use qjoin_core::pivot::select_pivot;
+use qjoin_ranking::Ranking;
+use std::hint::black_box;
+
+fn bench_pivot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pivot_selection");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for tuples in [1_000usize, 2_000, 4_000, 8_000] {
+        let instance = scaling_path_config(tuples, 5).generate();
+        let sum = Ranking::sum(instance.query().variables());
+        let max = Ranking::max(instance.query().variables());
+        group.bench_with_input(BenchmarkId::new("full_sum", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(select_pivot(&instance, &sum).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("max", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(select_pivot(&instance, &max).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pivot);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Bench E-INTRO: the paper's motivating example — the 0.1-quantile of `l2 + l3` over
+//! `Admin ⋈ Share ⋈ Attend` — pivoting vs materialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_social_config;
+use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+use qjoin_core::solver::exact_quantile;
+use std::hint::black_box;
+
+fn bench_social(c: &mut Criterion) {
+    let mut group = c.benchmark_group("social_network");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    // The skewed social join fans out by three orders of magnitude, so the baseline
+    // leg is only feasible at small row counts; that is exactly the asymmetry the
+    // benchmark demonstrates.
+    for rows in [100usize, 200, 400] {
+        let config = scaling_social_config(rows, 2023);
+        let instance = config.generate();
+        let ranking = config.likes_ranking();
+        group.bench_with_input(BenchmarkId::new("pivoting_p10", rows), &rows, |b, _| {
+            b.iter(|| black_box(exact_quantile(&instance, &ranking, 0.1).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_p10", rows), &rows, |b, _| {
+            b.iter(|| {
+                black_box(
+                    quantile_by_materialization(
+                        &instance,
+                        &ranking,
+                        0.1,
+                        BaselineStrategy::Selection,
+                    )
+                    .unwrap(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_social);
+criterion_main!(benches);

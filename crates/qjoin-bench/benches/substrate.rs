@@ -1,0 +1,73 @@
+//! Substrate micro-benchmarks: the building blocks every quantile algorithm relies on
+//! — answer counting (Example 2.1), direct-access construction (Section 3.1), semijoin
+//! reduction + context construction, and exact trimming of a single inequality.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_path_config;
+use qjoin_core::trim::{AdjacentSumTrimmer, MinMaxTrimmer, Trimmer};
+use qjoin_exec::count::count_answers;
+use qjoin_exec::{DirectAccess, JoinTreeContext};
+use qjoin_query::variable::vars;
+use qjoin_ranking::{RankPredicate, Ranking, Weight};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for tuples in [1_000usize, 4_000] {
+        let instance = scaling_path_config(tuples, 3).generate();
+        group.bench_with_input(BenchmarkId::new("count_answers", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(count_answers(&instance).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("context_build", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(JoinTreeContext::build(&instance).unwrap()))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("direct_access_build", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(DirectAccess::new(&instance).unwrap())),
+        );
+        let max_ranking = Ranking::max(instance.query().variables());
+        group.bench_with_input(
+            BenchmarkId::new("trim_max_gt", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        MinMaxTrimmer
+                            .trim(
+                                &instance,
+                                &max_ranking,
+                                &RankPredicate::greater_than(Weight::num(500_000.0)),
+                            )
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+        let partial_sum = Ranking::sum(vars(&["x1", "x2", "x3"]));
+        group.bench_with_input(
+            BenchmarkId::new("trim_adjacent_sum_lt", tuples),
+            &tuples,
+            |b, _| {
+                b.iter(|| {
+                    black_box(
+                        AdjacentSumTrimmer
+                            .trim(
+                                &instance,
+                                &partial_sum,
+                                &RankPredicate::less_than(Weight::num(1_000_000.0)),
+                            )
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_substrate);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Experiments E-T62 and E-RAND: deterministic ε-approximation (lossy trimmings) and
+//! randomized sampling for full SUM on the 3-path join, which is intractable exactly.
+//!
+//! For each ε the table reports the running time and the *measured* rank error of the
+//! returned answer (distance from the target index, relative to the number of
+//! answers), with the brute-force baseline as ground truth and reference time.
+//!
+//! Run with `cargo run --release -p qjoin-bench --bin exp_approx_sum [tuples]`.
+
+use qjoin_bench::{fmt_ms, relative_rank_error, scaling_path_config, timed};
+use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+use qjoin_core::sampling::{quantile_by_sampling, SamplingOptions};
+use qjoin_core::solver::{approximate_sum_quantile, ErrorBudget};
+use qjoin_exec::count::count_answers;
+use qjoin_ranking::Ranking;
+
+fn main() {
+    let tuples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2_000);
+    let phi = 0.5;
+    let instance = scaling_path_config(tuples, 13).generate();
+    let ranking = Ranking::sum(instance.query().variables());
+    let answers = count_answers(&instance).unwrap();
+    println!("# E-T62 / E-RAND: full SUM on the 3-path (exactly intractable)");
+    println!(
+        "database: {} tuples, join answers: {answers}, φ = {phi}\n",
+        instance.database_size()
+    );
+    println!(
+        "{:>28} {:>12} {:>16} {:>12}",
+        "algorithm", "time (ms)", "rel. rank error", "iterations"
+    );
+
+    let (baseline, baseline_time) = timed(|| {
+        quantile_by_materialization(&instance, &ranking, phi, BaselineStrategy::Selection).unwrap()
+    });
+    println!(
+        "{:>28} {:>12} {:>16} {:>12}",
+        "baseline (materialize)",
+        fmt_ms(baseline_time),
+        format!("{:.5}", relative_rank_error(&instance, &ranking, &baseline)),
+        "-"
+    );
+
+    for epsilon in [0.25, 0.1, 0.05, 0.025] {
+        let (result, time) = timed(|| {
+            approximate_sum_quantile(&instance, &ranking, phi, epsilon, ErrorBudget::Direct)
+                .unwrap()
+        });
+        println!(
+            "{:>28} {:>12} {:>16} {:>12}",
+            format!("deterministic ε={epsilon}"),
+            fmt_ms(time),
+            format!("{:.5}", relative_rank_error(&instance, &ranking, &result)),
+            result.iterations
+        );
+    }
+
+    for epsilon in [0.1, 0.05, 0.025] {
+        let options = SamplingOptions {
+            epsilon,
+            delta: 0.05,
+            seed: 99,
+        };
+        let (result, time) =
+            timed(|| quantile_by_sampling(&instance, &ranking, phi, &options).unwrap());
+        println!(
+            "{:>28} {:>12} {:>16} {:>12}",
+            format!("sampling ε={epsilon}"),
+            fmt_ms(time),
+            format!("{:.5}", relative_rank_error(&instance, &ranking, &result)),
+            options.sample_count()
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Experiment E-PIVOT: pivot selection quality and cost (Lemma 4.1).
+//!
+//! For growing databases the table reports the pivot-selection time (expected to grow
+//! linearly), the guaranteed pivot quality `c` (a function of the join-tree shape
+//! only), and the *measured* fractions of answers on each side of the returned pivot,
+//! which must both be at least `c`.
+//!
+//! Run with `cargo run --release -p qjoin-bench --bin exp_pivot_quality [max_tuples]`.
+
+use qjoin_bench::{fmt_ms, scaling_path_config, timed};
+use qjoin_core::pivot::{select_pivot, verify_pivot};
+use qjoin_ranking::Ranking;
+
+fn main() {
+    let max_tuples: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8_000);
+    println!("# E-PIVOT: pivot quality and cost, 3-path join, full SUM");
+    println!(
+        "{:>10} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "db tuples", "join answers", "pivot (ms)", "c guarantee", "≤ fraction", "≥ fraction"
+    );
+    let mut tuples = 1_000usize;
+    while tuples <= max_tuples {
+        let instance = scaling_path_config(tuples, 5).generate();
+        let ranking = Ranking::sum(instance.query().variables());
+        let (pivot, time) = timed(|| select_pivot(&instance, &ranking).unwrap());
+        // Verification materializes the join; keep it to the smaller sizes.
+        let (le, ge) = if pivot.total_answers <= 3_000_000 {
+            verify_pivot(&instance, &ranking, &pivot).unwrap()
+        } else {
+            (f64::NAN, f64::NAN)
+        };
+        println!(
+            "{:>10} {:>14} {:>12} {:>12.4} {:>12.4} {:>12.4}",
+            instance.database_size(),
+            pivot.total_answers,
+            fmt_ms(time),
+            pivot.c,
+            le,
+            ge
+        );
+        tuples *= 2;
+    }
+}

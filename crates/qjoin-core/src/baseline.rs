@@ -1,0 +1,142 @@
+//! Brute-force baselines: materialize the join, then sort or select.
+//!
+//! This is the "direct way of finding the quantile" that the paper's introduction sets
+//! out to beat: materialize `Q(D)`, order the answers, and read off position
+//! `⌊φ·|Q(D)|⌋`. Its cost is driven by the join output size (up to `n^ℓ`), which is
+//! exactly what the pivoting algorithms avoid; the experiment harness runs both and
+//! compares their scaling.
+
+use crate::quantile::QuantileResult;
+use crate::selection::select_kth_by;
+use crate::{CoreError, Result};
+use qjoin_data::Value;
+use qjoin_exec::yannakakis::materialize;
+use qjoin_query::{Assignment, Instance};
+use qjoin_ranking::{Ranking, Weight};
+
+/// How the materialized answers are ordered to locate the quantile.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BaselineStrategy {
+    /// Sort all answers by weight (O(|Q(D)| log |Q(D)|)).
+    FullSort,
+    /// Linear-time selection over the materialized answers (O(|Q(D)|)).
+    Selection,
+}
+
+/// Computes the `φ`-quantile by materializing the full join result.
+pub fn quantile_by_materialization(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    strategy: BaselineStrategy,
+) -> Result<QuantileResult> {
+    if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+        return Err(CoreError::InvalidPhi(phi));
+    }
+    let answers = materialize(instance)?;
+    if answers.is_empty() {
+        return Err(CoreError::NoAnswers);
+    }
+    let total = answers.len() as u128;
+    let target_index = ((phi * total as f64).floor() as u128).min(total - 1) as usize;
+    let schema = answers.variables().to_vec();
+
+    let mut keyed: Vec<(Weight, &Vec<Value>)> = answers
+        .rows()
+        .iter()
+        .map(|row| (ranking.weight_of_row(&schema, row), row))
+        .collect();
+
+    let (weight, row): (Weight, Vec<Value>) = match strategy {
+        BaselineStrategy::FullSort => {
+            keyed.sort_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1)));
+            let (w, r) = &keyed[target_index];
+            (w.clone(), (*r).clone())
+        }
+        BaselineStrategy::Selection => {
+            let picked = select_kth_by(&keyed, target_index, &|a, b| {
+                a.0.cmp(&b.0).then_with(|| a.1.cmp(b.1))
+            });
+            (picked.0, picked.1.clone())
+        }
+    };
+
+    let answer = Assignment::from_pairs(schema.iter().cloned().zip(row.into_iter()));
+    Ok(QuantileResult {
+        answer,
+        weight,
+        total_answers: total,
+        target_index: target_index as u128,
+        iterations: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::rank_of_weight;
+    use qjoin_data::{Database, Relation};
+    use qjoin_query::query::path_query;
+
+    fn instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from((31 * i) % 57), Value::from(i % 5)]).unwrap();
+            r2.push(vec![Value::from(i % 5), Value::from((23 * i) % 71)]).unwrap();
+        }
+        Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn sort_and_selection_strategies_agree_on_weight() {
+        let inst = instance(40);
+        let ranking = Ranking::sum(inst.query().variables());
+        for phi in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let a = quantile_by_materialization(&inst, &ranking, phi, BaselineStrategy::FullSort)
+                .unwrap();
+            let b = quantile_by_materialization(&inst, &ranking, phi, BaselineStrategy::Selection)
+                .unwrap();
+            assert_eq!(a.weight, b.weight, "phi = {phi}");
+            assert_eq!(a.target_index, b.target_index);
+        }
+    }
+
+    #[test]
+    fn baseline_results_are_valid_quantiles() {
+        let inst = instance(35);
+        let ranking = Ranking::max(inst.query().variables());
+        for phi in [0.1, 0.5, 0.9] {
+            let result =
+                quantile_by_materialization(&inst, &ranking, phi, BaselineStrategy::FullSort)
+                    .unwrap();
+            let (below, equal) = rank_of_weight(&inst, &ranking, &result.weight).unwrap();
+            assert!(result.target_index >= below && result.target_index < below + equal);
+        }
+    }
+
+    #[test]
+    fn errors_match_the_pivoting_driver() {
+        let inst = instance(5);
+        let ranking = Ranking::sum(inst.query().variables());
+        assert!(matches!(
+            quantile_by_materialization(&inst, &ranking, -0.1, BaselineStrategy::FullSort)
+                .unwrap_err(),
+            CoreError::InvalidPhi(_)
+        ));
+        let empty = Instance::new(
+            path_query(2),
+            Database::from_relations([
+                Relation::from_rows("R1", &[&[1, 1]]).unwrap(),
+                Relation::from_rows("R2", &[&[2, 2]]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            quantile_by_materialization(&empty, &ranking, 0.5, BaselineStrategy::Selection)
+                .unwrap_err(),
+            CoreError::NoAnswers
+        ));
+    }
+}

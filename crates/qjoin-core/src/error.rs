@@ -1,0 +1,112 @@
+//! Error types for the quantile algorithms.
+
+use std::fmt;
+
+/// Errors raised by the quantile-over-joins algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The requested quantile fraction is outside `[0, 1]`.
+    InvalidPhi(f64),
+    /// The approximation parameter is outside `(0, 1)`.
+    InvalidEpsilon(f64),
+    /// The query has no answers, so no quantile exists.
+    NoAnswers,
+    /// The query is cyclic; even answer existence is intractable (Section 2.3).
+    CyclicQuery(String),
+    /// Exact partial-SUM evaluation is intractable for this query/ranking combination
+    /// under the 3SUM and Hyperclique hypotheses (the negative side of Theorem 5.6).
+    /// The payload describes the witness; the ε-approximate algorithm still applies.
+    IntractableSum(String),
+    /// The ranking function is not supported by the requested algorithm.
+    UnsupportedRanking(String),
+    /// The trimming subroutine was invoked with a predicate shape it cannot handle
+    /// (e.g. a vector bound passed to a scalar trimmer).
+    UnsupportedPredicate(String),
+    /// The query is too large for the exhaustive join-tree search used to find an
+    /// adjacent cover of the weighted variables.
+    QueryTooLarge {
+        /// Number of atoms in the query.
+        atoms: usize,
+        /// Maximum supported by exhaustive search.
+        limit: usize,
+    },
+    /// An execution-layer error.
+    Exec(qjoin_exec::ExecError),
+    /// A query-layer error.
+    Query(qjoin_query::QueryError),
+    /// A data-layer error.
+    Data(qjoin_data::DataError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::InvalidPhi(phi) => write!(f, "quantile fraction {phi} is not in [0, 1]"),
+            CoreError::InvalidEpsilon(eps) => {
+                write!(f, "approximation parameter {eps} is not in (0, 1)")
+            }
+            CoreError::NoAnswers => write!(f, "the query has no answers over this database"),
+            CoreError::CyclicQuery(q) => write!(f, "query is cyclic: {q}"),
+            CoreError::IntractableSum(witness) => write!(
+                f,
+                "exact SUM quantile is not quasilinear for this query (Theorem 5.6): {witness}; \
+                 consider the ε-approximate algorithm"
+            ),
+            CoreError::UnsupportedRanking(msg) => write!(f, "unsupported ranking function: {msg}"),
+            CoreError::UnsupportedPredicate(msg) => write!(f, "unsupported predicate: {msg}"),
+            CoreError::QueryTooLarge { atoms, limit } => write!(
+                f,
+                "query has {atoms} atoms; exhaustive join-tree search supports at most {limit}"
+            ),
+            CoreError::Exec(e) => write!(f, "execution error: {e}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<qjoin_exec::ExecError> for CoreError {
+    fn from(e: qjoin_exec::ExecError) -> Self {
+        match e {
+            qjoin_exec::ExecError::NoAnswers => CoreError::NoAnswers,
+            qjoin_exec::ExecError::CyclicQuery(q) => CoreError::CyclicQuery(q),
+            other => CoreError::Exec(other),
+        }
+    }
+}
+
+impl From<qjoin_query::QueryError> for CoreError {
+    fn from(e: qjoin_query::QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<qjoin_data::DataError> for CoreError {
+    fn from(e: qjoin_data::DataError) -> Self {
+        CoreError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(CoreError::InvalidPhi(1.5).to_string().contains("1.5"));
+        assert!(CoreError::NoAnswers.to_string().contains("no answers"));
+        assert!(CoreError::IntractableSum("3 independent variables".into())
+            .to_string()
+            .contains("Theorem 5.6"));
+    }
+
+    #[test]
+    fn exec_no_answers_maps_to_core_no_answers() {
+        let e: CoreError = qjoin_exec::ExecError::NoAnswers.into();
+        assert_eq!(e, CoreError::NoAnswers);
+        let c: CoreError = qjoin_exec::ExecError::CyclicQuery("Q".into()).into();
+        assert!(matches!(c, CoreError::CyclicQuery(_)));
+    }
+}

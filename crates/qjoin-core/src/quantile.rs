@@ -1,0 +1,480 @@
+//! The divide-and-conquer quantile driver (Section 3, Algorithm 1).
+//!
+//! Given an acyclic instance, a subset-monotone ranking function, a fraction `φ`, and a
+//! trimming subroutine for the ranking's inequality predicates, the driver repeatedly:
+//!
+//! 1. selects a `c`-pivot of the current candidate instance (Section 4),
+//! 2. trims the *original* instance down to the less-than and greater-than partitions
+//!    around the pivot weight, intersected with the accumulated `low` / `high` bounds,
+//! 3. counts both partitions in linear time and decides which one holds the target
+//!    index (the equal-to partition means the pivot itself is the answer),
+//!
+//! until the candidate set fits within the materialization threshold, at which point it
+//! falls back to materializing and selecting directly. With exact trimmings the result
+//! is an exact `φ`-quantile (Lemma 3.3); with ε′-lossy trimmings it is an approximate
+//! quantile whose rank error is bounded by the accumulated loss (Lemma 3.6).
+
+use crate::pivot::select_pivot;
+use crate::selection::select_kth_by;
+use crate::trim::Trimmer;
+use crate::{CoreError, Result};
+use qjoin_exec::count::count_answers;
+use qjoin_exec::yannakakis::materialize;
+use qjoin_query::{Assignment, Instance, Variable};
+use qjoin_ranking::{RankPredicate, Ranking, Weight, WeightBound};
+
+/// Tuning knobs for the pivoting driver.
+#[derive(Clone, Debug)]
+pub struct PivotingOptions {
+    /// Materialize and select directly once the candidate count drops to this many
+    /// answers. Defaults to the original database size `n` (the paper's threshold).
+    pub materialize_threshold: Option<u128>,
+    /// Hard cap on the number of pivoting iterations (a safety net; the expected
+    /// number is `O(log |Q(D)|)`).
+    pub max_iterations: usize,
+}
+
+impl Default for PivotingOptions {
+    fn default() -> Self {
+        PivotingOptions {
+            materialize_threshold: None,
+            max_iterations: 256,
+        }
+    }
+}
+
+/// The result of a quantile computation.
+#[derive(Clone, Debug)]
+pub struct QuantileResult {
+    /// The returned query answer, projected onto the original query's variables.
+    pub answer: Assignment,
+    /// The answer's weight under the ranking function.
+    pub weight: Weight,
+    /// The total number of query answers `|Q(D)|`.
+    pub total_answers: u128,
+    /// The zero-based rank the algorithm targeted (`⌊φ·|Q(D)|⌋`, clamped).
+    pub target_index: u128,
+    /// Number of pivoting iterations performed (0 when the instance was small enough
+    /// to materialize immediately).
+    pub iterations: usize,
+}
+
+/// Computes the `φ`-quantile of the instance's answers under the ranking function,
+/// using the supplied trimming subroutine (Algorithm 1).
+pub fn quantile_by_pivoting(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    trimmer: &dyn Trimmer,
+    options: &PivotingOptions,
+) -> Result<QuantileResult> {
+    if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+        return Err(CoreError::InvalidPhi(phi));
+    }
+    let total = count_answers(instance)?;
+    if total == 0 {
+        return Err(CoreError::NoAnswers);
+    }
+    let target_index = ((phi * total as f64).floor() as u128).min(total - 1);
+    let threshold = options
+        .materialize_threshold
+        .unwrap_or(instance.database_size() as u128)
+        .max(1);
+
+    let original_vars = instance.query().variables();
+    let mut current = instance.clone();
+    let mut current_count = total;
+    let mut k = target_index;
+    let mut low = WeightBound::NegInf;
+    let mut high = WeightBound::PosInf;
+    let mut iterations = 0usize;
+
+    while current_count > threshold && iterations < options.max_iterations {
+        iterations += 1;
+        let pivot = select_pivot(&current, ranking)?;
+        let pivot_weight = pivot.weight.clone();
+
+        // Rebuild both partitions from the original instance, restricted to the
+        // candidate region (low, high).
+        let lt = {
+            let first = trimmer.trim(
+                instance,
+                ranking,
+                &RankPredicate::less_than(pivot_weight.clone()),
+            )?;
+            trimmer.trim(
+                &first,
+                ranking,
+                &RankPredicate {
+                    op: qjoin_ranking::CmpOp::Gt,
+                    bound: low.clone(),
+                },
+            )?
+        };
+        let gt = {
+            let first = trimmer.trim(
+                instance,
+                ranking,
+                &RankPredicate::greater_than(pivot_weight.clone()),
+            )?;
+            trimmer.trim(
+                &first,
+                ranking,
+                &RankPredicate {
+                    op: qjoin_ranking::CmpOp::Lt,
+                    bound: high.clone(),
+                },
+            )?
+        };
+        let n_lt = count_answers(&lt)?;
+        let n_gt = count_answers(&gt)?;
+        let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
+
+        if k < n_lt {
+            current = lt;
+            current_count = n_lt;
+            high = WeightBound::Finite(pivot_weight);
+        } else if k < n_lt + n_eq {
+            return Ok(QuantileResult {
+                answer: pivot.assignment.project(&original_vars),
+                weight: pivot_weight,
+                total_answers: total,
+                target_index,
+                iterations,
+            });
+        } else {
+            k -= n_lt + n_eq;
+            current = gt;
+            current_count = n_gt;
+            low = WeightBound::Finite(pivot_weight);
+        }
+        if current_count == 0 {
+            // Lossy trimmings may drop the targeted answers entirely; fall back to the
+            // pivot, which is within the accumulated error budget of the target.
+            return Ok(QuantileResult {
+                answer: pivot.assignment.project(&original_vars),
+                weight: pivot.weight,
+                total_answers: total,
+                target_index,
+                iterations,
+            });
+        }
+    }
+
+    // Materialize the remaining candidates and select directly.
+    let (answer, weight) = select_from_materialized(&current, ranking, &original_vars, k)?;
+    Ok(QuantileResult {
+        answer,
+        weight,
+        total_answers: total,
+        target_index,
+        iterations,
+    })
+}
+
+/// Materializes the instance's answers, projects them onto the original variables, and
+/// returns the answer of rank `k` (by weight, ties broken by the projected values).
+fn select_from_materialized(
+    instance: &Instance,
+    ranking: &Ranking,
+    original_vars: &[Variable],
+    k: u128,
+) -> Result<(Assignment, Weight)> {
+    let answers = materialize(instance)?;
+    if answers.is_empty() {
+        return Err(CoreError::NoAnswers);
+    }
+    let schema = answers.variables().to_vec();
+    let positions: Vec<usize> = original_vars
+        .iter()
+        .map(|v| {
+            schema
+                .iter()
+                .position(|s| s == v)
+                .expect("trimmed queries retain the original variables")
+        })
+        .collect();
+    let keyed: Vec<(Weight, Vec<qjoin_data::Value>)> = answers
+        .rows()
+        .iter()
+        .map(|row| {
+            let weight = ranking.weight_of_row(&schema, row);
+            let projected: Vec<qjoin_data::Value> =
+                positions.iter().map(|&p| row[p].clone()).collect();
+            (weight, projected)
+        })
+        .collect();
+    let k = (k as usize).min(keyed.len() - 1);
+    let selected = select_kth_by(&keyed, k, &|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
+    let assignment = Assignment::from_pairs(
+        original_vars
+            .iter()
+            .cloned()
+            .zip(selected.1.iter().cloned()),
+    );
+    Ok((assignment, selected.0))
+}
+
+/// Computes the exact rank window of a weight within the instance's answers:
+/// `(strictly_below, equal)` counts. Used by tests and experiments to validate that a
+/// returned answer really is a `φ`-quantile (or within ε of one).
+pub fn rank_of_weight(
+    instance: &Instance,
+    ranking: &Ranking,
+    weight: &Weight,
+) -> Result<(u128, u128)> {
+    let answers = materialize(instance)?;
+    let schema = answers.variables().to_vec();
+    let mut below = 0u128;
+    let mut equal = 0u128;
+    for row in answers.rows() {
+        match ranking.weight_of_row(&schema, row).cmp(weight) {
+            std::cmp::Ordering::Less => below += 1,
+            std::cmp::Ordering::Equal => equal += 1,
+            std::cmp::Ordering::Greater => {}
+        }
+    }
+    Ok((below, equal))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer};
+    use qjoin_data::{Database, Relation, Value};
+    use qjoin_query::query::path_query;
+    use qjoin_query::variable::vars;
+
+    fn two_path_instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from((17 * i) % 101), Value::from(i % 4)]).unwrap();
+            r2.push(vec![Value::from(i % 4), Value::from((13 * i) % 89)]).unwrap();
+        }
+        Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
+    }
+
+    fn three_path_instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        let mut r3 = Relation::new("R3", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)]).unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)]).unwrap();
+            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)]).unwrap();
+        }
+        Instance::new(
+            path_query(3),
+            Database::from_relations([r1, r2, r3]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// Checks that the returned answer is a valid φ-quantile: there is an ordering of
+    /// the answers in which it sits at the target index, i.e. the target index falls
+    /// within the answer's weight window `[below, below + equal)`.
+    fn assert_valid_quantile(
+        instance: &Instance,
+        ranking: &Ranking,
+        result: &QuantileResult,
+    ) {
+        let (below, equal) = rank_of_weight(instance, ranking, &result.weight).unwrap();
+        assert!(equal >= 1, "returned weight does not belong to any answer");
+        assert!(
+            result.target_index >= below && result.target_index < below + equal,
+            "target {} outside window [{}, {})",
+            result.target_index,
+            below,
+            below + equal
+        );
+        // The returned assignment is itself an answer of the original query.
+        let weight = ranking.weight_of(&result.answer);
+        assert_eq!(weight, result.weight);
+    }
+
+    #[test]
+    fn sum_median_on_binary_join_is_exact() {
+        let inst = two_path_instance(60);
+        let ranking = Ranking::sum(inst.query().variables());
+        let result = quantile_by_pivoting(
+            &inst,
+            &ranking,
+            0.5,
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        assert!(result.iterations >= 1, "should pivot at least once");
+        assert_valid_quantile(&inst, &ranking, &result);
+    }
+
+    #[test]
+    fn extreme_quantiles_are_the_minimum_and_maximum() {
+        let inst = two_path_instance(40);
+        let ranking = Ranking::sum(inst.query().variables());
+        let min = quantile_by_pivoting(
+            &inst,
+            &ranking,
+            0.0,
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        let max = quantile_by_pivoting(
+            &inst,
+            &ranking,
+            1.0,
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(min.target_index, 0);
+        assert_eq!(max.target_index, max.total_answers - 1);
+        assert_valid_quantile(&inst, &ranking, &min);
+        assert_valid_quantile(&inst, &ranking, &max);
+        assert!(min.weight <= max.weight);
+    }
+
+    #[test]
+    fn many_phis_agree_with_the_brute_force_baseline() {
+        let inst = two_path_instance(30);
+        let ranking = Ranking::sum(inst.query().variables());
+        for phi in [0.05, 0.2, 0.37, 0.5, 0.63, 0.8, 0.99] {
+            let result = quantile_by_pivoting(
+                &inst,
+                &ranking,
+                phi,
+                &AdjacentSumTrimmer,
+                &PivotingOptions::default(),
+            )
+            .unwrap();
+            assert_valid_quantile(&inst, &ranking, &result);
+        }
+    }
+
+    #[test]
+    fn minmax_quantiles_on_three_path() {
+        let inst = three_path_instance(25);
+        for ranking in [
+            Ranking::min(inst.query().variables()),
+            Ranking::max(inst.query().variables()),
+            Ranking::max(vars(&["x1", "x4"])),
+        ] {
+            for phi in [0.1, 0.5, 0.9] {
+                let result = quantile_by_pivoting(
+                    &inst,
+                    &ranking,
+                    phi,
+                    &MinMaxTrimmer,
+                    &PivotingOptions::default(),
+                )
+                .unwrap();
+                assert_valid_quantile(&inst, &ranking, &result);
+            }
+        }
+    }
+
+    #[test]
+    fn lex_quantiles_on_three_path() {
+        let inst = three_path_instance(20);
+        let ranking = Ranking::lex(vars(&["x2", "x4", "x1"]));
+        for phi in [0.25, 0.5, 0.75] {
+            let result = quantile_by_pivoting(
+                &inst,
+                &ranking,
+                phi,
+                &LexTrimmer,
+                &PivotingOptions::default(),
+            )
+            .unwrap();
+            assert_valid_quantile(&inst, &ranking, &result);
+        }
+    }
+
+    #[test]
+    fn partial_sum_on_three_path_is_exact() {
+        let inst = three_path_instance(18);
+        let ranking = Ranking::sum(vars(&["x1", "x2", "x3"]));
+        for phi in [0.1, 0.5, 0.9] {
+            let result = quantile_by_pivoting(
+                &inst,
+                &ranking,
+                phi,
+                &AdjacentSumTrimmer,
+                &PivotingOptions::default(),
+            )
+            .unwrap();
+            assert_valid_quantile(&inst, &ranking, &result);
+        }
+    }
+
+    #[test]
+    fn small_instances_are_materialized_directly() {
+        let inst = two_path_instance(4);
+        let ranking = Ranking::sum(inst.query().variables());
+        let result = quantile_by_pivoting(
+            &inst,
+            &ranking,
+            0.5,
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(result.iterations, 0);
+        assert_valid_quantile(&inst, &ranking, &result);
+    }
+
+    #[test]
+    fn forcing_tiny_threshold_exercises_many_iterations() {
+        let inst = two_path_instance(40);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = PivotingOptions {
+            materialize_threshold: Some(1),
+            max_iterations: 256,
+        };
+        let result =
+            quantile_by_pivoting(&inst, &ranking, 0.5, &AdjacentSumTrimmer, &options).unwrap();
+        assert_valid_quantile(&inst, &ranking, &result);
+        // Convergence must be logarithmic-ish: with c ≥ 1/8 and |Q(D)| ≤ 400, far
+        // fewer than 100 iterations are needed.
+        assert!(result.iterations < 100);
+    }
+
+    #[test]
+    fn invalid_phi_and_empty_instances_error() {
+        let inst = two_path_instance(5);
+        let ranking = Ranking::sum(inst.query().variables());
+        assert!(matches!(
+            quantile_by_pivoting(
+                &inst,
+                &ranking,
+                1.5,
+                &AdjacentSumTrimmer,
+                &PivotingOptions::default()
+            )
+            .unwrap_err(),
+            CoreError::InvalidPhi(_)
+        ));
+        let empty = Instance::new(
+            path_query(2),
+            Database::from_relations([
+                Relation::from_rows("R1", &[&[1, 1]]).unwrap(),
+                Relation::from_rows("R2", &[&[2, 2]]).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            quantile_by_pivoting(
+                &empty,
+                &ranking,
+                0.5,
+                &AdjacentSumTrimmer,
+                &PivotingOptions::default()
+            )
+            .unwrap_err(),
+            CoreError::NoAnswers
+        ));
+    }
+}

@@ -1,0 +1,171 @@
+//! Randomized ε-approximate quantiles by uniform sampling (Section 3.1).
+//!
+//! With a direct-access structure over the answers of an acyclic JQ (built in linear
+//! time, O(log n) per access), answers can be sampled uniformly; the `φ`-quantile of a
+//! sample of `O(ε⁻² log(1/δ))` answers is a `(φ ± ε)`-quantile of the full answer set
+//! with probability `1 − δ` (Hoeffding's inequality). This is the randomized baseline
+//! against which the paper's *deterministic* approximation (Theorem 6.2) is positioned.
+
+use crate::quantile::QuantileResult;
+use crate::{CoreError, Result};
+use qjoin_exec::DirectAccess;
+use qjoin_query::Instance;
+use qjoin_ranking::Ranking;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Parameters of the sampling-based approximation.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplingOptions {
+    /// The rank-error tolerance ε ∈ (0, 1).
+    pub epsilon: f64,
+    /// The failure probability δ ∈ (0, 1).
+    pub delta: f64,
+    /// RNG seed, so experiments are reproducible.
+    pub seed: u64,
+}
+
+impl Default for SamplingOptions {
+    fn default() -> Self {
+        SamplingOptions {
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl SamplingOptions {
+    /// The number of samples prescribed by Hoeffding's inequality:
+    /// `⌈ln(2/δ) / (2ε²)⌉`.
+    pub fn sample_count(&self) -> usize {
+        ((2.0 / self.delta).ln() / (2.0 * self.epsilon * self.epsilon)).ceil() as usize
+    }
+}
+
+/// Computes a randomized `(φ ± ε)`-approximate quantile by uniform sampling.
+pub fn quantile_by_sampling(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    options: &SamplingOptions,
+) -> Result<QuantileResult> {
+    if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+        return Err(CoreError::InvalidPhi(phi));
+    }
+    if !(options.epsilon > 0.0 && options.epsilon < 1.0) {
+        return Err(CoreError::InvalidEpsilon(options.epsilon));
+    }
+    let access = DirectAccess::new(instance)?;
+    let total = access.total();
+    if total == 0 {
+        return Err(CoreError::NoAnswers);
+    }
+    let target_index = ((phi * total as f64).floor() as u128).min(total - 1);
+
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let m = options.sample_count().max(1);
+    let mut sampled: Vec<(qjoin_ranking::Weight, qjoin_query::Assignment)> =
+        Vec::with_capacity(m);
+    for _ in 0..m {
+        let answer = access.sample(&mut rng)?;
+        sampled.push((ranking.weight_of(&answer), answer));
+    }
+    sampled.sort_by(|a, b| a.0.cmp(&b.0));
+    let pick = ((phi * m as f64).floor() as usize).min(m - 1);
+    let (weight, answer) = sampled.swap_remove(pick);
+
+    Ok(QuantileResult {
+        answer,
+        weight,
+        total_answers: total,
+        target_index,
+        iterations: 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::rank_of_weight;
+    use qjoin_data::{Database, Relation, Value};
+    use qjoin_query::query::path_query;
+
+    fn instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from(i), Value::from(i % 3)]).unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from(2 * i)]).unwrap();
+        }
+        Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn hoeffding_sample_count_grows_with_precision() {
+        let loose = SamplingOptions {
+            epsilon: 0.2,
+            delta: 0.1,
+            seed: 1,
+        };
+        let tight = SamplingOptions {
+            epsilon: 0.02,
+            delta: 0.1,
+            seed: 1,
+        };
+        assert!(tight.sample_count() > 50 * loose.sample_count());
+    }
+
+    #[test]
+    fn sampled_quantile_is_within_epsilon_rank_error() {
+        let inst = instance(60);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = SamplingOptions {
+            epsilon: 0.05,
+            delta: 0.01,
+            seed: 7,
+        };
+        for phi in [0.25, 0.5, 0.75] {
+            let result = quantile_by_sampling(&inst, &ranking, phi, &options).unwrap();
+            let (below, equal) = rank_of_weight(&inst, &ranking, &result.weight).unwrap();
+            let total = result.total_answers as f64;
+            let lo = (phi - 3.0 * options.epsilon) * total;
+            let hi = (phi + 3.0 * options.epsilon) * total;
+            // The answer's rank window must overlap the tolerated band.
+            assert!(
+                (below as f64) <= hi && (below + equal) as f64 >= lo,
+                "phi {phi}: window [{below}, {}) outside [{lo}, {hi}]",
+                below + equal
+            );
+        }
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let inst = instance(5);
+        let ranking = Ranking::sum(inst.query().variables());
+        assert!(matches!(
+            quantile_by_sampling(&inst, &ranking, 2.0, &SamplingOptions::default()).unwrap_err(),
+            CoreError::InvalidPhi(_)
+        ));
+        let bad_eps = SamplingOptions {
+            epsilon: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            quantile_by_sampling(&inst, &ranking, 0.5, &bad_eps).unwrap_err(),
+            CoreError::InvalidEpsilon(_)
+        ));
+    }
+
+    #[test]
+    fn deterministic_given_a_seed() {
+        let inst = instance(30);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = SamplingOptions::default();
+        let a = quantile_by_sampling(&inst, &ranking, 0.5, &options).unwrap();
+        let b = quantile_by_sampling(&inst, &ranking, 0.5, &options).unwrap();
+        assert_eq!(a.weight, b.weight);
+        assert_eq!(a.answer, b.answer);
+    }
+}

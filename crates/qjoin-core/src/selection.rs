@@ -1,0 +1,218 @@
+//! Linear-time selection and weighted medians.
+//!
+//! The divide-and-conquer framework (Section 3) is modelled on classic linear-time
+//! selection, and the pivot algorithm of Section 4 relies on the *weighted median*
+//! (the element at the middle position of a multiset in which each element appears
+//! with a given multiplicity). Both are implemented here with deterministic
+//! median-of-medians pivoting, so the bounds are worst-case rather than expected.
+
+use std::cmp::Ordering;
+
+/// Selects the element with zero-based rank `k` under the comparator, in worst-case
+/// linear time (median-of-medians). Ties are resolved arbitrarily but consistently.
+///
+/// Panics if `items` is empty or `k >= items.len()`.
+pub fn select_kth_by<T: Clone>(
+    items: &[T],
+    k: usize,
+    cmp: &impl Fn(&T, &T) -> Ordering,
+) -> T {
+    assert!(!items.is_empty(), "cannot select from an empty slice");
+    assert!(k < items.len(), "rank {k} out of range for {} items", items.len());
+    let weighted: Vec<(T, u128)> = items.iter().map(|x| (x.clone(), 1u128)).collect();
+    weighted_select_by(&weighted, k as u128, cmp)
+}
+
+/// The weighted median of a multiset given as `(element, multiplicity)` pairs: the
+/// element at position `⌊(|B| − 1)/2⌋` (the *lower* median) of the expanded multiset
+/// `B` under the comparator, matching the choice illustrated in Figure 2 of the paper.
+///
+/// Runs in worst-case linear time in the number of *distinct* elements.
+/// Panics if the total multiplicity is zero.
+pub fn weighted_median_by<T: Clone>(
+    items: &[(T, u128)],
+    cmp: &impl Fn(&T, &T) -> Ordering,
+) -> T {
+    let total: u128 = items.iter().map(|(_, m)| m).sum();
+    assert!(total > 0, "cannot take the weighted median of an empty multiset");
+    weighted_select_by(items, (total - 1) / 2, cmp)
+}
+
+/// Weighted selection: returns the element at zero-based position `target` of the
+/// multiset in which each element appears `multiplicity` times, ordered by `cmp`.
+///
+/// Panics if `target` is not smaller than the total multiplicity.
+pub fn weighted_select_by<T: Clone>(
+    items: &[(T, u128)],
+    target: u128,
+    cmp: &impl Fn(&T, &T) -> Ordering,
+) -> T {
+    let total: u128 = items.iter().map(|(_, m)| m).sum();
+    assert!(
+        target < total,
+        "selection target {target} out of range for total multiplicity {total}"
+    );
+    // Entries with zero multiplicity contribute nothing; drop them up front.
+    let mut current: Vec<(T, u128)> = items.iter().filter(|(_, m)| *m > 0).cloned().collect();
+    let mut target = target;
+    loop {
+        if current.len() <= 16 {
+            current.sort_by(|a, b| cmp(&a.0, &b.0));
+            let mut acc = 0u128;
+            for (x, m) in &current {
+                acc += m;
+                if target < acc {
+                    return x.clone();
+                }
+            }
+            unreachable!("target below total multiplicity");
+        }
+        let pivot = median_of_medians(&current, cmp);
+        let mut less: Vec<(T, u128)> = Vec::new();
+        let mut equal_mult = 0u128;
+        let mut greater: Vec<(T, u128)> = Vec::new();
+        let mut less_mult = 0u128;
+        for (x, m) in current.into_iter() {
+            match cmp(&x, &pivot) {
+                Ordering::Less => {
+                    less_mult += m;
+                    less.push((x, m));
+                }
+                Ordering::Equal => equal_mult += m,
+                Ordering::Greater => greater.push((x, m)),
+            }
+        }
+        if target < less_mult {
+            current = less;
+        } else if target < less_mult + equal_mult {
+            return pivot;
+        } else {
+            target -= less_mult + equal_mult;
+            current = greater;
+        }
+    }
+}
+
+/// The classic median-of-medians pivot: group into fives, take each group's median,
+/// recurse on the medians. Guarantees that at least ~30% of the elements fall on each
+/// side, which keeps [`weighted_select_by`] linear.
+fn median_of_medians<T: Clone>(
+    items: &[(T, u128)],
+    cmp: &impl Fn(&T, &T) -> Ordering,
+) -> T {
+    if items.len() <= 5 {
+        let mut sorted: Vec<&(T, u128)> = items.iter().collect();
+        sorted.sort_by(|a, b| cmp(&a.0, &b.0));
+        return sorted[sorted.len() / 2].0.clone();
+    }
+    let medians: Vec<(T, u128)> = items
+        .chunks(5)
+        .map(|chunk| {
+            let mut sorted: Vec<&(T, u128)> = chunk.iter().collect();
+            sorted.sort_by(|a, b| cmp(&a.0, &b.0));
+            (sorted[sorted.len() / 2].0.clone(), 1u128)
+        })
+        .collect();
+    let mid = medians.iter().map(|(_, m)| m).sum::<u128>() / 2;
+    weighted_select_by(&medians, mid, cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cmp_i64(a: &i64, b: &i64) -> Ordering {
+        a.cmp(b)
+    }
+
+    #[test]
+    fn select_kth_matches_sorting() {
+        let items: Vec<i64> = vec![5, 3, 9, 1, 7, 3, 8, 2, 6, 4, 0];
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        for k in 0..items.len() {
+            assert_eq!(select_kth_by(&items, k, &cmp_i64), sorted[k], "k = {k}");
+        }
+    }
+
+    #[test]
+    fn select_kth_on_large_input_with_duplicates() {
+        let items: Vec<i64> = (0..5000).map(|i| (i * 37) % 101).collect();
+        let mut sorted = items.clone();
+        sorted.sort_unstable();
+        for k in [0, 1, 2499, 2500, 4998, 4999] {
+            assert_eq!(select_kth_by(&items, k, &cmp_i64), sorted[k]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn select_kth_rejects_out_of_range() {
+        select_kth_by(&[1i64, 2], 2, &cmp_i64);
+    }
+
+    #[test]
+    fn weighted_median_respects_multiplicities() {
+        // Multiset: 1×1, 10×5, 100×1 → expansion [1,10,10,10,10,10,100]; position 3 = 10.
+        let items = vec![(1i64, 1u128), (10, 5), (100, 1)];
+        assert_eq!(weighted_median_by(&items, &cmp_i64), 10);
+        // A heavy small element dominates: [1×10, 100×1] → median 1.
+        assert_eq!(weighted_median_by(&[(1i64, 10u128), (100, 1)], &cmp_i64), 1);
+    }
+
+    #[test]
+    fn weighted_select_matches_expanded_multiset() {
+        let items = vec![(4i64, 3u128), (1, 2), (9, 4), (6, 1)];
+        let mut expanded: Vec<i64> = Vec::new();
+        for (x, m) in &items {
+            for _ in 0..*m {
+                expanded.push(*x);
+            }
+        }
+        expanded.sort_unstable();
+        for target in 0..expanded.len() {
+            assert_eq!(
+                weighted_select_by(&items, target as u128, &cmp_i64),
+                expanded[target],
+                "target {target}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_select_handles_huge_multiplicities() {
+        let items = vec![(1i64, 1u128 << 90), (2, 1u128 << 90), (3, 1)];
+        assert_eq!(weighted_select_by(&items, 0, &cmp_i64), 1);
+        assert_eq!(weighted_select_by(&items, (1u128 << 90) + 5, &cmp_i64), 2);
+        assert_eq!(weighted_select_by(&items, 1u128 << 91, &cmp_i64), 3);
+    }
+
+    #[test]
+    fn weighted_select_ignores_zero_multiplicities() {
+        let items = vec![(1i64, 0u128), (2, 1), (3, 0)];
+        assert_eq!(weighted_select_by(&items, 0, &cmp_i64), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty multiset")]
+    fn weighted_median_of_empty_panics() {
+        weighted_median_by::<i64>(&[], &cmp_i64);
+    }
+
+    #[test]
+    fn weighted_median_definition_matches_paper() {
+        // The lower median: for an even-sized multiset, the lower of the two middle
+        // elements (Figure 2 picks U(6, 8) over U(6, 9) in the group of size 2).
+        let items = vec![(1i64, 1u128), (2, 1), (3, 1), (4, 1)];
+        assert_eq!(weighted_median_by(&items, &cmp_i64), 2);
+        let odd = vec![(1i64, 1u128), (2, 1), (3, 1)];
+        assert_eq!(weighted_median_by(&odd, &cmp_i64), 2);
+    }
+
+    #[test]
+    fn select_kth_with_custom_comparator() {
+        let items: Vec<(i64, &str)> = vec![(3, "c"), (1, "a"), (2, "b")];
+        let by_first = |a: &(i64, &str), b: &(i64, &str)| a.0.cmp(&b.0);
+        assert_eq!(select_kth_by(&items, 1, &by_first), (2, "b"));
+    }
+}

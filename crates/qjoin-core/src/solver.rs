@@ -1,0 +1,232 @@
+//! High-level entry points: pick the right algorithm for a ranking function.
+//!
+//! This is the API most users of the library want: hand over an instance, a ranking
+//! function and a fraction `φ`, and get the quantile back. The solver routes the
+//! request through the dichotomy:
+//!
+//! * MIN / MAX → exact pivoting with the [`MinMaxTrimmer`] (Theorem 5.3),
+//! * LEX → exact pivoting with the [`LexTrimmer`] (Section 5.2),
+//! * SUM → classify under Theorem 5.6; tractable cases use the exact
+//!   [`AdjacentSumTrimmer`], intractable ones report the witness and point at the
+//!   deterministic ε-approximation ([`approximate_sum_quantile`], Theorem 6.2) or the
+//!   randomized sampling approximation (Section 3.1).
+
+use crate::dichotomy::classify_partial_sum;
+use crate::lossy_trim::LossySumTrimmer;
+use crate::pivot::pivot_quality;
+use crate::quantile::{quantile_by_pivoting, PivotingOptions, QuantileResult};
+use crate::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer, Trimmer};
+use crate::{CoreError, Result};
+use qjoin_query::{acyclicity, Instance};
+use qjoin_ranking::{AggregateKind, Ranking};
+
+/// How the per-trim loss budget of the deterministic SUM approximation is derived from
+/// the requested overall error ε.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ErrorBudget {
+    /// Follow the worst-case analysis of Lemma 3.6: divide ε by twice the bound on the
+    /// number of iterations (`2·⌈ℓ·log_{1/(1-c)} n⌉`). Guaranteed, but very
+    /// conservative — sketches may degenerate to exact representations on small data.
+    Guaranteed,
+    /// Spend ε directly on every trim invocation. The accumulated rank error is then
+    /// bounded by `2·ε·I/|Q(D)|` over `I` iterations in the worst case, which the
+    /// experiments measure empirically; this is the practical default.
+    Direct,
+}
+
+/// Computes an **exact** `φ`-quantile, choosing the trimming subroutine according to
+/// the ranking function and the dichotomy of Theorem 5.6.
+pub fn exact_quantile(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+) -> Result<QuantileResult> {
+    exact_quantile_with_options(instance, ranking, phi, &PivotingOptions::default())
+}
+
+/// [`exact_quantile`] with explicit driver options.
+pub fn exact_quantile_with_options(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    options: &PivotingOptions,
+) -> Result<QuantileResult> {
+    if acyclicity::gyo_join_tree(instance.query()).is_none() {
+        return Err(CoreError::CyclicQuery(instance.query().to_string()));
+    }
+    let trimmer: Box<dyn Trimmer> = match ranking.kind() {
+        AggregateKind::Min | AggregateKind::Max => Box::new(MinMaxTrimmer),
+        AggregateKind::Lex => Box::new(LexTrimmer),
+        AggregateKind::Sum => {
+            let classification =
+                classify_partial_sum(instance.query(), ranking.weighted_vars());
+            if !classification.is_tractable() {
+                return Err(CoreError::IntractableSum(format!("{classification:?}")));
+            }
+            Box::new(AdjacentSumTrimmer)
+        }
+    };
+    quantile_by_pivoting(instance, ranking, phi, trimmer.as_ref(), options)
+}
+
+/// Computes a deterministic `(φ ± ε)`-approximate quantile for SUM ranking functions
+/// on arbitrary acyclic queries (Theorem 6.2), including the ones that are intractable
+/// exactly.
+pub fn approximate_sum_quantile(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    epsilon: f64,
+    budget: ErrorBudget,
+) -> Result<QuantileResult> {
+    if ranking.kind() != AggregateKind::Sum {
+        return Err(CoreError::UnsupportedRanking(
+            "the deterministic approximation targets SUM ranking functions".to_string(),
+        ));
+    }
+    if !(epsilon > 0.0 && epsilon < 1.0) {
+        return Err(CoreError::InvalidEpsilon(epsilon));
+    }
+    if acyclicity::gyo_join_tree(instance.query()).is_none() {
+        return Err(CoreError::CyclicQuery(instance.query().to_string()));
+    }
+    let per_trim_epsilon = match budget {
+        ErrorBudget::Direct => epsilon,
+        ErrorBudget::Guaranteed => {
+            let n = instance.database_size().max(2) as f64;
+            let ell = instance.query().num_atoms() as f64;
+            let tree = acyclicity::gyo_join_tree(instance.query())
+                .expect("checked acyclic above");
+            let c = pivot_quality(&tree).clamp(1e-6, 0.5);
+            let iterations = (ell * n.ln() / (1.0 / (1.0 - c)).ln()).ceil().max(1.0);
+            (epsilon / (2.0 * iterations)).max(1e-6)
+        }
+    };
+    let trimmer = LossySumTrimmer::new(per_trim_epsilon);
+    quantile_by_pivoting(
+        instance,
+        ranking,
+        phi,
+        &trimmer,
+        &PivotingOptions::default(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::rank_of_weight;
+    use qjoin_data::{Database, Relation, Value};
+    use qjoin_query::query::{path_query, triangle_query};
+    use qjoin_query::variable::vars;
+
+    fn three_path_instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        let mut r3 = Relation::new("R3", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)]).unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)]).unwrap();
+            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)]).unwrap();
+        }
+        Instance::new(
+            path_query(3),
+            Database::from_relations([r1, r2, r3]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_solver_routes_by_ranking_kind() {
+        let inst = three_path_instance(15);
+        for ranking in [
+            Ranking::max(inst.query().variables()),
+            Ranking::min(vars(&["x2", "x3"])),
+            Ranking::lex(vars(&["x1", "x4"])),
+            Ranking::sum(vars(&["x1", "x2", "x3"])),
+        ] {
+            let result = exact_quantile(&inst, &ranking, 0.5).unwrap();
+            let (below, equal) = rank_of_weight(&inst, &ranking, &result.weight).unwrap();
+            assert!(
+                result.target_index >= below && result.target_index < below + equal,
+                "ranking {ranking}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solver_rejects_intractable_sums_with_a_witness() {
+        let inst = three_path_instance(10);
+        let ranking = Ranking::sum(inst.query().variables());
+        let err = exact_quantile(&inst, &ranking, 0.5).unwrap_err();
+        assert!(matches!(err, CoreError::IntractableSum(_)));
+    }
+
+    #[test]
+    fn approximate_solver_handles_intractable_sums() {
+        let inst = three_path_instance(12);
+        let ranking = Ranking::sum(inst.query().variables());
+        for phi in [0.25, 0.5, 0.75] {
+            let result =
+                approximate_sum_quantile(&inst, &ranking, phi, 0.1, ErrorBudget::Direct).unwrap();
+            let (below, equal) = rank_of_weight(&inst, &ranking, &result.weight).unwrap();
+            let total = result.total_answers as f64;
+            // Accumulated error over O(log) iterations with ε = 0.1: allow a generous
+            // rank band around φ and verify the answer's window intersects it.
+            let slack = (0.1 * 2.0 * (result.iterations.max(1) as f64) * total).max(1.0);
+            let lo = (result.target_index as f64) - slack;
+            let hi = (result.target_index as f64) + slack;
+            assert!(
+                (below as f64) <= hi && (below + equal) as f64 >= lo,
+                "phi {phi}: window [{below}, {}) vs [{lo}, {hi}]",
+                below + equal
+            );
+        }
+    }
+
+    #[test]
+    fn guaranteed_budget_matches_exact_on_small_instances() {
+        // With the conservative budget the sketches are exact on small data, so the
+        // approximation returns a true quantile.
+        let inst = three_path_instance(6);
+        let ranking = Ranking::sum(inst.query().variables());
+        let result =
+            approximate_sum_quantile(&inst, &ranking, 0.5, 0.2, ErrorBudget::Guaranteed).unwrap();
+        let (below, equal) = rank_of_weight(&inst, &ranking, &result.weight).unwrap();
+        assert!(result.target_index >= below && result.target_index < below + equal);
+    }
+
+    #[test]
+    fn cyclic_queries_are_rejected_by_both_solvers() {
+        let mut db = Database::new();
+        for name in ["R", "S", "T"] {
+            db.add_relation(Relation::from_rows(name, &[&[1, 1]]).unwrap())
+                .unwrap();
+        }
+        let inst = Instance::new(triangle_query(), db).unwrap();
+        let ranking = Ranking::sum(inst.query().variables());
+        assert!(matches!(
+            exact_quantile(&inst, &ranking, 0.5).unwrap_err(),
+            CoreError::CyclicQuery(_)
+        ));
+        assert!(matches!(
+            approximate_sum_quantile(&inst, &ranking, 0.5, 0.1, ErrorBudget::Direct).unwrap_err(),
+            CoreError::CyclicQuery(_)
+        ));
+    }
+
+    #[test]
+    fn approximate_solver_validates_parameters() {
+        let inst = three_path_instance(5);
+        let sum = Ranking::sum(inst.query().variables());
+        assert!(matches!(
+            approximate_sum_quantile(&inst, &sum, 0.5, 0.0, ErrorBudget::Direct).unwrap_err(),
+            CoreError::InvalidEpsilon(_)
+        ));
+        let max = Ranking::max(inst.query().variables());
+        assert!(matches!(
+            approximate_sum_quantile(&inst, &max, 0.5, 0.1, ErrorBudget::Direct).unwrap_err(),
+            CoreError::UnsupportedRanking(_)
+        ));
+    }
+}

@@ -1,0 +1,260 @@
+//! Relations: named, fixed-arity collections of tuples.
+
+use crate::{DataError, Result, Tuple, Value};
+use std::fmt;
+
+/// A finite relation `R^D ⊆ dom^{a_R}`.
+///
+/// Relations carry a name (the relational symbol), a fixed arity, and a vector of
+/// tuples. The paper's trimming constructions materialize many derived relations
+/// (copies with filtered tuples, extra columns, unions across partitions); all of those
+/// are plain [`Relation`] instances, so downstream algorithms never need to distinguish
+/// "original" from "synthesized" relations.
+///
+/// Duplicate tuples are permitted at this layer (a bag), but every construction in the
+/// stack that relies on set semantics (counting, direct access) deduplicates or asserts
+/// as needed; the generators in `qjoin-workload` always produce set-valued relations.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    arity: usize,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given name and arity.
+    pub fn new(name: impl Into<String>, arity: usize) -> Self {
+        Relation {
+            name: name.into(),
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation directly from tuples, validating that all arities agree.
+    pub fn from_tuples(
+        name: impl Into<String>,
+        arity: usize,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<Self> {
+        let mut rel = Relation::new(name, arity);
+        for t in tuples {
+            rel.push_tuple(t)?;
+        }
+        Ok(rel)
+    }
+
+    /// Convenience constructor from rows of integers (the common case in tests and
+    /// in the paper's worked examples).
+    pub fn from_rows(name: impl Into<String>, rows: &[&[i64]]) -> Result<Self> {
+        let name = name.into();
+        let arity = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut rel = Relation::new(name, arity);
+        for row in rows {
+            rel.push_tuple(Tuple::from(row.to_vec()))?;
+        }
+        Ok(rel)
+    }
+
+    /// The relational symbol this relation interprets.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The arity `a_R`.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Borrow all tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Iterate over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Appends a row of values.
+    pub fn push(&mut self, values: Vec<Value>) -> Result<()> {
+        self.push_tuple(Tuple::new(values))
+    }
+
+    /// Appends a tuple, validating its arity.
+    pub fn push_tuple(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.arity {
+            return Err(DataError::ArityMismatch {
+                relation: self.name.clone(),
+                expected: self.arity,
+                found: tuple.arity(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Returns a renamed copy of this relation (used when eliminating self-joins by
+    /// materializing a fresh relation per repeated symbol, Section 2.2).
+    pub fn renamed(&self, new_name: impl Into<String>) -> Relation {
+        Relation {
+            name: new_name.into(),
+            arity: self.arity,
+            tuples: self.tuples.clone(),
+        }
+    }
+
+    /// Returns a copy keeping only tuples satisfying `keep`.
+    pub fn filtered(&self, mut keep: impl FnMut(&Tuple) -> bool) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            arity: self.arity,
+            tuples: self.tuples.iter().filter(|t| keep(t)).cloned().collect(),
+        }
+    }
+
+    /// Returns a copy in which every tuple has been mapped through `f`, with the arity
+    /// adjusted to `new_arity` (all mapped tuples must have that arity).
+    pub fn mapped(&self, new_arity: usize, mut f: impl FnMut(&Tuple) -> Tuple) -> Result<Relation> {
+        let mut rel = Relation::new(self.name.clone(), new_arity);
+        for t in &self.tuples {
+            rel.push_tuple(f(t))?;
+        }
+        Ok(rel)
+    }
+
+    /// Returns a copy where every tuple is extended with a constant extra column.
+    /// Used by the partition-union trimming construction (Algorithm 3 of the paper).
+    pub fn with_constant_column(&self, value: Value) -> Relation {
+        Relation {
+            name: self.name.clone(),
+            arity: self.arity + 1,
+            tuples: self.tuples.iter().map(|t| t.extended(value.clone())).collect(),
+        }
+    }
+
+    /// Removes duplicate tuples in place, preserving first occurrence order.
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::HashSet::with_capacity(self.tuples.len());
+        self.tuples.retain(|t| seen.insert(t.clone()));
+    }
+
+    /// Replaces the stored tuples wholesale (arity is re-validated).
+    pub fn set_tuples(&mut self, tuples: Vec<Tuple>) -> Result<()> {
+        for t in &tuples {
+            if t.arity() != self.arity {
+                return Err(DataError::ArityMismatch {
+                    relation: self.name.clone(),
+                    expected: self.arity,
+                    found: t.arity(),
+                });
+            }
+        }
+        self.tuples = tuples;
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}/{} ({} tuples)", self.name, self.arity, self.tuples.len())?;
+        for t in self.tuples.iter().take(20) {
+            writeln!(f, "  {t:?}")?;
+        }
+        if self.tuples.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.tuples.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_validates_arity() {
+        let mut r = Relation::new("R", 2);
+        assert!(r.push(vec![Value::from(1), Value::from(2)]).is_ok());
+        let err = r.push(vec![Value::from(1)]).unwrap_err();
+        match err {
+            DataError::ArityMismatch { expected, found, .. } => {
+                assert_eq!(expected, 2);
+                assert_eq!(found, 1);
+            }
+            other => panic!("unexpected error: {other:?}"),
+        }
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn from_rows_builds_integer_relation() {
+        let r = Relation::from_rows("S", &[&[1, 3], &[1, 4], &[2, 3]]).unwrap();
+        assert_eq!(r.arity(), 2);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.tuples()[1], Tuple::from(vec![1i64, 4]));
+    }
+
+    #[test]
+    fn from_rows_rejects_ragged_rows() {
+        let err = Relation::from_rows("S", &[&[1, 3], &[1]]).unwrap_err();
+        assert!(matches!(err, DataError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn renamed_copies_tuples_under_new_symbol() {
+        let r = Relation::from_rows("R", &[&[1, 2]]).unwrap();
+        let r2 = r.renamed("R_copy1");
+        assert_eq!(r2.name(), "R_copy1");
+        assert_eq!(r2.tuples(), r.tuples());
+    }
+
+    #[test]
+    fn filtered_keeps_matching_tuples() {
+        let r = Relation::from_rows("R", &[&[1], &[2], &[3], &[4]]).unwrap();
+        let even = r.filtered(|t| t[0].as_int().unwrap() % 2 == 0);
+        assert_eq!(even.len(), 2);
+        assert!(even.iter().all(|t| t[0].as_int().unwrap() % 2 == 0));
+    }
+
+    #[test]
+    fn with_constant_column_extends_every_tuple() {
+        let r = Relation::from_rows("R", &[&[1], &[2]]).unwrap();
+        let ext = r.with_constant_column(Value::from(7));
+        assert_eq!(ext.arity(), 2);
+        assert!(ext.iter().all(|t| t[1] == Value::from(7)));
+    }
+
+    #[test]
+    fn dedup_removes_repeated_tuples() {
+        let mut r = Relation::from_rows("R", &[&[1, 2], &[1, 2], &[3, 4]]).unwrap();
+        r.dedup();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn mapped_can_change_arity() {
+        let r = Relation::from_rows("R", &[&[1, 2], &[3, 4]]).unwrap();
+        let swapped = r.mapped(2, |t| t.project(&[1, 0])).unwrap();
+        assert_eq!(swapped.tuples()[0], Tuple::from(vec![2i64, 1]));
+        let first = r.mapped(1, |t| t.project(&[0])).unwrap();
+        assert_eq!(first.arity(), 1);
+    }
+
+    #[test]
+    fn empty_relation_reports_empty() {
+        let r = Relation::new("E", 3);
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

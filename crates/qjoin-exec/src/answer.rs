@@ -1,0 +1,158 @@
+//! Materialized answer sets.
+
+use qjoin_data::Value;
+use qjoin_query::{Assignment, Variable};
+use std::fmt;
+
+/// A materialized set of query answers in a compact, positional representation.
+///
+/// Every row assigns the i-th value to the i-th variable of [`AnswerSet::variables`].
+/// The quantile driver only ever materializes answer sets of size `O(n)` (the final
+/// "few candidates remain" step of Algorithm 1); the brute-force baseline materializes
+/// the full join result and is the reason the positional layout matters.
+#[derive(Clone, PartialEq, Eq)]
+pub struct AnswerSet {
+    variables: Vec<Variable>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl AnswerSet {
+    /// Creates an empty answer set over the given variable schema.
+    pub fn new(variables: Vec<Variable>) -> Self {
+        AnswerSet {
+            variables,
+            rows: Vec::new(),
+        }
+    }
+
+    /// The answer schema: variables in positional order.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// Number of answers.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when there are no answers.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The raw rows.
+    pub fn rows(&self) -> &[Vec<Value>] {
+        &self.rows
+    }
+
+    /// Mutable access to the rows (used by sorting-based baselines).
+    pub fn rows_mut(&mut self) -> &mut Vec<Vec<Value>> {
+        &mut self.rows
+    }
+
+    /// Appends a row; panics if its width does not match the schema.
+    pub fn push_row(&mut self, row: Vec<Value>) {
+        assert_eq!(
+            row.len(),
+            self.variables.len(),
+            "answer row width must match the variable schema"
+        );
+        self.rows.push(row);
+    }
+
+    /// Position of a variable in the schema.
+    pub fn position_of(&self, var: &Variable) -> Option<usize> {
+        self.variables.iter().position(|v| v == var)
+    }
+
+    /// The value of `var` in row `row`.
+    pub fn value(&self, row: usize, var: &Variable) -> Option<&Value> {
+        let pos = self.position_of(var)?;
+        self.rows.get(row).map(|r| &r[pos])
+    }
+
+    /// Converts row `row` into an explicit [`Assignment`].
+    pub fn assignment(&self, row: usize) -> Assignment {
+        Assignment::from_pairs(
+            self.variables
+                .iter()
+                .cloned()
+                .zip(self.rows[row].iter().cloned()),
+        )
+    }
+
+    /// Iterates over all rows as [`Assignment`]s.
+    pub fn iter_assignments(&self) -> impl Iterator<Item = Assignment> + '_ {
+        (0..self.rows.len()).map(|i| self.assignment(i))
+    }
+
+    /// Sorts rows by a key extracted from each row.
+    pub fn sort_by_key_fn<K: Ord>(&mut self, mut key: impl FnMut(&[Value]) -> K) {
+        self.rows.sort_by_key(|r| key(r));
+    }
+}
+
+impl fmt::Debug for AnswerSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AnswerSet[")?;
+        for (i, v) in self.variables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        writeln!(f, "] ({} rows)", self.rows.len())?;
+        for row in self.rows.iter().take(20) {
+            writeln!(f, "  {row:?}")?;
+        }
+        if self.rows.len() > 20 {
+            writeln!(f, "  ... ({} more)", self.rows.len() - 20)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjoin_query::variable::vars;
+
+    fn sample() -> AnswerSet {
+        let mut a = AnswerSet::new(vars(&["x", "y"]));
+        a.push_row(vec![Value::from(1), Value::from(10)]);
+        a.push_row(vec![Value::from(2), Value::from(20)]);
+        a
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let a = sample();
+        assert_eq!(a.len(), 2);
+        assert!(!a.is_empty());
+        assert_eq!(a.value(1, &Variable::new("y")), Some(&Value::from(20)));
+        assert_eq!(a.value(0, &Variable::new("z")), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_width_panics() {
+        let mut a = AnswerSet::new(vars(&["x", "y"]));
+        a.push_row(vec![Value::from(1)]);
+    }
+
+    #[test]
+    fn assignment_conversion_round_trips() {
+        let a = sample();
+        let asg = a.assignment(0);
+        assert_eq!(asg.get(&Variable::new("x")), Some(&Value::from(1)));
+        assert_eq!(asg.get(&Variable::new("y")), Some(&Value::from(10)));
+        assert_eq!(a.iter_assignments().count(), 2);
+    }
+
+    #[test]
+    fn sorting_by_key_reorders_rows() {
+        let mut a = sample();
+        a.sort_by_key_fn(|row| std::cmp::Reverse(row[0].as_int().unwrap()));
+        assert_eq!(a.rows()[0][0], Value::from(2));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for the execution layer.
+
+use std::fmt;
+
+/// Errors raised by the join execution engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// The query is cyclic; all algorithms in this crate require acyclic queries.
+    CyclicQuery(String),
+    /// An answer index is out of range for direct access.
+    IndexOutOfRange {
+        /// The requested index.
+        requested: u128,
+        /// The total number of answers.
+        total: u128,
+    },
+    /// The query has no answers over the database, but one was required.
+    NoAnswers,
+    /// An underlying query-layer error.
+    Query(qjoin_query::QueryError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::CyclicQuery(q) => write!(f, "query is cyclic: {q}"),
+            ExecError::IndexOutOfRange { requested, total } => {
+                write!(f, "answer index {requested} out of range (total {total})")
+            }
+            ExecError::NoAnswers => write!(f, "the query has no answers over this database"),
+            ExecError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<qjoin_query::QueryError> for ExecError {
+    fn from(e: qjoin_query::QueryError) -> Self {
+        ExecError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ExecError::NoAnswers.to_string().contains("no answers"));
+        let e = ExecError::IndexOutOfRange {
+            requested: 10,
+            total: 3,
+        };
+        assert!(e.to_string().contains("10"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn query_errors_convert() {
+        let e: ExecError = qjoin_query::QueryError::EmptyQuery.into();
+        assert!(matches!(e, ExecError::Query(_)));
+    }
+}

@@ -1,0 +1,206 @@
+//! The generic bottom-up message-passing framework of Section 2.4.
+//!
+//! Many algorithms over acyclic joins follow the same pattern: traverse a join tree
+//! bottom-up, compute a value `val(t)` per tuple, aggregate values *within a join
+//! group* with an operator `⊕`, and combine the aggregated child messages with the
+//! tuple's own value using an operator `⊗`. Counting (Example 2.1), pivot selection
+//! (Section 4), and the sketched sums of the lossy trimming (Section 6) are all
+//! instances of this pattern; the first two are implemented directly on this trait.
+
+use crate::{JoinTreeContext, NodeData};
+use qjoin_data::Value;
+use std::collections::HashMap;
+
+/// An instantiation of the message-passing pattern.
+///
+/// Implementations provide the initial per-tuple value, the join-group combination
+/// operator `⊕`, and the across-children absorption operator `⊗`.
+pub trait MessageAlgebra {
+    /// The message type `val(t)` computed per tuple.
+    type Msg: Clone;
+
+    /// The initial value of a tuple before any child messages arrive.
+    fn tuple_init(&self, ctx: &JoinTreeContext, node: usize, tuple_idx: usize) -> Self::Msg;
+
+    /// The `⊕` operator: combines the messages of all tuples in one join group of
+    /// `node`. `group` holds `(tuple_index, message)` pairs, never empty.
+    fn combine_group(
+        &self,
+        ctx: &JoinTreeContext,
+        node: usize,
+        group: &[(usize, Self::Msg)],
+    ) -> Self::Msg;
+
+    /// The `⊗` operator: absorbs one child join-group message into a tuple's value.
+    fn absorb(
+        &self,
+        ctx: &JoinTreeContext,
+        node: usize,
+        tuple_idx: usize,
+        own: Self::Msg,
+        child_group_msg: &Self::Msg,
+    ) -> Self::Msg;
+}
+
+/// The result of one bottom-up message-passing run.
+#[derive(Clone, Debug)]
+pub struct MessagePassingResult<M> {
+    /// `per_tuple[node][i]` is the final value `val(t)` of tuple `i` of `node`.
+    pub per_tuple: Vec<Vec<M>>,
+    /// `per_group[node]` maps a join key of `node` to the `⊕`-combined message of the
+    /// corresponding join group. Present for every non-root node.
+    pub per_group: Vec<HashMap<Vec<Value>, M>>,
+}
+
+impl<M> MessagePassingResult<M> {
+    /// The combined message a parent tuple receives from `child`, if its key matches
+    /// any group (it always does for tuples that survived the full reducer).
+    pub fn message_to_parent(
+        &self,
+        ctx: &JoinTreeContext,
+        child: usize,
+        parent_tuple: &qjoin_data::Tuple,
+    ) -> Option<&M> {
+        let key = ctx.node(child).key_from_parent(parent_tuple);
+        self.per_group[child].get(&key)
+    }
+}
+
+/// Runs the message-passing pattern bottom-up over the context with the given algebra.
+pub fn run<A: MessageAlgebra>(ctx: &JoinTreeContext, algebra: &A) -> MessagePassingResult<A::Msg> {
+    let n_nodes = ctx.nodes().len();
+    let mut per_tuple: Vec<Vec<A::Msg>> = vec![Vec::new(); n_nodes];
+    let mut per_group: Vec<HashMap<Vec<Value>, A::Msg>> = vec![HashMap::new(); n_nodes];
+
+    for &node_id in &ctx.tree().bottom_up_order() {
+        let node: &NodeData = ctx.node(node_id);
+        let children = ctx.tree().node(node_id).children.clone();
+        let mut values: Vec<A::Msg> = Vec::with_capacity(node.tuples.len());
+        for (tuple_idx, tuple) in node.tuples.iter().enumerate() {
+            let mut val = algebra.tuple_init(ctx, node_id, tuple_idx);
+            for &child in &children {
+                let key = ctx.node(child).key_from_parent(tuple);
+                let msg = per_group[child]
+                    .get(&key)
+                    .expect("full reducer guarantees every parent tuple has a matching child group");
+                val = algebra.absorb(ctx, node_id, tuple_idx, val, msg);
+            }
+            values.push(val);
+        }
+        per_tuple[node_id] = values;
+
+        // Compute the ⊕-combined message per join group of this node (not needed for
+        // the root, which has no parent).
+        if node_id != ctx.root() {
+            let mut groups: HashMap<Vec<Value>, A::Msg> = HashMap::with_capacity(node.groups.len());
+            for (key, members) in &node.groups {
+                let member_msgs: Vec<(usize, A::Msg)> = members
+                    .iter()
+                    .map(|&i| (i, per_tuple[node_id][i].clone()))
+                    .collect();
+                groups.insert(key.clone(), algebra.combine_group(ctx, node_id, &member_msgs));
+            }
+            per_group[node_id] = groups;
+        }
+    }
+
+    MessagePassingResult {
+        per_tuple,
+        per_group,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::CountAlgebra;
+    use qjoin_data::{Database, Relation};
+    use qjoin_query::query::figure1_query;
+    use qjoin_query::Instance;
+
+    fn figure1_instance() -> Instance {
+        let r = Relation::from_rows("R", &[&[1, 1], &[2, 2]]).unwrap();
+        let s = Relation::from_rows("S", &[&[1, 3], &[1, 4], &[1, 5], &[2, 3], &[2, 4]]).unwrap();
+        let t = Relation::from_rows("T", &[&[1, 6], &[1, 7], &[2, 6]]).unwrap();
+        let u = Relation::from_rows("U", &[&[6, 8], &[6, 9], &[7, 9]]).unwrap();
+        Instance::new(
+            figure1_query(),
+            Database::from_relations([r, s, t, u]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    /// The context rooted exactly as in Figure 1: R is the root, S and T are its
+    /// children, and U is a child of T.
+    fn figure1_context() -> JoinTreeContext {
+        let inst = figure1_instance();
+        let tree = qjoin_query::JoinTree::from_edges(4, &[(0, 1), (0, 2), (2, 3)], 0);
+        JoinTreeContext::build_with_tree(&inst, tree).unwrap()
+    }
+
+    #[test]
+    fn count_algebra_reproduces_figure1_per_tuple_counts() {
+        let ctx = figure1_context();
+        let result = run(&ctx, &CountAlgebra);
+        // Figure 1a annotates R(1,1) with count 9 and R(2,2) with count 4.
+        let r_node = ctx
+            .nodes()
+            .iter()
+            .find(|n| ctx.query().atom(n.atom_index).relation() == "R")
+            .unwrap();
+        let mut counts: Vec<u128> = result.per_tuple[r_node.node_id].clone();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![4, 9]);
+        // T(1,6) and T(2,6) have count 2; T(1,7) has count 1.
+        let t_node = ctx
+            .nodes()
+            .iter()
+            .find(|n| ctx.query().atom(n.atom_index).relation() == "T")
+            .unwrap();
+        let mut t_counts: Vec<u128> = result.per_tuple[t_node.node_id].clone();
+        t_counts.sort_unstable();
+        assert_eq!(t_counts, vec![1, 2, 2]);
+    }
+
+    #[test]
+    fn group_messages_aggregate_with_sum() {
+        let ctx = figure1_context();
+        let result = run(&ctx, &CountAlgebra);
+        // The S node is grouped by x1; the group x1=1 contains 3 tuples each with
+        // count 1 → message 3, matching "1+1+1=3" in Figure 1b.
+        let s_node = ctx
+            .nodes()
+            .iter()
+            .find(|n| ctx.query().atom(n.atom_index).relation() == "S")
+            .unwrap();
+        if s_node.node_id != ctx.root() {
+            let msg = result.per_group[s_node.node_id]
+                .get(&vec![Value::from(1)])
+                .copied();
+            assert_eq!(msg, Some(3));
+        }
+    }
+
+    #[test]
+    fn message_to_parent_resolves_by_key() {
+        let ctx = figure1_context();
+        let result = run(&ctx, &CountAlgebra);
+        let u_node = ctx
+            .nodes()
+            .iter()
+            .find(|n| ctx.query().atom(n.atom_index).relation() == "U")
+            .unwrap();
+        let parent = ctx.tree().node(u_node.node_id).parent.unwrap();
+        // T(2,6) receives the message 2 from U's group x4=6.
+        let t_tuple = ctx
+            .node(parent)
+            .tuples
+            .iter()
+            .find(|t| t.values() == [Value::from(2), Value::from(6)])
+            .unwrap();
+        assert_eq!(
+            result.message_to_parent(&ctx, u_node.node_id, t_tuple),
+            Some(&2)
+        );
+    }
+}

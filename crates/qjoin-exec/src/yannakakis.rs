@@ -1,0 +1,225 @@
+//! Yannakakis-style enumeration and materialization of acyclic join answers.
+//!
+//! After the full reducer has run (see [`JoinTreeContext`]), every remaining tuple
+//! participates in at least one answer, so the answers can be enumerated with no
+//! backtracking: walk the join tree in pre-order, and at each node iterate over the
+//! join group selected by the already-chosen parent tuple. The total work is linear in
+//! the input plus the output.
+//!
+//! The quantile driver (Algorithm 1 of the paper) only calls this once the candidate
+//! set has shrunk to at most `n` answers; the brute-force baseline calls it on the full
+//! instance and is deliberately output-sensitive.
+
+use crate::{AnswerSet, JoinTreeContext, Result};
+use qjoin_data::Value;
+use qjoin_query::{Instance, Variable};
+use std::collections::HashMap;
+
+/// Calls `f` once per query answer with the answer's values laid out according to
+/// `ctx.query().variables()`.
+pub fn for_each_answer(ctx: &JoinTreeContext, mut f: impl FnMut(&[Value])) {
+    if ctx.has_no_answers() {
+        return;
+    }
+    let variables = ctx.query().variables();
+    let var_positions: HashMap<Variable, usize> = variables
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    // Pre-compute, per node, the (atom position, row position) pairs to copy.
+    let copy_plan: Vec<Vec<(usize, usize)>> = ctx
+        .nodes()
+        .iter()
+        .map(|n| {
+            ctx.query()
+                .atom(n.atom_index)
+                .distinct_variable_positions()
+                .into_iter()
+                .map(|(v, atom_pos)| (atom_pos, var_positions[&v]))
+                .collect()
+        })
+        .collect();
+
+    let order = ctx.tree().top_down_order();
+    let mut selected: Vec<usize> = vec![0; ctx.nodes().len()];
+    let mut row: Vec<Value> = vec![Value::Int(0); variables.len()];
+    descend(ctx, &order, 0, &copy_plan, &mut selected, &mut row, &mut f);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    ctx: &JoinTreeContext,
+    order: &[usize],
+    depth: usize,
+    copy_plan: &[Vec<(usize, usize)>],
+    selected: &mut Vec<usize>,
+    row: &mut [Value],
+    f: &mut impl FnMut(&[Value]),
+) {
+    if depth == order.len() {
+        f(row);
+        return;
+    }
+    let node = order[depth];
+    let candidates: Vec<usize> = match ctx.tree().node(node).parent {
+        None => (0..ctx.node(node).tuples.len()).collect(),
+        Some(parent) => {
+            let parent_tuple = &ctx.node(parent).tuples[selected[parent]];
+            ctx.child_group(node, parent_tuple).to_vec()
+        }
+    };
+    for tuple_idx in candidates {
+        selected[node] = tuple_idx;
+        let tuple = &ctx.node(node).tuples[tuple_idx];
+        for &(atom_pos, row_pos) in &copy_plan[node] {
+            row[row_pos] = tuple[atom_pos].clone();
+        }
+        descend(ctx, order, depth + 1, copy_plan, selected, row, f);
+    }
+}
+
+/// Materializes all answers of the context into an [`AnswerSet`].
+pub fn materialize_ctx(ctx: &JoinTreeContext) -> AnswerSet {
+    let mut out = AnswerSet::new(ctx.query().variables());
+    for_each_answer(ctx, |row| out.push_row(row.to_vec()));
+    out
+}
+
+/// Materializes all answers of an acyclic instance.
+///
+/// The output can be as large as `n^ℓ`; this is the "direct way" of answering a
+/// quantile query that the paper sets out to avoid, and it serves as the brute-force
+/// baseline in the experiments.
+pub fn materialize(instance: &Instance) -> Result<AnswerSet> {
+    let ctx = JoinTreeContext::build(instance)?;
+    Ok(materialize_ctx(&ctx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count::count_answers;
+    use qjoin_data::{Database, Relation};
+    use qjoin_query::query::{figure1_query, path_query};
+    use qjoin_query::{Atom, JoinQuery};
+    use std::collections::HashSet;
+
+    fn figure1_instance() -> Instance {
+        let r = Relation::from_rows("R", &[&[1, 1], &[2, 2]]).unwrap();
+        let s = Relation::from_rows("S", &[&[1, 3], &[1, 4], &[1, 5], &[2, 3], &[2, 4]]).unwrap();
+        let t = Relation::from_rows("T", &[&[1, 6], &[1, 7], &[2, 6]]).unwrap();
+        let u = Relation::from_rows("U", &[&[6, 8], &[6, 9], &[7, 9]]).unwrap();
+        Instance::new(
+            figure1_query(),
+            Database::from_relations([r, s, t, u]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn materialization_size_matches_count() {
+        let inst = figure1_instance();
+        let answers = materialize(&inst).unwrap();
+        assert_eq!(answers.len() as u128, count_answers(&inst).unwrap());
+        assert_eq!(answers.len(), 13);
+    }
+
+    #[test]
+    fn answers_are_distinct() {
+        let inst = figure1_instance();
+        let answers = materialize(&inst).unwrap();
+        let distinct: HashSet<&Vec<Value>> = answers.rows().iter().collect();
+        assert_eq!(distinct.len(), answers.len());
+    }
+
+    #[test]
+    fn answers_satisfy_every_atom() {
+        let inst = figure1_instance();
+        let answers = materialize(&inst).unwrap();
+        for assignment in answers.iter_assignments() {
+            for atom in inst.query().atoms() {
+                let projected: Vec<Value> = atom
+                    .variables()
+                    .iter()
+                    .map(|v| assignment.get(v).unwrap().clone())
+                    .collect();
+                let rel = inst.database().relation(atom.relation()).unwrap();
+                assert!(
+                    rel.iter().any(|t| t.values() == projected.as_slice()),
+                    "answer {assignment:?} violates atom {atom}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_join_materializes_empty() {
+        let r1 = Relation::from_rows("R1", &[&[1, 1]]).unwrap();
+        let r2 = Relation::from_rows("R2", &[&[2, 5]]).unwrap();
+        let inst =
+            Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap();
+        assert!(materialize(&inst).unwrap().is_empty());
+    }
+
+    #[test]
+    fn binary_join_matches_nested_loop() {
+        let r1_rows = [[1i64, 1], [1, 2], [2, 2], [3, 3]];
+        let r2_rows = [[1i64, 10], [2, 20], [2, 30], [4, 40]];
+        let mut expected: HashSet<(i64, i64, i64)> = HashSet::new();
+        for a in &r1_rows {
+            for b in &r2_rows {
+                if a[1] == b[0] {
+                    expected.insert((a[0], a[1], b[1]));
+                }
+            }
+        }
+        let r1_refs: Vec<&[i64]> = r1_rows.iter().map(|r| r.as_slice()).collect();
+        let r2_refs: Vec<&[i64]> = r2_rows.iter().map(|r| r.as_slice()).collect();
+        let inst = Instance::new(
+            path_query(2),
+            Database::from_relations([
+                Relation::from_rows("R1", &r1_refs).unwrap(),
+                Relation::from_rows("R2", &r2_refs).unwrap(),
+            ])
+            .unwrap(),
+        )
+        .unwrap();
+        let answers = materialize(&inst).unwrap();
+        let got: HashSet<(i64, i64, i64)> = answers
+            .rows()
+            .iter()
+            .map(|r| {
+                (
+                    r[0].as_int().unwrap(),
+                    r[1].as_int().unwrap(),
+                    r[2].as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn cartesian_product_enumerates_all_pairs() {
+        let a = Relation::from_rows("A", &[&[1], &[2]]).unwrap();
+        let b = Relation::from_rows("B", &[&[10], &[20], &[30]]).unwrap();
+        let q = JoinQuery::new(vec![
+            Atom::from_names("A", &["x"]),
+            Atom::from_names("B", &["y"]),
+        ]);
+        let inst = Instance::new(q, Database::from_relations([a, b]).unwrap()).unwrap();
+        let answers = materialize(&inst).unwrap();
+        assert_eq!(answers.len(), 6);
+    }
+
+    #[test]
+    fn streaming_enumeration_counts_without_materializing() {
+        let inst = figure1_instance();
+        let ctx = JoinTreeContext::build(&inst).unwrap();
+        let mut seen = 0usize;
+        for_each_answer(&ctx, |_| seen += 1);
+        assert_eq!(seen, 13);
+    }
+}

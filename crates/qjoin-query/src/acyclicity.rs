@@ -1,0 +1,193 @@
+//! Acyclicity testing and join-tree construction via GYO reduction.
+//!
+//! A join query is acyclic iff its hypergraph admits a join tree (Section 2.1). The
+//! GYO (Graham / Yu–Özsoyoğlu) reduction decides this in polynomial time in the query
+//! size and, as a by-product, yields a join tree: whenever an *ear* atom is removed, it
+//! is attached to a witness atom that will end up being its parent.
+
+use crate::{JoinQuery, JoinTree};
+use std::collections::BTreeSet;
+
+/// Returns `true` iff the query is acyclic (α-acyclic).
+pub fn is_acyclic(query: &JoinQuery) -> bool {
+    gyo_join_tree(query).is_some()
+}
+
+/// Runs the GYO reduction and returns a join tree if the query is acyclic, rooted at
+/// the last surviving atom.
+///
+/// An atom `e` is an *ear* with witness `e'` if every variable of `e` either occurs in
+/// no other alive atom or occurs in `e'`. Removing ears one by one succeeds exactly for
+/// acyclic queries; recording the witness as the parent yields a tree satisfying the
+/// running-intersection property.
+pub fn gyo_join_tree(query: &JoinQuery) -> Option<JoinTree> {
+    let n = query.num_atoms();
+    if n == 0 {
+        return None;
+    }
+    if n == 1 {
+        return Some(JoinTree::single_node());
+    }
+
+    let edges_vars: Vec<BTreeSet<_>> = query.atoms().iter().map(|a| a.variable_set()).collect();
+    let mut alive: Vec<bool> = vec![true; n];
+    let mut parent: Vec<Option<usize>> = vec![None; n];
+    let mut remaining = n;
+
+    while remaining > 1 {
+        let mut removed_this_round = false;
+        'outer: for i in 0..n {
+            if !alive[i] {
+                continue;
+            }
+            for j in 0..n {
+                if i == j || !alive[j] {
+                    continue;
+                }
+                if is_ear_with_witness(&edges_vars, &alive, i, j) {
+                    alive[i] = false;
+                    parent[i] = Some(j);
+                    remaining -= 1;
+                    removed_this_round = true;
+                    break 'outer;
+                }
+            }
+        }
+        if !removed_this_round {
+            return None;
+        }
+    }
+
+    let root = (0..n).find(|&i| alive[i]).expect("one atom must survive");
+    // Parents may point at atoms that were themselves removed later; since each atom's
+    // parent is removed strictly after it (or survives as the root), the parent
+    // pointers form a tree rooted at `root`.
+    let edges: Vec<(usize, usize)> = (0..n)
+        .filter_map(|i| parent[i].map(|p| (p, i)))
+        .collect();
+    let tree = JoinTree::from_edges(n, &edges, root);
+    debug_assert!(tree.satisfies_running_intersection(query));
+    Some(tree)
+}
+
+/// Checks whether alive atom `ear` is an ear with alive atom `witness`: every variable
+/// of `ear` is either exclusive to `ear` (among alive atoms) or contained in `witness`.
+fn is_ear_with_witness(
+    edges_vars: &[BTreeSet<crate::Variable>],
+    alive: &[bool],
+    ear: usize,
+    witness: usize,
+) -> bool {
+    for v in &edges_vars[ear] {
+        if edges_vars[witness].contains(v) {
+            continue;
+        }
+        let appears_elsewhere = edges_vars
+            .iter()
+            .enumerate()
+            .any(|(k, vars)| k != ear && alive[k] && vars.contains(v));
+        if appears_elsewhere {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{
+        figure1_query, path_query, social_network_query, star_query, triangle_query,
+    };
+    use crate::{Atom, JoinQuery};
+
+    #[test]
+    fn paths_and_stars_are_acyclic() {
+        for k in 1..=6 {
+            assert!(is_acyclic(&path_query(k)), "path {k}");
+            assert!(is_acyclic(&star_query(k)), "star {k}");
+        }
+    }
+
+    #[test]
+    fn triangle_is_cyclic() {
+        assert!(!is_acyclic(&triangle_query()));
+        assert!(gyo_join_tree(&triangle_query()).is_none());
+    }
+
+    #[test]
+    fn larger_cycles_are_cyclic() {
+        // 4-cycle: R(a,b), S(b,c), T(c,d), U(d,a).
+        let q = JoinQuery::new(vec![
+            Atom::from_names("R", &["a", "b"]),
+            Atom::from_names("S", &["b", "c"]),
+            Atom::from_names("T", &["c", "d"]),
+            Atom::from_names("U", &["d", "a"]),
+        ]);
+        assert!(!is_acyclic(&q));
+    }
+
+    #[test]
+    fn cycle_with_chord_edge_covering_it_is_acyclic() {
+        // Adding an atom containing all three triangle variables makes it α-acyclic.
+        let q = JoinQuery::new(vec![
+            Atom::from_names("R", &["x", "y"]),
+            Atom::from_names("S", &["y", "z"]),
+            Atom::from_names("T", &["z", "x"]),
+            Atom::from_names("W", &["x", "y", "z"]),
+        ]);
+        assert!(is_acyclic(&q));
+        let tree = gyo_join_tree(&q).unwrap();
+        assert!(tree.satisfies_running_intersection(&q));
+    }
+
+    #[test]
+    fn gyo_tree_satisfies_running_intersection() {
+        for q in [
+            path_query(5),
+            star_query(5),
+            social_network_query(),
+            figure1_query(),
+        ] {
+            let tree = gyo_join_tree(&q).expect("acyclic");
+            assert_eq!(tree.num_nodes(), q.num_atoms());
+            assert!(tree.satisfies_running_intersection(&q));
+        }
+    }
+
+    #[test]
+    fn single_atom_query_has_single_node_tree() {
+        let q = JoinQuery::new(vec![Atom::from_names("R", &["x", "y", "z"])]);
+        let tree = gyo_join_tree(&q).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn empty_query_has_no_tree() {
+        assert!(gyo_join_tree(&JoinQuery::new(vec![])).is_none());
+    }
+
+    #[test]
+    fn contained_atoms_are_ears() {
+        // B(x) ⊆ A(x,y): B must become a child of A.
+        let q = JoinQuery::new(vec![
+            Atom::from_names("A", &["x", "y"]),
+            Atom::from_names("B", &["x"]),
+        ]);
+        let tree = gyo_join_tree(&q).unwrap();
+        assert!(tree.satisfies_running_intersection(&q));
+        assert_eq!(tree.num_nodes(), 2);
+    }
+
+    #[test]
+    fn disconnected_acyclic_query_still_gets_a_tree() {
+        // Cartesian product of two independent relations: acyclic; any tree works
+        // because no variable is shared.
+        let q = JoinQuery::new(vec![
+            Atom::from_names("A", &["x"]),
+            Atom::from_names("B", &["y"]),
+        ]);
+        let tree = gyo_join_tree(&q).unwrap();
+        assert!(tree.satisfies_running_intersection(&q));
+    }
+}

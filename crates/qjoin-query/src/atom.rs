@@ -1,0 +1,169 @@
+//! Query atoms.
+
+use crate::Variable;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An atom `R(X)` of a join query: a relational symbol applied to a tuple of variables.
+///
+/// The variable tuple is positional and its length must equal the arity of the relation
+/// it is evaluated against (validated by [`crate::Instance`]). The same variable may
+/// occur at several positions of one atom (e.g. `R(x, x)`), which constrains the
+/// matching tuples to repeat the value.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Atom {
+    relation: String,
+    variables: Vec<Variable>,
+}
+
+impl Atom {
+    /// Creates an atom over the named relation with the given variable tuple.
+    pub fn new(relation: impl Into<String>, variables: Vec<Variable>) -> Self {
+        Atom {
+            relation: relation.into(),
+            variables,
+        }
+    }
+
+    /// Convenience constructor from string variable names.
+    pub fn from_names(relation: impl Into<String>, variables: &[&str]) -> Self {
+        Atom::new(relation, variables.iter().map(Variable::new).collect())
+    }
+
+    /// The relational symbol.
+    pub fn relation(&self) -> &str {
+        &self.relation
+    }
+
+    /// The positional variable tuple `X`.
+    pub fn variables(&self) -> &[Variable] {
+        &self.variables
+    }
+
+    /// The arity (number of positions) of the atom.
+    pub fn arity(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// The *set* of variables appearing in the atom (the corresponding hyperedge).
+    pub fn variable_set(&self) -> BTreeSet<Variable> {
+        self.variables.iter().cloned().collect()
+    }
+
+    /// True if the variable occurs anywhere in the atom.
+    pub fn contains(&self, var: &Variable) -> bool {
+        self.variables.contains(var)
+    }
+
+    /// Positions at which `var` occurs.
+    pub fn positions_of(&self, var: &Variable) -> Vec<usize> {
+        self.variables
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| *v == var)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The first position of each *distinct* variable, in positional order.
+    ///
+    /// Used when projecting a tuple onto the atom's distinct variables, e.g. when
+    /// building partial query answers.
+    pub fn distinct_variable_positions(&self) -> Vec<(Variable, usize)> {
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for (i, v) in self.variables.iter().enumerate() {
+            if seen.insert(v.clone()) {
+                out.push((v.clone(), i));
+            }
+        }
+        out
+    }
+
+    /// Returns a copy of the atom referring to a different relation symbol
+    /// (used by self-join elimination).
+    pub fn renamed(&self, relation: impl Into<String>) -> Atom {
+        Atom {
+            relation: relation.into(),
+            variables: self.variables.clone(),
+        }
+    }
+
+    /// Returns a copy with an additional variable appended at the end
+    /// (used by the trimming constructions when they add a column).
+    pub fn with_extra_variable(&self, var: Variable) -> Atom {
+        let mut variables = self.variables.clone();
+        variables.push(var);
+        Atom {
+            relation: self.relation.clone(),
+            variables,
+        }
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, v) in self.variables.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let a = Atom::from_names("R", &["x", "y"]);
+        assert_eq!(a.relation(), "R");
+        assert_eq!(a.arity(), 2);
+        assert!(a.contains(&Variable::new("x")));
+        assert!(!a.contains(&Variable::new("z")));
+    }
+
+    #[test]
+    fn repeated_variables_are_tracked_by_position() {
+        let a = Atom::from_names("R", &["x", "y", "x"]);
+        assert_eq!(a.positions_of(&Variable::new("x")), vec![0, 2]);
+        assert_eq!(a.variable_set().len(), 2);
+        let distinct = a.distinct_variable_positions();
+        assert_eq!(distinct.len(), 2);
+        assert_eq!(distinct[0], (Variable::new("x"), 0));
+        assert_eq!(distinct[1], (Variable::new("y"), 1));
+    }
+
+    #[test]
+    fn with_extra_variable_appends() {
+        let a = Atom::from_names("R", &["x"]);
+        let b = a.with_extra_variable(Variable::new("p"));
+        assert_eq!(b.arity(), 2);
+        assert_eq!(b.variables()[1], Variable::new("p"));
+        assert_eq!(a.arity(), 1);
+    }
+
+    #[test]
+    fn renamed_keeps_variables() {
+        let a = Atom::from_names("R", &["x", "y"]);
+        let b = a.renamed("R_1");
+        assert_eq!(b.relation(), "R_1");
+        assert_eq!(b.variables(), a.variables());
+    }
+
+    #[test]
+    fn display_formats_like_datalog() {
+        let a = Atom::from_names("Share", &["u2", "e", "l2"]);
+        assert_eq!(a.to_string(), "Share(u2, e, l2)");
+    }
+}

@@ -1,0 +1,78 @@
+//! Error types for the query layer.
+
+use std::fmt;
+
+/// Errors raised when constructing or validating queries and instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// An atom references a relation that is missing from the database.
+    MissingRelation(String),
+    /// An atom's variable tuple length does not match its relation's arity.
+    AtomArityMismatch {
+        /// The relation symbol.
+        relation: String,
+        /// Number of variables in the atom.
+        atom_arity: usize,
+        /// Arity of the relation in the database.
+        relation_arity: usize,
+    },
+    /// The query is cyclic but an acyclic query was required.
+    CyclicQuery(String),
+    /// The query has no atoms.
+    EmptyQuery,
+    /// An underlying data-layer error.
+    Data(qjoin_data::DataError),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::MissingRelation(name) => {
+                write!(f, "query references relation {name} which is not in the database")
+            }
+            QueryError::AtomArityMismatch {
+                relation,
+                atom_arity,
+                relation_arity,
+            } => write!(
+                f,
+                "atom over {relation} has {atom_arity} variables but the relation has arity {relation_arity}"
+            ),
+            QueryError::CyclicQuery(q) => write!(f, "query is cyclic: {q}"),
+            QueryError::EmptyQuery => write!(f, "query has no atoms"),
+            QueryError::Data(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<qjoin_data::DataError> for QueryError {
+    fn from(e: qjoin_data::DataError) -> Self {
+        QueryError::Data(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(QueryError::MissingRelation("R".into()).to_string().contains("R"));
+        assert!(QueryError::EmptyQuery.to_string().contains("no atoms"));
+        let e = QueryError::AtomArityMismatch {
+            relation: "S".into(),
+            atom_arity: 3,
+            relation_arity: 2,
+        };
+        assert!(e.to_string().contains("3"));
+        assert!(e.to_string().contains("2"));
+    }
+
+    #[test]
+    fn data_errors_convert() {
+        let e: QueryError = qjoin_data::DataError::UnknownRelation("X".into()).into();
+        assert!(matches!(e, QueryError::Data(_)));
+    }
+}

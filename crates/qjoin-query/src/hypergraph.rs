@@ -1,0 +1,363 @@
+//! Query hypergraphs and the structural measures used by the dichotomy of Theorem 5.6.
+
+use crate::Variable;
+use std::collections::{BTreeSet, HashSet};
+
+/// A hypergraph `H = (V, E)` with variables as vertices and atom variable-sets as
+/// hyperedges (Section 2.1 of the paper).
+///
+/// Besides basic accessors, the type implements the structural notions that the partial
+/// SUM dichotomy (Theorem 5.6) is stated in terms of:
+///
+/// * *independent sets* — vertex sets with at most one vertex per hyperedge,
+/// * *chordless paths* — paths in which no two non-consecutive vertices co-occur in a
+///   hyperedge,
+/// * the number of *maximal hyperedges* `mh(H)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Hypergraph {
+    vertices: Vec<Variable>,
+    edges: Vec<BTreeSet<Variable>>,
+}
+
+impl Hypergraph {
+    /// Creates a hypergraph from a vertex set and hyperedges.
+    pub fn new(vertices: BTreeSet<Variable>, edges: Vec<BTreeSet<Variable>>) -> Self {
+        Hypergraph {
+            vertices: vertices.into_iter().collect(),
+            edges,
+        }
+    }
+
+    /// The vertices (in sorted order).
+    pub fn vertices(&self) -> &[Variable] {
+        &self.vertices
+    }
+
+    /// The hyperedges.
+    pub fn edges(&self) -> &[BTreeSet<Variable>] {
+        &self.edges
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Number of hyperedges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if `a` and `b` appear together in some hyperedge (i.e. are adjacent).
+    pub fn adjacent(&self, a: &Variable, b: &Variable) -> bool {
+        self.edges.iter().any(|e| e.contains(a) && e.contains(b))
+    }
+
+    /// The neighbours of a vertex: all vertices co-occurring with it in a hyperedge
+    /// (excluding the vertex itself).
+    pub fn neighbours(&self, v: &Variable) -> BTreeSet<Variable> {
+        let mut out = BTreeSet::new();
+        for e in &self.edges {
+            if e.contains(v) {
+                out.extend(e.iter().cloned());
+            }
+        }
+        out.remove(v);
+        out
+    }
+
+    /// True if `set` is an independent set: no two of its vertices share a hyperedge
+    /// (equivalently `|set ∩ e| ≤ 1` for every hyperedge `e`).
+    pub fn is_independent(&self, set: &[Variable]) -> bool {
+        let set: BTreeSet<&Variable> = set.iter().collect();
+        self.edges
+            .iter()
+            .all(|e| e.iter().filter(|v| set.contains(v)).count() <= 1)
+    }
+
+    /// The size of a maximum independent subset of `candidates`.
+    ///
+    /// Brute-force over subsets; `candidates` is a set of *query* variables (constant
+    /// size under data complexity), so this is exact and cheap. The dichotomy only
+    /// needs to know whether the maximum exceeds 2.
+    pub fn max_independent_subset(&self, candidates: &[Variable]) -> usize {
+        let distinct: Vec<Variable> = candidates
+            .iter()
+            .cloned()
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        let k = distinct.len();
+        assert!(k <= 24, "candidate set too large for exhaustive search");
+        let mut best = 0usize;
+        for mask in 0u32..(1u32 << k) {
+            let size = mask.count_ones() as usize;
+            if size <= best {
+                continue;
+            }
+            let subset: Vec<Variable> = (0..k)
+                .filter(|i| mask & (1 << i) != 0)
+                .map(|i| distinct[i].clone())
+                .collect();
+            if self.is_independent(&subset) {
+                best = size;
+            }
+        }
+        best
+    }
+
+    /// The number of maximal hyperedges `mh(H)`: hyperedges not strictly contained in
+    /// another hyperedge.
+    pub fn num_maximal_edges(&self) -> usize {
+        self.edges
+            .iter()
+            .enumerate()
+            .filter(|(i, e)| {
+                !self
+                    .edges
+                    .iter()
+                    .enumerate()
+                    .any(|(j, f)| *i != j && e.is_subset(f) && (e.len() < f.len() || *i > j))
+            })
+            .count()
+    }
+
+    /// True if the sequence of vertices is a path: every two consecutive vertices are
+    /// adjacent and no vertex repeats.
+    pub fn is_path(&self, seq: &[Variable]) -> bool {
+        if seq.is_empty() {
+            return false;
+        }
+        let distinct: BTreeSet<&Variable> = seq.iter().collect();
+        if distinct.len() != seq.len() {
+            return false;
+        }
+        seq.windows(2).all(|w| self.adjacent(&w[0], &w[1]))
+    }
+
+    /// True if the sequence is a *chordless* path: a path in which no two
+    /// non-consecutive vertices appear together in a hyperedge.
+    pub fn is_chordless_path(&self, seq: &[Variable]) -> bool {
+        if !self.is_path(seq) {
+            return false;
+        }
+        for i in 0..seq.len() {
+            for j in (i + 2)..seq.len() {
+                if self.adjacent(&seq[i], &seq[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// True if there exists a chordless path from `a` to `b` with **at least**
+    /// `min_vertices` vertices (inclusive of the endpoints).
+    ///
+    /// The dichotomy's intractability condition is the existence of a chordless path
+    /// between two weighted variables with 4 or more vertices ("length 4 or more",
+    /// counted in variables, matching the reduction in Appendix D.3 that uses a path
+    /// of 3 atoms, i.e. 4 variables).
+    pub fn has_long_chordless_path(&self, a: &Variable, b: &Variable, min_vertices: usize) -> bool {
+        if a == b {
+            return min_vertices <= 1;
+        }
+        let mut path = vec![a.clone()];
+        let mut on_path: HashSet<Variable> = HashSet::from([a.clone()]);
+        self.search_chordless(b, min_vertices, &mut path, &mut on_path)
+    }
+
+    fn search_chordless(
+        &self,
+        target: &Variable,
+        min_vertices: usize,
+        path: &mut Vec<Variable>,
+        on_path: &mut HashSet<Variable>,
+    ) -> bool {
+        let last = path.last().expect("path never empty").clone();
+        if last == *target {
+            return path.len() >= min_vertices;
+        }
+        for next in self.neighbours(&last) {
+            if on_path.contains(&next) {
+                continue;
+            }
+            // Chordless: the new vertex may be adjacent only to the current last vertex
+            // among all vertices already on the path.
+            let creates_chord = path[..path.len() - 1]
+                .iter()
+                .any(|prev| self.adjacent(prev, &next));
+            if creates_chord {
+                continue;
+            }
+            path.push(next.clone());
+            on_path.insert(next.clone());
+            if self.search_chordless(target, min_vertices, path, on_path) {
+                return true;
+            }
+            on_path.remove(&next);
+            path.pop();
+        }
+        false
+    }
+
+    /// All chordless paths between `a` and `b` (each as a vertex sequence).
+    ///
+    /// Exhaustive; intended for constant-size query hypergraphs and for tests.
+    pub fn chordless_paths(&self, a: &Variable, b: &Variable) -> Vec<Vec<Variable>> {
+        let mut out = Vec::new();
+        let mut path = vec![a.clone()];
+        let mut on_path: HashSet<Variable> = HashSet::from([a.clone()]);
+        self.collect_chordless(b, &mut path, &mut on_path, &mut out);
+        out
+    }
+
+    fn collect_chordless(
+        &self,
+        target: &Variable,
+        path: &mut Vec<Variable>,
+        on_path: &mut HashSet<Variable>,
+        out: &mut Vec<Vec<Variable>>,
+    ) {
+        let last = path.last().expect("path never empty").clone();
+        if last == *target {
+            out.push(path.clone());
+            return;
+        }
+        for next in self.neighbours(&last) {
+            if on_path.contains(&next) {
+                continue;
+            }
+            let creates_chord = path[..path.len() - 1]
+                .iter()
+                .any(|prev| self.adjacent(prev, &next));
+            if creates_chord {
+                continue;
+            }
+            path.push(next.clone());
+            on_path.insert(next.clone());
+            self.collect_chordless(target, path, on_path, out);
+            on_path.remove(&next);
+            path.pop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::{path_query, social_network_query, star_query, triangle_query};
+    use crate::variable::vars;
+
+    fn v(name: &str) -> Variable {
+        Variable::new(name)
+    }
+
+    #[test]
+    fn adjacency_follows_hyperedges() {
+        let h = path_query(3).hypergraph();
+        assert!(h.adjacent(&v("x1"), &v("x2")));
+        assert!(!h.adjacent(&v("x1"), &v("x3")));
+    }
+
+    #[test]
+    fn neighbours_of_path_midpoint() {
+        let h = path_query(3).hypergraph();
+        let n = h.neighbours(&v("x2"));
+        assert_eq!(n, [v("x1"), v("x3")].into_iter().collect());
+    }
+
+    #[test]
+    fn independent_sets_in_path() {
+        let h = path_query(3).hypergraph();
+        assert!(h.is_independent(&vars(&["x1", "x3"])));
+        assert!(!h.is_independent(&vars(&["x1", "x2"])));
+        assert!(h.is_independent(&vars(&["x1", "x4"])));
+    }
+
+    #[test]
+    fn max_independent_subset_sizes() {
+        // 4-path: x1..x5; {x1, x3, x5} is independent.
+        let h = path_query(4).hypergraph();
+        assert_eq!(h.max_independent_subset(&vars(&["x1", "x2", "x3", "x4", "x5"])), 3);
+        // 3-path full variable set: {x1, x3} or {x2, x4} — size 2, and {x1,x3,x4}? x3-x4 adjacent. So 2... but {x1, x4}? also 2.
+        let h3 = path_query(3).hypergraph();
+        assert_eq!(h3.max_independent_subset(&vars(&["x1", "x2", "x3"])), 2);
+        assert_eq!(h3.max_independent_subset(&vars(&["x1", "x2", "x3", "x4"])), 2);
+    }
+
+    #[test]
+    fn star_center_limits_independence() {
+        let h = star_query(4).hypergraph();
+        // Leaves are pairwise non-adjacent.
+        assert_eq!(h.max_independent_subset(&vars(&["x1", "x2", "x3", "x4"])), 4);
+        // The center is adjacent to everything.
+        assert_eq!(h.max_independent_subset(&vars(&["x0", "x1"])), 1);
+    }
+
+    #[test]
+    fn maximal_edges_counts_containment() {
+        let h = social_network_query().hypergraph();
+        // Admin(u1,e) is not contained in Share(u2,e,l2); all three are maximal.
+        assert_eq!(h.num_maximal_edges(), 3);
+
+        let q = crate::JoinQuery::new(vec![
+            crate::Atom::from_names("A", &["x", "y"]),
+            crate::Atom::from_names("B", &["x"]),
+        ]);
+        assert_eq!(q.hypergraph().num_maximal_edges(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_count_one_maximal() {
+        let q = crate::JoinQuery::new(vec![
+            crate::Atom::from_names("A", &["x", "y"]),
+            crate::Atom::from_names("B", &["y", "x"]),
+        ]);
+        assert_eq!(q.hypergraph().num_maximal_edges(), 1);
+    }
+
+    #[test]
+    fn chordless_path_detection_in_paths() {
+        let h = path_query(3).hypergraph();
+        assert!(h.is_chordless_path(&vars(&["x1", "x2", "x3", "x4"])));
+        assert!(h.has_long_chordless_path(&v("x1"), &v("x4"), 4));
+        assert!(!h.has_long_chordless_path(&v("x1"), &v("x3"), 4));
+        assert!(h.has_long_chordless_path(&v("x1"), &v("x3"), 3));
+    }
+
+    #[test]
+    fn triangle_has_no_chordless_path_of_three() {
+        let h = triangle_query().hypergraph();
+        // Every pair of vertices is adjacent, so the only chordless paths are edges.
+        assert!(!h.has_long_chordless_path(&v("x"), &v("z"), 3));
+        assert!(h.has_long_chordless_path(&v("x"), &v("z"), 2));
+        assert_eq!(h.chordless_paths(&v("x"), &v("z")).len(), 1);
+    }
+
+    #[test]
+    fn chordless_paths_enumeration_on_path_query() {
+        let h = path_query(3).hypergraph();
+        let paths = h.chordless_paths(&v("x1"), &v("x4"));
+        assert_eq!(paths, vec![vars(&["x1", "x2", "x3", "x4"])]);
+    }
+
+    #[test]
+    fn social_network_chordless_paths_are_short() {
+        // l2 and l3 are both adjacent to e, and the path l2-e-l3 is chordless with 3
+        // vertices — this is exactly why the intro example is tractable.
+        let h = social_network_query().hypergraph();
+        let paths = h.chordless_paths(&v("l2"), &v("l3"));
+        assert!(paths.iter().all(|p| p.len() <= 3));
+        assert!(!h.has_long_chordless_path(&v("l2"), &v("l3"), 4));
+    }
+
+    #[test]
+    fn is_path_rejects_repeats_and_gaps() {
+        let h = path_query(3).hypergraph();
+        assert!(!h.is_path(&vars(&["x1", "x2", "x1"])));
+        assert!(!h.is_path(&vars(&["x1", "x3"])));
+        assert!(h.is_path(&vars(&["x1", "x2"])));
+        assert!(!h.is_path(&[]));
+    }
+}

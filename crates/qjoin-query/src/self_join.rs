@@ -1,0 +1,116 @@
+//! Self-join elimination.
+//!
+//! Several constructions in the paper (tuple-weight assignment, the partition-union
+//! trimming of Algorithm 3, the lossy trimming of Algorithm 4) are stated for
+//! self-join-free queries and begin by "materializing a fresh relation for every
+//! repeated symbol in the query" (Section 2.2). This module implements that rewriting:
+//! the resulting instance has the same answers (the atoms' variables are untouched)
+//! but every atom references a distinct relation, so per-atom bookkeeping (weights,
+//! join-tree node relations, added columns) never aliases.
+
+use crate::{Instance, JoinQuery, Result};
+use qjoin_data::Database;
+use std::collections::HashMap;
+
+/// Rewrites the instance so that no relational symbol occurs in more than one atom.
+///
+/// The first occurrence of each symbol keeps its name; later occurrences get fresh
+/// names (`R@2`, `R@3`, ...) bound to copies of the original relation. If the query is
+/// already self-join-free the instance is returned unchanged (no relation copies).
+pub fn eliminate_self_joins(instance: &Instance) -> Result<Instance> {
+    if !instance.query().has_self_joins() {
+        return Ok(instance.clone());
+    }
+    let mut occurrences: HashMap<String, usize> = HashMap::new();
+    let mut db: Database = instance.database().clone();
+    let mut new_atoms = Vec::with_capacity(instance.query().num_atoms());
+
+    for atom in instance.query().atoms() {
+        let count = occurrences.entry(atom.relation().to_string()).or_insert(0);
+        *count += 1;
+        if *count == 1 {
+            new_atoms.push(atom.clone());
+        } else {
+            let base = format!("{}@{}", atom.relation(), count);
+            let fresh = db.fresh_name(&base);
+            let copy = instance
+                .database()
+                .relation(atom.relation())
+                .expect("validated")
+                .renamed(fresh.clone());
+            db.add_relation(copy).expect("fresh name cannot collide");
+            new_atoms.push(atom.renamed(fresh));
+        }
+    }
+
+    Instance::new(JoinQuery::new(new_atoms), db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Atom, JoinQuery};
+    use qjoin_data::{Database, Relation};
+
+    fn self_join_instance() -> Instance {
+        let r = Relation::from_rows("R", &[&[1, 2], &[2, 3], &[3, 4]]).unwrap();
+        let q = JoinQuery::new(vec![
+            Atom::from_names("R", &["x", "y"]),
+            Atom::from_names("R", &["y", "z"]),
+        ]);
+        Instance::new(q, Database::from_relations([r]).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn repeated_symbols_get_fresh_relations() {
+        let inst = self_join_instance();
+        let rewritten = eliminate_self_joins(&inst).unwrap();
+        assert!(!rewritten.query().has_self_joins());
+        assert_eq!(rewritten.database().num_relations(), 2);
+        let names: Vec<&str> = rewritten
+            .query()
+            .atoms()
+            .iter()
+            .map(|a| a.relation())
+            .collect();
+        assert_eq!(names[0], "R");
+        assert_ne!(names[1], "R");
+        // The copy holds the same tuples.
+        assert_eq!(
+            rewritten.database().relation(names[1]).unwrap().tuples(),
+            inst.database().relation("R").unwrap().tuples()
+        );
+    }
+
+    #[test]
+    fn variables_are_preserved() {
+        let inst = self_join_instance();
+        let rewritten = eliminate_self_joins(&inst).unwrap();
+        assert_eq!(rewritten.query().variables(), inst.query().variables());
+    }
+
+    #[test]
+    fn self_join_free_instances_are_untouched() {
+        let r1 = Relation::from_rows("R1", &[&[1, 2]]).unwrap();
+        let r2 = Relation::from_rows("R2", &[&[2, 3]]).unwrap();
+        let q = crate::query::path_query(2);
+        let inst = Instance::new(q, Database::from_relations([r1, r2]).unwrap()).unwrap();
+        let rewritten = eliminate_self_joins(&inst).unwrap();
+        assert_eq!(rewritten.database().num_relations(), 2);
+        assert_eq!(rewritten.query(), inst.query());
+    }
+
+    #[test]
+    fn triple_self_join_gets_two_copies() {
+        let r = Relation::from_rows("R", &[&[1, 2], &[2, 3]]).unwrap();
+        let q = JoinQuery::new(vec![
+            Atom::from_names("R", &["a", "b"]),
+            Atom::from_names("R", &["b", "c"]),
+            Atom::from_names("R", &["c", "d"]),
+        ]);
+        let inst = Instance::new(q, Database::from_relations([r]).unwrap()).unwrap();
+        let rewritten = eliminate_self_joins(&inst).unwrap();
+        assert_eq!(rewritten.database().num_relations(), 3);
+        assert!(!rewritten.query().has_self_joins());
+    }
+}

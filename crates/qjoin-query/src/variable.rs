@@ -1,0 +1,104 @@
+//! Query variables.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A query variable (a vertex of the query hypergraph).
+///
+/// Variables are interned strings; cloning is cheap, and equality/ordering are by name.
+/// The trimming constructions introduce fresh variables (partition identifiers `x_p`,
+/// adjacency variables `v_RS`); [`Variable::fresh`] derives collision-free names.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Variable(Arc<str>);
+
+impl Variable {
+    /// Creates a variable with the given name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Variable(Arc::from(name.as_ref()))
+    }
+
+    /// The variable's name.
+    pub fn name(&self) -> &str {
+        &self.0
+    }
+
+    /// Derives a fresh variable name from `base` that does not collide with any
+    /// variable in `taken`.
+    pub fn fresh<'a>(base: &str, taken: impl IntoIterator<Item = &'a Variable>) -> Variable {
+        let taken: std::collections::HashSet<&str> =
+            taken.into_iter().map(|v| v.name()).collect();
+        if !taken.contains(base) {
+            return Variable::new(base);
+        }
+        let mut i = 1usize;
+        loop {
+            let candidate = format!("{base}#{i}");
+            if !taken.contains(candidate.as_str()) {
+                return Variable::new(candidate);
+            }
+            i += 1;
+        }
+    }
+}
+
+impl From<&str> for Variable {
+    fn from(s: &str) -> Self {
+        Variable::new(s)
+    }
+}
+
+impl From<String> for Variable {
+    fn from(s: String) -> Self {
+        Variable::new(s)
+    }
+}
+
+impl fmt::Debug for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Display for Variable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Helper to build a `Vec<Variable>` from string literals.
+pub fn vars(names: &[&str]) -> Vec<Variable> {
+    names.iter().map(|n| Variable::new(n)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_ordering_are_by_name() {
+        assert_eq!(Variable::new("x1"), Variable::from("x1"));
+        assert!(Variable::new("x1") < Variable::new("x2"));
+    }
+
+    #[test]
+    fn fresh_avoids_collisions() {
+        let taken = vars(&["v", "v#1"]);
+        let f = Variable::fresh("v", &taken);
+        assert_eq!(f.name(), "v#2");
+        let g = Variable::fresh("w", &taken);
+        assert_eq!(g.name(), "w");
+    }
+
+    #[test]
+    fn display_shows_name() {
+        assert_eq!(Variable::new("x").to_string(), "x");
+        assert_eq!(format!("{:?}", Variable::new("x")), "x");
+    }
+
+    #[test]
+    fn vars_helper_preserves_order() {
+        let v = vars(&["a", "b", "a"]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v[0], v[2]);
+    }
+}

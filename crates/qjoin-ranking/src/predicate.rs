@@ -1,0 +1,176 @@
+//! Ranking predicates `w(U_w) ≺ λ` and `w(U_w) ≻ λ`.
+
+use crate::{Ranking, Weight, WeightBound};
+use std::fmt;
+
+/// The comparison direction of a ranking predicate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `w(U_w) ≺ λ` — keep answers strictly below the bound.
+    Lt,
+    /// `w(U_w) ≻ λ` — keep answers strictly above the bound.
+    Gt,
+}
+
+impl CmpOp {
+    /// The opposite direction.
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Lt,
+        }
+    }
+}
+
+/// A predicate comparing the ranking weight of an answer against a bound.
+///
+/// These are exactly the predicates the partitioning step of the divide-and-conquer
+/// framework produces (Section 3): the less-than and greater-than splits around a pivot
+/// weight, and the `low` / `high` bounds accumulated across iterations. A bound may be
+/// the sentinel `⊥` or `⊤`, in which case the predicate is trivially true for `≻ ⊥` and
+/// `≺ ⊤` (and trimming it is a no-op).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankPredicate {
+    /// Comparison direction.
+    pub op: CmpOp,
+    /// The bound `λ`.
+    pub bound: WeightBound,
+}
+
+impl RankPredicate {
+    /// `w(U_w) ≺ λ`.
+    pub fn less_than(bound: impl Into<WeightBound>) -> Self {
+        RankPredicate {
+            op: CmpOp::Lt,
+            bound: bound.into(),
+        }
+    }
+
+    /// `w(U_w) ≻ λ`.
+    pub fn greater_than(bound: impl Into<WeightBound>) -> Self {
+        RankPredicate {
+            op: CmpOp::Gt,
+            bound: bound.into(),
+        }
+    }
+
+    /// True if the predicate holds for every possible weight (so trimming it changes
+    /// nothing): `≺ ⊤` or `≻ ⊥`.
+    pub fn is_trivial(&self) -> bool {
+        matches!(
+            (self.op, &self.bound),
+            (CmpOp::Lt, WeightBound::PosInf) | (CmpOp::Gt, WeightBound::NegInf)
+        )
+    }
+
+    /// True if the predicate can never hold: `≺ ⊥` or `≻ ⊤`.
+    pub fn is_unsatisfiable(&self) -> bool {
+        matches!(
+            (self.op, &self.bound),
+            (CmpOp::Lt, WeightBound::NegInf) | (CmpOp::Gt, WeightBound::PosInf)
+        )
+    }
+
+    /// Evaluates the predicate on a concrete answer weight.
+    pub fn satisfied_by(&self, ranking: &Ranking, weight: &Weight) -> bool {
+        match (&self.bound, self.op) {
+            (WeightBound::NegInf, CmpOp::Lt) | (WeightBound::PosInf, CmpOp::Gt) => false,
+            (WeightBound::NegInf, CmpOp::Gt) | (WeightBound::PosInf, CmpOp::Lt) => true,
+            (WeightBound::Finite(bound), CmpOp::Lt) => {
+                ranking.compare(weight, bound) == std::cmp::Ordering::Less
+            }
+            (WeightBound::Finite(bound), CmpOp::Gt) => {
+                ranking.compare(weight, bound) == std::cmp::Ordering::Greater
+            }
+        }
+    }
+
+    /// The finite bound, if the predicate has one.
+    pub fn finite_bound(&self) -> Option<&Weight> {
+        self.bound.as_finite()
+    }
+}
+
+impl fmt::Display for RankPredicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let op = match self.op {
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+        };
+        write!(f, "w(U_w) {op} {}", self.bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjoin_query::variable::vars;
+
+    #[test]
+    fn satisfied_by_compares_against_finite_bounds() {
+        let r = Ranking::sum(vars(&["x"]));
+        let lt = RankPredicate::less_than(Weight::num(5.0));
+        assert!(lt.satisfied_by(&r, &Weight::num(4.9)));
+        assert!(!lt.satisfied_by(&r, &Weight::num(5.0)));
+        let gt = RankPredicate::greater_than(Weight::num(5.0));
+        assert!(gt.satisfied_by(&r, &Weight::num(5.1)));
+        assert!(!gt.satisfied_by(&r, &Weight::num(5.0)));
+    }
+
+    #[test]
+    fn sentinel_bounds_are_trivial_or_unsatisfiable() {
+        let trivially_true = RankPredicate {
+            op: CmpOp::Gt,
+            bound: WeightBound::NegInf,
+        };
+        assert!(trivially_true.is_trivial());
+        assert!(!trivially_true.is_unsatisfiable());
+
+        let never = RankPredicate {
+            op: CmpOp::Lt,
+            bound: WeightBound::NegInf,
+        };
+        assert!(never.is_unsatisfiable());
+        let r = Ranking::sum(vars(&["x"]));
+        assert!(!never.satisfied_by(&r, &Weight::num(-1e300)));
+        assert!(trivially_true.satisfied_by(&r, &Weight::num(-1e300)));
+    }
+
+    #[test]
+    fn flipped_swaps_direction() {
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Gt.flipped(), CmpOp::Lt);
+    }
+
+    #[test]
+    fn lex_predicates_compare_vectors() {
+        let r = Ranking::lex(vars(&["a", "b"]));
+        let p = RankPredicate::less_than(Weight::Vec(vec![2.0, 0.0]));
+        assert!(p.satisfied_by(&r, &Weight::Vec(vec![1.0, 100.0])));
+        assert!(!p.satisfied_by(&r, &Weight::Vec(vec![2.0, 0.0])));
+    }
+
+    #[test]
+    fn display_shows_direction_and_bound() {
+        assert_eq!(
+            RankPredicate::less_than(Weight::num(3.0)).to_string(),
+            "w(U_w) < 3"
+        );
+        assert_eq!(
+            RankPredicate::greater_than(WeightBound::NegInf).to_string(),
+            "w(U_w) > ⊥"
+        );
+    }
+
+    #[test]
+    fn finite_bound_accessor() {
+        assert_eq!(
+            RankPredicate::less_than(Weight::num(1.0)).finite_bound(),
+            Some(&Weight::num(1.0))
+        );
+        assert_eq!(
+            RankPredicate::greater_than(WeightBound::PosInf).finite_bound(),
+            None
+        );
+    }
+}

@@ -1,0 +1,242 @@
+//! The weight domain `dom_w` and its total order.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A weight from the weight domain `dom_w`.
+///
+/// Two shapes are supported, matching the concrete ranking functions of the paper:
+///
+/// * [`Weight::Num`] — a real number, used by SUM, MIN, and MAX;
+/// * [`Weight::Vec`] — a vector of reals compared lexicographically, used by LEX.
+///
+/// The total order is implemented with [`f64::total_cmp`], so `NaN`s (which the
+/// library never produces) would still order deterministically. A single ranking
+/// function only ever produces one of the two shapes; across shapes, numbers order
+/// before vectors so that [`Ord`] stays total.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Weight {
+    /// A scalar weight.
+    Num(f64),
+    /// A vector weight compared lexicographically (shorter vectors are padded with
+    /// zeros conceptually; in practice all vectors of one ranking share a length).
+    Vec(Vec<f64>),
+}
+
+impl Weight {
+    /// Builds a scalar weight.
+    pub fn num(x: f64) -> Self {
+        Weight::Num(x)
+    }
+
+    /// The scalar payload, if this is a scalar weight.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Weight::Num(x) => Some(*x),
+            Weight::Vec(_) => None,
+        }
+    }
+
+    /// The vector payload, if this is a vector weight.
+    pub fn as_vec(&self) -> Option<&[f64]> {
+        match self {
+            Weight::Num(_) => None,
+            Weight::Vec(v) => Some(v),
+        }
+    }
+}
+
+impl Eq for Weight {}
+
+impl PartialOrd for Weight {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Weight {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self, other) {
+            (Weight::Num(a), Weight::Num(b)) => a.total_cmp(b),
+            (Weight::Vec(a), Weight::Vec(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.total_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Weight::Num(_), Weight::Vec(_)) => Ordering::Less,
+            (Weight::Vec(_), Weight::Num(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl fmt::Display for Weight {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Weight::Num(x) => write!(f, "{x}"),
+            Weight::Vec(v) => {
+                write!(f, "(")?;
+                for (i, x) in v.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{x}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// A weight extended with the `⊥` (below everything) and `⊤` (above everything)
+/// sentinels.
+///
+/// The quantile driver (Algorithm 1) tracks the candidate region with two bounds
+/// `low` and `high`, initialized to `⊥` and `⊤`; trimming against a sentinel bound is
+/// a no-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WeightBound {
+    /// Below every weight.
+    NegInf,
+    /// An ordinary weight.
+    Finite(Weight),
+    /// Above every weight.
+    PosInf,
+}
+
+impl WeightBound {
+    /// The finite payload, if any.
+    pub fn as_finite(&self) -> Option<&Weight> {
+        match self {
+            WeightBound::Finite(w) => Some(w),
+            _ => None,
+        }
+    }
+
+    /// True for `⊥` or `⊤`.
+    pub fn is_infinite(&self) -> bool {
+        !matches!(self, WeightBound::Finite(_))
+    }
+}
+
+impl PartialOrd for WeightBound {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WeightBound {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use WeightBound::*;
+        match (self, other) {
+            (NegInf, NegInf) | (PosInf, PosInf) => Ordering::Equal,
+            (NegInf, _) | (_, PosInf) => Ordering::Less,
+            (_, NegInf) | (PosInf, _) => Ordering::Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+}
+
+impl From<Weight> for WeightBound {
+    fn from(w: Weight) -> Self {
+        WeightBound::Finite(w)
+    }
+}
+
+impl fmt::Display for WeightBound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightBound::NegInf => write!(f, "⊥"),
+            WeightBound::Finite(w) => write!(f, "{w}"),
+            WeightBound::PosInf => write!(f, "⊤"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_weights_order_numerically() {
+        assert!(Weight::num(1.0) < Weight::num(2.0));
+        assert!(Weight::num(-5.0) < Weight::num(0.0));
+        assert_eq!(Weight::num(3.0), Weight::num(3.0));
+    }
+
+    #[test]
+    fn vector_weights_order_lexicographically() {
+        let a = Weight::Vec(vec![1.0, 9.0]);
+        let b = Weight::Vec(vec![2.0, 0.0]);
+        let c = Weight::Vec(vec![1.0, 10.0]);
+        assert!(a < b);
+        assert!(a < c);
+        assert!(c < b);
+        assert!(Weight::Vec(vec![1.0]) < Weight::Vec(vec![1.0, 0.0]));
+    }
+
+    #[test]
+    fn mixed_shapes_have_a_deterministic_order() {
+        assert!(Weight::num(1e12) < Weight::Vec(vec![0.0]));
+    }
+
+    #[test]
+    fn accessors_return_payloads() {
+        assert_eq!(Weight::num(2.5).as_num(), Some(2.5));
+        assert_eq!(Weight::num(2.5).as_vec(), None);
+        assert_eq!(Weight::Vec(vec![1.0]).as_vec(), Some(&[1.0][..]));
+    }
+
+    #[test]
+    fn bounds_sandwich_all_finite_weights() {
+        let w = WeightBound::Finite(Weight::num(1e300));
+        assert!(WeightBound::NegInf < w);
+        assert!(w < WeightBound::PosInf);
+        assert!(WeightBound::NegInf < WeightBound::PosInf);
+        assert_eq!(
+            WeightBound::Finite(Weight::num(1.0)).cmp(&WeightBound::Finite(Weight::num(1.0))),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn bound_accessors() {
+        assert!(WeightBound::NegInf.is_infinite());
+        assert!(!WeightBound::Finite(Weight::num(0.0)).is_infinite());
+        assert_eq!(
+            WeightBound::Finite(Weight::num(2.0)).as_finite(),
+            Some(&Weight::num(2.0))
+        );
+        assert_eq!(WeightBound::PosInf.as_finite(), None);
+    }
+
+    #[test]
+    fn display_renders_sentinels() {
+        assert_eq!(WeightBound::NegInf.to_string(), "⊥");
+        assert_eq!(WeightBound::PosInf.to_string(), "⊤");
+        assert_eq!(Weight::Vec(vec![1.0, 2.0]).to_string(), "(1, 2)");
+    }
+
+    #[test]
+    fn sorting_weights_is_stable_and_total() {
+        let mut ws = vec![
+            Weight::num(3.0),
+            Weight::num(-1.0),
+            Weight::num(2.0),
+            Weight::num(2.0),
+        ];
+        ws.sort();
+        assert_eq!(
+            ws,
+            vec![
+                Weight::num(-1.0),
+                Weight::num(2.0),
+                Weight::num(2.0),
+                Weight::num(3.0)
+            ]
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! # qjoin-workload
+//!
+//! Synthetic workload and data generators for the `qjoin` experiments.
+//!
+//! The paper is a theory paper and ships no datasets; its claims are asymptotic. The
+//! experiment harness therefore needs *parameterized* synthetic instances whose size,
+//! join fan-out, and weight skew can be controlled:
+//!
+//! * [`social`] — the social-network schema of the paper's introduction
+//!   (`Admin(u1, e), Share(u2, e, l2), Attend(u3, e, l3)`), with a configurable number
+//!   of users, events, and a Zipf-like skew on event popularity.
+//! * [`path`] — k-path join instances `R_1(x_1, x_2), ..., R_k(x_k, x_{k+1})` with
+//!   controllable join fan-out (the canonical tractable/intractable examples of the
+//!   dichotomy).
+//! * [`star`] — star joins sharing a central variable.
+//! * [`figures`] — the exact worked instances of Figures 1/2/4 and Example 5.1, used
+//!   by unit tests and by the figure-reproduction examples.
+//! * [`random_acyclic`] — random acyclic queries with random databases, used by
+//!   property-based tests to cross-check the algorithms against brute force.
+//!
+//! All generators are deterministic given a seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod path;
+pub mod random_acyclic;
+pub mod social;
+pub mod star;
+
+use rand::Rng;
+
+/// Draws a value in `0..domain` from a Zipf-like (power-law) distribution with
+/// exponent `skew`; `skew = 0` is uniform, larger values concentrate mass on small
+/// indices. Used to control join fan-out skew across all generators.
+pub fn zipf_index(rng: &mut impl Rng, domain: usize, skew: f64) -> usize {
+    assert!(domain > 0, "domain must be non-empty");
+    if skew <= 0.0 {
+        return rng.random_range(0..domain);
+    }
+    // Inverse-CDF sampling over unnormalized weights i^{-skew}. For the moderate
+    // domains used in experiments this direct scan is fast enough and exact.
+    let total: f64 = (1..=domain).map(|i| (i as f64).powf(-skew)).sum();
+    let mut target = rng.random_range(0.0..total);
+    for i in 1..=domain {
+        let w = (i as f64).powf(-skew);
+        if target < w {
+            return i - 1;
+        }
+        target -= w;
+    }
+    domain - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[zipf_index(&mut rng, 10, 0.0)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 700 && c < 1300, "count {c} too far from uniform");
+        }
+    }
+
+    #[test]
+    fn zipf_high_skew_prefers_small_indices() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut first = 0usize;
+        for _ in 0..5_000 {
+            if zipf_index(&mut rng, 100, 1.5) == 0 {
+                first += 1;
+            }
+        }
+        assert!(first > 1_000, "index 0 drawn only {first} times");
+    }
+
+    #[test]
+    fn zipf_results_stay_in_range() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for domain in [1usize, 2, 7, 50] {
+            for skew in [0.0, 0.5, 2.0] {
+                for _ in 0..200 {
+                    assert!(zipf_index(&mut rng, domain, skew) < domain);
+                }
+            }
+        }
+    }
+}

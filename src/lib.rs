@@ -1,0 +1,65 @@
+//! # quantile-joins
+//!
+//! A faithful, from-scratch Rust implementation of *"Efficient Computation of
+//! Quantiles over Joins"* (Tziavelis, Carmeli, Gatterbauer, Kimelfeld, Riedewald —
+//! PODS 2023): compute the answer at relative position φ of a join query's ordered
+//! answer list **without materializing the join**, in time quasilinear in the database.
+//!
+//! This facade crate re-exports the workspace's layers:
+//!
+//! * [`data`] — values, tuples, relations, databases;
+//! * [`query`] — join queries, hypergraphs, acyclicity, join trees;
+//! * [`exec`] — Yannakakis evaluation, message passing, counting, direct access;
+//! * [`ranking`] — SUM / MIN / MAX / LEX ranking functions and predicates;
+//! * [`core`] — the pivoting framework, exact and lossy trimmings, the partial-SUM
+//!   dichotomy, deterministic and randomized approximations, and baselines;
+//! * [`workload`] — synthetic instance generators used by the examples, tests, and
+//!   benchmarks.
+//!
+//! The most convenient entry points are re-exported at the top level and in
+//! [`prelude`]:
+//!
+//! ```
+//! use quantile_joins::prelude::*;
+//!
+//! // Median of l2 + l3 over the paper's social-network join.
+//! let config = SocialConfig { rows_per_relation: 300, ..Default::default() };
+//! let instance = config.generate();
+//! let ranking = config.likes_ranking();
+//! let median = exact_quantile(&instance, &ranking, 0.5).unwrap();
+//! assert!(median.total_answers > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use qjoin_core as core;
+pub use qjoin_data as data;
+pub use qjoin_exec as exec;
+pub use qjoin_query as query;
+pub use qjoin_ranking as ranking;
+pub use qjoin_workload as workload;
+
+pub use qjoin_core::solver::{approximate_sum_quantile, exact_quantile, ErrorBudget};
+pub use qjoin_core::{CoreError, PivotingOptions, QuantileResult};
+pub use qjoin_query::Instance;
+pub use qjoin_ranking::Ranking;
+
+/// One-stop imports for applications and examples.
+pub mod prelude {
+    pub use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+    pub use qjoin_core::dichotomy::{classify_partial_sum, SumClassification};
+    pub use qjoin_core::quantile::{quantile_by_pivoting, PivotingOptions};
+    pub use qjoin_core::sampling::{quantile_by_sampling, SamplingOptions};
+    pub use qjoin_core::solver::{approximate_sum_quantile, exact_quantile, ErrorBudget};
+    pub use qjoin_core::QuantileResult;
+    pub use qjoin_data::{Database, Relation, Tuple, Value};
+    pub use qjoin_exec::count::count_answers;
+    pub use qjoin_query::query::{path_query, social_network_query, star_query};
+    pub use qjoin_query::variable::vars;
+    pub use qjoin_query::{Atom, Instance, JoinQuery, Variable};
+    pub use qjoin_ranking::{AggregateKind, Ranking, Weight, WeightFn};
+    pub use qjoin_workload::path::PathConfig;
+    pub use qjoin_workload::social::SocialConfig;
+    pub use qjoin_workload::star::StarConfig;
+}
