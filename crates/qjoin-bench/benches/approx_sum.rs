@@ -26,8 +26,14 @@ fn bench_approx(c: &mut Criterion) {
             |b, &eps| {
                 b.iter(|| {
                     black_box(
-                        approximate_sum_quantile(&instance, &ranking, 0.5, eps, ErrorBudget::Direct)
-                            .unwrap(),
+                        approximate_sum_quantile(
+                            &instance,
+                            &ranking,
+                            0.5,
+                            eps,
+                            ErrorBudget::Direct,
+                        )
+                        .unwrap(),
                     )
                 })
             },

@@ -17,28 +17,22 @@ fn bench_lex(c: &mut Criterion) {
     for tuples in [500usize, 1_000, 2_000] {
         let instance = scaling_path_config(tuples, 19).generate();
         let ranking = Ranking::lex(vars(&["x2", "x4"]));
-        group.bench_with_input(
-            BenchmarkId::new("pivoting_p75", tuples),
-            &tuples,
-            |b, _| b.iter(|| black_box(exact_quantile(&instance, &ranking, 0.75).unwrap())),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("baseline_p75", tuples),
-            &tuples,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        quantile_by_materialization(
-                            &instance,
-                            &ranking,
-                            0.75,
-                            BaselineStrategy::Selection,
-                        )
-                        .unwrap(),
+        group.bench_with_input(BenchmarkId::new("pivoting_p75", tuples), &tuples, |b, _| {
+            b.iter(|| black_box(exact_quantile(&instance, &ranking, 0.75).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("baseline_p75", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                black_box(
+                    quantile_by_materialization(
+                        &instance,
+                        &ranking,
+                        0.75,
+                        BaselineStrategy::Selection,
                     )
-                })
-            },
-        );
+                    .unwrap(),
+                )
+            })
+        });
     }
     group.finish();
 }

@@ -18,35 +18,35 @@ fn bench_substrate(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     for tuples in [1_000usize, 4_000] {
         let instance = scaling_path_config(tuples, 3).generate();
-        group.bench_with_input(BenchmarkId::new("count_answers", tuples), &tuples, |b, _| {
-            b.iter(|| black_box(count_answers(&instance).unwrap()))
-        });
-        group.bench_with_input(BenchmarkId::new("context_build", tuples), &tuples, |b, _| {
-            b.iter(|| black_box(JoinTreeContext::build(&instance).unwrap()))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("count_answers", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(count_answers(&instance).unwrap())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("context_build", tuples),
+            &tuples,
+            |b, _| b.iter(|| black_box(JoinTreeContext::build(&instance).unwrap())),
+        );
         group.bench_with_input(
             BenchmarkId::new("direct_access_build", tuples),
             &tuples,
             |b, _| b.iter(|| black_box(DirectAccess::new(&instance).unwrap())),
         );
         let max_ranking = Ranking::max(instance.query().variables());
-        group.bench_with_input(
-            BenchmarkId::new("trim_max_gt", tuples),
-            &tuples,
-            |b, _| {
-                b.iter(|| {
-                    black_box(
-                        MinMaxTrimmer
-                            .trim(
-                                &instance,
-                                &max_ranking,
-                                &RankPredicate::greater_than(Weight::num(500_000.0)),
-                            )
-                            .unwrap(),
-                    )
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("trim_max_gt", tuples), &tuples, |b, _| {
+            b.iter(|| {
+                black_box(
+                    MinMaxTrimmer
+                        .trim(
+                            &instance,
+                            &max_ranking,
+                            &RankPredicate::greater_than(Weight::num(500_000.0)),
+                        )
+                        .unwrap(),
+                )
+            })
+        });
         let partial_sum = Ranking::sum(vars(&["x1", "x2", "x3"]));
         group.bench_with_input(
             BenchmarkId::new("trim_adjacent_sum_lt", tuples),

@@ -14,31 +14,18 @@ use qjoin_query::{JoinQuery, Variable};
 
 fn main() {
     println!("# E-T56b: partial SUM dichotomy classification (Theorem 5.6)");
-    println!("{:<34} {:<26} {:>11}   detail", "query", "weighted variables", "tractable");
+    println!(
+        "{:<34} {:<26} {:>11}   detail",
+        "query", "weighted variables", "tractable"
+    );
     let cases: Vec<(String, JoinQuery, Vec<Variable>)> = vec![
-        (
-            "2-path".into(),
-            path_query(2),
-            path_query(2).variables(),
-        ),
-        (
-            "3-path".into(),
-            path_query(3),
-            path_query(3).variables(),
-        ),
-        (
-            "3-path".into(),
-            path_query(3),
-            vars(&["x1", "x2", "x3"]),
-        ),
+        ("2-path".into(), path_query(2), path_query(2).variables()),
+        ("3-path".into(), path_query(3), path_query(3).variables()),
+        ("3-path".into(), path_query(3), vars(&["x1", "x2", "x3"])),
         ("3-path".into(), path_query(3), vars(&["x2", "x3"])),
         ("4-path".into(), path_query(4), vars(&["x1", "x5"])),
         ("4-path".into(), path_query(4), vars(&["x2", "x3", "x4"])),
-        (
-            "star-3".into(),
-            star_query(3),
-            vars(&["x1", "x2", "x3"]),
-        ),
+        ("star-3".into(), star_query(3), vars(&["x1", "x2", "x3"])),
         ("star-3".into(), star_query(3), vars(&["x0", "x1"])),
         (
             "social network".into(),
@@ -86,9 +73,7 @@ fn describe(query: &JoinQuery, c: &SumClassification) -> (&'static str, String) 
         SumClassification::IntractableIndependentSet(w) => {
             ("no", format!("independent triple {w:?}"))
         }
-        SumClassification::IntractableChordlessPath(p) => {
-            ("no", format!("chordless path {p:?}"))
-        }
+        SumClassification::IntractableChordlessPath(p) => ("no", format!("chordless path {p:?}")),
         SumClassification::UnknownTooLarge => ("?", "query too large".into()),
     }
 }

@@ -33,25 +33,19 @@ pub fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 /// the targeted index and the closest rank at which the returned weight occurs.
 /// Exact algorithms must report 0.
 pub fn rank_error(instance: &Instance, ranking: &Ranking, result: &QuantileResult) -> u128 {
-    let (below, equal) = rank_of_weight(instance, ranking, &result.weight)
-        .expect("instance was evaluated before");
+    let (below, equal) =
+        rank_of_weight(instance, ranking, &result.weight).expect("instance was evaluated before");
     let lo = below;
     let hi = below + equal.max(1) - 1;
     if result.target_index < lo {
         lo - result.target_index
-    } else if result.target_index > hi {
-        result.target_index - hi
     } else {
-        0
+        result.target_index.saturating_sub(hi)
     }
 }
 
 /// The relative rank error (absolute error divided by the number of answers).
-pub fn relative_rank_error(
-    instance: &Instance,
-    ranking: &Ranking,
-    result: &QuantileResult,
-) -> f64 {
+pub fn relative_rank_error(instance: &Instance, ranking: &Ranking, result: &QuantileResult) -> f64 {
     rank_error(instance, ranking, result) as f64 / result.total_answers.max(1) as f64
 }
 

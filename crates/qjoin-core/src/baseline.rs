@@ -61,7 +61,7 @@ pub fn quantile_by_materialization(
         }
     };
 
-    let answer = Assignment::from_pairs(schema.iter().cloned().zip(row.into_iter()));
+    let answer = Assignment::from_pairs(schema.iter().cloned().zip(row));
     Ok(QuantileResult {
         answer,
         weight,
@@ -82,8 +82,10 @@ mod tests {
         let mut r1 = Relation::new("R1", 2);
         let mut r2 = Relation::new("R2", 2);
         for i in 0..n {
-            r1.push(vec![Value::from((31 * i) % 57), Value::from(i % 5)]).unwrap();
-            r2.push(vec![Value::from(i % 5), Value::from((23 * i) % 71)]).unwrap();
+            r1.push(vec![Value::from((31 * i) % 57), Value::from(i % 5)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 5), Value::from((23 * i) % 71)])
+                .unwrap();
         }
         Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
     }

@@ -219,7 +219,10 @@ mod tests {
         // The 2-path with full SUM: covered by the pair (R1, R2), which are adjacent.
         let q = path_query(2);
         let c = classify_partial_sum(&q, &q.variables());
-        assert_eq!(c, SumClassification::TractableAdjacentPair { atoms: (0, 1) });
+        assert_eq!(
+            c,
+            SumClassification::TractableAdjacentPair { atoms: (0, 1) }
+        );
     }
 
     #[test]
@@ -227,7 +230,10 @@ mod tests {
         // The paper's canonical intractable case: 3 atoms, full SUM.
         let q = path_query(3);
         let c = classify_partial_sum(&q, &q.variables());
-        assert!(matches!(c, SumClassification::IntractableChordlessPath(_)), "{c:?}");
+        assert!(
+            matches!(c, SumClassification::IntractableChordlessPath(_)),
+            "{c:?}"
+        );
         assert!(!c.is_tractable());
     }
 
@@ -236,7 +242,10 @@ mod tests {
         // The motivating example of Section 5.3: U_w = {x1, x2, x3}.
         let q = path_query(3);
         let c = classify_partial_sum(&q, &vars(&["x1", "x2", "x3"]));
-        assert_eq!(c, SumClassification::TractableAdjacentPair { atoms: (0, 1) });
+        assert_eq!(
+            c,
+            SumClassification::TractableAdjacentPair { atoms: (0, 1) }
+        );
     }
 
     #[test]
@@ -252,7 +261,10 @@ mod tests {
         // event variable and are adjacent in some join tree.
         let q = social_network_query();
         let c = classify_partial_sum(&q, &vars(&["l2", "l3"]));
-        assert_eq!(c, SumClassification::TractableAdjacentPair { atoms: (1, 2) });
+        assert_eq!(
+            c,
+            SumClassification::TractableAdjacentPair { atoms: (1, 2) }
+        );
     }
 
     #[test]
@@ -274,7 +286,10 @@ mod tests {
         // Two leaves only: tractable? x1 and x2 are non-adjacent but the chordless
         // path x1-x0-x2 has 3 vertices, and R1, R2 are adjacent in some join tree.
         let c2 = classify_partial_sum(&q, &vars(&["x1", "x2"]));
-        assert_eq!(c2, SumClassification::TractableAdjacentPair { atoms: (0, 1) });
+        assert_eq!(
+            c2,
+            SumClassification::TractableAdjacentPair { atoms: (0, 1) }
+        );
     }
 
     #[test]
@@ -297,10 +312,7 @@ mod tests {
             .adjacent_pairs()
             .into_iter()
             .map(|(a, b)| {
-                let (a, b) = (
-                    cover.tree.node(a).atom_index,
-                    cover.tree.node(b).atom_index,
-                );
+                let (a, b) = (cover.tree.node(a).atom_index, cover.tree.node(b).atom_index);
                 (a.min(b), a.max(b))
             })
             .collect();
@@ -358,12 +370,140 @@ mod tests {
                     | SumClassification::IntractableChordlessPath(_) => {
                         assert!(cover.is_none(), "query {q}, U_w {subset:?}")
                     }
-                    SumClassification::IntractableCyclic
-                    | SumClassification::UnknownTooLarge => {
+                    SumClassification::IntractableCyclic | SumClassification::UnknownTooLarge => {
                         panic!("unexpected classification for acyclic catalogue query")
                     }
                 }
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod paper_case_table {
+    use super::*;
+    use qjoin_query::query::{path_query, social_network_query, star_query, triangle_query};
+    use qjoin_query::variable::vars;
+    use qjoin_query::Atom;
+
+    /// The coarse outcome a table row expects from [`classify_partial_sum`].
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    enum Expected {
+        SingleAtom,
+        AdjacentPair,
+        Cyclic,
+        IndependentSet,
+        ChordlessPath,
+        TooLarge,
+    }
+
+    fn outcome(c: &SumClassification) -> Expected {
+        match c {
+            SumClassification::TractableSingleAtom { .. } => Expected::SingleAtom,
+            SumClassification::TractableAdjacentPair { .. } => Expected::AdjacentPair,
+            SumClassification::IntractableCyclic => Expected::Cyclic,
+            SumClassification::IntractableIndependentSet(_) => Expected::IndependentSet,
+            SumClassification::IntractableChordlessPath(_) => Expected::ChordlessPath,
+            SumClassification::UnknownTooLarge => Expected::TooLarge,
+        }
+    }
+
+    /// Every tractable/intractable case of Theorem 5.6 discussed in the paper,
+    /// as one table: (description, query, weighted variables, expected outcome).
+    #[test]
+    fn classify_partial_sum_matches_the_paper_case_table() {
+        let table: Vec<(&str, JoinQuery, Vec<Variable>, Expected)> = vec![
+            (
+                "§5.3: single weighted variable lies in one atom",
+                path_query(3),
+                vars(&["x2"]),
+                Expected::SingleAtom,
+            ),
+            (
+                "§5.3: U_w inside one atom is a linear-time filter",
+                path_query(3),
+                vars(&["x2", "x3"]),
+                Expected::SingleAtom,
+            ),
+            (
+                "§1/§5: full SUM on the binary join is tractable",
+                path_query(2),
+                path_query(2).variables(),
+                Expected::AdjacentPair,
+            ),
+            (
+                "§5.3 motivating example: 3-path with U_w = {x1, x2, x3}",
+                path_query(3),
+                vars(&["x1", "x2", "x3"]),
+                Expected::AdjacentPair,
+            ),
+            (
+                "§1 social network: SUM(l2 + l3) over Share and Attend",
+                social_network_query(),
+                vars(&["l2", "l3"]),
+                Expected::AdjacentPair,
+            ),
+            (
+                "§2.1/§5: cyclic triangle query is intractable outright",
+                triangle_query(),
+                triangle_query().variables(),
+                Expected::Cyclic,
+            ),
+            (
+                "Thm 5.6 cond. 2: three independent star leaves",
+                star_query(3),
+                vars(&["x1", "x2", "x3"]),
+                Expected::IndependentSet,
+            ),
+            (
+                "Thm 5.6 cond. 2: independent {u1, u2, u3} in the social query",
+                social_network_query(),
+                vars(&["u1", "u2", "u3"]),
+                Expected::IndependentSet,
+            ),
+            (
+                "Thm 5.6 cond. 3: full SUM on the 3-path has a 4-vertex chordless path",
+                path_query(3),
+                path_query(3).variables(),
+                Expected::ChordlessPath,
+            ),
+            (
+                "Thm 5.6 cond. 3: endpoints of the 4-path",
+                path_query(4),
+                vars(&["x1", "x5"]),
+                Expected::ChordlessPath,
+            ),
+            (
+                "three-atom chain with a covering adjacent pair (A, B)",
+                JoinQuery::new(vec![
+                    Atom::from_names("A", &["x", "y", "z"]),
+                    Atom::from_names("B", &["z", "w"]),
+                    Atom::from_names("C", &["w", "u"]),
+                ]),
+                vars(&["x", "w"]),
+                Expected::AdjacentPair,
+            ),
+            (
+                "beyond MAX_ENUMERATION_ATOMS the constructive search gives up",
+                path_query(MAX_ENUMERATION_ATOMS + 1),
+                vars(&["x1", "x2", "x3"]),
+                Expected::TooLarge,
+            ),
+        ];
+
+        for (description, query, weighted, expected) in table {
+            let classification = classify_partial_sum(&query, &weighted);
+            assert_eq!(
+                outcome(&classification),
+                expected,
+                "{description}: got {classification:?}"
+            );
+            // The coarse outcome and the tractability flag must agree.
+            assert_eq!(
+                classification.is_tractable(),
+                matches!(expected, Expected::SingleAtom | Expected::AdjacentPair),
+                "{description}"
+            );
         }
     }
 }

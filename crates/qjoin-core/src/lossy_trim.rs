@@ -23,7 +23,7 @@ use crate::trim::{handle_trivial, Trimmer};
 use crate::{CoreError, Result};
 use qjoin_data::{Database, Relation, Tuple, Value};
 use qjoin_query::{binary, self_join, Atom, Instance, JoinQuery, Variable};
-use qjoin_ranking::{AggregateKind, CmpOp, Ranking, RankPredicate, SumTupleWeights};
+use qjoin_ranking::{AggregateKind, CmpOp, RankPredicate, Ranking, SumTupleWeights};
 use std::collections::HashMap;
 
 /// The ε-lossy trimmer for SUM predicates on arbitrary acyclic queries.
@@ -252,9 +252,12 @@ mod tests {
         let mut r2 = Relation::new("R2", 2);
         let mut r3 = Relation::new("R3", 2);
         for i in 0..n {
-            r1.push(vec![Value::from(7 * i % 23), Value::from(i % 3)]).unwrap();
-            r2.push(vec![Value::from(i % 3), Value::from(11 * i % 19)]).unwrap();
-            r3.push(vec![Value::from(11 * i % 19), Value::from(5 * i % 29)]).unwrap();
+            r1.push(vec![Value::from(7 * i % 23), Value::from(i % 3)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from(11 * i % 19)])
+                .unwrap();
+            r3.push(vec![Value::from(11 * i % 19), Value::from(5 * i % 29)])
+                .unwrap();
         }
         Instance::new(
             path_query(3),
@@ -283,7 +286,10 @@ mod tests {
         assert!(kept <= 3);
         // Both relations carry the fresh v_rs column.
         for atom in trimmed.query().atoms() {
-            assert!(atom.variables().iter().any(|v| v.name().starts_with("v_rs")));
+            assert!(atom
+                .variables()
+                .iter()
+                .any(|v| v.name().starts_with("v_rs")));
         }
         // With a bound below every sum, nothing survives.
         let none = trimmer
@@ -337,7 +343,8 @@ mod tests {
                     RankPredicate::greater_than(Weight::num(bound)),
                 ] {
                     let exact = brute_force_count(&inst, &ranking, &pred);
-                    let kept = count_answers(&trimmer.trim(&inst, &ranking, &pred).unwrap()).unwrap();
+                    let kept =
+                        count_answers(&trimmer.trim(&inst, &ranking, &pred).unwrap()).unwrap();
                     assert!(kept <= exact);
                     assert!(
                         kept as f64 >= (1.0 - eps) * exact as f64 - 1e-9,
@@ -389,17 +396,28 @@ mod tests {
         let ranking = Ranking::sum(inst.query().variables());
         let trimmer = LossySumTrimmer::new(0.3);
         let first = trimmer
-            .trim(&inst, &ranking, &RankPredicate::less_than(Weight::num(60.0)))
+            .trim(
+                &inst,
+                &ranking,
+                &RankPredicate::less_than(Weight::num(60.0)),
+            )
             .unwrap();
         assert!(qjoin_query::acyclicity::is_acyclic(first.query()));
         let second = trimmer
-            .trim(&first, &ranking, &RankPredicate::greater_than(Weight::num(10.0)))
+            .trim(
+                &first,
+                &ranking,
+                &RankPredicate::greater_than(Weight::num(10.0)),
+            )
             .unwrap();
         assert!(qjoin_query::acyclicity::is_acyclic(second.query()));
         // Every surviving answer satisfies both inequalities.
         let original_vars = inst.query().variables();
         for asg in materialize(&second).unwrap().iter_assignments() {
-            let w = ranking.weight_of(&asg.project(&original_vars)).as_num().unwrap();
+            let w = ranking
+                .weight_of(&asg.project(&original_vars))
+                .as_num()
+                .unwrap();
             assert!(w < 60.0 && w > 10.0);
         }
     }
@@ -410,12 +428,16 @@ mod tests {
         let sum = Ranking::sum(inst.query().variables());
         let pred = RankPredicate::less_than(Weight::num(5.0));
         assert!(matches!(
-            LossySumTrimmer::new(0.0).trim(&inst, &sum, &pred).unwrap_err(),
+            LossySumTrimmer::new(0.0)
+                .trim(&inst, &sum, &pred)
+                .unwrap_err(),
             CoreError::InvalidEpsilon(_)
         ));
         let max = Ranking::max(inst.query().variables());
         assert!(matches!(
-            LossySumTrimmer::new(0.2).trim(&inst, &max, &pred).unwrap_err(),
+            LossySumTrimmer::new(0.2)
+                .trim(&inst, &max, &pred)
+                .unwrap_err(),
             CoreError::UnsupportedRanking(_)
         ));
     }

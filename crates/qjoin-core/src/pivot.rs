@@ -301,13 +301,11 @@ mod tests {
         let mut r2 = Relation::new("R2", 2);
         for i in 0..40i64 {
             r1.push(vec![Value::from(i), Value::from(i % 2)]).unwrap();
-            r2.push(vec![Value::from(i % 2), Value::from(1000 - 7 * i)]).unwrap();
+            r2.push(vec![Value::from(i % 2), Value::from(1000 - 7 * i)])
+                .unwrap();
         }
-        let inst = Instance::new(
-            path_query(2),
-            Database::from_relations([r1, r2]).unwrap(),
-        )
-        .unwrap();
+        let inst =
+            Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap();
         let ranking = Ranking::sum(inst.query().variables());
         let pivot = select_pivot(&inst, &ranking).unwrap();
         let (le, ge) = verify_pivot(&inst, &ranking, &pivot).unwrap();

@@ -249,8 +249,10 @@ mod tests {
         let mut r1 = Relation::new("R1", 2);
         let mut r2 = Relation::new("R2", 2);
         for i in 0..n {
-            r1.push(vec![Value::from((17 * i) % 101), Value::from(i % 4)]).unwrap();
-            r2.push(vec![Value::from(i % 4), Value::from((13 * i) % 89)]).unwrap();
+            r1.push(vec![Value::from((17 * i) % 101), Value::from(i % 4)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 4), Value::from((13 * i) % 89)])
+                .unwrap();
         }
         Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
     }
@@ -260,9 +262,12 @@ mod tests {
         let mut r2 = Relation::new("R2", 2);
         let mut r3 = Relation::new("R3", 2);
         for i in 0..n {
-            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)]).unwrap();
-            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)]).unwrap();
-            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)]).unwrap();
+            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)])
+                .unwrap();
+            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)])
+                .unwrap();
         }
         Instance::new(
             path_query(3),
@@ -274,11 +279,7 @@ mod tests {
     /// Checks that the returned answer is a valid φ-quantile: there is an ordering of
     /// the answers in which it sits at the target index, i.e. the target index falls
     /// within the answer's weight window `[below, below + equal)`.
-    fn assert_valid_quantile(
-        instance: &Instance,
-        ranking: &Ranking,
-        result: &QuantileResult,
-    ) {
+    fn assert_valid_quantile(instance: &Instance, ranking: &Ranking, result: &QuantileResult) {
         let (below, equal) = rank_of_weight(instance, ranking, &result.weight).unwrap();
         assert!(equal >= 1, "returned weight does not belong to any answer");
         assert!(

@@ -65,8 +65,7 @@ pub fn quantile_by_sampling(
 
     let mut rng = StdRng::seed_from_u64(options.seed);
     let m = options.sample_count().max(1);
-    let mut sampled: Vec<(qjoin_ranking::Weight, qjoin_query::Assignment)> =
-        Vec::with_capacity(m);
+    let mut sampled: Vec<(qjoin_ranking::Weight, qjoin_query::Assignment)> = Vec::with_capacity(m);
     for _ in 0..m {
         let answer = access.sample(&mut rng)?;
         sampled.push((ranking.weight_of(&answer), answer));
@@ -96,7 +95,8 @@ mod tests {
         let mut r2 = Relation::new("R2", 2);
         for i in 0..n {
             r1.push(vec![Value::from(i), Value::from(i % 3)]).unwrap();
-            r2.push(vec![Value::from(i % 3), Value::from(2 * i)]).unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from(2 * i)])
+                .unwrap();
         }
         Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
     }

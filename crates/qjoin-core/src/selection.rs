@@ -12,13 +12,13 @@ use std::cmp::Ordering;
 /// linear time (median-of-medians). Ties are resolved arbitrarily but consistently.
 ///
 /// Panics if `items` is empty or `k >= items.len()`.
-pub fn select_kth_by<T: Clone>(
-    items: &[T],
-    k: usize,
-    cmp: &impl Fn(&T, &T) -> Ordering,
-) -> T {
+pub fn select_kth_by<T: Clone>(items: &[T], k: usize, cmp: &impl Fn(&T, &T) -> Ordering) -> T {
     assert!(!items.is_empty(), "cannot select from an empty slice");
-    assert!(k < items.len(), "rank {k} out of range for {} items", items.len());
+    assert!(
+        k < items.len(),
+        "rank {k} out of range for {} items",
+        items.len()
+    );
     let weighted: Vec<(T, u128)> = items.iter().map(|x| (x.clone(), 1u128)).collect();
     weighted_select_by(&weighted, k as u128, cmp)
 }
@@ -29,12 +29,12 @@ pub fn select_kth_by<T: Clone>(
 ///
 /// Runs in worst-case linear time in the number of *distinct* elements.
 /// Panics if the total multiplicity is zero.
-pub fn weighted_median_by<T: Clone>(
-    items: &[(T, u128)],
-    cmp: &impl Fn(&T, &T) -> Ordering,
-) -> T {
+pub fn weighted_median_by<T: Clone>(items: &[(T, u128)], cmp: &impl Fn(&T, &T) -> Ordering) -> T {
     let total: u128 = items.iter().map(|(_, m)| m).sum();
-    assert!(total > 0, "cannot take the weighted median of an empty multiset");
+    assert!(
+        total > 0,
+        "cannot take the weighted median of an empty multiset"
+    );
     weighted_select_by(items, (total - 1) / 2, cmp)
 }
 
@@ -96,10 +96,7 @@ pub fn weighted_select_by<T: Clone>(
 /// The classic median-of-medians pivot: group into fives, take each group's median,
 /// recurse on the medians. Guarantees that at least ~30% of the elements fall on each
 /// side, which keeps [`weighted_select_by`] linear.
-fn median_of_medians<T: Clone>(
-    items: &[(T, u128)],
-    cmp: &impl Fn(&T, &T) -> Ordering,
-) -> T {
+fn median_of_medians<T: Clone>(items: &[(T, u128)], cmp: &impl Fn(&T, &T) -> Ordering) -> T {
     if items.len() <= 5 {
         let mut sorted: Vec<&(T, u128)> = items.iter().collect();
         sorted.sort_by(|a, b| cmp(&a.0, &b.0));
@@ -130,8 +127,8 @@ mod tests {
         let items: Vec<i64> = vec![5, 3, 9, 1, 7, 3, 8, 2, 6, 4, 0];
         let mut sorted = items.clone();
         sorted.sort_unstable();
-        for k in 0..items.len() {
-            assert_eq!(select_kth_by(&items, k, &cmp_i64), sorted[k], "k = {k}");
+        for (k, expected) in sorted.iter().enumerate() {
+            assert_eq!(select_kth_by(&items, k, &cmp_i64), *expected, "k = {k}");
         }
     }
 
@@ -170,10 +167,10 @@ mod tests {
             }
         }
         expanded.sort_unstable();
-        for target in 0..expanded.len() {
+        for (target, expected) in expanded.iter().enumerate() {
             assert_eq!(
                 weighted_select_by(&items, target as u128, &cmp_i64),
-                expanded[target],
+                *expected,
                 "target {target}"
             );
         }

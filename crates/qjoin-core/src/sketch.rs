@@ -164,7 +164,9 @@ mod tests {
 
     #[test]
     fn rounding_up_never_increases_counts_below() {
-        let raw: Vec<(f64, u128)> = (0..200).map(|i| ((i * 13 % 97) as f64, (i % 5 + 1) as u128)).collect();
+        let raw: Vec<(f64, u128)> = (0..200)
+            .map(|i| ((i * 13 % 97) as f64, (i % 5 + 1) as u128))
+            .collect();
         let buckets = sketch(entries(&raw), 0.25, RoundDirection::Up);
         let sketched = bucket_pairs(&buckets);
         for lambda in [0.0, 5.0, 20.0, 48.5, 96.0, 200.0] {
@@ -221,7 +223,10 @@ mod tests {
         assert_eq!(count_below(&sketched, 2.5), count_below(&raw, 2.5));
         assert_eq!(count_below(&sketched, 3.5), count_below(&raw, 3.5));
         // The oversized source is alone in its bucket.
-        let big = buckets.iter().find(|b| b.multiplicity >= 1_000_000).unwrap();
+        let big = buckets
+            .iter()
+            .find(|b| b.multiplicity >= 1_000_000)
+            .unwrap();
         assert_eq!(big.sources.len(), 1);
     }
 

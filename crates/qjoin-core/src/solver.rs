@@ -36,11 +36,7 @@ pub enum ErrorBudget {
 
 /// Computes an **exact** `φ`-quantile, choosing the trimming subroutine according to
 /// the ranking function and the dichotomy of Theorem 5.6.
-pub fn exact_quantile(
-    instance: &Instance,
-    ranking: &Ranking,
-    phi: f64,
-) -> Result<QuantileResult> {
+pub fn exact_quantile(instance: &Instance, ranking: &Ranking, phi: f64) -> Result<QuantileResult> {
     exact_quantile_with_options(instance, ranking, phi, &PivotingOptions::default())
 }
 
@@ -58,8 +54,7 @@ pub fn exact_quantile_with_options(
         AggregateKind::Min | AggregateKind::Max => Box::new(MinMaxTrimmer),
         AggregateKind::Lex => Box::new(LexTrimmer),
         AggregateKind::Sum => {
-            let classification =
-                classify_partial_sum(instance.query(), ranking.weighted_vars());
+            let classification = classify_partial_sum(instance.query(), ranking.weighted_vars());
             if !classification.is_tractable() {
                 return Err(CoreError::IntractableSum(format!("{classification:?}")));
             }
@@ -95,8 +90,7 @@ pub fn approximate_sum_quantile(
         ErrorBudget::Guaranteed => {
             let n = instance.database_size().max(2) as f64;
             let ell = instance.query().num_atoms() as f64;
-            let tree = acyclicity::gyo_join_tree(instance.query())
-                .expect("checked acyclic above");
+            let tree = acyclicity::gyo_join_tree(instance.query()).expect("checked acyclic above");
             let c = pivot_quality(&tree).clamp(1e-6, 0.5);
             let iterations = (ell * n.ln() / (1.0 / (1.0 - c)).ln()).ceil().max(1.0);
             (epsilon / (2.0 * iterations)).max(1e-6)
@@ -125,9 +119,12 @@ mod tests {
         let mut r2 = Relation::new("R2", 2);
         let mut r3 = Relation::new("R3", 2);
         for i in 0..n {
-            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)]).unwrap();
-            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)]).unwrap();
-            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)]).unwrap();
+            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)])
+                .unwrap();
+            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)])
+                .unwrap();
         }
         Instance::new(
             path_query(3),

@@ -8,7 +8,7 @@
 use super::{handle_trivial, partition_union_trim, Trimmer, UnaryConjunction, UnaryWeightPred};
 use crate::{CoreError, Result};
 use qjoin_query::Instance;
-use qjoin_ranking::{AggregateKind, CmpOp, Ranking, RankPredicate};
+use qjoin_ranking::{AggregateKind, CmpOp, RankPredicate, Ranking};
 
 /// The exact trimmer for LEX ranking functions.
 #[derive(Clone, Copy, Debug, Default)]
@@ -34,9 +34,7 @@ impl Trimmer for LexTrimmer {
             .finite_bound()
             .and_then(|w| w.as_vec())
             .ok_or_else(|| {
-                CoreError::UnsupportedPredicate(
-                    "LEX trimming requires a vector bound".to_string(),
-                )
+                CoreError::UnsupportedPredicate("LEX trimming requires a vector bound".to_string())
             })?;
         let weighted = ranking.weighted_vars();
         if bound.len() != weighted.len() {
@@ -202,5 +200,39 @@ mod tests {
             LexTrimmer.trim(&inst, &ranking, &pred).unwrap_err(),
             CoreError::UnsupportedPredicate(_)
         ));
+    }
+}
+
+#[cfg(test)]
+mod quantile_preservation_tests {
+    use super::*;
+    use crate::trim::test_support::{assert_exact_partition_at_phi, small_random_instance};
+    use qjoin_query::Variable;
+
+    /// LEX trimming at the φ-quantile weight of small random acyclic instances
+    /// must be exact and must preserve the quantile answer.
+    #[test]
+    fn lex_trim_preserves_phi_quantile_on_random_instances() {
+        let mut checked = 0usize;
+        for seed in 0..12u64 {
+            for atoms in 2..=3usize {
+                let instance = small_random_instance(seed, atoms);
+                let lex_vars: Vec<Variable> =
+                    instance.query().variables().into_iter().take(2).collect();
+                if lex_vars.is_empty() {
+                    continue;
+                }
+                let ranking = Ranking::lex(lex_vars);
+                for phi in [0.1, 0.5, 0.9] {
+                    if assert_exact_partition_at_phi(&LexTrimmer, &instance, &ranking, phi) {
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            checked >= 20,
+            "too few non-empty cases exercised: {checked}"
+        );
     }
 }

@@ -15,7 +15,7 @@
 use super::{handle_trivial, partition_union_trim, Trimmer, UnaryConjunction, UnaryWeightPred};
 use crate::{CoreError, Result};
 use qjoin_query::Instance;
-use qjoin_ranking::{AggregateKind, CmpOp, Ranking, RankPredicate};
+use qjoin_ranking::{AggregateKind, CmpOp, RankPredicate, Ranking};
 
 /// The exact trimmer for the MIN and MAX ranking functions.
 #[derive(Clone, Copy, Debug, Default)]
@@ -230,10 +230,7 @@ mod tests {
                 .map(|v| asg.get(v).unwrap().clone())
                 .collect();
             assert!(original_rows.contains(&projected));
-            assert!(pred.satisfied_by(
-                &ranking,
-                &ranking.weight_of(&asg.project(&original_vars))
-            ));
+            assert!(pred.satisfied_by(&ranking, &ranking.weight_of(&asg.project(&original_vars))));
         }
     }
 
@@ -269,8 +266,42 @@ mod tests {
             .unwrap();
         assert_eq!(count_answers(&keep).unwrap(), count_answers(&inst).unwrap());
         let drop = MinMaxTrimmer
-            .trim(&inst, &ranking, &RankPredicate::greater_than(Weight::num(0.0)))
+            .trim(
+                &inst,
+                &ranking,
+                &RankPredicate::greater_than(Weight::num(0.0)),
+            )
             .unwrap();
         assert_eq!(count_answers(&drop).unwrap(), 0);
+    }
+}
+
+#[cfg(test)]
+mod quantile_preservation_tests {
+    use super::*;
+    use crate::trim::test_support::{assert_exact_partition_at_phi, small_random_instance};
+
+    /// MIN/MAX trimming at the φ-quantile weight of small random acyclic
+    /// instances must be exact and must preserve the quantile answer.
+    #[test]
+    fn minmax_trim_preserves_phi_quantile_on_random_instances() {
+        let mut checked = 0usize;
+        for seed in 0..12u64 {
+            for atoms in 1..=3usize {
+                let instance = small_random_instance(seed, atoms);
+                let vars = instance.query().variables();
+                for ranking in [Ranking::min(vars.clone()), Ranking::max(vars.clone())] {
+                    for phi in [0.1, 0.5, 0.9] {
+                        if assert_exact_partition_at_phi(&MinMaxTrimmer, &instance, &ranking, phi) {
+                            checked += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(
+            checked >= 40,
+            "too few non-empty cases exercised: {checked}"
+        );
     }
 }

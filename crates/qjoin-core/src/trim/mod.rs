@@ -23,7 +23,7 @@ pub use sum::{AdjacentSumTrimmer, SingleAtomSumTrimmer};
 use crate::Result;
 use qjoin_data::{Database, Relation, Value};
 use qjoin_query::{self_join, Instance, Variable};
-use qjoin_ranking::{Ranking, RankPredicate};
+use qjoin_ranking::{RankPredicate, Ranking};
 
 /// A trimming subroutine for one family of ranking predicates.
 ///
@@ -195,6 +195,108 @@ fn filtered_database(
     Ok(db)
 }
 
+/// Shared harness for the per-trimmer quantile-preservation tests: materializes
+/// both the original and the trimmed instances and checks the bijection of
+/// Definition 3.2 at the weight level, plus preservation of the φ-quantile.
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::Trimmer;
+    use crate::baseline::{quantile_by_materialization, BaselineStrategy};
+    use qjoin_exec::yannakakis::materialize;
+    use qjoin_query::Instance;
+    use qjoin_ranking::{RankPredicate, Ranking, Weight};
+    use qjoin_workload::random_acyclic::RandomAcyclicConfig;
+
+    /// A small random acyclic instance; the standard input of these tests.
+    pub(crate) fn small_random_instance(seed: u64, atoms: usize) -> Instance {
+        RandomAcyclicConfig {
+            atoms,
+            max_arity: 3,
+            tuples_per_relation: 10,
+            domain: 4,
+            seed,
+        }
+        .generate()
+    }
+
+    /// All answer weights of the instance under `ranking`, sorted ascending.
+    pub(crate) fn sorted_weights(instance: &Instance, ranking: &Ranking) -> Vec<Weight> {
+        let answers = materialize(instance).expect("materialization must succeed");
+        let schema = answers.variables().to_vec();
+        let mut weights: Vec<Weight> = answers
+            .rows()
+            .iter()
+            .map(|row| ranking.weight_of_row(&schema, row))
+            .collect();
+        weights.sort();
+        weights
+    }
+
+    /// Asserts that trimming `instance` at its φ-quantile weight λ is *exact*:
+    ///
+    /// * the `< λ` / `> λ` trimmed instances reproduce, weight for weight, the
+    ///   corresponding slices of the materialized answer list (the bijection of
+    ///   Definition 3.2, checked on the weight multiset), and
+    /// * the φ-quantile answer itself is preserved — its target index lands in
+    ///   the `= λ` block that the two trimmings leave out.
+    ///
+    /// Returns `false` (skipping the seed) when the instance has no answers.
+    pub(crate) fn assert_exact_partition_at_phi(
+        trimmer: &impl Trimmer,
+        instance: &Instance,
+        ranking: &Ranking,
+        phi: f64,
+    ) -> bool {
+        let all = sorted_weights(instance, ranking);
+        if all.is_empty() {
+            return false;
+        }
+        let quantile =
+            quantile_by_materialization(instance, ranking, phi, BaselineStrategy::FullSort)
+                .expect("non-empty instance must have a quantile");
+        let lambda = quantile.weight.clone();
+
+        let lt = trimmer
+            .trim(instance, ranking, &RankPredicate::less_than(lambda.clone()))
+            .expect("less-than trimming must succeed");
+        let gt = trimmer
+            .trim(
+                instance,
+                ranking,
+                &RankPredicate::greater_than(lambda.clone()),
+            )
+            .expect("greater-than trimming must succeed");
+
+        let expected_lt: Vec<Weight> = all.iter().filter(|w| **w < lambda).cloned().collect();
+        let expected_gt: Vec<Weight> = all.iter().filter(|w| **w > lambda).cloned().collect();
+        assert_eq!(
+            sorted_weights(&lt, ranking),
+            expected_lt,
+            "{}: `< λ` partition differs from materialized slice (λ = {lambda:?}, φ = {phi})",
+            trimmer.name()
+        );
+        assert_eq!(
+            sorted_weights(&gt, ranking),
+            expected_gt,
+            "{}: `> λ` partition differs from materialized slice (λ = {lambda:?}, φ = {phi})",
+            trimmer.name()
+        );
+
+        // φ-quantile preservation: the target index must sit in the `= λ` block
+        // bounded by the two partitions, so recursing into neither loses it.
+        let below = expected_lt.len() as u128;
+        let above = expected_gt.len() as u128;
+        assert!(
+            quantile.target_index >= below && quantile.target_index < all.len() as u128 - above,
+            "{}: φ-quantile (index {}) escaped the untrimmed `= λ` block [{below}, {})",
+            trimmer.name(),
+            quantile.target_index,
+            all.len() as u128 - above
+        );
+        true
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,7 +316,10 @@ mod tests {
         let inst = two_path_instance();
         let pred = RankPredicate::greater_than(qjoin_ranking::WeightBound::NegInf);
         let out = handle_trivial(&inst, &pred).unwrap().unwrap();
-        assert_eq!(out.database().total_tuples(), inst.database().total_tuples());
+        assert_eq!(
+            out.database().total_tuples(),
+            inst.database().total_tuples()
+        );
     }
 
     #[test]

@@ -24,7 +24,7 @@ use crate::dichotomy::{classify_partial_sum, find_adjacent_cover, SumClassificat
 use crate::{CoreError, Result};
 use qjoin_data::{Database, Relation, Tuple, Value};
 use qjoin_query::{self_join, Instance, Variable};
-use qjoin_ranking::{AggregateKind, CmpOp, Ranking, RankPredicate, SumTupleWeights};
+use qjoin_ranking::{AggregateKind, CmpOp, RankPredicate, Ranking, SumTupleWeights};
 use std::collections::HashMap;
 
 /// Exact trimmer for additive inequalities whose weighted variables all live in a
@@ -82,9 +82,7 @@ impl Trimmer for AdjacentSumTrimmer {
             Some(cover) if cover.is_single_atom() => {
                 trim_single_atom(&instance, ranking, predicate.op, bound, cover.atoms.0)
             }
-            Some(cover) => {
-                trim_adjacent_pair(&instance, ranking, predicate.op, bound, cover.atoms)
-            }
+            Some(cover) => trim_adjacent_pair(&instance, ranking, predicate.op, bound, cover.atoms),
             None => {
                 let witness = classify_partial_sum(instance.query(), ranking.weighted_vars());
                 Err(match witness {
@@ -211,7 +209,10 @@ fn trim_adjacent_pair(
             // w_A + w_B < λ ⇔ w_B < λ - w_A: the prefix of strictly smaller sums.
             CmpOp::Lt => (0, members.partition_point(|(s, _)| *s < threshold)),
             // w_A + w_B > λ ⇔ w_B > λ - w_A: the suffix of strictly larger sums.
-            CmpOp::Gt => (members.partition_point(|(s, _)| *s <= threshold), members.len()),
+            CmpOp::Gt => (
+                members.partition_point(|(s, _)| *s <= threshold),
+                members.len(),
+            ),
         };
         for (level, index) in dyadic_cover(lo, hi) {
             new_a.push_tuple(t.extended(interval_id(gid, level, index)))?;
@@ -261,7 +262,11 @@ fn levels_for(len: usize) -> u32 {
 fn dyadic_cover(mut lo: usize, hi: usize) -> Vec<(u32, usize)> {
     let mut out = Vec::new();
     while lo < hi {
-        let align = if lo == 0 { u32::MAX } else { lo.trailing_zeros() };
+        let align = if lo == 0 {
+            u32::MAX
+        } else {
+            lo.trailing_zeros()
+        };
         let mut level = align.min(63);
         while level > 0 && (1usize << level) > hi - lo {
             level -= 1;
@@ -298,21 +303,35 @@ mod tests {
         let mut r1 = Relation::new("R1", 2);
         let mut r2 = Relation::new("R2", 2);
         for i in 0..n {
-            r1.push(vec![Value::from(3 * i + (i % 7)), Value::from(i % 2)]).unwrap();
-            r2.push(vec![Value::from(i % 2), Value::from(5 * i - 2 * (i % 3))]).unwrap();
+            r1.push(vec![Value::from(3 * i + (i % 7)), Value::from(i % 2)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 2), Value::from(5 * i - 2 * (i % 3))])
+                .unwrap();
         }
         Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
     }
 
     #[test]
     fn dyadic_cover_is_a_partition_of_the_range() {
-        for (lo, hi) in [(0, 0), (0, 1), (0, 13), (3, 17), (5, 6), (0, 64), (7, 64), (31, 33)] {
+        for (lo, hi) in [
+            (0, 0),
+            (0, 1),
+            (0, 13),
+            (3, 17),
+            (5, 6),
+            (0, 64),
+            (7, 64),
+            (31, 33),
+        ] {
             let cover = dyadic_cover(lo, hi);
             let mut covered: Vec<usize> = Vec::new();
             for (level, index) in &cover {
                 let start = index << level;
                 let end = start + (1usize << level);
-                assert!(start >= lo && end <= hi, "interval [{start},{end}) escapes [{lo},{hi})");
+                assert!(
+                    start >= lo && end <= hi,
+                    "interval [{start},{end}) escapes [{lo},{hi})"
+                );
                 covered.extend(start..end);
             }
             covered.sort_unstable();
@@ -348,7 +367,9 @@ mod tests {
         let ranking = Ranking::sum(inst.query().variables());
         let pred = RankPredicate::less_than(Weight::num(10.0));
         assert!(matches!(
-            SingleAtomSumTrimmer.trim(&inst, &ranking, &pred).unwrap_err(),
+            SingleAtomSumTrimmer
+                .trim(&inst, &ranking, &pred)
+                .unwrap_err(),
             CoreError::IntractableSum(_)
         ));
     }
@@ -366,7 +387,14 @@ mod tests {
             .map(|r| ranking.weight_of_row(&schema, r).as_num().unwrap())
             .collect();
         bounds.sort_by(f64::total_cmp);
-        for &bound in [bounds[0], bounds[bounds.len() / 3], bounds[bounds.len() / 2], *bounds.last().unwrap()].iter() {
+        for &bound in [
+            bounds[0],
+            bounds[bounds.len() / 3],
+            bounds[bounds.len() / 2],
+            *bounds.last().unwrap(),
+        ]
+        .iter()
+        {
             for pred in [
                 RankPredicate::less_than(Weight::num(bound)),
                 RankPredicate::greater_than(Weight::num(bound)),
@@ -446,8 +474,7 @@ mod tests {
     #[test]
     fn social_network_like_sum_is_supported() {
         let admin = Relation::from_rows("Admin", &[&[1, 10], &[2, 10], &[3, 20]]).unwrap();
-        let share =
-            Relation::from_rows("Share", &[&[4, 10, 5], &[5, 10, 8], &[6, 20, 2]]).unwrap();
+        let share = Relation::from_rows("Share", &[&[4, 10, 5], &[5, 10, 8], &[6, 20, 2]]).unwrap();
         let attend =
             Relation::from_rows("Attend", &[&[7, 10, 1], &[8, 10, 9], &[9, 20, 4]]).unwrap();
         let inst = Instance::new(
@@ -477,10 +504,18 @@ mod tests {
         let inst = two_path_instance(25);
         let ranking = Ranking::sum(inst.query().variables());
         let first = AdjacentSumTrimmer
-            .trim(&inst, &ranking, &RankPredicate::less_than(Weight::num(80.0)))
+            .trim(
+                &inst,
+                &ranking,
+                &RankPredicate::less_than(Weight::num(80.0)),
+            )
             .unwrap();
         let second = AdjacentSumTrimmer
-            .trim(&first, &ranking, &RankPredicate::greater_than(Weight::num(20.0)))
+            .trim(
+                &first,
+                &ranking,
+                &RankPredicate::greater_than(Weight::num(20.0)),
+            )
             .unwrap();
         let expected = {
             let answers = materialize(&inst).unwrap();
@@ -524,5 +559,42 @@ mod tests {
         assert_eq!(levels_for(3), 2);
         assert_eq!(levels_for(8), 3);
         assert_eq!(levels_for(9), 4);
+    }
+}
+
+#[cfg(test)]
+mod quantile_preservation_tests {
+    use super::*;
+    use crate::dichotomy::classify_partial_sum;
+    use crate::trim::test_support::{assert_exact_partition_at_phi, small_random_instance};
+    use qjoin_query::Variable;
+
+    /// Partial-SUM trimming at the φ-quantile weight of small random acyclic
+    /// instances must be exact and must preserve the quantile answer, whenever
+    /// the dichotomy puts the (query, U_w) pair on the tractable side.
+    #[test]
+    fn adjacent_sum_trim_preserves_phi_quantile_on_random_instances() {
+        let mut checked = 0usize;
+        for seed in 0..16u64 {
+            for atoms in 1..=3usize {
+                let instance = small_random_instance(seed, atoms);
+                let weighted: Vec<Variable> =
+                    instance.query().variables().into_iter().take(3).collect();
+                if !classify_partial_sum(instance.query(), &weighted).is_tractable() {
+                    continue;
+                }
+                let ranking = Ranking::sum(weighted);
+                for phi in [0.1, 0.5, 0.9] {
+                    if assert_exact_partition_at_phi(&AdjacentSumTrimmer, &instance, &ranking, phi)
+                    {
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            checked >= 20,
+            "too few tractable non-empty cases exercised: {checked}"
+        );
     }
 }

@@ -56,8 +56,12 @@ mod tests {
         };
         assert!(e.to_string().contains("R"));
         assert!(e.to_string().contains("expected 2"));
-        assert!(DataError::DuplicateRelation("S".into()).to_string().contains("S"));
-        assert!(DataError::UnknownRelation("T".into()).to_string().contains("T"));
+        assert!(DataError::DuplicateRelation("S".into())
+            .to_string()
+            .contains("S"));
+        assert!(DataError::UnknownRelation("T".into())
+            .to_string()
+            .contains("T"));
     }
 
     #[test]

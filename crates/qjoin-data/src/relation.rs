@@ -139,7 +139,11 @@ impl Relation {
         Relation {
             name: self.name.clone(),
             arity: self.arity + 1,
-            tuples: self.tuples.iter().map(|t| t.extended(value.clone())).collect(),
+            tuples: self
+                .tuples
+                .iter()
+                .map(|t| t.extended(value.clone()))
+                .collect(),
         }
     }
 
@@ -167,7 +171,13 @@ impl Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{}/{} ({} tuples)", self.name, self.arity, self.tuples.len())?;
+        writeln!(
+            f,
+            "{}/{} ({} tuples)",
+            self.name,
+            self.arity,
+            self.tuples.len()
+        )?;
         for t in self.tuples.iter().take(20) {
             writeln!(f, "  {t:?}")?;
         }
@@ -188,7 +198,9 @@ mod tests {
         assert!(r.push(vec![Value::from(1), Value::from(2)]).is_ok());
         let err = r.push(vec![Value::from(1)]).unwrap_err();
         match err {
-            DataError::ArityMismatch { expected, found, .. } => {
+            DataError::ArityMismatch {
+                expected, found, ..
+            } => {
                 assert_eq!(expected, 2);
                 assert_eq!(found, 1);
             }

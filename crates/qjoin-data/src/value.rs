@@ -191,13 +191,23 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_variants() {
-        let mut vals = vec![Value::from("b"), Value::from(2), Value::from("a"), Value::from(1)];
+        let mut vals = vec![
+            Value::from("b"),
+            Value::from(2),
+            Value::from("a"),
+            Value::from(1),
+        ];
         vals.sort();
         // All ints come before all strings (enum variant order), and each variant is
         // internally ordered.
         assert_eq!(
             vals,
-            vec![Value::from(1), Value::from(2), Value::from("a"), Value::from("b")]
+            vec![
+                Value::from(1),
+                Value::from(2),
+                Value::from("a"),
+                Value::from("b")
+            ]
         );
     }
 }

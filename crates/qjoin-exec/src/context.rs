@@ -93,15 +93,16 @@ impl JoinTreeContext {
                 .shared_with_parent(&query, node_id)
                 .into_iter()
                 .collect();
-            let own_key_positions: Vec<usize> = shared
-                .iter()
-                .map(|v| atom.positions_of(v)[0])
-                .collect();
+            let own_key_positions: Vec<usize> =
+                shared.iter().map(|v| atom.positions_of(v)[0]).collect();
             let parent_key_positions: Vec<usize> = match tree.node(node_id).parent {
                 None => Vec::new(),
                 Some(p) => {
                     let parent_atom = query.atom(tree.node(p).atom_index);
-                    shared.iter().map(|v| parent_atom.positions_of(v)[0]).collect()
+                    shared
+                        .iter()
+                        .map(|v| parent_atom.positions_of(v)[0])
+                        .collect()
                 }
             };
 
@@ -147,8 +148,7 @@ impl JoinTreeContext {
                     .collect();
                 let own_key_positions = ctx.nodes[child].own_key_positions.clone();
                 ctx.nodes[child].tuples.retain(|t| {
-                    let key: Vec<Value> =
-                        own_key_positions.iter().map(|&p| t[p].clone()).collect();
+                    let key: Vec<Value> = own_key_positions.iter().map(|&p| t[p].clone()).collect();
                     parent_keys.contains(&key)
                 });
             }

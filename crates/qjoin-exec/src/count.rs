@@ -21,12 +21,7 @@ impl MessageAlgebra for CountAlgebra {
         1
     }
 
-    fn combine_group(
-        &self,
-        _ctx: &JoinTreeContext,
-        _node: usize,
-        group: &[(usize, u128)],
-    ) -> u128 {
+    fn combine_group(&self, _ctx: &JoinTreeContext, _node: usize, group: &[(usize, u128)]) -> u128 {
         group.iter().map(|(_, c)| *c).sum()
     }
 

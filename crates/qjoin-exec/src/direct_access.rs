@@ -268,7 +268,10 @@ mod tests {
         let da = DirectAccess::new(&inst).unwrap();
         assert_eq!(da.total(), 0);
         let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-        assert!(matches!(da.sample(&mut rng).unwrap_err(), ExecError::NoAnswers));
+        assert!(matches!(
+            da.sample(&mut rng).unwrap_err(),
+            ExecError::NoAnswers
+        ));
     }
 
     #[test]

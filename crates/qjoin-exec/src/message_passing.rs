@@ -80,9 +80,9 @@ pub fn run<A: MessageAlgebra>(ctx: &JoinTreeContext, algebra: &A) -> MessagePass
             let mut val = algebra.tuple_init(ctx, node_id, tuple_idx);
             for &child in &children {
                 let key = ctx.node(child).key_from_parent(tuple);
-                let msg = per_group[child]
-                    .get(&key)
-                    .expect("full reducer guarantees every parent tuple has a matching child group");
+                let msg = per_group[child].get(&key).expect(
+                    "full reducer guarantees every parent tuple has a matching child group",
+                );
                 val = algebra.absorb(ctx, node_id, tuple_idx, val, msg);
             }
             values.push(val);
@@ -98,7 +98,10 @@ pub fn run<A: MessageAlgebra>(ctx: &JoinTreeContext, algebra: &A) -> MessagePass
                     .iter()
                     .map(|&i| (i, per_tuple[node_id][i].clone()))
                     .collect();
-                groups.insert(key.clone(), algebra.combine_group(ctx, node_id, &member_msgs));
+                groups.insert(
+                    key.clone(),
+                    algebra.combine_group(ctx, node_id, &member_msgs),
+                );
             }
             per_group[node_id] = groups;
         }

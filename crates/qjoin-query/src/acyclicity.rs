@@ -62,9 +62,7 @@ pub fn gyo_join_tree(query: &JoinQuery) -> Option<JoinTree> {
     // Parents may point at atoms that were themselves removed later; since each atom's
     // parent is removed strictly after it (or survives as the root), the parent
     // pointers form a tree rooted at `root`.
-    let edges: Vec<(usize, usize)> = (0..n)
-        .filter_map(|i| parent[i].map(|p| (p, i)))
-        .collect();
+    let edges: Vec<(usize, usize)> = (0..n).filter_map(|i| parent[i].map(|p| (p, i))).collect();
     let tree = JoinTree::from_edges(n, &edges, root);
     debug_assert!(tree.satisfies_running_intersection(query));
     Some(tree)

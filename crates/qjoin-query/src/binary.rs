@@ -193,7 +193,11 @@ mod tests {
         for atom in copies {
             let original = atom.relation().split('~').next().unwrap();
             assert_eq!(
-                b.instance.database().relation(atom.relation()).unwrap().tuples(),
+                b.instance
+                    .database()
+                    .relation(atom.relation())
+                    .unwrap()
+                    .tuples(),
                 b.instance.database().relation(original).unwrap().tuples()
             );
             // Copies share all of the original atom's variables.

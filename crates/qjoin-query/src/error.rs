@@ -59,7 +59,9 @@ mod tests {
 
     #[test]
     fn display_messages_are_informative() {
-        assert!(QueryError::MissingRelation("R".into()).to_string().contains("R"));
+        assert!(QueryError::MissingRelation("R".into())
+            .to_string()
+            .contains("R"));
         assert!(QueryError::EmptyQuery.to_string().contains("no atoms"));
         let e = QueryError::AtomArityMismatch {
             relation: "S".into(),

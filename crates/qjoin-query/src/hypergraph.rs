@@ -279,18 +279,27 @@ mod tests {
     fn max_independent_subset_sizes() {
         // 4-path: x1..x5; {x1, x3, x5} is independent.
         let h = path_query(4).hypergraph();
-        assert_eq!(h.max_independent_subset(&vars(&["x1", "x2", "x3", "x4", "x5"])), 3);
+        assert_eq!(
+            h.max_independent_subset(&vars(&["x1", "x2", "x3", "x4", "x5"])),
+            3
+        );
         // 3-path full variable set: {x1, x3} or {x2, x4} — size 2, and {x1,x3,x4}? x3-x4 adjacent. So 2... but {x1, x4}? also 2.
         let h3 = path_query(3).hypergraph();
         assert_eq!(h3.max_independent_subset(&vars(&["x1", "x2", "x3"])), 2);
-        assert_eq!(h3.max_independent_subset(&vars(&["x1", "x2", "x3", "x4"])), 2);
+        assert_eq!(
+            h3.max_independent_subset(&vars(&["x1", "x2", "x3", "x4"])),
+            2
+        );
     }
 
     #[test]
     fn star_center_limits_independence() {
         let h = star_query(4).hypergraph();
         // Leaves are pairwise non-adjacent.
-        assert_eq!(h.max_independent_subset(&vars(&["x1", "x2", "x3", "x4"])), 4);
+        assert_eq!(
+            h.max_independent_subset(&vars(&["x1", "x2", "x3", "x4"])),
+            4
+        );
         // The center is adjacent to everything.
         assert_eq!(h.max_independent_subset(&vars(&["x0", "x1"])), 1);
     }

@@ -112,9 +112,7 @@ impl Assignment {
     }
 
     /// Creates an assignment from (variable, value) pairs.
-    pub fn from_pairs(
-        pairs: impl IntoIterator<Item = (Variable, qjoin_data::Value)>,
-    ) -> Self {
+    pub fn from_pairs(pairs: impl IntoIterator<Item = (Variable, qjoin_data::Value)>) -> Self {
         Assignment {
             bindings: pairs.into_iter().collect(),
         }
@@ -212,11 +210,8 @@ mod tests {
     fn validation_catches_arity_mismatch() {
         let r1 = Relation::from_rows("R1", &[&[1, 1, 1]]).unwrap();
         let r2 = Relation::from_rows("R2", &[&[1, 10]]).unwrap();
-        let err = Instance::new(
-            path_query(2),
-            Database::from_relations([r1, r2]).unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap_err();
         assert!(matches!(err, QueryError::AtomArityMismatch { .. }));
     }
 

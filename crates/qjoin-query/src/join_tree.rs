@@ -251,7 +251,9 @@ pub fn enumerate_join_trees(query: &JoinQuery) -> Vec<JoinTree> {
         return Vec::new();
     }
     if n > MAX_ENUMERATION_ATOMS {
-        return crate::acyclicity::gyo_join_tree(query).into_iter().collect();
+        return crate::acyclicity::gyo_join_tree(query)
+            .into_iter()
+            .collect();
     }
     let mut out = Vec::new();
     let seq_len = n - 2;
@@ -284,7 +286,9 @@ fn decode_pruefer(seq: &[usize], n: usize) -> Vec<(usize, usize)> {
     let mut edges = Vec::with_capacity(n - 1);
     let mut used = vec![false; n];
     for &s in seq {
-        let leaf = (0..n).find(|&i| degree[i] == 1 && !used[i]).expect("valid sequence");
+        let leaf = (0..n)
+            .find(|&i| degree[i] == 1 && !used[i])
+            .expect("valid sequence");
         edges.push((leaf, s));
         used[leaf] = true;
         degree[leaf] -= 1;
@@ -299,7 +303,9 @@ fn decode_pruefer(seq: &[usize], n: usize) -> Vec<(usize, usize)> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::query::{figure1_query, path_query, social_network_query, star_query, triangle_query};
+    use crate::query::{
+        figure1_query, path_query, social_network_query, star_query, triangle_query,
+    };
 
     #[test]
     fn from_edges_orients_towards_root() {

@@ -73,7 +73,9 @@ impl JoinQuery {
     /// True if some relational symbol occurs in more than one atom (a self-join).
     pub fn has_self_joins(&self) -> bool {
         let mut seen = BTreeSet::new();
-        self.atoms.iter().any(|a| !seen.insert(a.relation().to_string()))
+        self.atoms
+            .iter()
+            .any(|a| !seen.insert(a.relation().to_string()))
     }
 
     /// The query hypergraph `H(Q)`: one vertex per variable, one hyperedge per atom.
@@ -154,7 +156,10 @@ pub fn path_query(k: usize) -> JoinQuery {
         .map(|i| {
             Atom::new(
                 format!("R{i}"),
-                vec![Variable::new(format!("x{i}")), Variable::new(format!("x{}", i + 1))],
+                vec![
+                    Variable::new(format!("x{i}")),
+                    Variable::new(format!("x{}", i + 1)),
+                ],
             )
         })
         .collect();

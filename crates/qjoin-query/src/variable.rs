@@ -25,8 +25,7 @@ impl Variable {
     /// Derives a fresh variable name from `base` that does not collide with any
     /// variable in `taken`.
     pub fn fresh<'a>(base: &str, taken: impl IntoIterator<Item = &'a Variable>) -> Variable {
-        let taken: std::collections::HashSet<&str> =
-            taken.into_iter().map(|v| v.name()).collect();
+        let taken: std::collections::HashSet<&str> = taken.into_iter().map(|v| v.name()).collect();
         if !taken.contains(base) {
             return Variable::new(base);
         }
@@ -67,7 +66,7 @@ impl fmt::Display for Variable {
 
 /// Helper to build a `Vec<Variable>` from string literals.
 pub fn vars(names: &[&str]) -> Vec<Variable> {
-    names.iter().map(|n| Variable::new(n)).collect()
+    names.iter().map(Variable::new).collect()
 }
 
 #[cfg(test)]

@@ -113,7 +113,9 @@ impl Ranking {
     /// combination used when gluing partial answers from different join-tree branches.
     pub fn combine(&self, a: &Weight, b: &Weight) -> Weight {
         match self.kind {
-            AggregateKind::Sum => Weight::Num(a.as_num().unwrap_or(0.0) + b.as_num().unwrap_or(0.0)),
+            AggregateKind::Sum => {
+                Weight::Num(a.as_num().unwrap_or(0.0) + b.as_num().unwrap_or(0.0))
+            }
             AggregateKind::Min => Weight::Num(
                 a.as_num()
                     .unwrap_or(f64::INFINITY)
@@ -130,7 +132,9 @@ impl Ranking {
                 let bv = b.as_vec().unwrap_or(&zero);
                 Weight::Vec(
                     (0..self.weighted_vars.len())
-                        .map(|i| av.get(i).copied().unwrap_or(0.0) + bv.get(i).copied().unwrap_or(0.0))
+                        .map(|i| {
+                            av.get(i).copied().unwrap_or(0.0) + bv.get(i).copied().unwrap_or(0.0)
+                        })
                         .collect(),
                 )
             }
@@ -240,8 +244,14 @@ mod tests {
         let a = asg(&[("a", 5), ("b", 2), ("c", 9)]);
         assert_eq!(mn.weight_of(&a), Weight::num(2.0));
         assert_eq!(mx.weight_of(&a), Weight::num(9.0));
-        assert_eq!(mn.weight_of(&Assignment::empty()), Weight::num(f64::INFINITY));
-        assert_eq!(mx.weight_of(&Assignment::empty()), Weight::num(f64::NEG_INFINITY));
+        assert_eq!(
+            mn.weight_of(&Assignment::empty()),
+            Weight::num(f64::INFINITY)
+        );
+        assert_eq!(
+            mx.weight_of(&Assignment::empty()),
+            Weight::num(f64::NEG_INFINITY)
+        );
     }
 
     #[test]
@@ -259,7 +269,10 @@ mod tests {
     fn custom_weight_functions_apply() {
         let r = Ranking::sum(vars(&["x", "y"]))
             .with_weight_fn(Variable::new("y"), WeightFn::Constant(10.0));
-        assert_eq!(r.weight_of(&asg(&[("x", 1), ("y", 999)])), Weight::num(11.0));
+        assert_eq!(
+            r.weight_of(&asg(&[("x", 1), ("y", 999)])),
+            Weight::num(11.0)
+        );
     }
 
     #[test]
@@ -288,18 +301,17 @@ mod tests {
             assert!(l1 <= l2);
             let with_l1 = r.combine(&r.weight_of(&asg(&[("a", 3)])), &l1);
             let with_l2 = r.combine(&r.weight_of(&asg(&[("a", 3)])), &l2);
-            assert!(with_l1 <= with_l2, "subset monotonicity violated for {kind:?}");
+            assert!(
+                with_l1 <= with_l2,
+                "subset monotonicity violated for {kind:?}"
+            );
             assert!(r.is_subset_monotone());
         }
     }
 
     #[test]
     fn combine_is_associative_for_sum_and_min_max() {
-        let vals = [
-            Weight::num(1.0),
-            Weight::num(5.0),
-            Weight::num(-2.0),
-        ];
+        let vals = [Weight::num(1.0), Weight::num(5.0), Weight::num(-2.0)];
         for kind in [AggregateKind::Sum, AggregateKind::Min, AggregateKind::Max] {
             let r = Ranking::new(kind, vars(&["a"]));
             let left = r.combine(&r.combine(&vals[0], &vals[1]), &vals[2]);

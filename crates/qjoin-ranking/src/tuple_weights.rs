@@ -35,11 +35,7 @@ impl SumTupleWeights {
     /// in one of `preferred` (in order) is assigned there; otherwise it falls back to
     /// its first containing atom. The adjacent-node SUM trimming uses this to force all
     /// weighted variables onto the two adjacent join-tree nodes it operates on.
-    pub fn with_preferred_atoms(
-        query: &JoinQuery,
-        ranking: &Ranking,
-        preferred: &[usize],
-    ) -> Self {
+    pub fn with_preferred_atoms(query: &JoinQuery, ranking: &Ranking, preferred: &[usize]) -> Self {
         let mut per_atom: Vec<Vec<(Variable, usize)>> = vec![Vec::new(); query.num_atoms()];
         for var in ranking.weighted_vars() {
             let preferred_home = preferred

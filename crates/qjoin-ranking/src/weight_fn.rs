@@ -11,9 +11,10 @@ use std::sync::Arc;
 /// The worked examples of the paper use "attribute weights equal to their values",
 /// which is [`WeightFn::Identity`]; the other variants cover constants, affine
 /// re-scaling, explicit lookup tables, and arbitrary user code.
-#[derive(Clone)]
+#[derive(Clone, Default)]
 pub enum WeightFn {
     /// `w_x(v) = v` for integer values; non-numeric values map to 0.
+    #[default]
     Identity,
     /// `w_x(v) = c` for every value.
     Constant(f64),
@@ -55,9 +56,10 @@ impl WeightFn {
         match self {
             WeightFn::Identity => value.as_f64().unwrap_or(0.0),
             WeightFn::Constant(c) => *c,
-            WeightFn::Affine { scale, offset } => {
-                value.as_f64().map(|v| scale * v + offset).unwrap_or(*offset)
-            }
+            WeightFn::Affine { scale, offset } => value
+                .as_f64()
+                .map(|v| scale * v + offset)
+                .unwrap_or(*offset),
             WeightFn::Table { table, default } => *table.get(value).unwrap_or(default),
             WeightFn::Custom(f) => f(value),
         }
@@ -75,12 +77,6 @@ impl fmt::Debug for WeightFn {
             }
             WeightFn::Custom(_) => write!(f, "Custom(..)"),
         }
-    }
-}
-
-impl Default for WeightFn {
-    fn default() -> Self {
-        WeightFn::Identity
     }
 }
 
@@ -114,7 +110,10 @@ mod tests {
 
     #[test]
     fn table_lookups_fall_back_to_default() {
-        let f = WeightFn::table([(Value::from("gold"), 10.0), (Value::from("silver"), 5.0)], 1.0);
+        let f = WeightFn::table(
+            [(Value::from("gold"), 10.0), (Value::from("silver"), 5.0)],
+            1.0,
+        );
         assert_eq!(f.apply(&Value::from("gold")), 10.0);
         assert_eq!(f.apply(&Value::from("bronze")), 1.0);
     }

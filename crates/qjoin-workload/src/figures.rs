@@ -40,8 +40,11 @@ pub fn example_5_1_instance() -> Instance {
     let a = Relation::from_rows("A", &[&[2], &[8], &[12]]).expect("fixed rows");
     let b = Relation::from_rows("B", &[&[5], &[11]]).expect("fixed rows");
     let c = Relation::from_rows("C", &[&[1], &[9], &[15]]).expect("fixed rows");
-    Instance::new(q, Database::from_relations([a, b, c]).expect("distinct names"))
-        .expect("figure instance is consistent")
+    Instance::new(
+        q,
+        Database::from_relations([a, b, c]).expect("distinct names"),
+    )
+    .expect("figure instance is consistent")
 }
 
 /// The two-relation instance of Figure 4 / Example 6.4: `R(y, z), S(x, y)` with
@@ -68,8 +71,11 @@ pub fn example_3_4_instance() -> Instance {
             .expect("arity");
     }
     for j in 0..13i64 {
-        r2.push(vec![qjoin_data::Value::from(0), qjoin_data::Value::from(100 * j)])
-            .expect("arity");
+        r2.push(vec![
+            qjoin_data::Value::from(0),
+            qjoin_data::Value::from(100 * j),
+        ])
+        .expect("arity");
     }
     Instance::new(
         qjoin_query::query::path_query(2),

@@ -111,8 +111,16 @@ mod tests {
 
     #[test]
     fn generated_instances_validate_and_vary_with_seed() {
-        let a = RandomAcyclicConfig { seed: 1, ..Default::default() }.generate();
-        let b = RandomAcyclicConfig { seed: 2, ..Default::default() }.generate();
+        let a = RandomAcyclicConfig {
+            seed: 1,
+            ..Default::default()
+        }
+        .generate();
+        let b = RandomAcyclicConfig {
+            seed: 2,
+            ..Default::default()
+        }
+        .generate();
         assert_ne!(a.database(), b.database());
         assert_eq!(a.query().num_atoms(), 3);
     }

@@ -64,14 +64,22 @@ impl SocialConfig {
             let event = zipf_index(&mut rng, self.events, self.event_skew) as i64;
             let likes = rng.random_range(0..self.max_likes.max(1));
             share
-                .push(vec![Value::from(user), Value::from(event), Value::from(likes)])
+                .push(vec![
+                    Value::from(user),
+                    Value::from(event),
+                    Value::from(likes),
+                ])
                 .expect("arity");
 
             let user = rng.random_range(0..self.users) as i64;
             let event = zipf_index(&mut rng, self.events, self.event_skew) as i64;
             let likes = rng.random_range(0..self.max_likes.max(1));
             attend
-                .push(vec![Value::from(user), Value::from(event), Value::from(likes)])
+                .push(vec![
+                    Value::from(user),
+                    Value::from(event),
+                    Value::from(likes),
+                ])
                 .expect("arity");
         }
         Instance::new(

@@ -99,7 +99,10 @@ mod tests {
             seed: 3,
             ..Default::default()
         };
-        let more_arms = StarConfig { arms: 3, ..base.clone() };
+        let more_arms = StarConfig {
+            arms: 3,
+            ..base.clone()
+        };
         let c2 = count_answers(&base.generate()).unwrap();
         let c3 = count_answers(&more_arms.generate()).unwrap();
         assert!(c3 > c2);

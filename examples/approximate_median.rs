@@ -78,13 +78,7 @@ fn main() {
     }
 }
 
-fn report(
-    instance: &Instance,
-    ranking: &Ranking,
-    phi: f64,
-    label: &str,
-    result: &QuantileResult,
-) {
+fn report(instance: &Instance, ranking: &Ranking, phi: f64, label: &str, result: &QuantileResult) {
     let (below, equal) = rank_of_weight(instance, ranking, &result.weight).unwrap();
     let total = result.total_answers;
     let target = (phi * total as f64).floor() as u128;

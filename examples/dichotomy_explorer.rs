@@ -37,10 +37,17 @@ fn main() {
         ),
     ];
 
-    println!("{:<30} {:>12}   witness / cover", "query, ranking", "tractable?");
+    println!(
+        "{:<30} {:>12}   witness / cover",
+        "query, ranking", "tractable?"
+    );
     for (label, query, weighted) in cases {
         let classification = classify_partial_sum(&query, &weighted);
-        let tractable = if classification.is_tractable() { "yes" } else { "NO" };
+        let tractable = if classification.is_tractable() {
+            "yes"
+        } else {
+            "NO"
+        };
         let detail = match &classification {
             SumClassification::TractableSingleAtom { atom } => {
                 format!("all weighted variables in atom {}", query.atom(*atom))

@@ -59,13 +59,27 @@ fn figure3() {
     let instance = figures::example_5_1_instance();
     let ranking = Ranking::max(vars(&["x1", "x2", "x3"]));
     let trimmed = MinMaxTrimmer
-        .trim(&instance, &ranking, &RankPredicate::greater_than(Weight::num(10.0)))
+        .trim(
+            &instance,
+            &ranking,
+            &RankPredicate::greater_than(Weight::num(10.0)),
+        )
         .unwrap();
-    println!("  original answers        : {}", count_answers(&instance).unwrap());
-    println!("  answers with max > 10   : {}", count_answers(&trimmed).unwrap());
+    println!(
+        "  original answers        : {}",
+        count_answers(&instance).unwrap()
+    );
+    println!(
+        "  answers with max > 10   : {}",
+        count_answers(&trimmed).unwrap()
+    );
     println!("  rewritten query         : {}", trimmed.query());
     for relation in trimmed.database().relations() {
-        println!("  relation {:<4} now has {} tuples", relation.name(), relation.len());
+        println!(
+            "  relation {:<4} now has {} tuples",
+            relation.name(),
+            relation.len()
+        );
     }
     println!();
 }
@@ -77,7 +91,11 @@ fn figure4() {
     let trimmer = LossySumTrimmer::new(0.5);
     for lambda in [9.0, 10.5, 12.0] {
         let trimmed = trimmer
-            .trim(&instance, &ranking, &RankPredicate::less_than(Weight::num(lambda)))
+            .trim(
+                &instance,
+                &ranking,
+                &RankPredicate::less_than(Weight::num(lambda)),
+            )
             .unwrap();
         println!(
             "  λ = {:>4}: {} of {} qualifying answers represented; rewritten query {}",

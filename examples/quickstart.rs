@@ -14,10 +14,18 @@ fn main() {
         &[&[3, 0], &[14, 0], &[7, 1], &[25, 1], &[1, 2], &[9, 2]],
     )
     .unwrap();
-    let r2 = Relation::from_rows("R2", &[&[0, 10], &[0, 11], &[1, 10], &[2, 12], &[2, 13]]).unwrap();
+    let r2 =
+        Relation::from_rows("R2", &[&[0, 10], &[0, 11], &[1, 10], &[2, 12], &[2, 13]]).unwrap();
     let r3 = Relation::from_rows(
         "R3",
-        &[&[10, 4], &[10, 40], &[11, 8], &[12, 2], &[13, 17], &[13, 30]],
+        &[
+            &[10, 4],
+            &[10, 40],
+            &[11, 8],
+            &[12, 2],
+            &[13, 17],
+            &[13, 30],
+        ],
     )
     .unwrap();
     let instance = Instance::new(

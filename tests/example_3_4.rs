@@ -42,7 +42,10 @@ fn partitions_around_a_pivot_weight_cover_all_answers() {
         .unwrap();
     let n_lt = count_answers(&lt).unwrap();
     let n_gt = count_answers(&gt).unwrap();
-    assert!(n_lt + n_gt < 1001, "the pivot's own weight class is non-empty");
+    assert!(
+        n_lt + n_gt < 1001,
+        "the pivot's own weight class is non-empty"
+    );
     let (below, equal) = rank_of_weight(&instance, &ranking, &pivot.weight).unwrap();
     assert_eq!(n_lt, below);
     assert_eq!(n_gt, 1001 - below - equal);

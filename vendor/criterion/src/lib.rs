@@ -1,0 +1,305 @@
+//! Vendored stand-in for the `criterion` benchmark harness, exposing the API
+//! subset the workspace's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup`] configuration (`sample_size`, `measurement_time`,
+//! `warm_up_time`), `bench_function` / `bench_with_input`, [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! The build environment has no registry access, so this crate replaces the real
+//! criterion via a path dependency. Measurement is deliberately simple: per
+//! sample, the routine is run in a calibrated batch and the mean per-iteration
+//! time recorded; the reported statistic is the median of samples (with min/mean/
+//! max alongside). That is enough to track relative regressions in CI-less
+//! environments; it does not attempt criterion's bootstrap analysis.
+//!
+//! Set `CRITERION_JSON=/path/to/file.json` to append one JSON object per
+//! benchmark, which is how `BENCH_baseline.json` at the workspace root is seeded.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::fs::OpenOptions;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark: a function name plus an optional parameter rendering,
+/// formatted `name/parameter` like upstream criterion.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with an attached parameter value (e.g. an input size).
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// A benchmark id carrying only a function name.
+    pub fn from_name(name: impl Into<String>) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: None,
+        }
+    }
+
+    fn render(&self, group: &str) -> String {
+        match &self.parameter {
+            Some(p) => format!("{group}/{}/{p}", self.name),
+            None => format!("{group}/{}", self.name),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId::from_name(name)
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId::from_name(name)
+    }
+}
+
+/// Top-level harness state. Created by [`criterion_group!`]; benches receive
+/// `&mut Criterion`.
+#[derive(Debug)]
+pub struct Criterion {
+    filter: Option<String>,
+    json_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            json_path: std::env::var("CRITERION_JSON").ok(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration. `cargo bench` passes `--bench` plus an
+    /// optional filter string; unknown flags are ignored so harness pass-through
+    /// arguments never break a run.
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" | "--nocapture" | "--quiet" | "--verbose" => {}
+                "--save-baseline" | "--baseline" | "--measurement-time" | "--sample-size"
+                | "--warm-up-time" => {
+                    args.next();
+                }
+                other if other.starts_with("--") => {}
+                other => self.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks `f` under `id` with the harness defaults.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.run(id.into(), f);
+        group.finish();
+    }
+}
+
+/// A configurable collection of benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the total time budget over which samples are spread.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets how long to run the routine before timing starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), move |b| f(b));
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, move |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (Statistics are reported per benchmark as they run.)
+    pub fn finish(self) {}
+
+    fn run<F>(&mut self, id: BenchmarkId, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full_name = id.render(&self.name);
+        if let Some(filter) = &self.criterion.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            warm_up_time: self.warm_up_time,
+            sample_time: self.measurement_time.div_f64(self.sample_size as f64),
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(&full_name, self.criterion.json_path.as_deref());
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    sample_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly: a warm-up phase, then `sample_size` timed samples,
+    /// each a calibrated batch of iterations. Records mean nanoseconds per
+    /// iteration for every sample.
+    pub fn iter<O, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> O,
+    {
+        // Warm-up, and calibration of the batch size while we're at it.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().div_f64(warm_iters as f64);
+        let batch = (self.sample_time.as_nanos() as u64 / per_iter.as_nanos().max(1) as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.samples_ns
+                .push(elapsed.as_nanos() as f64 / batch as f64);
+        }
+    }
+
+    fn report(&self, name: &str, json_path: Option<&str>) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<60} (no samples collected)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        let max = sorted[sorted.len() - 1];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "{name:<60} median {:>12}  mean {:>12}  [min {}, max {}]  ({} samples)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(min),
+            fmt_ns(max),
+            sorted.len()
+        );
+        if let Some(path) = json_path {
+            let line = format!(
+                "{{\"benchmark\": \"{name}\", \"median_ns\": {median:.1}, \"mean_ns\": {mean:.1}, \"min_ns\": {min:.1}, \"max_ns\": {max:.1}, \"samples\": {}}}",
+                sorted.len()
+            );
+            if let Ok(mut file) = OpenOptions::new().create(true).append(true).open(path) {
+                let _ = writeln!(file, "{line}");
+            }
+        }
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream criterion's
+/// `criterion_group!(name, target, ...)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

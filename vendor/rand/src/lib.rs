@@ -1,0 +1,283 @@
+//! Vendored stand-in for the `rand` crate, exposing the 0.9-style API subset the
+//! workspace uses: [`Rng::random_range`] over integer and float ranges,
+//! [`SeedableRng::seed_from_u64`], and [`rngs::StdRng`].
+//!
+//! The build environment has no registry access, so this crate replaces the real
+//! `rand` via a path dependency. `StdRng` here is xoshiro256++ seeded through
+//! SplitMix64 — deterministic across platforms, which is all the workspace's
+//! seeded generators and tests require. It makes **no** cryptographic claims.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+/// A source of random `u64`s / `u32`s. The only object-level trait; everything
+/// else ([`Rng`]) is blanket-implemented on top of it.
+pub trait RngCore {
+    /// Returns the next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// Panics when the range is empty, matching `rand` 0.9.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Samples a value from the "standard" distribution of `T`: uniform over all
+    /// values for integers and `bool`, uniform in `[0, 1)` for floats.
+    fn random<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} is not a probability");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of reproducible generators from small seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose full state is derived from `seed` (via SplitMix64,
+    /// so nearby seeds still yield uncorrelated streams).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types samplable by [`Rng::random`].
+pub trait Standard: Sized {
+    /// Draws one value from the type's standard distribution.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits over [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for u128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Standard for i128 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        u128::sample_standard(rng) as i128
+    }
+}
+
+/// Ranges that [`Rng::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Uniform `u64` in `[0, span)` by rejection from the top of the modulus space,
+/// so every value is exactly equally likely.
+fn uniform_u64_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_u64_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                start.wrapping_add(uniform_u64_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+sample_range_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i8, i16 => i16, i32 => i32, i64 => i64, isize => isize
+);
+
+/// Uniform `u128` in `[0, span)` by rejection, mirroring [`uniform_u64_below`].
+fn uniform_u128_below<R: RngCore + ?Sized>(rng: &mut R, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span <= u64::MAX as u128 {
+        return uniform_u64_below(rng, span as u64) as u128;
+    }
+    let zone = u128::MAX - (u128::MAX % span);
+    loop {
+        let v = u128::sample_standard(rng);
+        if v < zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! sample_range_128 {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start.wrapping_add(uniform_u128_below(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for ::std::ops::RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as u128).wrapping_sub(start as u128);
+                if span == u128::MAX {
+                    return u128::sample_standard(rng) as $t;
+                }
+                start.wrapping_add(uniform_u128_below(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+sample_range_128!(u128, i128);
+
+macro_rules! sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for ::std::ops::Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample_standard(rng);
+                let value = self.start + unit * (self.end - self.start);
+                // Guard the open upper bound against round-up at the boundary.
+                if value < self.end { value } else { <$t>::max(self.start, prior(self.end)) }
+            }
+        }
+    )*};
+}
+sample_range_float!(f32, f64);
+
+trait PriorFloat {
+    fn prior_value(self) -> Self;
+}
+impl PriorFloat for f64 {
+    fn prior_value(self) -> Self {
+        f64::from_bits(self.to_bits().saturating_sub(1))
+    }
+}
+impl PriorFloat for f32 {
+    fn prior_value(self) -> Self {
+        f32::from_bits(self.to_bits().saturating_sub(1))
+    }
+}
+fn prior<T: PriorFloat>(value: T) -> T {
+    value.prior_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn std_rng_is_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1_000 {
+            seen[rng.random_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let hits = (0..20_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((4_000..6_000).contains(&hits), "hits={hits}");
+    }
+}
