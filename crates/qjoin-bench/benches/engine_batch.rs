@@ -1,0 +1,63 @@
+//! Bench E-ENGINE: batched multi-φ solving vs `k` repeated single-φ solves on the
+//! social-network workload, plus the engine's warm-cache serving path.
+//!
+//! The batched solver shares the expensive near-root trims and the up-front counting
+//! pass across all k targets, so `batched/k` should beat `repeated/k` for every
+//! `k > 1` and degrade far more slowly as k grows. `engine_cached/16` shows the
+//! steady-state serving cost once the LRU result cache is hot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::scaling_social_config;
+use qjoin_core::solver::{exact_quantile, exact_quantile_batch};
+use qjoin_engine::Engine;
+use qjoin_query::query::social_network_query;
+use std::hint::black_box;
+
+/// k evenly spaced fractions in (0, 1), sorted.
+fn phi_targets(k: usize) -> Vec<f64> {
+    (1..=k).map(|i| i as f64 / (k + 1) as f64).collect()
+}
+
+fn bench_engine_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_batch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+
+    let rows = 300usize;
+    let config = scaling_social_config(rows, 2023);
+    let instance = config.generate();
+    let ranking = config.likes_ranking();
+
+    for k in [1usize, 4, 16, 64] {
+        let phis = phi_targets(k);
+        group.bench_with_input(BenchmarkId::new("batched", k), &k, |b, _| {
+            b.iter(|| black_box(exact_quantile_batch(&instance, &ranking, &phis).unwrap()))
+        });
+        group.bench_with_input(BenchmarkId::new("repeated", k), &k, |b, _| {
+            b.iter(|| {
+                for &phi in &phis {
+                    black_box(exact_quantile(&instance, &ranking, phi).unwrap());
+                }
+            })
+        });
+    }
+
+    // Steady-state serving: every φ answered from the engine's LRU result cache.
+    let (_, database) = config.generate().into_parts();
+    let mut engine = Engine::new();
+    engine.create_database("social", database).unwrap();
+    engine
+        .register("likes", "social", social_network_query(), ranking.clone())
+        .unwrap();
+    let phis = phi_targets(16);
+    engine.quantile_batch("likes", &phis).unwrap();
+    group.bench_with_input(BenchmarkId::new("engine_cached", 16), &16, |b, _| {
+        b.iter(|| black_box(engine.quantile_batch("likes", &phis).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_batch);
+criterion_main!(benches);

@@ -6,7 +6,7 @@
 //! exactly what the pivoting algorithms avoid; the experiment harness runs both and
 //! compares their scaling.
 
-use crate::quantile::QuantileResult;
+use crate::quantile::{target_rank, QuantileResult};
 use crate::selection::select_kth_by;
 use crate::{CoreError, Result};
 use qjoin_data::Value;
@@ -38,7 +38,7 @@ pub fn quantile_by_materialization(
         return Err(CoreError::NoAnswers);
     }
     let total = answers.len() as u128;
-    let target_index = ((phi * total as f64).floor() as u128).min(total - 1) as usize;
+    let target_index = target_rank(phi, total) as usize;
     let schema = answers.variables().to_vec();
 
     let mut keyed: Vec<(Weight, &Vec<Value>)> = answers

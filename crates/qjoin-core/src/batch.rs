@@ -1,0 +1,474 @@
+//! Batched multi-φ quantile solving: one shared divide-and-conquer pass.
+//!
+//! The §3 recursion (Algorithm 1) narrows the candidate answer set around a single
+//! target rank, but nothing in the recursion is specific to *one* rank: the pivot,
+//! the trimmed partitions, and the partition counts are all functions of the current
+//! candidate region only. Given sorted targets `φ₁ ≤ … ≤ φₖ`, this module therefore
+//! runs a single recursion tree and *routes* every target through it:
+//!
+//! * at each internal node, one pivot is selected and the less-than / greater-than
+//!   partitions are built and counted **once**; each target descends into the
+//!   partition containing its rank (targets that land on the pivot's equal-to band
+//!   resolve immediately);
+//! * at each leaf (candidate count below the materialization threshold), the
+//!   candidates are materialized and sorted **once**, and every target in the leaf is
+//!   resolved by direct indexing.
+//!
+//! Because pivot selection (Algorithm 2) and the exact trimmings are deterministic,
+//! every target follows *exactly* the path the single-φ driver would take, so batched
+//! results are pointwise identical to `k` independent [`quantile_by_pivoting`] calls —
+//! a property the cross-crate test-suite asserts over random acyclic instances. The
+//! cost, however, is one traversal plus `O(k)` leaf resolutions instead of `k` full
+//! solves: the expensive near-root trims (which operate on the largest instances) are
+//! shared by all targets on their side of the pivot.
+//!
+//! [`quantile_by_pivoting`]: crate::quantile::quantile_by_pivoting
+
+use crate::pivot::select_pivot;
+use crate::quantile::{
+    keyed_answer_cmp, keyed_answer_to_assignment, materialized_keyed_answers, target_rank,
+    PivotingOptions, QuantileResult,
+};
+use crate::trim::Trimmer;
+use crate::{CoreError, Result};
+use qjoin_exec::count::count_answers;
+use qjoin_query::{Instance, Variable};
+use qjoin_ranking::{RankPredicate, Ranking, WeightBound};
+
+/// One pending quantile target: the position in the caller's φ slice plus the global
+/// rank it resolves to.
+#[derive(Clone, Copy, Debug)]
+struct Target {
+    /// Index into the caller's `phis` slice (results are returned in input order).
+    pos: usize,
+    /// The global zero-based rank `⌊φ·|Q(D)|⌋` (clamped), fixed for the whole solve.
+    rank: u128,
+}
+
+/// Read-only state shared by every node of the batched recursion.
+struct BatchState<'a> {
+    /// The *original* instance; trims are always rebuilt from it (Algorithm 1).
+    instance: &'a Instance,
+    ranking: &'a Ranking,
+    trimmer: &'a dyn Trimmer,
+    options: &'a PivotingOptions,
+    /// Materialization threshold (defaults to the database size `n`).
+    threshold: u128,
+    original_vars: &'a [Variable],
+    /// `|Q(D)|`, counted once up front.
+    total: u128,
+}
+
+/// Computes the `φ`-quantiles of the instance's answers for **all** fractions in
+/// `phis` with a single shared divide-and-conquer pass (see the module docs).
+///
+/// `phis` may be in any order and may contain duplicates; results are returned in the
+/// same order as the input. Batched results are identical to independent
+/// [`quantile_by_pivoting`](crate::quantile::quantile_by_pivoting) calls with the same
+/// trimmer and options. An empty `phis` returns an empty vector (after validating
+/// that the instance has answers at all).
+pub fn quantile_batch_by_pivoting(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+    trimmer: &dyn Trimmer,
+    options: &PivotingOptions,
+) -> Result<Vec<QuantileResult>> {
+    for &phi in phis {
+        if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+            return Err(CoreError::InvalidPhi(phi));
+        }
+    }
+    let total = count_answers(instance)?;
+    if total == 0 {
+        return Err(CoreError::NoAnswers);
+    }
+    if phis.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut targets: Vec<Target> = phis
+        .iter()
+        .enumerate()
+        .map(|(pos, &phi)| Target {
+            pos,
+            rank: target_rank(phi, total),
+        })
+        .collect();
+    // Route targets in rank order; the sort is stable so duplicate φ values keep
+    // their input order (they resolve to identical results regardless).
+    targets.sort_by_key(|t| t.rank);
+
+    let threshold = options
+        .materialize_threshold
+        .unwrap_or(instance.database_size() as u128)
+        .max(1);
+    let original_vars = instance.query().variables();
+    let state = BatchState {
+        instance,
+        ranking,
+        trimmer,
+        options,
+        threshold,
+        original_vars: &original_vars,
+        total,
+    };
+    let mut results: Vec<Option<QuantileResult>> = vec![None; phis.len()];
+    solve_group(
+        &state,
+        instance.clone(),
+        total,
+        0,
+        WeightBound::NegInf,
+        WeightBound::PosInf,
+        &targets,
+        0,
+        &mut results,
+    )?;
+    Ok(results
+        .into_iter()
+        .map(|r| r.expect("every routed target is resolved"))
+        .collect())
+}
+
+/// Resolves every target in `targets` against the candidate instance `current`, which
+/// holds the answers of global ranks `[offset, offset + current_count)` within the
+/// accumulated weight bounds `(low, high)`. `depth` counts the pivoting iterations
+/// performed on the path from the root, matching the single-φ driver's `iterations`.
+#[allow(clippy::too_many_arguments)]
+fn solve_group(
+    state: &BatchState<'_>,
+    current: Instance,
+    current_count: u128,
+    offset: u128,
+    low: WeightBound,
+    high: WeightBound,
+    targets: &[Target],
+    depth: usize,
+    results: &mut [Option<QuantileResult>],
+) -> Result<()> {
+    if targets.is_empty() {
+        return Ok(());
+    }
+    if current_count <= state.threshold || depth >= state.options.max_iterations {
+        return resolve_leaf(state, &current, offset, targets, depth, results);
+    }
+
+    let pivot = select_pivot(&current, state.ranking)?;
+    let pivot_weight = pivot.weight.clone();
+
+    // Rebuild both partitions from the original instance, restricted to the candidate
+    // region (low, high) — the same construction as the single-φ driver, so trimmed
+    // instances (and therefore subsequent pivots) are identical.
+    let lt = {
+        let first = state.trimmer.trim(
+            state.instance,
+            state.ranking,
+            &RankPredicate::less_than(pivot_weight.clone()),
+        )?;
+        state.trimmer.trim(
+            &first,
+            state.ranking,
+            &RankPredicate {
+                op: qjoin_ranking::CmpOp::Gt,
+                bound: low.clone(),
+            },
+        )?
+    };
+    let gt = {
+        let first = state.trimmer.trim(
+            state.instance,
+            state.ranking,
+            &RankPredicate::greater_than(pivot_weight.clone()),
+        )?;
+        state.trimmer.trim(
+            &first,
+            state.ranking,
+            &RankPredicate {
+                op: qjoin_ranking::CmpOp::Lt,
+                bound: high.clone(),
+            },
+        )?
+    };
+    let n_lt = count_answers(&lt)?;
+    let n_gt = count_answers(&gt)?;
+    let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
+
+    // Route each target into its partition; the equal-to band resolves to the pivot.
+    let mut lt_targets = Vec::new();
+    let mut gt_targets = Vec::new();
+    for t in targets {
+        let k = t.rank - offset;
+        if k < n_lt {
+            lt_targets.push(*t);
+        } else if k < n_lt + n_eq {
+            results[t.pos] = Some(QuantileResult {
+                answer: pivot.assignment.project(state.original_vars),
+                weight: pivot_weight.clone(),
+                total_answers: state.total,
+                target_index: t.rank,
+                iterations: depth + 1,
+            });
+        } else {
+            gt_targets.push(*t);
+        }
+    }
+
+    // Lossy trimmings may drop a targeted partition entirely; fall back to the pivot,
+    // which is within the accumulated error budget of those targets (Lemma 3.6) —
+    // mirroring the single-φ driver's empty-partition fallback.
+    let resolve_with_pivot = |group: &[Target], results: &mut [Option<QuantileResult>]| {
+        for t in group {
+            results[t.pos] = Some(QuantileResult {
+                answer: pivot.assignment.project(state.original_vars),
+                weight: pivot_weight.clone(),
+                total_answers: state.total,
+                target_index: t.rank,
+                iterations: depth + 1,
+            });
+        }
+    };
+    if n_lt == 0 {
+        resolve_with_pivot(&lt_targets, results);
+        lt_targets.clear();
+    }
+    if n_gt == 0 {
+        resolve_with_pivot(&gt_targets, results);
+        gt_targets.clear();
+    }
+
+    solve_group(
+        state,
+        lt,
+        n_lt,
+        offset,
+        low,
+        WeightBound::Finite(pivot_weight.clone()),
+        &lt_targets,
+        depth + 1,
+        results,
+    )?;
+    solve_group(
+        state,
+        gt,
+        n_gt,
+        offset + n_lt + n_eq,
+        WeightBound::Finite(pivot_weight),
+        high,
+        &gt_targets,
+        depth + 1,
+        results,
+    )
+}
+
+/// Materializes a leaf's candidates once, sorts them once, and resolves every target
+/// in the leaf by direct indexing.
+fn resolve_leaf(
+    state: &BatchState<'_>,
+    current: &Instance,
+    offset: u128,
+    targets: &[Target],
+    depth: usize,
+    results: &mut [Option<QuantileResult>],
+) -> Result<()> {
+    let mut keyed = materialized_keyed_answers(current, state.ranking, state.original_vars)?;
+    if keyed.is_empty() {
+        return Err(CoreError::NoAnswers);
+    }
+    keyed.sort_by(keyed_answer_cmp);
+    for t in targets {
+        let k = ((t.rank - offset) as usize).min(keyed.len() - 1);
+        let selected = &keyed[k];
+        results[t.pos] = Some(QuantileResult {
+            answer: keyed_answer_to_assignment(state.original_vars, selected),
+            weight: selected.0.clone(),
+            total_answers: state.total,
+            target_index: t.rank,
+            iterations: depth,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantile::{quantile_by_pivoting, rank_of_weight};
+    use crate::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer};
+    use qjoin_data::{Database, Relation, Value};
+    use qjoin_query::query::path_query;
+    use qjoin_query::variable::vars;
+
+    fn two_path_instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from((17 * i) % 101), Value::from(i % 4)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 4), Value::from((13 * i) % 89)])
+                .unwrap();
+        }
+        Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap()
+    }
+
+    fn three_path_instance(n: i64) -> Instance {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        let mut r3 = Relation::new("R3", 2);
+        for i in 0..n {
+            r1.push(vec![Value::from((7 * i) % 43), Value::from(i % 3)])
+                .unwrap();
+            r2.push(vec![Value::from(i % 3), Value::from((5 * i) % 37)])
+                .unwrap();
+            r3.push(vec![Value::from((5 * i) % 37), Value::from((3 * i) % 31)])
+                .unwrap();
+        }
+        Instance::new(
+            path_query(3),
+            Database::from_relations([r1, r2, r3]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    const PHIS: [f64; 7] = [0.0, 0.05, 0.25, 0.5, 0.75, 0.95, 1.0];
+
+    #[test]
+    fn batched_matches_independent_solves_for_sum() {
+        let inst = two_path_instance(50);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = PivotingOptions::default();
+        let batched =
+            quantile_batch_by_pivoting(&inst, &ranking, &PHIS, &AdjacentSumTrimmer, &options)
+                .unwrap();
+        for (phi, b) in PHIS.iter().zip(&batched) {
+            let single =
+                quantile_by_pivoting(&inst, &ranking, *phi, &AdjacentSumTrimmer, &options).unwrap();
+            assert_eq!(b.weight, single.weight, "phi {phi}");
+            assert_eq!(b.answer, single.answer, "phi {phi}");
+            assert_eq!(b.target_index, single.target_index, "phi {phi}");
+            assert_eq!(b.total_answers, single.total_answers, "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn batched_matches_independent_solves_for_minmax_and_lex() {
+        let inst = three_path_instance(20);
+        let options = PivotingOptions::default();
+        let cases: Vec<(Ranking, &dyn Trimmer)> = vec![
+            (Ranking::min(inst.query().variables()), &MinMaxTrimmer),
+            (Ranking::max(vars(&["x1", "x4"])), &MinMaxTrimmer),
+            (Ranking::lex(vars(&["x2", "x4"])), &LexTrimmer),
+        ];
+        for (ranking, trimmer) in cases {
+            let batched =
+                quantile_batch_by_pivoting(&inst, &ranking, &PHIS, trimmer, &options).unwrap();
+            for (phi, b) in PHIS.iter().zip(&batched) {
+                let single =
+                    quantile_by_pivoting(&inst, &ranking, *phi, trimmer, &options).unwrap();
+                assert_eq!(b.weight, single.weight, "ranking {ranking}, phi {phi}");
+                assert_eq!(b.answer, single.answer, "ranking {ranking}, phi {phi}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_results_are_valid_quantiles_and_monotone() {
+        let inst = two_path_instance(40);
+        let ranking = Ranking::sum(inst.query().variables());
+        let batched = quantile_batch_by_pivoting(
+            &inst,
+            &ranking,
+            &PHIS,
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        for (prev, next) in batched.iter().zip(batched.iter().skip(1)) {
+            assert!(prev.weight <= next.weight, "weights must be monotone in φ");
+        }
+        for result in &batched {
+            let (below, equal) = rank_of_weight(&inst, &ranking, &result.weight).unwrap();
+            assert!(
+                result.target_index >= below && result.target_index < below + equal,
+                "target {} outside window [{}, {})",
+                result.target_index,
+                below,
+                below + equal
+            );
+        }
+    }
+
+    #[test]
+    fn unsorted_and_duplicate_phis_return_in_input_order() {
+        let inst = two_path_instance(30);
+        let ranking = Ranking::sum(inst.query().variables());
+        let phis = [0.9, 0.1, 0.5, 0.1];
+        let batched = quantile_batch_by_pivoting(
+            &inst,
+            &ranking,
+            &phis,
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(batched.len(), 4);
+        assert_eq!(batched[1].weight, batched[3].weight);
+        assert!(batched[1].weight <= batched[2].weight);
+        assert!(batched[2].weight <= batched[0].weight);
+        for (phi, b) in phis.iter().zip(&batched) {
+            let single = quantile_by_pivoting(
+                &inst,
+                &ranking,
+                *phi,
+                &AdjacentSumTrimmer,
+                &PivotingOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(b.weight, single.weight, "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn tiny_threshold_still_matches_independent_solves() {
+        let inst = two_path_instance(30);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = PivotingOptions {
+            materialize_threshold: Some(1),
+            max_iterations: 256,
+        };
+        let batched =
+            quantile_batch_by_pivoting(&inst, &ranking, &PHIS, &AdjacentSumTrimmer, &options)
+                .unwrap();
+        for (phi, b) in PHIS.iter().zip(&batched) {
+            let single =
+                quantile_by_pivoting(&inst, &ranking, *phi, &AdjacentSumTrimmer, &options).unwrap();
+            assert_eq!(b.weight, single.weight, "phi {phi}");
+            assert_eq!(b.iterations, single.iterations, "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn empty_phis_and_invalid_phis_are_handled() {
+        let inst = two_path_instance(10);
+        let ranking = Ranking::sum(inst.query().variables());
+        let empty = quantile_batch_by_pivoting(
+            &inst,
+            &ranking,
+            &[],
+            &AdjacentSumTrimmer,
+            &PivotingOptions::default(),
+        )
+        .unwrap();
+        assert!(empty.is_empty());
+        assert!(matches!(
+            quantile_batch_by_pivoting(
+                &inst,
+                &ranking,
+                &[0.5, 1.5],
+                &AdjacentSumTrimmer,
+                &PivotingOptions::default()
+            )
+            .unwrap_err(),
+            CoreError::InvalidPhi(_)
+        ));
+    }
+}

@@ -18,6 +18,7 @@
 //! | §3.1 randomized sampling approximation | [`sampling`] |
 //! | §1 "direct way" baseline | [`baseline`] |
 //! | high-level routing | [`solver`] |
+//! | batched multi-φ solving (shared recursion tree) | [`batch`] |
 //!
 //! ## Quick example
 //!
@@ -40,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod batch;
 pub mod dichotomy;
 mod error;
 pub mod lossy_trim;
@@ -51,6 +53,7 @@ pub mod sketch;
 pub mod solver;
 pub mod trim;
 
+pub use batch::quantile_batch_by_pivoting;
 pub use error::CoreError;
 pub use quantile::{PivotingOptions, QuantileResult};
 

@@ -59,6 +59,27 @@ pub struct QuantileResult {
     pub iterations: usize,
 }
 
+/// Maps a fraction `φ ∈ [0, 1]` to the zero-based target rank `⌊φ·total⌋`, clamped to
+/// the last rank.
+///
+/// The product is computed in `f64`, which needs care at rank boundaries: a fraction
+/// obtained as `r / total` in floating point can land a few ULPs *below* the real
+/// quotient, so a naive floor would target rank `r − 1` instead of `r`. Products
+/// within a few ULPs of an integer are therefore snapped to that integer before
+/// flooring; fractions genuinely between boundaries (off by ≥ one part in ~10¹⁵) are
+/// unaffected.
+pub fn target_rank(phi: f64, total: u128) -> u128 {
+    debug_assert!(total > 0, "target_rank needs a non-empty answer set");
+    let scaled = phi * total as f64;
+    let rounded = scaled.round();
+    let snapped = if (scaled - rounded).abs() <= scaled.abs() * 4.0 * f64::EPSILON {
+        rounded
+    } else {
+        scaled.floor()
+    };
+    (snapped as u128).min(total - 1)
+}
+
 /// Computes the `φ`-quantile of the instance's answers under the ranking function,
 /// using the supplied trimming subroutine (Algorithm 1).
 pub fn quantile_by_pivoting(
@@ -75,7 +96,7 @@ pub fn quantile_by_pivoting(
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
-    let target_index = ((phi * total as f64).floor() as u128).min(total - 1);
+    let target_index = target_rank(phi, total);
     let threshold = options
         .materialize_threshold
         .unwrap_or(instance.database_size() as u128)
@@ -172,18 +193,15 @@ pub fn quantile_by_pivoting(
     })
 }
 
-/// Materializes the instance's answers, projects them onto the original variables, and
-/// returns the answer of rank `k` (by weight, ties broken by the projected values).
-fn select_from_materialized(
+/// Materializes the instance's answers, projecting each row onto `original_vars` and
+/// keying it by its ranking weight. Shared by the single-φ driver and the batched
+/// multi-φ driver so both resolve leaves from the exact same (weight, values) pairs.
+pub(crate) fn materialized_keyed_answers(
     instance: &Instance,
     ranking: &Ranking,
     original_vars: &[Variable],
-    k: u128,
-) -> Result<(Assignment, Weight)> {
+) -> Result<Vec<(Weight, Vec<qjoin_data::Value>)>> {
     let answers = materialize(instance)?;
-    if answers.is_empty() {
-        return Err(CoreError::NoAnswers);
-    }
     let schema = answers.variables().to_vec();
     let positions: Vec<usize> = original_vars
         .iter()
@@ -194,7 +212,7 @@ fn select_from_materialized(
                 .expect("trimmed queries retain the original variables")
         })
         .collect();
-    let keyed: Vec<(Weight, Vec<qjoin_data::Value>)> = answers
+    Ok(answers
         .rows()
         .iter()
         .map(|row| {
@@ -203,15 +221,41 @@ fn select_from_materialized(
                 positions.iter().map(|&p| row[p].clone()).collect();
             (weight, projected)
         })
-        .collect();
+        .collect())
+}
+
+/// The total order used when selecting from materialized answers: by weight, ties
+/// broken by the projected values.
+pub(crate) fn keyed_answer_cmp(
+    a: &(Weight, Vec<qjoin_data::Value>),
+    b: &(Weight, Vec<qjoin_data::Value>),
+) -> std::cmp::Ordering {
+    a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
+}
+
+/// Reassembles a keyed answer into an [`Assignment`] over the original variables.
+pub(crate) fn keyed_answer_to_assignment(
+    original_vars: &[Variable],
+    keyed: &(Weight, Vec<qjoin_data::Value>),
+) -> Assignment {
+    Assignment::from_pairs(original_vars.iter().cloned().zip(keyed.1.iter().cloned()))
+}
+
+/// Materializes the instance's answers, projects them onto the original variables, and
+/// returns the answer of rank `k` (by weight, ties broken by the projected values).
+fn select_from_materialized(
+    instance: &Instance,
+    ranking: &Ranking,
+    original_vars: &[Variable],
+    k: u128,
+) -> Result<(Assignment, Weight)> {
+    let keyed = materialized_keyed_answers(instance, ranking, original_vars)?;
+    if keyed.is_empty() {
+        return Err(CoreError::NoAnswers);
+    }
     let k = (k as usize).min(keyed.len() - 1);
-    let selected = select_kth_by(&keyed, k, &|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)));
-    let assignment = Assignment::from_pairs(
-        original_vars
-            .iter()
-            .cloned()
-            .zip(selected.1.iter().cloned()),
-    );
+    let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
+    let assignment = keyed_answer_to_assignment(original_vars, &selected);
     Ok((assignment, selected.0))
 }
 

@@ -6,7 +6,7 @@
 //! with probability `1 − δ` (Hoeffding's inequality). This is the randomized baseline
 //! against which the paper's *deterministic* approximation (Theorem 6.2) is positioned.
 
-use crate::quantile::QuantileResult;
+use crate::quantile::{target_rank, QuantileResult};
 use crate::{CoreError, Result};
 use qjoin_exec::DirectAccess;
 use qjoin_query::Instance;
@@ -61,7 +61,7 @@ pub fn quantile_by_sampling(
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
-    let target_index = ((phi * total as f64).floor() as u128).min(total - 1);
+    let target_index = target_rank(phi, total);
 
     let mut rng = StdRng::seed_from_u64(options.seed);
     let m = options.sample_count().max(1);
@@ -71,7 +71,7 @@ pub fn quantile_by_sampling(
         sampled.push((ranking.weight_of(&answer), answer));
     }
     sampled.sort_by(|a, b| a.0.cmp(&b.0));
-    let pick = ((phi * m as f64).floor() as usize).min(m - 1);
+    let pick = (target_rank(phi, m as u128) as usize).min(m - 1);
     let (weight, answer) = sampled.swap_remove(pick);
 
     Ok(QuantileResult {

@@ -34,6 +34,25 @@ pub enum ErrorBudget {
     Direct,
 }
 
+/// Selects the exact trimming subroutine for a (query, ranking) pair according to the
+/// dichotomy of Theorem 5.6. Shared by the single-φ and batched solvers. (The engine's
+/// prepared plans precompute the same mapping from their stored classification instead
+/// of re-running it per request; the engine test suite asserts both paths return
+/// identical answers.)
+pub fn select_exact_trimmer(instance: &Instance, ranking: &Ranking) -> Result<Box<dyn Trimmer>> {
+    Ok(match ranking.kind() {
+        AggregateKind::Min | AggregateKind::Max => Box::new(MinMaxTrimmer),
+        AggregateKind::Lex => Box::new(LexTrimmer),
+        AggregateKind::Sum => {
+            let classification = classify_partial_sum(instance.query(), ranking.weighted_vars());
+            if !classification.is_tractable() {
+                return Err(CoreError::IntractableSum(format!("{classification:?}")));
+            }
+            Box::new(AdjacentSumTrimmer)
+        }
+    })
+}
+
 /// Computes an **exact** `φ`-quantile, choosing the trimming subroutine according to
 /// the ranking function and the dichotomy of Theorem 5.6.
 pub fn exact_quantile(instance: &Instance, ranking: &Ranking, phi: f64) -> Result<QuantileResult> {
@@ -50,18 +69,34 @@ pub fn exact_quantile_with_options(
     if acyclicity::gyo_join_tree(instance.query()).is_none() {
         return Err(CoreError::CyclicQuery(instance.query().to_string()));
     }
-    let trimmer: Box<dyn Trimmer> = match ranking.kind() {
-        AggregateKind::Min | AggregateKind::Max => Box::new(MinMaxTrimmer),
-        AggregateKind::Lex => Box::new(LexTrimmer),
-        AggregateKind::Sum => {
-            let classification = classify_partial_sum(instance.query(), ranking.weighted_vars());
-            if !classification.is_tractable() {
-                return Err(CoreError::IntractableSum(format!("{classification:?}")));
-            }
-            Box::new(AdjacentSumTrimmer)
-        }
-    };
+    let trimmer = select_exact_trimmer(instance, ranking)?;
     quantile_by_pivoting(instance, ranking, phi, trimmer.as_ref(), options)
+}
+
+/// Computes **exact** `φ`-quantiles for every fraction in `phis` with one shared
+/// divide-and-conquer pass (see [`crate::batch`]); results are pointwise identical to
+/// independent [`exact_quantile`] calls but cost one traversal plus `O(k)` leaf
+/// resolutions instead of `k` full solves.
+pub fn exact_quantile_batch(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+) -> Result<Vec<QuantileResult>> {
+    exact_quantile_batch_with_options(instance, ranking, phis, &PivotingOptions::default())
+}
+
+/// [`exact_quantile_batch`] with explicit driver options.
+pub fn exact_quantile_batch_with_options(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &PivotingOptions,
+) -> Result<Vec<QuantileResult>> {
+    if acyclicity::gyo_join_tree(instance.query()).is_none() {
+        return Err(CoreError::CyclicQuery(instance.query().to_string()));
+    }
+    let trimmer = select_exact_trimmer(instance, ranking)?;
+    crate::batch::quantile_batch_by_pivoting(instance, ranking, phis, trimmer.as_ref(), options)
 }
 
 /// Computes a deterministic `(φ ± ε)`-approximate quantile for SUM ranking functions

@@ -1,0 +1,7 @@
+//! The `qjoin` binary: REPL + one-shot frontends over the quantile-query engine.
+//! All logic lives in `qjoin_engine::cli` so it stays unit-testable.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(qjoin_engine::cli::main_with_args(&args));
+}

@@ -1,0 +1,190 @@
+//! A small LRU result cache with hit/miss/eviction accounting.
+//!
+//! The engine keys entries by `(plan id, database generation, φ bits, accuracy)`, so
+//! replacing a catalog database makes old entries unreachable immediately; the engine
+//! additionally calls [`LruCache::invalidate`] to reclaim their memory eagerly.
+//!
+//! The implementation pairs a `HashMap` with a `BTreeMap` recency index keyed by a
+//! monotonic tick, giving `O(log n)` touch and eviction without unsafe code or a
+//! hand-rolled linked list.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// Cache access statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted by the capacity bound.
+    pub evictions: u64,
+    /// Entries removed by explicit invalidation.
+    pub invalidations: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    value: V,
+    tick: u64,
+}
+
+/// A least-recently-used cache. Capacity 0 disables caching entirely (every lookup
+/// misses, every insert is dropped).
+#[derive(Clone, Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, Slot<V>>,
+    recency: BTreeMap<u64, K>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        LruCache {
+            capacity,
+            tick: 0,
+            map: HashMap::new(),
+            recency: BTreeMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    fn next_tick(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    /// Looks up a key, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        let tick = self.next_tick();
+        match self.map.get_mut(key) {
+            Some(slot) => {
+                self.recency.remove(&slot.tick);
+                slot.tick = tick;
+                self.recency.insert(tick, key.clone());
+                self.stats.hits += 1;
+                Some(slot.value.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) an entry, evicting the least recently used one when the
+    /// capacity bound is hit.
+    pub fn insert(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.next_tick();
+        if let Some(slot) = self.map.get_mut(&key) {
+            self.recency.remove(&slot.tick);
+            slot.value = value;
+            slot.tick = tick;
+            self.recency.insert(tick, key);
+            return;
+        }
+        if self.map.len() >= self.capacity {
+            if let Some((&oldest_tick, _)) = self.recency.iter().next() {
+                if let Some(oldest_key) = self.recency.remove(&oldest_tick) {
+                    self.map.remove(&oldest_key);
+                    self.stats.evictions += 1;
+                }
+            }
+        }
+        self.map.insert(key.clone(), Slot { value, tick });
+        self.recency.insert(tick, key);
+    }
+
+    /// Removes every entry matching the predicate (used when a catalog database is
+    /// replaced), counting them as invalidations.
+    pub fn invalidate(&mut self, mut predicate: impl FnMut(&K) -> bool) {
+        let doomed: Vec<(K, u64)> = self
+            .map
+            .iter()
+            .filter(|(k, _)| predicate(k))
+            .map(|(k, slot)| (k.clone(), slot.tick))
+            .collect();
+        for (key, tick) in doomed {
+            self.map.remove(&key);
+            self.recency.remove(&tick);
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// A snapshot of the access statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_refresh_recency() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("b", 2);
+        assert_eq!(cache.get(&"a"), Some(1)); // "a" is now the most recent
+        cache.insert("c", 3); // evicts "b"
+        assert_eq!(cache.get(&"a"), Some(1));
+        assert_eq!(cache.get(&"b"), None);
+        assert_eq!(cache.get(&"c"), Some(3));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinsert_updates_in_place_without_eviction() {
+        let mut cache = LruCache::new(2);
+        cache.insert("a", 1);
+        cache.insert("a", 10);
+        cache.insert("b", 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&"a"), Some(10));
+        assert_eq!(cache.stats().evictions, 0);
+    }
+
+    #[test]
+    fn invalidate_removes_matching_entries() {
+        let mut cache = LruCache::new(8);
+        for i in 0..6 {
+            cache.insert((i % 2, i), i * 10);
+        }
+        cache.invalidate(|&(plan, _)| plan == 0);
+        assert_eq!(cache.len(), 3);
+        assert_eq!(cache.stats().invalidations, 3);
+        assert_eq!(cache.get(&(1, 1)), Some(10));
+        assert_eq!(cache.get(&(0, 0)), None);
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert("a", 1);
+        assert_eq!(cache.get(&"a"), None);
+        assert!(cache.is_empty());
+    }
+}

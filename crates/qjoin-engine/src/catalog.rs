@@ -1,0 +1,133 @@
+//! The engine's catalog: named databases with generation counters.
+//!
+//! Every database carries a monotonically increasing **generation** that is bumped on
+//! replacement. Prepared plans record the generation they were compiled against and
+//! result-cache keys embed it, so replacing a database atomically invalidates every
+//! cached result derived from the old contents.
+
+use crate::error::EngineError;
+use qjoin_data::Database;
+use std::collections::BTreeMap;
+
+/// One catalog entry: a database and its current generation.
+#[derive(Clone, Debug)]
+pub struct CatalogEntry {
+    /// The database contents.
+    pub database: Database,
+    /// Bumped every time the database is replaced; generation 1 is the initial load.
+    pub generation: u64,
+}
+
+/// A name → database map with replace-and-invalidate semantics.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    entries: BTreeMap<String, CatalogEntry>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Adds a database under a fresh name. Fails if the name is taken.
+    pub fn create(&mut self, name: &str, database: Database) -> Result<(), EngineError> {
+        if self.entries.contains_key(name) {
+            return Err(EngineError::DuplicateDatabase(name.to_string()));
+        }
+        self.entries.insert(
+            name.to_string(),
+            CatalogEntry {
+                database,
+                generation: 1,
+            },
+        );
+        Ok(())
+    }
+
+    /// Replaces an existing database, bumping its generation. Returns the new
+    /// generation. Fails if the name is unknown.
+    pub fn replace(&mut self, name: &str, database: Database) -> Result<u64, EngineError> {
+        let entry = self
+            .entries
+            .get_mut(name)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))?;
+        entry.database = database;
+        entry.generation += 1;
+        Ok(entry.generation)
+    }
+
+    /// Looks up a database by name.
+    pub fn get(&self, name: &str) -> Result<&CatalogEntry, EngineError> {
+        self.entries
+            .get(name)
+            .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))
+    }
+
+    /// True when a database with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Iterates over `(name, entry)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &CatalogEntry)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of catalogued databases.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjoin_data::Relation;
+
+    fn db(rows: &[&[i64]]) -> Database {
+        Database::from_relations([Relation::from_rows("R", rows).unwrap()]).unwrap()
+    }
+
+    #[test]
+    fn create_then_replace_bumps_generation() {
+        let mut catalog = Catalog::new();
+        catalog.create("d", db(&[&[1, 2]])).unwrap();
+        assert_eq!(catalog.get("d").unwrap().generation, 1);
+        let generation = catalog.replace("d", db(&[&[3, 4]])).unwrap();
+        assert_eq!(generation, 2);
+        assert_eq!(
+            catalog
+                .get("d")
+                .unwrap()
+                .database
+                .relation("R")
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn duplicate_create_and_unknown_replace_fail() {
+        let mut catalog = Catalog::new();
+        catalog.create("d", db(&[&[1, 2]])).unwrap();
+        assert!(matches!(
+            catalog.create("d", db(&[&[1, 2]])).unwrap_err(),
+            EngineError::DuplicateDatabase(_)
+        ));
+        assert!(matches!(
+            catalog.replace("missing", db(&[&[1, 2]])).unwrap_err(),
+            EngineError::UnknownDatabase(_)
+        ));
+        assert!(matches!(
+            catalog.get("missing").unwrap_err(),
+            EngineError::UnknownDatabase(_)
+        ));
+    }
+}

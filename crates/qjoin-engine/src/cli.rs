@@ -1,0 +1,656 @@
+//! The `qjoin` CLI: a REPL and one-shot subcommands over an [`Engine`].
+//!
+//! The REPL speaks a tiny command language (`help` prints it) against a long-lived
+//! in-process engine; the one-shot subcommands (`register`, `quantile`, `batch`,
+//! `stats`) synthesize the equivalent REPL script against a fresh engine, which makes
+//! them convenient for smoke tests and CI. Databases are produced by the workspace's
+//! workload generators (`social`, `path`, `star`, `random`), so a realistic catalog
+//! can be spun up from a single command line.
+//!
+//! All command handling lives in [`CliSession`] so it is unit-testable; the binary in
+//! `src/bin/qjoin.rs` is a thin wrapper around [`main_with_args`].
+
+use crate::engine::Engine;
+use crate::plan::{Accuracy, PreparedPlan};
+use qjoin_query::{Instance, JoinQuery, Variable};
+use qjoin_ranking::{AggregateKind, Ranking};
+use qjoin_workload::path::PathConfig;
+use qjoin_workload::random_acyclic::RandomAcyclicConfig;
+use qjoin_workload::social::SocialConfig;
+use qjoin_workload::star::StarConfig;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{BufRead, IsTerminal, Write as _};
+
+/// Usage text shared by `help`, `--help`, and parse errors.
+pub const HELP: &str = "\
+qjoin — persistent quantile-query engine for joins (PODS 2023)
+
+USAGE (one-shot):
+  qjoin register <workload> [key=value ...] [ranking=<spec>]
+  qjoin quantile <workload> <phi> [key=value ...] [ranking=<spec>] [eps=<ε>]
+  qjoin batch    <workload> <phi> [<phi> ...] [key=value ...] [ranking=<spec>] [eps=<ε>]
+  qjoin stats    <workload> [key=value ...]
+  qjoin repl                read REPL commands from stdin
+
+WORKLOADS (database generators; all keys optional):
+  social   rows= seed= users= events= likes= skew=     (default ranking sum:l2,l3)
+  path     atoms= rows= domain= weights= skew= seed=   (default ranking max:*)
+  star     arms= rows= domain= weights= skew= seed=    (default ranking max:*)
+  random   atoms= arity= rows= domain= seed=           (default ranking max:*)
+
+RANKING SPECS:
+  sum:l2,l3    max:*    min:x1,x3    lex:x2,x1        (* = all query variables)
+
+REPL COMMANDS:
+  open <db> <workload> [key=value ...]      generate + catalog a database
+  replace <db> <workload> [key=value ...]   swap a database (invalidates caches)
+  register <plan> <db> [ranking=<spec>]     compile a prepared plan
+  quantile <plan> <phi> [eps=<ε>]           serve one quantile
+  batch <plan> <phi> [<phi> ...] [eps=<ε>]  serve many quantiles in one pass
+  plans                                     list prepared plans
+  stats                                     engine statistics
+  help                                      this text
+  quit | exit                               leave the REPL";
+
+/// Metadata the CLI remembers per catalogued database: the query its workload joins
+/// over and the workload's default ranking.
+struct DbMeta {
+    query: JoinQuery,
+    default_ranking: Ranking,
+}
+
+/// An interactive engine session executing REPL commands.
+pub struct CliSession {
+    engine: Engine,
+    db_meta: BTreeMap<String, DbMeta>,
+}
+
+impl Default for CliSession {
+    fn default() -> Self {
+        CliSession::new()
+    }
+}
+
+impl CliSession {
+    /// A session with a fresh engine.
+    pub fn new() -> Self {
+        CliSession {
+            engine: Engine::new(),
+            db_meta: BTreeMap::new(),
+        }
+    }
+
+    /// The underlying engine (used by tests and embedding code).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Executes one REPL command line, returning its printable output.
+    pub fn execute(&mut self, line: &str) -> Result<String, String> {
+        let tokens: Vec<&str> = line.split_whitespace().collect();
+        let Some((&command, rest)) = tokens.split_first() else {
+            return Ok(String::new());
+        };
+        match command {
+            "help" => Ok(HELP.to_string()),
+            "open" => self.cmd_open(rest, false),
+            "replace" => self.cmd_open(rest, true),
+            "register" => self.cmd_register(rest),
+            "quantile" => self.cmd_quantile(rest),
+            "batch" => self.cmd_batch(rest),
+            "plans" => Ok(self.cmd_plans()),
+            "stats" => Ok(self.engine.stats().to_string()),
+            "quit" | "exit" => Err("__quit__".to_string()),
+            other => Err(format!("unknown command {other:?}; try `help`")),
+        }
+    }
+
+    fn cmd_open(&mut self, args: &[&str], replace: bool) -> Result<String, String> {
+        let [name, workload, params @ ..] = args else {
+            return Err("usage: open|replace <db> <workload> [key=value ...]".to_string());
+        };
+        let params = parse_params(params)?;
+        let (instance, default_ranking) = generate_workload(workload, &params)?;
+        let (query, database) = instance.into_parts();
+        let tuples = database.total_tuples();
+        let relations = database.num_relations();
+        if replace {
+            self.engine
+                .replace_database(name, database)
+                .map_err(|e| e.to_string())?;
+        } else {
+            self.engine
+                .create_database(name, database)
+                .map_err(|e| e.to_string())?;
+        }
+        let generation = self.engine.catalog().get(name).unwrap().generation;
+        self.db_meta.insert(
+            name.to_string(),
+            DbMeta {
+                query,
+                default_ranking,
+            },
+        );
+        Ok(format!(
+            "db {name}: {tuples} tuples across {relations} relations (workload {workload}, generation {generation})"
+        ))
+    }
+
+    fn cmd_register(&mut self, args: &[&str]) -> Result<String, String> {
+        let [plan, db, params @ ..] = args else {
+            return Err("usage: register <plan> <db> [ranking=<spec>]".to_string());
+        };
+        let params = parse_params(params)?;
+        ensure_known_keys(&params, &["ranking"])?;
+        let meta = self
+            .db_meta
+            .get(*db)
+            .ok_or_else(|| format!("no database named {db:?}; `open` one first"))?;
+        let ranking = match params.get("ranking") {
+            Some(spec) => parse_ranking(spec, &meta.query)?,
+            None => meta.default_ranking.clone(),
+        };
+        let query = meta.query.clone();
+        let plan = self
+            .engine
+            .register(plan, db, query, ranking)
+            .map_err(|e| e.to_string())?;
+        Ok(describe_plan(plan))
+    }
+
+    fn cmd_quantile(&mut self, args: &[&str]) -> Result<String, String> {
+        let [plan, phi, params @ ..] = args else {
+            return Err("usage: quantile <plan> <phi> [eps=<ε>]".to_string());
+        };
+        let phi = parse_phi(phi)?;
+        let params = parse_params(params)?;
+        ensure_known_keys(&params, &["eps"])?;
+        let accuracy = parse_accuracy(&params)?;
+        let answer = self
+            .engine
+            .quantile_with(plan, phi, accuracy)
+            .map_err(|e| e.to_string())?;
+        Ok(describe_answer(&answer))
+    }
+
+    fn cmd_batch(&mut self, args: &[&str]) -> Result<String, String> {
+        let [plan, rest @ ..] = args else {
+            return Err("usage: batch <plan> <phi> [<phi> ...] [eps=<ε>]".to_string());
+        };
+        let (phi_tokens, param_tokens): (Vec<&str>, Vec<&str>) =
+            rest.iter().partition(|t| !t.contains('='));
+        if phi_tokens.is_empty() {
+            return Err("batch needs at least one φ".to_string());
+        }
+        let phis: Vec<f64> = phi_tokens
+            .iter()
+            .map(|t| parse_phi(t))
+            .collect::<Result<_, _>>()?;
+        let params = parse_params(&param_tokens)?;
+        ensure_known_keys(&params, &["eps"])?;
+        let accuracy = parse_accuracy(&params)?;
+        let answers = self
+            .engine
+            .quantile_batch_with(plan, &phis, accuracy)
+            .map_err(|e| e.to_string())?;
+        let mut out = String::new();
+        for answer in &answers {
+            writeln!(out, "{}", describe_answer(answer)).unwrap();
+        }
+        let solved = answers.iter().filter(|a| !a.from_cache).count();
+        write!(
+            out,
+            "batch of {}: {} solved in one shared pass, {} from cache",
+            answers.len(),
+            solved,
+            answers.len() - solved
+        )
+        .unwrap();
+        Ok(out)
+    }
+
+    fn cmd_plans(&self) -> String {
+        let mut lines: Vec<String> = self.engine.plans().map(describe_plan).collect();
+        if lines.is_empty() {
+            lines.push("no plans registered".to_string());
+        }
+        lines.join("\n")
+    }
+}
+
+fn describe_plan(plan: &PreparedPlan) -> String {
+    format!(
+        "plan {}: db={} gen={} strategy={} answers={} ranking={} compile={:.2}ms",
+        plan.name,
+        plan.database,
+        plan.generation,
+        plan.strategy.label(),
+        plan.total_answers,
+        plan.ranking,
+        plan.compile_time.as_secs_f64() * 1_000.0
+    )
+}
+
+fn describe_answer(answer: &crate::engine::EngineAnswer) -> String {
+    let accuracy = match answer.accuracy {
+        Accuracy::Exact => String::new(),
+        Accuracy::Approximate { epsilon } => format!(" eps={epsilon}"),
+    };
+    format!(
+        "phi={:.4}{}: weight={} rank={}/{} iterations={}{}",
+        answer.phi,
+        accuracy,
+        answer.result.weight,
+        answer.result.target_index,
+        answer.result.total_answers,
+        answer.result.iterations,
+        if answer.from_cache { " (cached)" } else { "" }
+    )
+}
+
+/// Parses `key=value` tokens; rejects anything else.
+fn parse_params(tokens: &[&str]) -> Result<BTreeMap<String, String>, String> {
+    let mut params = BTreeMap::new();
+    for token in tokens {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("expected key=value, got {token:?}"));
+        };
+        params.insert(key.to_string(), value.to_string());
+    }
+    Ok(params)
+}
+
+/// Rejects parameters outside the allowed set, so typos (`row=` for `rows=`) fail
+/// loudly instead of silently running on defaults.
+fn ensure_known_keys(params: &BTreeMap<String, String>, allowed: &[&str]) -> Result<(), String> {
+    for key in params.keys() {
+        if !allowed.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown parameter {key:?}; expected one of: {}",
+                allowed.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn param<T: std::str::FromStr>(
+    params: &BTreeMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String> {
+    match params.get(key) {
+        Some(raw) => raw
+            .parse()
+            .map_err(|_| format!("invalid value {raw:?} for {key}")),
+        None => Ok(default),
+    }
+}
+
+fn parse_phi(token: &str) -> Result<f64, String> {
+    let phi: f64 = token.parse().map_err(|_| format!("invalid φ {token:?}"))?;
+    if !(0.0..=1.0).contains(&phi) {
+        return Err(format!("φ must be in [0, 1], got {phi}"));
+    }
+    Ok(phi)
+}
+
+fn parse_accuracy(params: &BTreeMap<String, String>) -> Result<Accuracy, String> {
+    match params.get("eps") {
+        Some(raw) => {
+            let epsilon: f64 = raw.parse().map_err(|_| format!("invalid eps {raw:?}"))?;
+            Ok(Accuracy::Approximate { epsilon })
+        }
+        None => Ok(Accuracy::Exact),
+    }
+}
+
+/// Parses a ranking spec `kind:vars` (vars a comma list, or `*` for all query
+/// variables) against the query it will rank.
+fn parse_ranking(spec: &str, query: &JoinQuery) -> Result<Ranking, String> {
+    let (kind_str, vars_str) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("ranking spec {spec:?} must look like kind:v1,v2 or kind:*"))?;
+    let vars: Vec<Variable> = if vars_str == "*" {
+        query.variables()
+    } else {
+        vars_str
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|name| {
+                let var = Variable::new(name);
+                if query.contains_variable(&var) {
+                    Ok(var)
+                } else {
+                    Err(format!("variable {name:?} does not occur in the query"))
+                }
+            })
+            .collect::<Result<_, _>>()?
+    };
+    if vars.is_empty() {
+        return Err("ranking needs at least one variable".to_string());
+    }
+    let kind = match kind_str {
+        "sum" => AggregateKind::Sum,
+        "min" => AggregateKind::Min,
+        "max" => AggregateKind::Max,
+        "lex" => AggregateKind::Lex,
+        other => return Err(format!("unknown ranking kind {other:?}")),
+    };
+    Ok(Ranking::new(kind, vars))
+}
+
+/// Generates a workload instance plus its default ranking.
+fn generate_workload(
+    kind: &str,
+    params: &BTreeMap<String, String>,
+) -> Result<(Instance, Ranking), String> {
+    match kind {
+        "social" => {
+            ensure_known_keys(
+                params,
+                &["rows", "seed", "users", "events", "likes", "skew"],
+            )?;
+            let rows = param(params, "rows", 200usize)?;
+            let config = SocialConfig {
+                users: param(params, "users", rows.max(1))?,
+                events: param(params, "events", (rows / 10).max(1))?,
+                rows_per_relation: rows,
+                max_likes: param(params, "likes", 1_000i64)?,
+                event_skew: param(params, "skew", 0.8f64)?,
+                seed: param(params, "seed", 7u64)?,
+            };
+            let ranking = config.likes_ranking();
+            Ok((config.generate(), ranking))
+        }
+        "path" => {
+            ensure_known_keys(
+                params,
+                &["atoms", "rows", "domain", "weights", "skew", "seed"],
+            )?;
+            let rows = param(params, "rows", 100usize)?;
+            let config = PathConfig {
+                atoms: param(params, "atoms", 3usize)?,
+                tuples_per_relation: rows,
+                join_domain: param(params, "domain", (rows / 10).max(2))?,
+                weight_range: param(params, "weights", 1_000_000i64)?,
+                skew: param(params, "skew", 0.2f64)?,
+                seed: param(params, "seed", 7u64)?,
+            };
+            let instance = config.generate();
+            let ranking = Ranking::max(instance.query().variables());
+            Ok((instance, ranking))
+        }
+        "star" => {
+            ensure_known_keys(
+                params,
+                &["arms", "rows", "domain", "weights", "skew", "seed"],
+            )?;
+            let rows = param(params, "rows", 100usize)?;
+            let config = StarConfig {
+                arms: param(params, "arms", 3usize)?,
+                tuples_per_relation: rows,
+                center_domain: param(params, "domain", (rows / 10).max(2))?,
+                weight_range: param(params, "weights", 1_000_000i64)?,
+                skew: param(params, "skew", 0.2f64)?,
+                seed: param(params, "seed", 7u64)?,
+            };
+            let instance = config.generate();
+            let ranking = Ranking::max(instance.query().variables());
+            Ok((instance, ranking))
+        }
+        "random" => {
+            ensure_known_keys(params, &["atoms", "arity", "rows", "domain", "seed"])?;
+            let config = RandomAcyclicConfig {
+                atoms: param(params, "atoms", 3usize)?,
+                max_arity: param(params, "arity", 3usize)?,
+                tuples_per_relation: param(params, "rows", 20usize)?,
+                domain: param(params, "domain", 6i64)?,
+                seed: param(params, "seed", 7u64)?,
+            };
+            let instance = config.generate();
+            let ranking = Ranking::max(instance.query().variables());
+            Ok((instance, ranking))
+        }
+        other => Err(format!(
+            "unknown workload {other:?} (expected social, path, star, or random)"
+        )),
+    }
+}
+
+/// Runs a one-shot subcommand by synthesizing the equivalent REPL script against a
+/// fresh session. Returns the lines to print.
+pub fn run_one_shot(args: &[String]) -> Result<String, String> {
+    let [subcommand, workload, rest @ ..] = args else {
+        return Err(format!("missing arguments\n\n{HELP}"));
+    };
+    let (bare, keyed): (Vec<&str>, Vec<&str>) = rest
+        .iter()
+        .map(String::as_str)
+        .partition(|t| !t.contains('='));
+    // `ranking=` goes to register, `eps=` to the query, the rest to the workload.
+    let mut open_params = Vec::new();
+    let mut register_params = Vec::new();
+    let mut query_params = Vec::new();
+    for token in keyed {
+        if token.starts_with("ranking=") {
+            register_params.push(token);
+        } else if token.starts_with("eps=") {
+            query_params.push(token);
+        } else {
+            open_params.push(token);
+        }
+    }
+
+    let mut session = CliSession::new();
+    let mut out = String::new();
+    let mut run = |session: &mut CliSession, command: String| -> Result<(), String> {
+        let output = session.execute(&command)?;
+        if !output.is_empty() {
+            writeln!(out, "{output}").unwrap();
+        }
+        Ok(())
+    };
+    run(
+        &mut session,
+        format!("open db {workload} {}", open_params.join(" ")),
+    )?;
+    run(
+        &mut session,
+        format!("register plan db {}", register_params.join(" ")),
+    )?;
+    match subcommand.as_str() {
+        "register" => {}
+        "quantile" | "batch" => {
+            if bare.is_empty() {
+                return Err(format!("{subcommand} needs at least one φ\n\n{HELP}"));
+            }
+            run(
+                &mut session,
+                format!("batch plan {} {}", bare.join(" "), query_params.join(" ")),
+            )?;
+        }
+        "stats" => {}
+        other => return Err(format!("unknown subcommand {other:?}\n\n{HELP}")),
+    }
+    if *subcommand == "stats" {
+        run(&mut session, "stats".to_string())?;
+    }
+    Ok(out.trim_end().to_string())
+}
+
+/// The REPL: reads commands from stdin, printing a prompt when interactive.
+pub fn run_repl() -> i32 {
+    let interactive = std::io::stdin().is_terminal();
+    let mut session = CliSession::new();
+    let stdin = std::io::stdin();
+    if interactive {
+        println!("qjoin — type `help` for commands, `quit` to leave");
+    }
+    loop {
+        if interactive {
+            print!("qjoin> ");
+            let _ = std::io::stdout().flush();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => return 0,
+            Ok(_) => {}
+        }
+        match session.execute(&line) {
+            Ok(output) if output.is_empty() => {}
+            Ok(output) => println!("{output}"),
+            Err(e) if e == "__quit__" => return 0,
+            Err(e) => {
+                eprintln!("error: {e}");
+                if !interactive {
+                    return 1;
+                }
+            }
+        }
+    }
+}
+
+/// Entry point shared with the binary: dispatches on the first argument.
+pub fn main_with_args(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        None | Some("repl") => run_repl(),
+        Some("help") | Some("-h") | Some("--help") => {
+            println!("{HELP}");
+            0
+        }
+        Some(_) => match run_one_shot(args) {
+            Ok(output) => {
+                if !output.is_empty() {
+                    println!("{output}");
+                }
+                0
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                1
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ok(session: &mut CliSession, command: &str) -> String {
+        session
+            .execute(command)
+            .unwrap_or_else(|e| panic!("command {command:?} failed: {e}"))
+    }
+
+    #[test]
+    fn open_register_quantile_batch_stats_flow() {
+        let mut session = CliSession::new();
+        let opened = ok(&mut session, "open s social rows=120 seed=3");
+        assert!(opened.contains("360 tuples"));
+        let registered = ok(&mut session, "register likes s");
+        assert!(
+            registered.contains("strategy=sum-adjacent-pair"),
+            "{registered}"
+        );
+        let answer = ok(&mut session, "quantile likes 0.5");
+        assert!(answer.contains("phi=0.5000"), "{answer}");
+        let batch = ok(&mut session, "batch likes 0.1 0.5 0.9");
+        assert!(batch.contains("1 from cache"), "{batch}");
+        let stats = ok(&mut session, "stats");
+        assert!(stats.contains("plans:              1"), "{stats}");
+    }
+
+    #[test]
+    fn replace_swaps_the_database_and_invalidates() {
+        let mut session = CliSession::new();
+        ok(&mut session, "open s social rows=80 seed=1");
+        ok(&mut session, "register likes s");
+        let before = ok(&mut session, "quantile likes 0.5");
+        ok(&mut session, "replace s social rows=80 seed=99");
+        let after = ok(&mut session, "quantile likes 0.5");
+        assert!(!after.contains("(cached)"), "{after}");
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn explicit_rankings_and_other_workloads() {
+        let mut session = CliSession::new();
+        ok(&mut session, "open p path atoms=3 rows=60 seed=2");
+        let max_plan = ok(&mut session, "register m p ranking=max:*");
+        assert!(max_plan.contains("strategy=minmax"), "{max_plan}");
+        let lex_plan = ok(&mut session, "register l p ranking=lex:x2,x1");
+        assert!(lex_plan.contains("strategy=lex"), "{lex_plan}");
+        ok(&mut session, "quantile m 0.25");
+        ok(&mut session, "quantile l 0.75");
+        let plans = ok(&mut session, "plans");
+        assert!(
+            plans.contains("plan l:") && plans.contains("plan m:"),
+            "{plans}"
+        );
+    }
+
+    #[test]
+    fn intractable_sum_falls_back_to_eps() {
+        let mut session = CliSession::new();
+        ok(&mut session, "open p path atoms=3 rows=40 seed=4");
+        let plan = ok(&mut session, "register fullsum p ranking=sum:*");
+        assert!(plan.contains("sum-approximate-only"), "{plan}");
+        let err = session.execute("quantile fullsum 0.5").unwrap_err();
+        assert!(err.contains("cannot serve"), "{err}");
+        let approx = ok(&mut session, "quantile fullsum 0.5 eps=0.1");
+        assert!(approx.contains("eps=0.1"), "{approx}");
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut session = CliSession::new();
+        assert!(session.execute("open").is_err());
+        assert!(session.execute("open s nosuch").is_err());
+        assert!(session.execute("quantile nope 0.5").is_err());
+        assert!(session.execute("bogus").is_err());
+        assert!(session.execute("quantile nope 1.5").is_err());
+        ok(&mut session, "open s social rows=40");
+        assert!(session.execute("register p s ranking=sum:zz").is_err());
+        assert!(session.execute("register p s ranking=weird:*").is_err());
+        // Typoed parameter keys fail loudly instead of running on defaults.
+        assert!(session.execute("open t social row=500").is_err());
+        assert!(session.execute("register p s rankin=max:*").is_err());
+        ok(&mut session, "register p s");
+        assert!(session.execute("quantile p 0.5 esp=0.1").is_err());
+        assert!(session.execute("batch p 0.5 esp=0.1").is_err());
+    }
+
+    #[test]
+    fn one_shot_register_and_batch() {
+        let register = run_one_shot(&[
+            "register".to_string(),
+            "social".to_string(),
+            "rows=80".to_string(),
+            "seed=3".to_string(),
+        ])
+        .unwrap();
+        assert!(register.contains("plan plan:"), "{register}");
+        let batch = run_one_shot(&[
+            "batch".to_string(),
+            "social".to_string(),
+            "0.1".to_string(),
+            "0.5".to_string(),
+            "0.9".to_string(),
+            "rows=80".to_string(),
+        ])
+        .unwrap();
+        assert!(batch.contains("solved in one shared pass"), "{batch}");
+        let stats = run_one_shot(&[
+            "stats".to_string(),
+            "social".to_string(),
+            "rows=40".to_string(),
+        ])
+        .unwrap();
+        assert!(stats.contains("plans:              1"), "{stats}");
+        assert!(run_one_shot(&["quantile".to_string(), "social".to_string()]).is_err());
+        assert!(run_one_shot(&["bogus".to_string(), "social".to_string()]).is_err());
+    }
+}

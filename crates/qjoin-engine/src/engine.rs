@@ -1,0 +1,550 @@
+//! The long-lived engine: catalog + prepared plans + result cache + solvers.
+//!
+//! An [`Engine`] owns a [`Catalog`] of named databases and a set of [`PreparedPlan`]s
+//! compiled against them. Quantile requests hit, in order:
+//!
+//! 1. the **LRU result cache**, keyed by `(plan id, database generation, φ, accuracy)`
+//!    — replacing a database bumps its generation, so stale results can never be
+//!    served;
+//! 2. the **batched multi-φ solver** for cache misses: a batch request solves all of
+//!    its missing fractions in one shared §3 recursion pass;
+//! 3. the **prepared plan**, which already paid for validation, the join tree, the
+//!    Yannakakis counts, and the §5 dichotomy at registration time.
+
+use crate::cache::{CacheStats, LruCache};
+use crate::catalog::Catalog;
+use crate::error::EngineError;
+use crate::plan::{Accuracy, PreparedPlan};
+use qjoin_core::batch::quantile_batch_by_pivoting;
+use qjoin_core::quantile::quantile_by_pivoting;
+use qjoin_core::{PivotingOptions, QuantileResult};
+use qjoin_data::Database;
+use qjoin_query::JoinQuery;
+use qjoin_ranking::Ranking;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// `(plan id, database generation, φ bits, accuracy bits)`.
+type CacheKey = (u64, u64, u64, Option<u64>);
+
+/// Engine tuning knobs.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of cached quantile results (0 disables the cache).
+    pub cache_capacity: usize,
+    /// Options forwarded to the §3 pivoting driver.
+    pub pivoting: PivotingOptions,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            cache_capacity: 1024,
+            pivoting: PivotingOptions::default(),
+        }
+    }
+}
+
+/// One served quantile: the algorithmic result plus serving metadata.
+#[derive(Clone, Debug)]
+pub struct EngineAnswer {
+    /// The plan that served the request.
+    pub plan: String,
+    /// The requested fraction.
+    pub phi: f64,
+    /// The accuracy the request asked for.
+    pub accuracy: Accuracy,
+    /// True when the answer came from the result cache.
+    pub from_cache: bool,
+    /// The quantile itself.
+    pub result: QuantileResult,
+}
+
+/// Monotonic serving counters (part of [`EngineStats`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Individual φ requests served (single and batched).
+    pub quantile_requests: u64,
+    /// Batch API calls served.
+    pub batch_requests: u64,
+    /// φ values actually solved by the recursion (cache misses).
+    pub solved: u64,
+    /// Plan compilations, including recompilations after database replacement.
+    pub plan_compilations: u64,
+}
+
+/// A point-in-time snapshot of the engine's state and counters.
+#[derive(Clone, Debug)]
+pub struct EngineStats {
+    /// Catalogued databases.
+    pub databases: usize,
+    /// Registered plans.
+    pub plans: usize,
+    /// Live cache entries.
+    pub cache_entries: usize,
+    /// Configured cache capacity.
+    pub cache_capacity: usize,
+    /// Cache hit/miss/eviction/invalidation counts.
+    pub cache: CacheStats,
+    /// Serving counters.
+    pub counters: EngineCounters,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "databases:          {}", self.databases)?;
+        writeln!(f, "plans:              {}", self.plans)?;
+        writeln!(
+            f,
+            "cache:              {}/{} entries, {} hits, {} misses, {} evictions, {} invalidations",
+            self.cache_entries,
+            self.cache_capacity,
+            self.cache.hits,
+            self.cache.misses,
+            self.cache.evictions,
+            self.cache.invalidations
+        )?;
+        writeln!(
+            f,
+            "requests:           {} quantiles ({} batch calls), {} solved by recursion",
+            self.counters.quantile_requests, self.counters.batch_requests, self.counters.solved
+        )?;
+        write!(f, "plan compilations:  {}", self.counters.plan_compilations)
+    }
+}
+
+/// A persistent quantile-query engine (see the module docs).
+#[derive(Clone, Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    catalog: Catalog,
+    plans: BTreeMap<String, PreparedPlan>,
+    next_plan_id: u64,
+    cache: LruCache<CacheKey, QuantileResult>,
+    counters: EngineCounters,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new()
+    }
+}
+
+impl Engine {
+    /// An engine with default configuration.
+    pub fn new() -> Self {
+        Engine::with_config(EngineConfig::default())
+    }
+
+    /// An engine with explicit configuration.
+    pub fn with_config(config: EngineConfig) -> Self {
+        let cache = LruCache::new(config.cache_capacity);
+        Engine {
+            config,
+            catalog: Catalog::new(),
+            plans: BTreeMap::new(),
+            next_plan_id: 0,
+            cache,
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Adds a database to the catalog under a fresh name.
+    pub fn create_database(&mut self, name: &str, database: Database) -> Result<(), EngineError> {
+        self.catalog.create(name, database)
+    }
+
+    /// Replaces a catalogued database, recompiling every dependent plan against the
+    /// new contents and invalidating their cached results. The operation is atomic:
+    /// if any dependent plan fails to recompile (e.g. the new database no longer
+    /// matches a registered query's schema), nothing changes.
+    pub fn replace_database(&mut self, name: &str, database: Database) -> Result<(), EngineError> {
+        let entry = self.catalog.get(name)?;
+        let new_generation = entry.generation + 1;
+        let mut recompiled = Vec::new();
+        for plan in self.plans.values().filter(|p| p.database == name) {
+            recompiled.push(PreparedPlan::compile(
+                &plan.name,
+                plan.id,
+                name,
+                new_generation,
+                plan.instance.query().clone(),
+                plan.ranking.clone(),
+                &database,
+            )?);
+        }
+        self.catalog.replace(name, database)?;
+        for plan in recompiled {
+            self.cache.invalidate(|key| key.0 == plan.id);
+            self.counters.plan_compilations += 1;
+            self.plans.insert(plan.name.clone(), plan);
+        }
+        Ok(())
+    }
+
+    /// Registers a `(query, ranking)` pair against a catalogued database, compiling it
+    /// into a prepared plan.
+    pub fn register(
+        &mut self,
+        plan_name: &str,
+        database_name: &str,
+        query: JoinQuery,
+        ranking: Ranking,
+    ) -> Result<&PreparedPlan, EngineError> {
+        if self.plans.contains_key(plan_name) {
+            return Err(EngineError::DuplicatePlan(plan_name.to_string()));
+        }
+        let entry = self.catalog.get(database_name)?;
+        let id = self.next_plan_id;
+        let plan = PreparedPlan::compile(
+            plan_name,
+            id,
+            database_name,
+            entry.generation,
+            query,
+            ranking,
+            &entry.database,
+        )?;
+        self.next_plan_id += 1;
+        self.counters.plan_compilations += 1;
+        Ok(self.plans.entry(plan_name.to_string()).or_insert(plan))
+    }
+
+    /// Drops a plan and its cached results.
+    pub fn drop_plan(&mut self, plan_name: &str) -> Result<(), EngineError> {
+        let plan = self
+            .plans
+            .remove(plan_name)
+            .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))?;
+        self.cache.invalidate(|key| key.0 == plan.id);
+        Ok(())
+    }
+
+    /// Looks up a prepared plan by name.
+    pub fn plan(&self, plan_name: &str) -> Result<&PreparedPlan, EngineError> {
+        self.plans
+            .get(plan_name)
+            .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))
+    }
+
+    /// Iterates over the registered plans in name order.
+    pub fn plans(&self) -> impl Iterator<Item = &PreparedPlan> {
+        self.plans.values()
+    }
+
+    /// The database catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Serves an exact φ-quantile from a prepared plan (cache-aware).
+    pub fn quantile(&mut self, plan_name: &str, phi: f64) -> Result<EngineAnswer, EngineError> {
+        self.quantile_with(plan_name, phi, Accuracy::Exact)
+    }
+
+    /// Serves a φ-quantile at the requested accuracy (cache-aware).
+    pub fn quantile_with(
+        &mut self,
+        plan_name: &str,
+        phi: f64,
+        accuracy: Accuracy,
+    ) -> Result<EngineAnswer, EngineError> {
+        let plan = self
+            .plans
+            .get(plan_name)
+            .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))?;
+        self.counters.quantile_requests += 1;
+        let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
+        if let Some(result) = self.cache.get(&key) {
+            return Ok(EngineAnswer {
+                plan: plan_name.to_string(),
+                phi,
+                accuracy,
+                from_cache: true,
+                result,
+            });
+        }
+        let trimmer = plan.trimmer_for(accuracy)?;
+        let result = quantile_by_pivoting(
+            &plan.instance,
+            &plan.ranking,
+            phi,
+            trimmer.as_ref(),
+            &self.config.pivoting,
+        )?;
+        self.counters.solved += 1;
+        self.cache.insert(key, result.clone());
+        Ok(EngineAnswer {
+            plan: plan_name.to_string(),
+            phi,
+            accuracy,
+            from_cache: false,
+            result,
+        })
+    }
+
+    /// Serves many exact φ-quantiles from a prepared plan. Cached fractions are
+    /// answered from the cache; all remaining fractions are solved together in **one**
+    /// shared divide-and-conquer pass (see [`qjoin_core::batch`]).
+    pub fn quantile_batch(
+        &mut self,
+        plan_name: &str,
+        phis: &[f64],
+    ) -> Result<Vec<EngineAnswer>, EngineError> {
+        self.quantile_batch_with(plan_name, phis, Accuracy::Exact)
+    }
+
+    /// [`Engine::quantile_batch`] at an explicit accuracy.
+    pub fn quantile_batch_with(
+        &mut self,
+        plan_name: &str,
+        phis: &[f64],
+        accuracy: Accuracy,
+    ) -> Result<Vec<EngineAnswer>, EngineError> {
+        let plan = self
+            .plans
+            .get(plan_name)
+            .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))?;
+        self.counters.batch_requests += 1;
+        self.counters.quantile_requests += phis.len() as u64;
+
+        let mut answers: Vec<Option<EngineAnswer>> = vec![None; phis.len()];
+        let mut missing: Vec<(usize, f64)> = Vec::new();
+        for (pos, &phi) in phis.iter().enumerate() {
+            let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
+            match self.cache.get(&key) {
+                Some(result) => {
+                    answers[pos] = Some(EngineAnswer {
+                        plan: plan_name.to_string(),
+                        phi,
+                        accuracy,
+                        from_cache: true,
+                        result,
+                    });
+                }
+                None => missing.push((pos, phi)),
+            }
+        }
+        if !missing.is_empty() {
+            let miss_phis: Vec<f64> = missing.iter().map(|&(_, phi)| phi).collect();
+            let trimmer = plan.trimmer_for(accuracy)?;
+            let results = quantile_batch_by_pivoting(
+                &plan.instance,
+                &plan.ranking,
+                &miss_phis,
+                trimmer.as_ref(),
+                &self.config.pivoting,
+            )?;
+            self.counters.solved += results.len() as u64;
+            for ((pos, phi), result) in missing.into_iter().zip(results) {
+                let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
+                self.cache.insert(key, result.clone());
+                answers[pos] = Some(EngineAnswer {
+                    plan: plan_name.to_string(),
+                    phi,
+                    accuracy,
+                    from_cache: false,
+                    result,
+                });
+            }
+        }
+        Ok(answers
+            .into_iter()
+            .map(|a| a.expect("every φ answered from cache or batch solve"))
+            .collect())
+    }
+
+    /// A snapshot of the engine's state and counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            databases: self.catalog.len(),
+            plans: self.plans.len(),
+            cache_entries: self.cache.len(),
+            cache_capacity: self.cache.capacity(),
+            cache: self.cache.stats(),
+            counters: self.counters,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjoin_core::solver::exact_quantile;
+    use qjoin_query::query::{path_query, social_network_query};
+    use qjoin_query::variable::vars;
+    use qjoin_workload::social::SocialConfig;
+
+    fn social_engine(rows: usize, seed: u64) -> (Engine, SocialConfig) {
+        let config = SocialConfig {
+            rows_per_relation: rows,
+            seed,
+            ..Default::default()
+        };
+        let (_, database) = config.generate().into_parts();
+        let mut engine = Engine::new();
+        engine.create_database("social", database).unwrap();
+        engine
+            .register(
+                "likes",
+                "social",
+                social_network_query(),
+                Ranking::sum(vars(&["l2", "l3"])),
+            )
+            .unwrap();
+        (engine, config)
+    }
+
+    #[test]
+    fn serves_quantiles_identical_to_the_one_shot_solver() {
+        let (mut engine, config) = social_engine(150, 42);
+        let instance = config.generate();
+        let ranking = config.likes_ranking();
+        for phi in [0.1, 0.5, 0.9] {
+            let served = engine.quantile("likes", phi).unwrap();
+            let direct = exact_quantile(&instance, &ranking, phi).unwrap();
+            assert_eq!(served.result.weight, direct.weight, "phi {phi}");
+            assert_eq!(served.result.total_answers, direct.total_answers);
+            assert!(!served.from_cache);
+        }
+    }
+
+    #[test]
+    fn repeated_requests_hit_the_cache() {
+        let (mut engine, _) = social_engine(100, 7);
+        let first = engine.quantile("likes", 0.5).unwrap();
+        let second = engine.quantile("likes", 0.5).unwrap();
+        assert!(!first.from_cache);
+        assert!(second.from_cache);
+        assert_eq!(first.result.weight, second.result.weight);
+        let stats = engine.stats();
+        assert_eq!(stats.cache.hits, 1);
+        assert_eq!(stats.counters.solved, 1);
+        assert_eq!(stats.counters.quantile_requests, 2);
+    }
+
+    #[test]
+    fn batch_mixes_cache_hits_with_one_shared_solve() {
+        let (mut engine, _) = social_engine(100, 9);
+        engine.quantile("likes", 0.5).unwrap();
+        let answers = engine.quantile_batch("likes", &[0.25, 0.5, 0.75]).unwrap();
+        assert!(!answers[0].from_cache);
+        assert!(answers[1].from_cache);
+        assert!(!answers[2].from_cache);
+        // Batched answers equal single-φ answers.
+        for answer in &answers {
+            let single = engine.quantile("likes", answer.phi).unwrap();
+            assert_eq!(single.result.weight, answer.result.weight);
+        }
+        assert_eq!(engine.stats().counters.batch_requests, 1);
+    }
+
+    #[test]
+    fn replace_database_invalidates_cached_results() {
+        let (mut engine, _) = social_engine(80, 1);
+        let before = engine.quantile("likes", 0.5).unwrap();
+        assert!(engine.quantile("likes", 0.5).unwrap().from_cache);
+
+        let other = SocialConfig {
+            rows_per_relation: 80,
+            seed: 999,
+            ..Default::default()
+        };
+        let (_, new_db) = other.generate().into_parts();
+        engine.replace_database("social", new_db).unwrap();
+
+        let after = engine.quantile("likes", 0.5).unwrap();
+        assert!(
+            !after.from_cache,
+            "replacement must invalidate cached results"
+        );
+        assert_eq!(engine.catalog().get("social").unwrap().generation, 2);
+        assert_eq!(engine.plan("likes").unwrap().generation, 2);
+        // Different seeds virtually always shift the median.
+        assert_ne!(
+            (before.result.total_answers, before.result.weight.clone()),
+            (after.result.total_answers, after.result.weight.clone())
+        );
+        assert!(engine.stats().cache.invalidations > 0);
+    }
+
+    #[test]
+    fn replace_database_is_atomic_on_recompile_failure() {
+        let (mut engine, _) = social_engine(60, 3);
+        let before_gen = engine.plan("likes").unwrap().generation;
+        // A database missing the registered query's relations cannot recompile.
+        let bad = Database::new();
+        assert!(engine.replace_database("social", bad).is_err());
+        assert_eq!(engine.plan("likes").unwrap().generation, before_gen);
+        assert_eq!(engine.catalog().get("social").unwrap().generation, 1);
+        assert!(engine.quantile("likes", 0.5).is_ok());
+    }
+
+    #[test]
+    fn intractable_plans_serve_approximate_only() {
+        let config = qjoin_workload::path::PathConfig {
+            atoms: 3,
+            tuples_per_relation: 40,
+            join_domain: 5,
+            weight_range: 100,
+            skew: 0.0,
+            seed: 5,
+        };
+        let instance = config.generate();
+        let (query, database) = instance.into_parts();
+        let mut engine = Engine::new();
+        engine.create_database("paths", database).unwrap();
+        engine
+            .register(
+                "fullsum",
+                "paths",
+                query.clone(),
+                Ranking::sum(query.variables()),
+            )
+            .unwrap();
+        assert!(matches!(
+            engine.quantile("fullsum", 0.5).unwrap_err(),
+            EngineError::PlanCannotServe { .. }
+        ));
+        let approx = engine
+            .quantile_with("fullsum", 0.5, Accuracy::Approximate { epsilon: 0.1 })
+            .unwrap();
+        assert!(approx.result.total_answers > 0);
+        // Approximate results are cached under their own key.
+        let again = engine
+            .quantile_with("fullsum", 0.5, Accuracy::Approximate { epsilon: 0.1 })
+            .unwrap();
+        assert!(again.from_cache);
+    }
+
+    #[test]
+    fn unknown_names_and_duplicates_error() {
+        let (mut engine, _) = social_engine(60, 2);
+        assert!(matches!(
+            engine.quantile("nope", 0.5).unwrap_err(),
+            EngineError::UnknownPlan(_)
+        ));
+        assert!(matches!(
+            engine
+                .register(
+                    "likes",
+                    "social",
+                    social_network_query(),
+                    Ranking::sum(vars(&["l2", "l3"]))
+                )
+                .unwrap_err(),
+            EngineError::DuplicatePlan(_)
+        ));
+        assert!(matches!(
+            engine
+                .register("p2", "missing", path_query(2), Ranking::sum(vars(&["x1"])))
+                .unwrap_err(),
+            EngineError::UnknownDatabase(_)
+        ));
+        engine.drop_plan("likes").unwrap();
+        assert!(matches!(
+            engine.drop_plan("likes").unwrap_err(),
+            EngineError::UnknownPlan(_)
+        ));
+    }
+}

@@ -1,0 +1,325 @@
+//! Prepared plans: a registration compiled once, served many times.
+//!
+//! Registering a `(query, ranking)` pair against a catalog database performs, **once**:
+//!
+//! 1. schema validation (the query's atoms match the database's relations),
+//! 2. acyclicity via GYO, caching the resulting join tree,
+//! 3. a Yannakakis counting pass, caching `|Q(D)|`,
+//! 4. the §5 dichotomy (Theorem 5.6), selecting the trimming strategy.
+//!
+//! Every subsequent quantile request against the plan skips straight to the §3
+//! recursion with the pre-selected trimmer. A plan remembers the database generation
+//! it was compiled against; the engine recompiles it when the database is replaced.
+
+use crate::error::EngineError;
+use qjoin_core::dichotomy::{classify_partial_sum, SumClassification};
+use qjoin_core::lossy_trim::LossySumTrimmer;
+use qjoin_core::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer, Trimmer};
+use qjoin_core::CoreError;
+use qjoin_data::Database;
+use qjoin_exec::count::count_answers;
+use qjoin_query::{acyclicity, Instance, JoinQuery, JoinTree};
+use qjoin_ranking::{AggregateKind, Ranking};
+use std::time::Duration;
+
+/// How a quantile request wants its answer: exact, or within a rank-error budget.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Accuracy {
+    /// An exact φ-quantile (only served by exact plan strategies).
+    Exact,
+    /// A deterministic `(φ ± ε)`-approximation via ε-lossy SUM trimming (Theorem 6.2).
+    Approximate {
+        /// The per-trim loss budget ε ∈ (0, 1) (the practical "direct" budget).
+        epsilon: f64,
+    },
+}
+
+impl Accuracy {
+    /// A stable cache-key component: `None` for exact, the ε bit pattern otherwise.
+    pub(crate) fn key_bits(&self) -> Option<u64> {
+        match self {
+            Accuracy::Exact => None,
+            Accuracy::Approximate { epsilon } => Some(epsilon.to_bits()),
+        }
+    }
+}
+
+/// The trimming strategy selected for a plan by the §5 dichotomy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanStrategy {
+    /// MIN/MAX ranking: exact pivoting with the Algorithm 3 trimmer (Theorem 5.3).
+    MinMax,
+    /// LEX ranking: exact pivoting with the §5.2 trimmer.
+    Lex,
+    /// SUM with all weighted variables in one atom: exact linear-time filter trims.
+    SumSingleAtom {
+        /// Index of the covering atom.
+        atom: usize,
+    },
+    /// SUM covered by two adjacent join-tree nodes: exact `O(n log n)` trims
+    /// (Lemma 5.5).
+    SumAdjacentPair {
+        /// Indices of the two covering atoms.
+        atoms: (usize, usize),
+    },
+    /// SUM on the intractable side of Theorem 5.6: only the ε-approximate path is
+    /// available. The payload is the dichotomy's witness.
+    SumApproximateOnly {
+        /// Why exact solving is intractable (independent set / chordless path / ...).
+        witness: String,
+    },
+}
+
+impl PlanStrategy {
+    /// True when the plan can serve exact quantile requests.
+    pub fn supports_exact(&self) -> bool {
+        !matches!(self, PlanStrategy::SumApproximateOnly { .. })
+    }
+
+    /// A short label for the CLI and stats output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PlanStrategy::MinMax => "minmax",
+            PlanStrategy::Lex => "lex",
+            PlanStrategy::SumSingleAtom { .. } => "sum-single-atom",
+            PlanStrategy::SumAdjacentPair { .. } => "sum-adjacent-pair",
+            PlanStrategy::SumApproximateOnly { .. } => "sum-approximate-only",
+        }
+    }
+}
+
+/// A compiled registration, ready to serve quantile requests.
+#[derive(Clone, Debug)]
+pub struct PreparedPlan {
+    /// The registration name (unique within an engine).
+    pub name: String,
+    /// A compact engine-assigned identifier (stable across recompilations).
+    pub id: u64,
+    /// The catalog database this plan reads.
+    pub database: String,
+    /// The database generation the plan was compiled against.
+    pub generation: u64,
+    /// The validated instance (query + a snapshot of the database).
+    pub instance: Instance,
+    /// The plan's ranking function.
+    pub ranking: Ranking,
+    /// The cached GYO join tree.
+    pub join_tree: JoinTree,
+    /// `|Q(D)|` from the compile-time Yannakakis counting pass.
+    pub total_answers: u128,
+    /// The trimming strategy selected by the dichotomy.
+    pub strategy: PlanStrategy,
+    /// Wall-clock time spent compiling the plan.
+    pub compile_time: Duration,
+}
+
+impl PreparedPlan {
+    /// Compiles a registration: validates, derives the join tree, counts, classifies.
+    pub fn compile(
+        name: &str,
+        id: u64,
+        database_name: &str,
+        generation: u64,
+        query: JoinQuery,
+        ranking: Ranking,
+        database: &Database,
+    ) -> Result<PreparedPlan, EngineError> {
+        let start = std::time::Instant::now();
+        let join_tree = acyclicity::gyo_join_tree(&query)
+            .ok_or_else(|| EngineError::Core(CoreError::CyclicQuery(query.to_string())))?;
+        let instance = Instance::new(query, database.clone())?;
+        let total_answers = count_answers(&instance)?;
+        let strategy = match ranking.kind() {
+            AggregateKind::Min | AggregateKind::Max => PlanStrategy::MinMax,
+            AggregateKind::Lex => PlanStrategy::Lex,
+            AggregateKind::Sum => {
+                match classify_partial_sum(instance.query(), ranking.weighted_vars()) {
+                    SumClassification::TractableSingleAtom { atom } => {
+                        PlanStrategy::SumSingleAtom { atom }
+                    }
+                    SumClassification::TractableAdjacentPair { atoms } => {
+                        PlanStrategy::SumAdjacentPair { atoms }
+                    }
+                    intractable => PlanStrategy::SumApproximateOnly {
+                        witness: format!("{intractable:?}"),
+                    },
+                }
+            }
+        };
+        Ok(PreparedPlan {
+            name: name.to_string(),
+            id,
+            database: database_name.to_string(),
+            generation,
+            instance,
+            ranking,
+            join_tree,
+            total_answers,
+            strategy,
+            compile_time: start.elapsed(),
+        })
+    }
+
+    /// Selects the trimmer serving a request of the given accuracy, or explains why
+    /// the plan cannot serve it.
+    pub fn trimmer_for(&self, accuracy: Accuracy) -> Result<Box<dyn Trimmer>, EngineError> {
+        match accuracy {
+            Accuracy::Exact => match &self.strategy {
+                PlanStrategy::MinMax => Ok(Box::new(MinMaxTrimmer)),
+                PlanStrategy::Lex => Ok(Box::new(LexTrimmer)),
+                PlanStrategy::SumSingleAtom { .. } | PlanStrategy::SumAdjacentPair { .. } => {
+                    Ok(Box::new(AdjacentSumTrimmer))
+                }
+                PlanStrategy::SumApproximateOnly { witness } => Err(EngineError::PlanCannotServe {
+                    plan: self.name.clone(),
+                    reason: format!(
+                        "exact SUM solving is intractable ({witness}); request an \
+                         approximate quantile with an ε budget instead"
+                    ),
+                }),
+            },
+            Accuracy::Approximate { epsilon } => {
+                if self.ranking.kind() != AggregateKind::Sum {
+                    return Err(EngineError::PlanCannotServe {
+                        plan: self.name.clone(),
+                        reason: format!(
+                            "ε-approximation targets SUM rankings; this plan ranks by {:?} \
+                             (exact solving is already quasilinear)",
+                            self.ranking.kind()
+                        ),
+                    });
+                }
+                if !(epsilon > 0.0 && epsilon < 1.0) {
+                    return Err(EngineError::Core(CoreError::InvalidEpsilon(epsilon)));
+                }
+                Ok(Box::new(LossySumTrimmer::new(epsilon)))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjoin_data::Relation;
+    use qjoin_query::query::{path_query, triangle_query};
+    use qjoin_query::variable::vars;
+
+    fn three_path_db(n: i64) -> Database {
+        let mut r1 = Relation::new("R1", 2);
+        let mut r2 = Relation::new("R2", 2);
+        let mut r3 = Relation::new("R3", 2);
+        for i in 0..n {
+            r1.push(vec![((7 * i) % 43).into(), (i % 3).into()])
+                .unwrap();
+            r2.push(vec![(i % 3).into(), ((5 * i) % 37).into()])
+                .unwrap();
+            r3.push(vec![((5 * i) % 37).into(), ((3 * i) % 31).into()])
+                .unwrap();
+        }
+        Database::from_relations([r1, r2, r3]).unwrap()
+    }
+
+    #[test]
+    fn compile_caches_counts_and_selects_strategies() {
+        let db = three_path_db(12);
+        let cases: Vec<(Ranking, &str, bool)> = vec![
+            (Ranking::max(path_query(3).variables()), "minmax", true),
+            (Ranking::lex(vars(&["x1", "x4"])), "lex", true),
+            (Ranking::sum(vars(&["x2"])), "sum-single-atom", true),
+            (
+                Ranking::sum(vars(&["x1", "x2", "x3"])),
+                "sum-adjacent-pair",
+                true,
+            ),
+            (
+                Ranking::sum(path_query(3).variables()),
+                "sum-approximate-only",
+                false,
+            ),
+        ];
+        for (i, (ranking, label, exact)) in cases.into_iter().enumerate() {
+            let plan =
+                PreparedPlan::compile("p", i as u64, "db", 1, path_query(3), ranking, &db).unwrap();
+            assert_eq!(plan.strategy.label(), label);
+            assert_eq!(plan.strategy.supports_exact(), exact);
+            assert!(plan.total_answers > 0);
+            assert_eq!(
+                plan.total_answers,
+                count_answers(&plan.instance).unwrap(),
+                "cached count must match a fresh Yannakakis pass"
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_queries_fail_to_compile() {
+        let db = Database::from_relations([
+            Relation::from_rows("R", &[&[1, 1]]).unwrap(),
+            Relation::from_rows("S", &[&[1, 1]]).unwrap(),
+            Relation::from_rows("T", &[&[1, 1]]).unwrap(),
+        ])
+        .unwrap();
+        let ranking = Ranking::sum(triangle_query().variables());
+        let err =
+            PreparedPlan::compile("p", 0, "db", 1, triangle_query(), ranking, &db).unwrap_err();
+        assert!(matches!(err, EngineError::Core(CoreError::CyclicQuery(_))));
+    }
+
+    #[test]
+    fn trimmer_selection_honors_accuracy() {
+        let db = three_path_db(8);
+        let intractable = PreparedPlan::compile(
+            "p",
+            0,
+            "db",
+            1,
+            path_query(3),
+            Ranking::sum(path_query(3).variables()),
+            &db,
+        )
+        .unwrap();
+        assert!(matches!(
+            intractable.trimmer_for(Accuracy::Exact).err().unwrap(),
+            EngineError::PlanCannotServe { .. }
+        ));
+        assert!(intractable
+            .trimmer_for(Accuracy::Approximate { epsilon: 0.1 })
+            .is_ok());
+        assert!(matches!(
+            intractable
+                .trimmer_for(Accuracy::Approximate { epsilon: 1.5 })
+                .err()
+                .unwrap(),
+            EngineError::Core(CoreError::InvalidEpsilon(_))
+        ));
+
+        let minmax = PreparedPlan::compile(
+            "m",
+            1,
+            "db",
+            1,
+            path_query(3),
+            Ranking::max(path_query(3).variables()),
+            &db,
+        )
+        .unwrap();
+        assert!(minmax.trimmer_for(Accuracy::Exact).is_ok());
+        assert!(matches!(
+            minmax
+                .trimmer_for(Accuracy::Approximate { epsilon: 0.1 })
+                .err()
+                .unwrap(),
+            EngineError::PlanCannotServe { .. }
+        ));
+    }
+
+    #[test]
+    fn accuracy_key_bits_distinguish_budgets() {
+        assert_eq!(Accuracy::Exact.key_bits(), None);
+        assert_ne!(
+            Accuracy::Approximate { epsilon: 0.1 }.key_bits(),
+            Accuracy::Approximate { epsilon: 0.2 }.key_bits()
+        );
+    }
+}

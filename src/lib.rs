@@ -12,7 +12,10 @@
 //! * [`exec`] — Yannakakis evaluation, message passing, counting, direct access;
 //! * [`ranking`] — SUM / MIN / MAX / LEX ranking functions and predicates;
 //! * [`core`] — the pivoting framework, exact and lossy trimmings, the partial-SUM
-//!   dichotomy, deterministic and randomized approximations, and baselines;
+//!   dichotomy, deterministic and randomized approximations, batched multi-φ solving,
+//!   and baselines;
+//! * [`engine`] — the persistent quantile-query engine: a catalog of named databases,
+//!   compile-once prepared plans, an LRU result cache, and the `qjoin` CLI;
 //! * [`workload`] — synthetic instance generators used by the examples, tests, and
 //!   benchmarks.
 //!
@@ -35,25 +38,40 @@
 
 pub use qjoin_core as core;
 pub use qjoin_data as data;
+pub use qjoin_engine as engine;
 pub use qjoin_exec as exec;
 pub use qjoin_query as query;
 pub use qjoin_ranking as ranking;
 pub use qjoin_workload as workload;
 
-pub use qjoin_core::solver::{approximate_sum_quantile, exact_quantile, ErrorBudget};
+pub use qjoin_core::solver::{
+    approximate_sum_quantile, exact_quantile, exact_quantile_batch, ErrorBudget,
+};
 pub use qjoin_core::{CoreError, PivotingOptions, QuantileResult};
+pub use qjoin_engine::{Engine, EngineError};
 pub use qjoin_query::Instance;
 pub use qjoin_ranking::Ranking;
 
 /// One-stop imports for applications and examples.
 pub mod prelude {
     pub use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
+    pub use qjoin_core::batch::quantile_batch_by_pivoting;
     pub use qjoin_core::dichotomy::{classify_partial_sum, SumClassification};
-    pub use qjoin_core::quantile::{quantile_by_pivoting, PivotingOptions};
+    pub use qjoin_core::lossy_trim::LossySumTrimmer;
+    pub use qjoin_core::quantile::{quantile_by_pivoting, target_rank, PivotingOptions};
     pub use qjoin_core::sampling::{quantile_by_sampling, SamplingOptions};
-    pub use qjoin_core::solver::{approximate_sum_quantile, exact_quantile, ErrorBudget};
+    pub use qjoin_core::sketch::{sketch, RoundDirection, SketchBucket, SketchEntry};
+    pub use qjoin_core::solver::{
+        approximate_sum_quantile, exact_quantile, exact_quantile_batch,
+        exact_quantile_batch_with_options, exact_quantile_with_options, ErrorBudget,
+    };
+    pub use qjoin_core::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer, Trimmer};
     pub use qjoin_core::QuantileResult;
     pub use qjoin_data::{Database, Relation, Tuple, Value};
+    pub use qjoin_engine::{
+        Accuracy, Engine, EngineAnswer, EngineConfig, EngineError, EngineStats, PlanStrategy,
+        PreparedPlan,
+    };
     pub use qjoin_exec::count::count_answers;
     pub use qjoin_query::query::{path_query, social_network_query, star_query};
     pub use qjoin_query::variable::vars;
