@@ -1,0 +1,123 @@
+//! Bench E-DATALAYER: what data copying costs in the trim layer and the engine.
+//!
+//! The §3 recursion trims the database O(log n) times per solve; every trim used to
+//! deep-copy relations the rank predicate never touches, and every plan registration
+//! used to deep-copy the whole catalog database into the plan's instance. With the
+//! copy-on-write data layer those copies are `Arc` pointer bumps, so:
+//!
+//! * `sum_solve` / `lex_solve` — trim-heavy exact solves whose per-iteration cost
+//!   used to be dominated by cloning untouched relations;
+//! * `register` — compiling `PLANS` prepared plans against one catalog database
+//!   (tuple storage must be allocated exactly once);
+//! * `replace` — swapping a database under `PLANS` dependent plans, which recompiles
+//!   all of them against the replacement.
+//!
+//! `BENCH_datalayer.json` at the workspace root records before/after medians.
+//! Set `QJOIN_BENCH_SMOKE=1` (as CI does) for a 1-sample run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qjoin_bench::{scaling_path_config, scaling_social_config};
+use qjoin_core::solver::exact_quantile;
+use qjoin_data::Database;
+use qjoin_engine::Engine;
+use qjoin_query::query::social_network_query;
+use qjoin_query::variable::vars;
+use qjoin_ranking::Ranking;
+use std::hint::black_box;
+
+/// Number of prepared plans registered against the shared catalog database.
+const PLANS: usize = 8;
+
+/// A diverse plan mix over the social-network query: every ranking kind, so the
+/// registration and replacement paths exercise every strategy's compile step.
+fn plan_rankings() -> Vec<(String, Ranking)> {
+    let all = social_network_query().variables();
+    (0..PLANS)
+        .map(|i| {
+            let ranking = match i % 4 {
+                0 => Ranking::sum(vars(&["l2", "l3"])),
+                1 => Ranking::max(all.clone()),
+                2 => Ranking::min(vars(&["l2"])),
+                _ => Ranking::lex(vars(&["l3", "l2"])),
+            };
+            (format!("plan{i}"), ranking)
+        })
+        .collect()
+}
+
+/// An engine with one social database and the full plan mix registered.
+fn engine_with_plans(database: Database) -> Engine {
+    let mut engine = Engine::new();
+    engine.create_database("social", database).unwrap();
+    for (name, ranking) in plan_rankings() {
+        engine
+            .register(&name, "social", social_network_query(), ranking)
+            .unwrap();
+    }
+    engine
+}
+
+fn bench_datalayer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalayer");
+    let smoke = std::env::var_os("QJOIN_BENCH_SMOKE").is_some();
+    if smoke {
+        group.sample_size(1);
+        group.measurement_time(std::time::Duration::from_millis(50));
+        group.warm_up_time(std::time::Duration::from_millis(10));
+    } else {
+        group.sample_size(10);
+        group.measurement_time(std::time::Duration::from_secs(2));
+        group.warm_up_time(std::time::Duration::from_millis(300));
+    }
+
+    // Trim-heavy exact solves: SUM (adjacent pair) on the social-network join, LEX
+    // on the 3-path join. Both recurse through O(log n) trimming rounds.
+    let social_rows = if smoke { 60 } else { 300 };
+    let social = scaling_social_config(social_rows, 2023);
+    let social_instance = social.generate();
+    let sum_ranking = social.likes_ranking();
+    group.bench_with_input(
+        BenchmarkId::new("sum_solve", social_rows),
+        &social_rows,
+        |b, _| b.iter(|| black_box(exact_quantile(&social_instance, &sum_ranking, 0.5).unwrap())),
+    );
+
+    let path_rows = if smoke { 100 } else { 1_000 };
+    let path_instance = scaling_path_config(path_rows, 19).generate();
+    let lex_ranking = Ranking::lex(vars(&["x2", "x4"]));
+    group.bench_with_input(
+        BenchmarkId::new("lex_solve", path_rows),
+        &path_rows,
+        |b, _| b.iter(|| black_box(exact_quantile(&path_instance, &lex_ranking, 0.75).unwrap())),
+    );
+
+    // Snapshot cost: cloning the whole database — the copy every trim round paid per
+    // untouched relation, and every plan registration paid for the full catalog.
+    let (_, database) = social.generate().into_parts();
+    group.bench_with_input(
+        BenchmarkId::new("db_clone", social_rows),
+        &social_rows,
+        |b, _| b.iter(|| black_box(database.clone())),
+    );
+    group.bench_with_input(BenchmarkId::new("register", PLANS), &PLANS, |b, _| {
+        b.iter(|| black_box(engine_with_plans(database.clone())))
+    });
+
+    // Replacement: swap the database under PLANS dependent plans (recompiles all).
+    let mut engine = engine_with_plans(database);
+    let (_, replacement) = scaling_social_config(social_rows, 77)
+        .generate()
+        .into_parts();
+    group.bench_with_input(BenchmarkId::new("replace", PLANS), &PLANS, |b, _| {
+        b.iter(|| {
+            engine
+                .replace_database("social", replacement.clone())
+                .unwrap()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalayer);
+criterion_main!(benches);

@@ -145,28 +145,45 @@ pub(crate) fn partition_union_trim(
     let partition_var = Variable::fresh("x_p", query_vars.iter());
     let new_query = query.with_variable_everywhere(&partition_var);
 
+    // Filter once per partition (untouched relations are shared, not copied), then
+    // assemble each union relation in a single pre-sized pass: every tuple is built
+    // exactly once, directly in its final storage, with its partition tag appended.
+    let filtered: Vec<Database> = partitions
+        .iter()
+        .map(|conjunction| filtered_database(&instance, ranking, conjunction))
+        .collect::<Result<_>>()?;
     let mut union_db = Database::new();
     for atom in query.atoms() {
         let base = instance.database().relation(atom.relation())?;
-        union_db.add_relation(Relation::new(base.name(), base.arity() + 1))?;
-    }
-    for (partition_idx, conjunction) in partitions.iter().enumerate() {
-        let filtered = filtered_database(&instance, ranking, conjunction)?;
-        for rel in filtered.relations() {
-            let tagged = rel.with_constant_column(Value::from(partition_idx as i64));
-            let target = union_db.relation_mut(rel.name())?;
-            for t in tagged.iter() {
-                target.push_tuple(t.clone())?;
-            }
+        let total: usize = filtered
+            .iter()
+            .map(|db| db.relation(base.name()).expect("same schema").len())
+            .sum();
+        let mut tuples = Vec::with_capacity(total);
+        for (partition_idx, db) in filtered.iter().enumerate() {
+            let tag = Value::from(partition_idx as i64);
+            tuples.extend(
+                db.relation(base.name())
+                    .expect("same schema")
+                    .iter()
+                    .map(|t| t.extended(tag.clone())),
+            );
         }
+        let mut union_rel = Relation::new(base.name(), base.arity() + 1);
+        union_rel.set_tuples(tuples)?;
+        union_db.add_relation(union_rel)?;
     }
     Ok(Instance::new(new_query, union_db)?)
 }
 
-/// A copy of the instance's database in which every relation is filtered by the unary
-/// predicates that mention variables of its atom. A variable occurring in several
-/// atoms is filtered in each of them, which is sound (the predicate is a property of
-/// the answer's value for that variable) and keeps the copies small.
+/// A derived database in which every relation is filtered by the unary predicates
+/// that mention variables of its atom. A variable occurring in several atoms is
+/// filtered in each of them, which is sound (the predicate is a property of the
+/// answer's value for that variable) and keeps the copies small.
+///
+/// Relations whose atom mentions no predicate variable are **shared by handle** with
+/// the input database (no tuple copy), so each §3 trimming round materializes only
+/// the relations the predicate actually touches.
 fn filtered_database(
     instance: &Instance,
     ranking: &Ranking,

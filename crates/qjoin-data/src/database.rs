@@ -13,6 +13,11 @@ use std::fmt;
 ///
 /// Relations are stored in a [`BTreeMap`] keyed by name so that iteration order is
 /// deterministic, which keeps the algorithms reproducible and the tests stable.
+///
+/// Because [`Relation`] shares its tuple storage behind an `Arc`, cloning a database
+/// copies only the map of relation handles — the tuples themselves are shared until a
+/// relation is mutated (copy-on-write). Derived databases built by the trimming
+/// constructions therefore share every relation they do not rewrite.
 #[derive(Clone, PartialEq, Eq, Default)]
 pub struct Database {
     relations: BTreeMap<String, Relation>,
@@ -89,6 +94,16 @@ impl Database {
     /// The database size `n`: total number of tuples over all relations.
     pub fn total_tuples(&self) -> usize {
         self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// An estimate of the resident heap bytes across all relations' tuple storage
+    /// (see [`Relation::estimated_tuple_bytes`]). Shared storage is counted once per
+    /// referencing relation, so the estimate is an upper bound.
+    pub fn estimated_tuple_bytes(&self) -> usize {
+        self.relations
+            .values()
+            .map(|r| r.estimated_tuple_bytes())
+            .sum()
     }
 
     /// True when any relation is empty (the join of a query referencing it is then

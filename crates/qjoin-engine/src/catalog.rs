@@ -8,12 +8,17 @@
 use crate::error::EngineError;
 use qjoin_data::Database;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-/// One catalog entry: a database and its current generation.
+/// One catalog entry: a shared database and its current generation.
+///
+/// The database is held behind an [`Arc`]: every prepared plan compiled against this
+/// generation shares the same handle, so registering N plans (or recompiling them on
+/// replacement) allocates the tuple storage exactly once.
 #[derive(Clone, Debug)]
 pub struct CatalogEntry {
-    /// The database contents.
-    pub database: Database,
+    /// The database contents, shared with every plan compiled against this generation.
+    pub database: Arc<Database>,
     /// Bumped every time the database is replaced; generation 1 is the initial load.
     pub generation: u64,
 }
@@ -30,15 +35,20 @@ impl Catalog {
         Catalog::default()
     }
 
-    /// Adds a database under a fresh name. Fails if the name is taken.
-    pub fn create(&mut self, name: &str, database: Database) -> Result<(), EngineError> {
+    /// Adds a database under a fresh name. Fails if the name is taken. Accepts an
+    /// owned [`Database`] or an already-shared `Arc<Database>`.
+    pub fn create(
+        &mut self,
+        name: &str,
+        database: impl Into<Arc<Database>>,
+    ) -> Result<(), EngineError> {
         if self.entries.contains_key(name) {
             return Err(EngineError::DuplicateDatabase(name.to_string()));
         }
         self.entries.insert(
             name.to_string(),
             CatalogEntry {
-                database,
+                database: database.into(),
                 generation: 1,
             },
         );
@@ -47,12 +57,16 @@ impl Catalog {
 
     /// Replaces an existing database, bumping its generation. Returns the new
     /// generation. Fails if the name is unknown.
-    pub fn replace(&mut self, name: &str, database: Database) -> Result<u64, EngineError> {
+    pub fn replace(
+        &mut self,
+        name: &str,
+        database: impl Into<Arc<Database>>,
+    ) -> Result<u64, EngineError> {
         let entry = self
             .entries
             .get_mut(name)
             .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))?;
-        entry.database = database;
+        entry.database = database.into();
         entry.generation += 1;
         Ok(entry.generation)
     }

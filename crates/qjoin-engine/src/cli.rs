@@ -49,7 +49,7 @@ REPL COMMANDS:
   quantile <plan> <phi> [eps=<ε>]           serve one quantile
   batch <plan> <phi> [<phi> ...] [eps=<ε>]  serve many quantiles in one pass
   plans                                     list prepared plans
-  stats                                     engine statistics
+  stats                                     engine statistics + per-plan storage sharing
   help                                      this text
   quit | exit                               leave the REPL";
 
@@ -100,7 +100,7 @@ impl CliSession {
             "quantile" => self.cmd_quantile(rest),
             "batch" => self.cmd_batch(rest),
             "plans" => Ok(self.cmd_plans()),
-            "stats" => Ok(self.engine.stats().to_string()),
+            "stats" => Ok(self.cmd_stats()),
             "quit" | "exit" => Err("__quit__".to_string()),
             other => Err(format!("unknown command {other:?}; try `help`")),
         }
@@ -216,6 +216,55 @@ impl CliSession {
             lines.push("no plans registered".to_string());
         }
         lines.join("\n")
+    }
+
+    /// Engine counters followed by the storage report: resident bytes per catalogued
+    /// database, and per plan the split between relations shared with the catalog
+    /// (pointer-identical storage) and privately owned copies. With the copy-on-write
+    /// data layer every plan should report `owned=0`.
+    fn cmd_stats(&self) -> String {
+        let mut out = self.engine.stats().to_string();
+        for (name, entry) in self.engine.catalog().iter() {
+            write!(
+                out,
+                "\ndb {name}: generation={} relations={} tuples={} resident≈{}",
+                entry.generation,
+                entry.database.num_relations(),
+                entry.database.total_tuples(),
+                format_bytes(entry.database.estimated_tuple_bytes()),
+            )
+            .unwrap();
+        }
+        for s in self.engine.plan_storage_stats() {
+            write!(
+                out,
+                "\nplan {}: db={} relations shared={} owned={} bytes shared≈{} owned≈{}",
+                s.plan,
+                s.database,
+                s.shared_relations,
+                s.owned_relations,
+                format_bytes(s.shared_bytes),
+                format_bytes(s.owned_bytes),
+            )
+            .unwrap();
+        }
+        out
+    }
+}
+
+/// Formats a byte count with a binary unit suffix.
+fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit < UNITS.len() - 1 {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
     }
 }
 
@@ -561,6 +610,13 @@ mod tests {
         assert!(batch.contains("1 from cache"), "{batch}");
         let stats = ok(&mut session, "stats");
         assert!(stats.contains("plans:              1"), "{stats}");
+        // The storage report shows the plan sharing every relation with the catalog.
+        assert!(stats.contains("db s: generation=1 relations=3"), "{stats}");
+        assert!(
+            stats.contains("plan likes: db=s relations shared=3 owned=0"),
+            "{stats}"
+        );
+        assert!(stats.contains("owned≈0 B"), "{stats}");
     }
 
     #[test]
@@ -621,6 +677,14 @@ mod tests {
         ok(&mut session, "register p s");
         assert!(session.execute("quantile p 0.5 esp=0.1").is_err());
         assert!(session.execute("batch p 0.5 esp=0.1").is_err());
+    }
+
+    #[test]
+    fn bytes_format_uses_binary_units() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.0 KiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024), "3.0 MiB");
     }
 
     #[test]

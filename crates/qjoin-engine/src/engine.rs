@@ -23,6 +23,7 @@ use qjoin_query::JoinQuery;
 use qjoin_ranking::Ranking;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// `(plan id, database generation, φ bits, accuracy bits)`.
 type CacheKey = (u64, u64, u64, Option<u64>);
@@ -71,6 +72,27 @@ pub struct EngineCounters {
     pub solved: u64,
     /// Plan compilations, including recompilations after database replacement.
     pub plan_compilations: u64,
+}
+
+/// Storage accounting for one prepared plan: how many of its instance's relations
+/// share tuple storage with the catalog database (pointer-identical `Arc`s) versus
+/// privately own a copy, and the estimated resident bytes on each side. With the
+/// copy-on-write data layer every plan should report zero owned relations — a plan
+/// is a view over the catalog's storage, not a snapshot.
+#[derive(Clone, Debug)]
+pub struct PlanStorageStats {
+    /// The plan's registration name.
+    pub plan: String,
+    /// The catalog database the plan reads.
+    pub database: String,
+    /// Relations whose tuple storage is shared with the catalog database.
+    pub shared_relations: usize,
+    /// Relations holding private tuple storage (copies attributable to this plan).
+    pub owned_relations: usize,
+    /// Estimated tuple bytes of the shared relations (resident once, in the catalog).
+    pub shared_bytes: usize,
+    /// Estimated tuple bytes of the privately owned relations (extra resident cost).
+    pub owned_bytes: usize,
 }
 
 /// A point-in-time snapshot of the engine's state and counters.
@@ -149,16 +171,28 @@ impl Engine {
         }
     }
 
-    /// Adds a database to the catalog under a fresh name.
-    pub fn create_database(&mut self, name: &str, database: Database) -> Result<(), EngineError> {
+    /// Adds a database to the catalog under a fresh name. Accepts an owned
+    /// [`Database`] or an `Arc<Database>` that is already shared.
+    pub fn create_database(
+        &mut self,
+        name: &str,
+        database: impl Into<Arc<Database>>,
+    ) -> Result<(), EngineError> {
         self.catalog.create(name, database)
     }
 
     /// Replaces a catalogued database, recompiling every dependent plan against the
-    /// new contents and invalidating their cached results. The operation is atomic:
-    /// if any dependent plan fails to recompile (e.g. the new database no longer
-    /// matches a registered query's schema), nothing changes.
-    pub fn replace_database(&mut self, name: &str, database: Database) -> Result<(), EngineError> {
+    /// new contents and invalidating their cached results. All recompiled plans share
+    /// the replacement database by handle — the relation data is stored once, no
+    /// matter how many plans depend on it. The operation is atomic: if any dependent
+    /// plan fails to recompile (e.g. the new database no longer matches a registered
+    /// query's schema), nothing changes.
+    pub fn replace_database(
+        &mut self,
+        name: &str,
+        database: impl Into<Arc<Database>>,
+    ) -> Result<(), EngineError> {
+        let database: Arc<Database> = database.into();
         let entry = self.catalog.get(name)?;
         let new_generation = entry.generation + 1;
         let mut recompiled = Vec::new();
@@ -354,6 +388,47 @@ impl Engine {
             .collect())
     }
 
+    /// Per-plan storage accounting: for every registered plan, how many of its
+    /// relations share tuple storage with the plan's catalog database and how many
+    /// are private copies, with estimated byte totals. Sharing is checked by pointer
+    /// equality on the underlying storage, so this is a direct observation of the
+    /// copy-on-write invariant from the serving layer.
+    pub fn plan_storage_stats(&self) -> Vec<PlanStorageStats> {
+        self.plans
+            .values()
+            .map(|plan| {
+                let catalog_db = self
+                    .catalog
+                    .get(&plan.database)
+                    .map(|entry| Arc::clone(&entry.database))
+                    .ok();
+                let mut stats = PlanStorageStats {
+                    plan: plan.name.clone(),
+                    database: plan.database.clone(),
+                    shared_relations: 0,
+                    owned_relations: 0,
+                    shared_bytes: 0,
+                    owned_bytes: 0,
+                };
+                for rel in plan.instance.database().relations() {
+                    let shared = catalog_db
+                        .as_deref()
+                        .and_then(|db| db.relation(rel.name()).ok())
+                        .is_some_and(|catalog_rel| rel.shares_tuples_with(catalog_rel));
+                    let bytes = rel.estimated_tuple_bytes();
+                    if shared {
+                        stats.shared_relations += 1;
+                        stats.shared_bytes += bytes;
+                    } else {
+                        stats.owned_relations += 1;
+                        stats.owned_bytes += bytes;
+                    }
+                }
+                stats
+            })
+            .collect()
+    }
+
     /// A snapshot of the engine's state and counters.
     pub fn stats(&self) -> EngineStats {
         EngineStats {
@@ -515,6 +590,51 @@ mod tests {
             .quantile_with("fullsum", 0.5, Accuracy::Approximate { epsilon: 0.1 })
             .unwrap();
         assert!(again.from_cache);
+    }
+
+    #[test]
+    fn plans_share_the_catalog_database_by_pointer() {
+        let (mut engine, _) = social_engine(80, 5);
+        engine
+            .register(
+                "maxlikes",
+                "social",
+                social_network_query(),
+                Ranking::max(social_network_query().variables()),
+            )
+            .unwrap();
+        let catalog_db = Arc::clone(&engine.catalog().get("social").unwrap().database);
+        for plan in engine.plans() {
+            assert!(
+                Arc::ptr_eq(plan.instance.shared_database(), &catalog_db),
+                "plan {} must share the catalog database, not copy it",
+                plan.name
+            );
+        }
+        for stats in engine.plan_storage_stats() {
+            assert_eq!(stats.owned_relations, 0, "plan {}", stats.plan);
+            assert_eq!(stats.owned_bytes, 0);
+            assert_eq!(stats.shared_relations, 3);
+            assert!(stats.shared_bytes > 0);
+        }
+
+        // Replacement moves every dependent plan onto one new shared handle.
+        let (_, new_db) = SocialConfig {
+            rows_per_relation: 80,
+            seed: 123,
+            ..Default::default()
+        }
+        .generate()
+        .into_parts();
+        engine.replace_database("social", new_db).unwrap();
+        let new_catalog_db = Arc::clone(&engine.catalog().get("social").unwrap().database);
+        assert!(!Arc::ptr_eq(&catalog_db, &new_catalog_db));
+        for plan in engine.plans() {
+            assert!(Arc::ptr_eq(
+                plan.instance.shared_database(),
+                &new_catalog_db
+            ));
+        }
     }
 
     #[test]

@@ -64,6 +64,8 @@ pub mod plan;
 
 pub use cache::{CacheStats, LruCache};
 pub use catalog::{Catalog, CatalogEntry};
-pub use engine::{Engine, EngineAnswer, EngineConfig, EngineCounters, EngineStats};
+pub use engine::{
+    Engine, EngineAnswer, EngineConfig, EngineCounters, EngineStats, PlanStorageStats,
+};
 pub use error::EngineError;
 pub use plan::{Accuracy, PlanStrategy, PreparedPlan};

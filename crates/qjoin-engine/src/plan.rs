@@ -20,6 +20,7 @@ use qjoin_data::Database;
 use qjoin_exec::count::count_answers;
 use qjoin_query::{acyclicity, Instance, JoinQuery, JoinTree};
 use qjoin_ranking::{AggregateKind, Ranking};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// How a quantile request wants its answer: exact, or within a rank-error budget.
@@ -99,7 +100,8 @@ pub struct PreparedPlan {
     pub database: String,
     /// The database generation the plan was compiled against.
     pub generation: u64,
-    /// The validated instance (query + a snapshot of the database).
+    /// The validated instance. Its database is the catalog's `Arc<Database>` for the
+    /// plan's generation — shared, not copied, across all plans of that generation.
     pub instance: Instance,
     /// The plan's ranking function.
     pub ranking: Ranking,
@@ -115,6 +117,7 @@ pub struct PreparedPlan {
 
 impl PreparedPlan {
     /// Compiles a registration: validates, derives the join tree, counts, classifies.
+    /// The plan's instance shares `database` by handle — no relation data is copied.
     pub fn compile(
         name: &str,
         id: u64,
@@ -122,12 +125,12 @@ impl PreparedPlan {
         generation: u64,
         query: JoinQuery,
         ranking: Ranking,
-        database: &Database,
+        database: &Arc<Database>,
     ) -> Result<PreparedPlan, EngineError> {
         let start = std::time::Instant::now();
         let join_tree = acyclicity::gyo_join_tree(&query)
             .ok_or_else(|| EngineError::Core(CoreError::CyclicQuery(query.to_string())))?;
-        let instance = Instance::new(query, database.clone())?;
+        let instance = Instance::new(query, Arc::clone(database))?;
         let total_answers = count_answers(&instance)?;
         let strategy = match ranking.kind() {
             AggregateKind::Min | AggregateKind::Max => PlanStrategy::MinMax,
@@ -222,7 +225,7 @@ mod tests {
 
     #[test]
     fn compile_caches_counts_and_selects_strategies() {
-        let db = three_path_db(12);
+        let db = Arc::new(three_path_db(12));
         let cases: Vec<(Ranking, &str, bool)> = vec![
             (Ranking::max(path_query(3).variables()), "minmax", true),
             (Ranking::lex(vars(&["x1", "x4"])), "lex", true),
@@ -254,12 +257,14 @@ mod tests {
 
     #[test]
     fn cyclic_queries_fail_to_compile() {
-        let db = Database::from_relations([
-            Relation::from_rows("R", &[&[1, 1]]).unwrap(),
-            Relation::from_rows("S", &[&[1, 1]]).unwrap(),
-            Relation::from_rows("T", &[&[1, 1]]).unwrap(),
-        ])
-        .unwrap();
+        let db = Arc::new(
+            Database::from_relations([
+                Relation::from_rows("R", &[&[1, 1]]).unwrap(),
+                Relation::from_rows("S", &[&[1, 1]]).unwrap(),
+                Relation::from_rows("T", &[&[1, 1]]).unwrap(),
+            ])
+            .unwrap(),
+        );
         let ranking = Ranking::sum(triangle_query().variables());
         let err =
             PreparedPlan::compile("p", 0, "db", 1, triangle_query(), ranking, &db).unwrap_err();
@@ -268,7 +273,7 @@ mod tests {
 
     #[test]
     fn trimmer_selection_honors_accuracy() {
-        let db = three_path_db(8);
+        let db = Arc::new(three_path_db(8));
         let intractable = PreparedPlan::compile(
             "p",
             0,

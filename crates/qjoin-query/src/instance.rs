@@ -4,22 +4,30 @@ use crate::{JoinQuery, QueryError, Result, Variable};
 use qjoin_data::{Database, Relation};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
-/// A query evaluation instance: a [`JoinQuery`] together with a [`Database`].
+/// A query evaluation instance: a [`JoinQuery`] together with a shared [`Database`].
 ///
 /// Everything the quantile algorithms manipulate — the original input, the partitions
 /// produced by trimming, the restricted instances searched in later iterations — is an
 /// [`Instance`]. The pair is validated on construction: every atom must reference an
 /// existing relation of matching arity.
+///
+/// The database is held behind an [`Arc`], so instances sharing one database (e.g.
+/// every prepared plan compiled against the same catalog generation) reference a
+/// single copy of the relation data. [`Instance::new`] accepts either an owned
+/// [`Database`] or an existing `Arc<Database>`; [`Instance::shared_database`] exposes
+/// the handle for further sharing and for pointer-equality assertions.
 #[derive(Clone, PartialEq)]
 pub struct Instance {
     query: JoinQuery,
-    database: Database,
+    database: Arc<Database>,
 }
 
 impl Instance {
     /// Creates and validates an instance.
-    pub fn new(query: JoinQuery, database: Database) -> Result<Self> {
+    pub fn new(query: JoinQuery, database: impl Into<Arc<Database>>) -> Result<Self> {
+        let database = database.into();
         if query.num_atoms() == 0 {
             return Err(QueryError::EmptyQuery);
         }
@@ -48,9 +56,17 @@ impl Instance {
         &self.database
     }
 
-    /// Decomposes the instance into its parts.
+    /// The shared database handle. Cloning the returned `Arc` (or passing it to
+    /// [`Instance::new`]) shares the relation data without copying it.
+    pub fn shared_database(&self) -> &Arc<Database> {
+        &self.database
+    }
+
+    /// Decomposes the instance into its parts. If the database is shared with other
+    /// instances, the returned value is a cheap handle-level copy of it.
     pub fn into_parts(self) -> (JoinQuery, Database) {
-        (self.query, self.database)
+        let database = Arc::try_unwrap(self.database).unwrap_or_else(|shared| (*shared).clone());
+        (self.query, database)
     }
 
     /// The database size `n` (total tuples).

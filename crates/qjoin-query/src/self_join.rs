@@ -15,8 +15,10 @@ use std::collections::HashMap;
 /// Rewrites the instance so that no relational symbol occurs in more than one atom.
 ///
 /// The first occurrence of each symbol keeps its name; later occurrences get fresh
-/// names (`R@2`, `R@3`, ...) bound to copies of the original relation. If the query is
-/// already self-join-free the instance is returned unchanged (no relation copies).
+/// names (`R@2`, `R@3`, ...) bound to renamed views of the original relation. No tuple
+/// data is copied: the renamed relations share the original's storage, and relations
+/// of non-repeated symbols are carried over by handle. If the query is already
+/// self-join-free the instance is returned unchanged.
 pub fn eliminate_self_joins(instance: &Instance) -> Result<Instance> {
     if !instance.query().has_self_joins() {
         return Ok(instance.clone());
@@ -75,11 +77,21 @@ mod tests {
             .collect();
         assert_eq!(names[0], "R");
         assert_ne!(names[1], "R");
-        // The copy holds the same tuples.
+        // The fresh relation shares the original's tuple storage.
         assert_eq!(
             rewritten.database().relation(names[1]).unwrap().tuples(),
             inst.database().relation("R").unwrap().tuples()
         );
+        assert!(rewritten
+            .database()
+            .relation(names[1])
+            .unwrap()
+            .shares_tuples_with(inst.database().relation("R").unwrap()));
+        assert!(rewritten
+            .database()
+            .relation("R")
+            .unwrap()
+            .shares_tuples_with(inst.database().relation("R").unwrap()));
     }
 
     #[test]

@@ -69,8 +69,8 @@ pub mod prelude {
     pub use qjoin_core::QuantileResult;
     pub use qjoin_data::{Database, Relation, Tuple, Value};
     pub use qjoin_engine::{
-        Accuracy, Engine, EngineAnswer, EngineConfig, EngineError, EngineStats, PlanStrategy,
-        PreparedPlan,
+        Accuracy, Engine, EngineAnswer, EngineConfig, EngineError, EngineStats, PlanStorageStats,
+        PlanStrategy, PreparedPlan,
     };
     pub use qjoin_exec::count::count_answers;
     pub use qjoin_query::query::{path_query, social_network_query, star_query};
