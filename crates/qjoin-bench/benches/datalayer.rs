@@ -47,7 +47,7 @@ fn plan_rankings() -> Vec<(String, Ranking)> {
 
 /// An engine with one social database and the full plan mix registered.
 fn engine_with_plans(database: Database) -> Engine {
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     engine.create_database("social", database).unwrap();
     for (name, ranking) in plan_rankings() {
         engine
@@ -104,7 +104,7 @@ fn bench_datalayer(c: &mut Criterion) {
     });
 
     // Replacement: swap the database under PLANS dependent plans (recompiles all).
-    let mut engine = engine_with_plans(database);
+    let engine = engine_with_plans(database);
     let (_, replacement) = scaling_social_config(social_rows, 77)
         .generate()
         .into_parts();

@@ -45,7 +45,7 @@ fn bench_engine_batch(c: &mut Criterion) {
 
     // Steady-state serving: every φ answered from the engine's LRU result cache.
     let (_, database) = config.generate().into_parts();
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     engine.create_database("social", database).unwrap();
     engine
         .register("likes", "social", social_network_query(), ranking.clone())

@@ -1,0 +1,190 @@
+//! Experiment E-SERVER: closed-loop load generation against `qjoin-server`,
+//! measuring how serving throughput scales with the worker-thread count.
+//!
+//! For each worker count (1/2/4/8) a fresh server is bound to an **ephemeral port**
+//! (`127.0.0.1:0`) with a fresh engine, the social-network workload is registered
+//! over the wire, and 8 closed-loop TCP clients (connect → request → wait for the
+//! reply → next request) hammer it in two modes:
+//!
+//! * **cold-solve** — every request carries a globally unique φ, so every request
+//!   misses the result cache and runs the full §3 divide-and-conquer solve. This is
+//!   the CPU-bound path: throughput should scale with workers up to the host's
+//!   available parallelism.
+//! * **warm-cache** — requests cycle through a small primed φ set, so every request
+//!   is a sharded-LRU cache hit. This is the lock/syscall-bound path that measures
+//!   serving overhead.
+//!
+//! `QJOIN_BENCH_SMOKE=1` (as CI sets) shrinks the request counts to a 1-sample
+//! smoke run. The final block prints machine-readable JSON rows; the curve recorded
+//! in `BENCH_server.json` at the workspace root comes from this binary.
+
+use qjoin_bench::{fmt_ms, timed};
+use qjoin_engine::cli::CliSession;
+use qjoin_server::{Client, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::{Arc, Barrier};
+
+/// Closed-loop client threads (fixed across worker counts, so the offered
+/// concurrency is identical and only the server's parallelism varies).
+const CLIENTS: usize = 8;
+
+/// Worker counts swept for the scaling curve.
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+/// The φ set primed and re-requested in warm-cache mode.
+const WARM_PHIS: usize = 16;
+
+fn main() {
+    let smoke = std::env::var("QJOIN_BENCH_SMOKE").is_ok();
+    // Per-client request counts. Cold requests each run a full solve (~ms), warm
+    // requests are cache hits (~µs), so warm gets more samples.
+    let (cold_per_client, warm_per_client) = if smoke { (6, 40) } else { (40, 2_000) };
+    let rows = if smoke { 60 } else { 120 };
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("# E-SERVER: closed-loop thread scaling over qjoin-server");
+    println!("# social workload rows={rows}, {CLIENTS} closed-loop TCP clients");
+    println!(
+        "# host available_parallelism={parallelism}{}",
+        if smoke { ", SMOKE MODE" } else { "" }
+    );
+    println!();
+    println!("| workers | mode | requests | elapsed ms | req/s | speedup vs 1 |");
+    println!("|---|---|---|---|---|---|");
+
+    let mut rows_out: Vec<(usize, &str, usize, f64, f64)> = Vec::new();
+    let mut baselines: Vec<(&str, f64)> = Vec::new(); // (mode, rps) at workers=1
+    for &workers in &WORKERS {
+        let (addr, join) = start_server(workers, rows);
+
+        // Cold-solve: every request is a unique φ — a guaranteed cache miss.
+        let cold_requests = CLIENTS * cold_per_client;
+        let cold_elapsed = run_phase(addr, cold_per_client, move |t, i| {
+            unique_phi(t * cold_per_client + i)
+        });
+        let cold_rps = cold_requests as f64 / cold_elapsed.as_secs_f64();
+
+        // Warm-cache: prime a φ set once, then hammer it.
+        {
+            let mut primer = Client::connect(addr).expect("primer connect");
+            let phis: Vec<f64> = (0..WARM_PHIS).map(warm_phi).collect();
+            primer.batch("plan", &phis).expect("prime the cache");
+            primer.quit().expect("primer quit");
+        }
+        let warm_requests = CLIENTS * warm_per_client;
+        let warm_elapsed = run_phase(addr, warm_per_client, |t, i| warm_phi(t + i));
+        let warm_rps = warm_requests as f64 / warm_elapsed.as_secs_f64();
+
+        let stopper = Client::connect(addr).expect("stopper connect");
+        stopper.shutdown().expect("shutdown");
+        join.join().expect("server thread");
+
+        for (mode, requests, elapsed, rps) in [
+            ("cold-solve", cold_requests, cold_elapsed, cold_rps),
+            ("warm-cache", warm_requests, warm_elapsed, warm_rps),
+        ] {
+            let speedup = baselines
+                .iter()
+                .find(|(m, _)| *m == mode)
+                .map(|(_, base)| rps / base)
+                .unwrap_or(1.0);
+            if workers == 1 {
+                baselines.push((mode, rps));
+            }
+            println!(
+                "| {workers} | {mode} | {requests} | {} | {rps:.0} | {speedup:.2}x |",
+                fmt_ms(elapsed)
+            );
+            rows_out.push((workers, mode, requests, elapsed.as_secs_f64() * 1e3, rps));
+        }
+    }
+
+    println!();
+    println!("# JSON rows (for BENCH_server.json):");
+    println!("[");
+    for (i, (workers, mode, requests, ms, rps)) in rows_out.iter().enumerate() {
+        let comma = if i + 1 == rows_out.len() { "" } else { "," };
+        println!(
+            "  {{\"workers\": {workers}, \"mode\": \"{mode}\", \"requests\": {requests}, \
+             \"elapsed_ms\": {ms:.2}, \"throughput_rps\": {rps:.1}}}{comma}"
+        );
+    }
+    println!("]");
+}
+
+/// A φ unique per request index: low-discrepancy golden-ratio steps never repeat
+/// within any realistic request count, so every cold request is a fresh cache key.
+fn unique_phi(index: usize) -> f64 {
+    const GOLDEN: f64 = 0.618_033_988_749_894_9;
+    let phi = (0.123_456_789 + index as f64 * GOLDEN).fract();
+    // Keep strictly inside (0, 1) so φ parsing and rank snapping stay happy.
+    phi.clamp(1e-9, 1.0 - 1e-9)
+}
+
+/// One of the `WARM_PHIS` primed fractions.
+fn warm_phi(index: usize) -> f64 {
+    (index % WARM_PHIS + 1) as f64 / (WARM_PHIS + 1) as f64
+}
+
+/// Boots a server with `workers` worker threads and a registered social plan;
+/// returns its (ephemeral) address and the run-thread handle.
+fn start_server(
+    workers: usize,
+    rows: usize,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<qjoin_server::ServerSummary>,
+) {
+    let config = ServerConfig {
+        workers,
+        queue_depth: CLIENTS * 2,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), config)
+        .expect("bind ephemeral port");
+    let addr = server.local_addr().expect("bound address");
+    let join = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut setup = Client::connect(addr).expect("setup connect");
+    setup
+        .send(&format!("open s social rows={rows} seed=7"))
+        .expect("open workload");
+    setup.send("register plan s").expect("register plan");
+    setup.quit().expect("setup quit");
+    (addr, join)
+}
+
+/// Runs one closed-loop phase: `CLIENTS` threads, each connected once, each
+/// issuing `per_client` quantile requests back-to-back (`phi_of(thread, i)` picks
+/// the fraction). Returns the wall-clock time from the post-connect barrier to the
+/// last reply.
+fn run_phase(
+    addr: SocketAddr,
+    per_client: usize,
+    phi_of: impl Fn(usize, usize) -> f64 + Copy + Send + 'static,
+) -> std::time::Duration {
+    let ready = Arc::new(Barrier::new(CLIENTS + 1));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|t| {
+            let ready = Arc::clone(&ready);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                ready.wait(); // start the clock only once everyone is connected
+                for i in 0..per_client {
+                    let phi = phi_of(t, i);
+                    client.quantile("plan", phi).expect("quantile request");
+                }
+                client.quit().expect("client quit");
+            })
+        })
+        .collect();
+    let ((), elapsed) = timed(move || {
+        ready.wait();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+    });
+    elapsed
+}

@@ -1,15 +1,19 @@
-//! A small LRU result cache with hit/miss/eviction accounting.
+//! A small LRU result cache with hit/miss/eviction accounting, plus the sharded,
+//! lock-per-shard wrapper the concurrent engine serves from.
 //!
 //! The engine keys entries by `(plan id, database generation, φ bits, accuracy)`, so
 //! replacing a catalog database makes old entries unreachable immediately; the engine
-//! additionally calls [`LruCache::invalidate`] to reclaim their memory eagerly.
+//! additionally calls [`ShardedLru::invalidate`] to reclaim their memory eagerly.
 //!
-//! The implementation pairs a `HashMap` with a `BTreeMap` recency index keyed by a
+//! [`LruCache`] pairs a `HashMap` with a `BTreeMap` recency index keyed by a
 //! monotonic tick, giving `O(log n)` touch and eviction without unsafe code or a
-//! hand-rolled linked list.
+//! hand-rolled linked list. [`ShardedLru`] splits the capacity across independent
+//! `Mutex<LruCache>` shards selected by the caller (the engine shards by plan id),
+//! so concurrent lookups against different plans never contend on one lock.
 
 use std::collections::{BTreeMap, HashMap};
 use std::hash::Hash;
+use std::sync::Mutex;
 
 /// Cache access statistics.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -22,6 +26,17 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Entries removed by explicit invalidation.
     pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Accumulates another shard's counters into this one (used to aggregate
+    /// per-shard statistics into the engine-wide view).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.evictions += other.evictions;
+        self.invalidations += other.invalidations;
+    }
 }
 
 #[derive(Clone, Debug)]
@@ -139,6 +154,98 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     }
 }
 
+/// A sharded LRU cache: `shards` independent [`LruCache`]s, each behind its own
+/// [`Mutex`], splitting the total capacity evenly. Callers route every `get`/`insert`
+/// through a **selector** (the engine uses the plan id), so requests against
+/// different selectors lock different shards and proceed fully in parallel; requests
+/// against the *same* hot plan still serialize only on that plan's shard.
+///
+/// Total capacity 0 disables caching entirely, exactly like [`LruCache`].
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// A cache of `shards` shards (at least 1) holding `capacity` entries in total.
+    /// Each shard gets `ceil(capacity / shards)` slots, so the usable total rounds up
+    /// to a multiple of the shard count.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedLru {
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, selector: u64) -> &Mutex<LruCache<K, V>> {
+        &self.shards[(selector % self.shards.len() as u64) as usize]
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Looks up a key in the selector's shard, refreshing its recency on a hit.
+    pub fn get(&self, selector: u64, key: &K) -> Option<V> {
+        self.shard(selector).lock().unwrap().get(key)
+    }
+
+    /// Inserts (or refreshes) an entry in the selector's shard.
+    pub fn insert(&self, selector: u64, key: K, value: V) {
+        self.shard(selector).lock().unwrap().insert(key, value);
+    }
+
+    /// Removes every entry matching the predicate, across all shards.
+    pub fn invalidate(&self, predicate: impl Fn(&K) -> bool) {
+        for shard in &self.shards {
+            shard.lock().unwrap().invalidate(&predicate);
+        }
+    }
+
+    /// Live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().unwrap().len()).sum()
+    }
+
+    /// True when no shard holds an entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().unwrap().is_empty())
+    }
+
+    /// Total configured capacity (sum over shards).
+    pub fn capacity(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().capacity())
+            .sum()
+    }
+
+    /// Access statistics aggregated over all shards.
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.lock().unwrap().stats());
+        }
+        total
+    }
+
+    /// Per-shard access statistics, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().stats())
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,5 +293,60 @@ mod tests {
         cache.insert("a", 1);
         assert_eq!(cache.get(&"a"), None);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn sharded_routes_by_selector_and_aggregates() {
+        let cache: ShardedLru<(u64, u32), i64> = ShardedLru::new(8, 4);
+        assert_eq!(cache.shards(), 4);
+        assert_eq!(cache.capacity(), 8); // ceil(8/4) = 2 per shard, 4 shards
+        for plan in 0..4u64 {
+            cache.insert(plan, (plan, 0), plan as i64 * 10);
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.get(0, &(0, 0)), Some(0));
+        assert_eq!(cache.get(3, &(3, 0)), Some(30));
+        assert_eq!(cache.get(1, &(1, 9)), None);
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        // Selector 1's shard saw the one miss; shard 0 and 3 each saw one hit.
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), 2);
+        assert_eq!(per_shard[1].misses, 1);
+    }
+
+    #[test]
+    fn sharded_eviction_is_per_shard() {
+        // 1 slot per shard: two entries with the same selector evict each other,
+        // while entries on other shards survive.
+        let cache: ShardedLru<(u64, u32), i64> = ShardedLru::new(2, 2);
+        cache.insert(0, (0, 1), 1);
+        cache.insert(1, (1, 1), 2);
+        cache.insert(0, (0, 2), 3); // evicts (0, 1) from shard 0
+        assert_eq!(cache.get(0, &(0, 1)), None);
+        assert_eq!(cache.get(0, &(0, 2)), Some(3));
+        assert_eq!(cache.get(1, &(1, 1)), Some(2));
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn sharded_invalidate_spans_all_shards() {
+        let cache: ShardedLru<(u64, u32), i64> = ShardedLru::new(16, 4);
+        for plan in 0..8u64 {
+            cache.insert(plan, (plan, 0), 1);
+        }
+        cache.invalidate(|&(plan, _)| plan % 2 == 0);
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().invalidations, 4);
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_caching() {
+        let cache: ShardedLru<u64, i64> = ShardedLru::new(0, 4);
+        cache.insert(0, 0, 1);
+        assert_eq!(cache.get(0, &0), None);
+        assert!(cache.is_empty());
+        assert_eq!(cache.capacity(), 0);
     }
 }

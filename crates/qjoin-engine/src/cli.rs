@@ -7,8 +7,10 @@
 //! workload generators (`social`, `path`, `star`, `random`), so a realistic catalog
 //! can be spun up from a single command line.
 //!
-//! All command handling lives in [`CliSession`] so it is unit-testable; the binary in
-//! `src/bin/qjoin.rs` is a thin wrapper around [`main_with_args`].
+//! All command handling lives in [`CliSession`] so it is unit-testable and shareable:
+//! the `qjoin` binary (in the `qjoin-server` crate, which adds the `serve` and
+//! `client` subcommands) wraps [`main_with_args`], and the network server executes
+//! the same command language against one shared session.
 
 use crate::engine::Engine;
 use crate::plan::{Accuracy, PreparedPlan};
@@ -21,6 +23,7 @@ use qjoin_workload::star::StarConfig;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, IsTerminal, Write as _};
+use std::sync::{Arc, RwLock};
 
 /// Usage text shared by `help`, `--help`, and parse errors.
 pub const HELP: &str = "\
@@ -32,6 +35,10 @@ USAGE (one-shot):
   qjoin batch    <workload> <phi> [<phi> ...] [key=value ...] [ranking=<spec>] [eps=<ε>]
   qjoin stats    <workload> [key=value ...]
   qjoin repl                read REPL commands from stdin
+
+USAGE (network; provided by the qjoin-server crate's binary):
+  qjoin serve  [addr=127.0.0.1:0] [workers=N] [queue=N] [cache=N]
+  qjoin client <addr> [command ...]          one-shot or stdin-driven remote session
 
 WORKLOADS (database generators; all keys optional):
   social   rows= seed= users= events= likes= skew=     (default ranking sum:l2,l3)
@@ -60,10 +67,15 @@ struct DbMeta {
     default_ranking: Ranking,
 }
 
-/// An interactive engine session executing REPL commands.
+/// An engine session executing the textual command language (the REPL's and the
+/// network protocol's shared brain).
+///
+/// The session is **thread-safe**: [`CliSession::execute`] takes `&self`, the engine
+/// is held behind an [`Arc`], and the per-database workload metadata sits behind its
+/// own lock — `qjoin-server` shares one session across all of its worker threads.
 pub struct CliSession {
-    engine: Engine,
-    db_meta: BTreeMap<String, DbMeta>,
+    engine: Arc<Engine>,
+    db_meta: RwLock<BTreeMap<String, DbMeta>>,
 }
 
 impl Default for CliSession {
@@ -75,19 +87,24 @@ impl Default for CliSession {
 impl CliSession {
     /// A session with a fresh engine.
     pub fn new() -> Self {
+        CliSession::with_engine(Arc::new(Engine::new()))
+    }
+
+    /// A session over a shared engine (used by the network server).
+    pub fn with_engine(engine: Arc<Engine>) -> Self {
         CliSession {
-            engine: Engine::new(),
-            db_meta: BTreeMap::new(),
+            engine,
+            db_meta: RwLock::new(BTreeMap::new()),
         }
     }
 
-    /// The underlying engine (used by tests and embedding code).
-    pub fn engine(&self) -> &Engine {
+    /// The underlying shared engine (used by tests and embedding code).
+    pub fn engine(&self) -> &Arc<Engine> {
         &self.engine
     }
 
     /// Executes one REPL command line, returning its printable output.
-    pub fn execute(&mut self, line: &str) -> Result<String, String> {
+    pub fn execute(&self, line: &str) -> Result<String, String> {
         let tokens: Vec<&str> = line.split_whitespace().collect();
         let Some((&command, rest)) = tokens.split_first() else {
             return Ok(String::new());
@@ -106,7 +123,7 @@ impl CliSession {
         }
     }
 
-    fn cmd_open(&mut self, args: &[&str], replace: bool) -> Result<String, String> {
+    fn cmd_open(&self, args: &[&str], replace: bool) -> Result<String, String> {
         let [name, workload, params @ ..] = args else {
             return Err("usage: open|replace <db> <workload> [key=value ...]".to_string());
         };
@@ -125,7 +142,7 @@ impl CliSession {
                 .map_err(|e| e.to_string())?;
         }
         let generation = self.engine.catalog().get(name).unwrap().generation;
-        self.db_meta.insert(
+        self.db_meta.write().unwrap().insert(
             name.to_string(),
             DbMeta {
                 query,
@@ -137,29 +154,31 @@ impl CliSession {
         ))
     }
 
-    fn cmd_register(&mut self, args: &[&str]) -> Result<String, String> {
+    fn cmd_register(&self, args: &[&str]) -> Result<String, String> {
         let [plan, db, params @ ..] = args else {
             return Err("usage: register <plan> <db> [ranking=<spec>]".to_string());
         };
         let params = parse_params(params)?;
         ensure_known_keys(&params, &["ranking"])?;
-        let meta = self
-            .db_meta
-            .get(*db)
-            .ok_or_else(|| format!("no database named {db:?}; `open` one first"))?;
-        let ranking = match params.get("ranking") {
-            Some(spec) => parse_ranking(spec, &meta.query)?,
-            None => meta.default_ranking.clone(),
+        let (query, ranking) = {
+            let db_meta = self.db_meta.read().unwrap();
+            let meta = db_meta
+                .get(*db)
+                .ok_or_else(|| format!("no database named {db:?}; `open` one first"))?;
+            let ranking = match params.get("ranking") {
+                Some(spec) => parse_ranking(spec, &meta.query)?,
+                None => meta.default_ranking.clone(),
+            };
+            (meta.query.clone(), ranking)
         };
-        let query = meta.query.clone();
         let plan = self
             .engine
             .register(plan, db, query, ranking)
             .map_err(|e| e.to_string())?;
-        Ok(describe_plan(plan))
+        Ok(describe_plan(&plan))
     }
 
-    fn cmd_quantile(&mut self, args: &[&str]) -> Result<String, String> {
+    fn cmd_quantile(&self, args: &[&str]) -> Result<String, String> {
         let [plan, phi, params @ ..] = args else {
             return Err("usage: quantile <plan> <phi> [eps=<ε>]".to_string());
         };
@@ -174,7 +193,7 @@ impl CliSession {
         Ok(describe_answer(&answer))
     }
 
-    fn cmd_batch(&mut self, args: &[&str]) -> Result<String, String> {
+    fn cmd_batch(&self, args: &[&str]) -> Result<String, String> {
         let [plan, rest @ ..] = args else {
             return Err("usage: batch <plan> <phi> [<phi> ...] [eps=<ε>]".to_string());
         };
@@ -211,7 +230,12 @@ impl CliSession {
     }
 
     fn cmd_plans(&self) -> String {
-        let mut lines: Vec<String> = self.engine.plans().map(describe_plan).collect();
+        let mut lines: Vec<String> = self
+            .engine
+            .plans()
+            .iter()
+            .map(|p| describe_plan(p))
+            .collect();
         if lines.is_empty() {
             lines.push("no plans registered".to_string());
         }
@@ -224,7 +248,8 @@ impl CliSession {
     /// data layer every plan should report `owned=0`.
     fn cmd_stats(&self) -> String {
         let mut out = self.engine.stats().to_string();
-        for (name, entry) in self.engine.catalog().iter() {
+        let catalog = self.engine.catalog();
+        for (name, entry) in catalog.iter() {
             write!(
                 out,
                 "\ndb {name}: generation={} relations={} tuples={} resident≈{}",
@@ -492,9 +517,9 @@ pub fn run_one_shot(args: &[String]) -> Result<String, String> {
         }
     }
 
-    let mut session = CliSession::new();
+    let session = CliSession::new();
     let mut out = String::new();
-    let mut run = |session: &mut CliSession, command: String| -> Result<(), String> {
+    let mut run = |session: &CliSession, command: String| -> Result<(), String> {
         let output = session.execute(&command)?;
         if !output.is_empty() {
             writeln!(out, "{output}").unwrap();
@@ -502,11 +527,11 @@ pub fn run_one_shot(args: &[String]) -> Result<String, String> {
         Ok(())
     };
     run(
-        &mut session,
+        &session,
         format!("open db {workload} {}", open_params.join(" ")),
     )?;
     run(
-        &mut session,
+        &session,
         format!("register plan db {}", register_params.join(" ")),
     )?;
     match subcommand.as_str() {
@@ -516,7 +541,7 @@ pub fn run_one_shot(args: &[String]) -> Result<String, String> {
                 return Err(format!("{subcommand} needs at least one φ\n\n{HELP}"));
             }
             run(
-                &mut session,
+                &session,
                 format!("batch plan {} {}", bare.join(" "), query_params.join(" ")),
             )?;
         }
@@ -524,7 +549,7 @@ pub fn run_one_shot(args: &[String]) -> Result<String, String> {
         other => return Err(format!("unknown subcommand {other:?}\n\n{HELP}")),
     }
     if *subcommand == "stats" {
-        run(&mut session, "stats".to_string())?;
+        run(&session, "stats".to_string())?;
     }
     Ok(out.trim_end().to_string())
 }
@@ -532,7 +557,7 @@ pub fn run_one_shot(args: &[String]) -> Result<String, String> {
 /// The REPL: reads commands from stdin, printing a prompt when interactive.
 pub fn run_repl() -> i32 {
     let interactive = std::io::stdin().is_terminal();
-    let mut session = CliSession::new();
+    let session = CliSession::new();
     let stdin = std::io::stdin();
     if interactive {
         println!("qjoin — type `help` for commands, `quit` to leave");
@@ -588,7 +613,7 @@ pub fn main_with_args(args: &[String]) -> i32 {
 mod tests {
     use super::*;
 
-    fn ok(session: &mut CliSession, command: &str) -> String {
+    fn ok(session: &CliSession, command: &str) -> String {
         session
             .execute(command)
             .unwrap_or_else(|e| panic!("command {command:?} failed: {e}"))
@@ -596,19 +621,19 @@ mod tests {
 
     #[test]
     fn open_register_quantile_batch_stats_flow() {
-        let mut session = CliSession::new();
-        let opened = ok(&mut session, "open s social rows=120 seed=3");
+        let session = CliSession::new();
+        let opened = ok(&session, "open s social rows=120 seed=3");
         assert!(opened.contains("360 tuples"));
-        let registered = ok(&mut session, "register likes s");
+        let registered = ok(&session, "register likes s");
         assert!(
             registered.contains("strategy=sum-adjacent-pair"),
             "{registered}"
         );
-        let answer = ok(&mut session, "quantile likes 0.5");
+        let answer = ok(&session, "quantile likes 0.5");
         assert!(answer.contains("phi=0.5000"), "{answer}");
-        let batch = ok(&mut session, "batch likes 0.1 0.5 0.9");
+        let batch = ok(&session, "batch likes 0.1 0.5 0.9");
         assert!(batch.contains("1 from cache"), "{batch}");
-        let stats = ok(&mut session, "stats");
+        let stats = ok(&session, "stats");
         assert!(stats.contains("plans:              1"), "{stats}");
         // The storage report shows the plan sharing every relation with the catalog.
         assert!(stats.contains("db s: generation=1 relations=3"), "{stats}");
@@ -621,27 +646,27 @@ mod tests {
 
     #[test]
     fn replace_swaps_the_database_and_invalidates() {
-        let mut session = CliSession::new();
-        ok(&mut session, "open s social rows=80 seed=1");
-        ok(&mut session, "register likes s");
-        let before = ok(&mut session, "quantile likes 0.5");
-        ok(&mut session, "replace s social rows=80 seed=99");
-        let after = ok(&mut session, "quantile likes 0.5");
+        let session = CliSession::new();
+        ok(&session, "open s social rows=80 seed=1");
+        ok(&session, "register likes s");
+        let before = ok(&session, "quantile likes 0.5");
+        ok(&session, "replace s social rows=80 seed=99");
+        let after = ok(&session, "quantile likes 0.5");
         assert!(!after.contains("(cached)"), "{after}");
         assert_ne!(before, after);
     }
 
     #[test]
     fn explicit_rankings_and_other_workloads() {
-        let mut session = CliSession::new();
-        ok(&mut session, "open p path atoms=3 rows=60 seed=2");
-        let max_plan = ok(&mut session, "register m p ranking=max:*");
+        let session = CliSession::new();
+        ok(&session, "open p path atoms=3 rows=60 seed=2");
+        let max_plan = ok(&session, "register m p ranking=max:*");
         assert!(max_plan.contains("strategy=minmax"), "{max_plan}");
-        let lex_plan = ok(&mut session, "register l p ranking=lex:x2,x1");
+        let lex_plan = ok(&session, "register l p ranking=lex:x2,x1");
         assert!(lex_plan.contains("strategy=lex"), "{lex_plan}");
-        ok(&mut session, "quantile m 0.25");
-        ok(&mut session, "quantile l 0.75");
-        let plans = ok(&mut session, "plans");
+        ok(&session, "quantile m 0.25");
+        ok(&session, "quantile l 0.75");
+        let plans = ok(&session, "plans");
         assert!(
             plans.contains("plan l:") && plans.contains("plan m:"),
             "{plans}"
@@ -650,31 +675,31 @@ mod tests {
 
     #[test]
     fn intractable_sum_falls_back_to_eps() {
-        let mut session = CliSession::new();
-        ok(&mut session, "open p path atoms=3 rows=40 seed=4");
-        let plan = ok(&mut session, "register fullsum p ranking=sum:*");
+        let session = CliSession::new();
+        ok(&session, "open p path atoms=3 rows=40 seed=4");
+        let plan = ok(&session, "register fullsum p ranking=sum:*");
         assert!(plan.contains("sum-approximate-only"), "{plan}");
         let err = session.execute("quantile fullsum 0.5").unwrap_err();
         assert!(err.contains("cannot serve"), "{err}");
-        let approx = ok(&mut session, "quantile fullsum 0.5 eps=0.1");
+        let approx = ok(&session, "quantile fullsum 0.5 eps=0.1");
         assert!(approx.contains("eps=0.1"), "{approx}");
     }
 
     #[test]
     fn errors_are_reported_not_panicked() {
-        let mut session = CliSession::new();
+        let session = CliSession::new();
         assert!(session.execute("open").is_err());
         assert!(session.execute("open s nosuch").is_err());
         assert!(session.execute("quantile nope 0.5").is_err());
         assert!(session.execute("bogus").is_err());
         assert!(session.execute("quantile nope 1.5").is_err());
-        ok(&mut session, "open s social rows=40");
+        ok(&session, "open s social rows=40");
         assert!(session.execute("register p s ranking=sum:zz").is_err());
         assert!(session.execute("register p s ranking=weird:*").is_err());
         // Typoed parameter keys fail loudly instead of running on defaults.
         assert!(session.execute("open t social row=500").is_err());
         assert!(session.execute("register p s rankin=max:*").is_err());
-        ok(&mut session, "register p s");
+        ok(&session, "register p s");
         assert!(session.execute("quantile p 0.5 esp=0.1").is_err());
         assert!(session.execute("batch p 0.5 esp=0.1").is_err());
     }

@@ -10,8 +10,30 @@
 //!    its missing fractions in one shared §3 recursion pass;
 //! 3. the **prepared plan**, which already paid for validation, the join tree, the
 //!    Yannakakis counts, and the §5 dichotomy at registration time.
+//!
+//! ## Concurrency
+//!
+//! The engine is **thread-safe**: every serving method takes `&self`, and
+//! `Engine: Send + Sync`, so one engine can be shared across threads behind an
+//! [`Arc`] (this is how `qjoin-server` serves many connections at once).
+//!
+//! * The catalog and plan table live behind one [`RwLock`]. Readers (`quantile`,
+//!   `quantile_batch`, `stats`, …) take a brief read lock to clone the plan's
+//!   `Arc<PreparedPlan>` handle, then solve entirely outside the lock over the
+//!   plan's immutable `Arc`-shared relations.
+//! * The result cache is **sharded by plan id** ([`ShardedLru`]): each shard has its
+//!   own mutex, so concurrent requests against different plans never serialize on
+//!   one cache lock, and a hot plan only contends on its own shard.
+//! * Writers (`register`, `replace_database`, `drop_plan`) take the write lock and
+//!   keep the existing atomic generation-bump semantics: a replacement recompiles
+//!   every dependent plan before anything becomes visible, so a concurrent reader
+//!   sees either the old generation's plan handle or the new one — never a mix. An
+//!   in-flight solve that grabbed the old handle finishes against the old
+//!   generation's immutable data and caches under the old generation's key, which
+//!   can never satisfy a post-replacement lookup.
+//! * Serving counters are relaxed atomics ([`EngineCounters`] snapshots them).
 
-use crate::cache::{CacheStats, LruCache};
+use crate::cache::{CacheStats, ShardedLru};
 use crate::catalog::Catalog;
 use crate::error::EngineError;
 use crate::plan::{Accuracy, PreparedPlan};
@@ -23,7 +45,8 @@ use qjoin_query::JoinQuery;
 use qjoin_ranking::Ranking;
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
 
 /// `(plan id, database generation, φ bits, accuracy bits)`.
 type CacheKey = (u64, u64, u64, Option<u64>);
@@ -31,8 +54,12 @@ type CacheKey = (u64, u64, u64, Option<u64>);
 /// Engine tuning knobs.
 #[derive(Clone, Debug)]
 pub struct EngineConfig {
-    /// Maximum number of cached quantile results (0 disables the cache).
+    /// Maximum number of cached quantile results across all shards (0 disables the
+    /// cache).
     pub cache_capacity: usize,
+    /// Number of independent cache shards (selected by plan id). More shards means
+    /// less lock contention between plans; 1 degenerates to a single locked LRU.
+    pub cache_shards: usize,
     /// Options forwarded to the §3 pivoting driver.
     pub pivoting: PivotingOptions,
 }
@@ -41,6 +68,7 @@ impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
             cache_capacity: 1024,
+            cache_shards: 8,
             pivoting: PivotingOptions::default(),
         }
     }
@@ -51,6 +79,8 @@ impl Default for EngineConfig {
 pub struct EngineAnswer {
     /// The plan that served the request.
     pub plan: String,
+    /// The database generation the answer was computed against.
+    pub generation: u64,
     /// The requested fraction.
     pub phi: f64,
     /// The accuracy the request asked for.
@@ -72,6 +102,27 @@ pub struct EngineCounters {
     pub solved: u64,
     /// Plan compilations, including recompilations after database replacement.
     pub plan_compilations: u64,
+}
+
+/// Lock-free counter cells behind the `&self` serving methods; [`AtomicCounters::snapshot`]
+/// materializes them into the public [`EngineCounters`].
+#[derive(Debug, Default)]
+struct AtomicCounters {
+    quantile_requests: AtomicU64,
+    batch_requests: AtomicU64,
+    solved: AtomicU64,
+    plan_compilations: AtomicU64,
+}
+
+impl AtomicCounters {
+    fn snapshot(&self) -> EngineCounters {
+        EngineCounters {
+            quantile_requests: self.quantile_requests.load(Ordering::Relaxed),
+            batch_requests: self.batch_requests.load(Ordering::Relaxed),
+            solved: self.solved.load(Ordering::Relaxed),
+            plan_compilations: self.plan_compilations.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// Storage accounting for one prepared plan: how many of its instance's relations
@@ -102,11 +153,13 @@ pub struct EngineStats {
     pub databases: usize,
     /// Registered plans.
     pub plans: usize,
-    /// Live cache entries.
+    /// Live cache entries (across all shards).
     pub cache_entries: usize,
-    /// Configured cache capacity.
+    /// Configured cache capacity (across all shards).
     pub cache_capacity: usize,
-    /// Cache hit/miss/eviction/invalidation counts.
+    /// Number of cache shards.
+    pub cache_shards: usize,
+    /// Cache hit/miss/eviction/invalidation counts, aggregated over shards.
     pub cache: CacheStats,
     /// Serving counters.
     pub counters: EngineCounters,
@@ -118,9 +171,10 @@ impl fmt::Display for EngineStats {
         writeln!(f, "plans:              {}", self.plans)?;
         writeln!(
             f,
-            "cache:              {}/{} entries, {} hits, {} misses, {} evictions, {} invalidations",
+            "cache:              {}/{} entries in {} shards, {} hits, {} misses, {} evictions, {} invalidations",
             self.cache_entries,
             self.cache_capacity,
+            self.cache_shards,
             self.cache.hits,
             self.cache.misses,
             self.cache.evictions,
@@ -135,16 +189,31 @@ impl fmt::Display for EngineStats {
     }
 }
 
-/// A persistent quantile-query engine (see the module docs).
-#[derive(Clone, Debug)]
+/// The lock-protected mutable core: the catalog and the plan table. Everything else
+/// on [`Engine`] is either immutable configuration, a sharded lock (the cache), or
+/// an atomic (the counters).
+#[derive(Debug, Default)]
+struct EngineState {
+    catalog: Catalog,
+    plans: BTreeMap<String, Arc<PreparedPlan>>,
+    next_plan_id: u64,
+}
+
+/// A persistent, thread-safe quantile-query engine (see the module docs).
+#[derive(Debug)]
 pub struct Engine {
     config: EngineConfig,
-    catalog: Catalog,
-    plans: BTreeMap<String, PreparedPlan>,
-    next_plan_id: u64,
-    cache: LruCache<CacheKey, QuantileResult>,
-    counters: EngineCounters,
+    state: RwLock<EngineState>,
+    cache: ShardedLru<CacheKey, QuantileResult>,
+    counters: AtomicCounters,
 }
+
+// The whole point of the `&self` refactor: an `Engine` can be shared across threads.
+// This is a compile-time assertion; `tests/concurrency.rs` re-checks it publicly.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+};
 
 impl Default for Engine {
     fn default() -> Self {
@@ -160,25 +229,31 @@ impl Engine {
 
     /// An engine with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
-        let cache = LruCache::new(config.cache_capacity);
+        let cache = ShardedLru::new(config.cache_capacity, config.cache_shards);
         Engine {
             config,
-            catalog: Catalog::new(),
-            plans: BTreeMap::new(),
-            next_plan_id: 0,
+            state: RwLock::new(EngineState::default()),
             cache,
-            counters: EngineCounters::default(),
+            counters: AtomicCounters::default(),
         }
+    }
+
+    fn read_state(&self) -> std::sync::RwLockReadGuard<'_, EngineState> {
+        self.state.read().expect("engine state lock poisoned")
+    }
+
+    fn write_state(&self) -> std::sync::RwLockWriteGuard<'_, EngineState> {
+        self.state.write().expect("engine state lock poisoned")
     }
 
     /// Adds a database to the catalog under a fresh name. Accepts an owned
     /// [`Database`] or an `Arc<Database>` that is already shared.
     pub fn create_database(
-        &mut self,
+        &self,
         name: &str,
         database: impl Into<Arc<Database>>,
     ) -> Result<(), EngineError> {
-        self.catalog.create(name, database)
+        self.write_state().catalog.create(name, database)
     }
 
     /// Replaces a catalogued database, recompiling every dependent plan against the
@@ -186,17 +261,19 @@ impl Engine {
     /// the replacement database by handle — the relation data is stored once, no
     /// matter how many plans depend on it. The operation is atomic: if any dependent
     /// plan fails to recompile (e.g. the new database no longer matches a registered
-    /// query's schema), nothing changes.
+    /// query's schema), nothing changes. Concurrent readers see either the old
+    /// generation's plans or the new ones, never a mixture.
     pub fn replace_database(
-        &mut self,
+        &self,
         name: &str,
         database: impl Into<Arc<Database>>,
     ) -> Result<(), EngineError> {
         let database: Arc<Database> = database.into();
-        let entry = self.catalog.get(name)?;
+        let mut state = self.write_state();
+        let entry = state.catalog.get(name)?;
         let new_generation = entry.generation + 1;
         let mut recompiled = Vec::new();
-        for plan in self.plans.values().filter(|p| p.database == name) {
+        for plan in state.plans.values().filter(|p| p.database == name) {
             recompiled.push(PreparedPlan::compile(
                 &plan.name,
                 plan.id,
@@ -207,46 +284,54 @@ impl Engine {
                 &database,
             )?);
         }
-        self.catalog.replace(name, database)?;
+        state.catalog.replace(name, database)?;
         for plan in recompiled {
             self.cache.invalidate(|key| key.0 == plan.id);
-            self.counters.plan_compilations += 1;
-            self.plans.insert(plan.name.clone(), plan);
+            self.counters
+                .plan_compilations
+                .fetch_add(1, Ordering::Relaxed);
+            state.plans.insert(plan.name.clone(), Arc::new(plan));
         }
         Ok(())
     }
 
     /// Registers a `(query, ranking)` pair against a catalogued database, compiling it
-    /// into a prepared plan.
+    /// into a prepared plan. Returns a shared handle to the compiled plan.
     pub fn register(
-        &mut self,
+        &self,
         plan_name: &str,
         database_name: &str,
         query: JoinQuery,
         ranking: Ranking,
-    ) -> Result<&PreparedPlan, EngineError> {
-        if self.plans.contains_key(plan_name) {
+    ) -> Result<Arc<PreparedPlan>, EngineError> {
+        let mut state = self.write_state();
+        if state.plans.contains_key(plan_name) {
             return Err(EngineError::DuplicatePlan(plan_name.to_string()));
         }
-        let entry = self.catalog.get(database_name)?;
-        let id = self.next_plan_id;
-        let plan = PreparedPlan::compile(
+        let entry = state.catalog.get(database_name)?;
+        let (generation, database) = (entry.generation, Arc::clone(&entry.database));
+        let id = state.next_plan_id;
+        let plan = Arc::new(PreparedPlan::compile(
             plan_name,
             id,
             database_name,
-            entry.generation,
+            generation,
             query,
             ranking,
-            &entry.database,
-        )?;
-        self.next_plan_id += 1;
-        self.counters.plan_compilations += 1;
-        Ok(self.plans.entry(plan_name.to_string()).or_insert(plan))
+            &database,
+        )?);
+        state.next_plan_id += 1;
+        self.counters
+            .plan_compilations
+            .fetch_add(1, Ordering::Relaxed);
+        state.plans.insert(plan_name.to_string(), Arc::clone(&plan));
+        Ok(plan)
     }
 
     /// Drops a plan and its cached results.
-    pub fn drop_plan(&mut self, plan_name: &str) -> Result<(), EngineError> {
-        let plan = self
+    pub fn drop_plan(&self, plan_name: &str) -> Result<(), EngineError> {
+        let mut state = self.write_state();
+        let plan = state
             .plans
             .remove(plan_name)
             .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))?;
@@ -254,44 +339,51 @@ impl Engine {
         Ok(())
     }
 
-    /// Looks up a prepared plan by name.
-    pub fn plan(&self, plan_name: &str) -> Result<&PreparedPlan, EngineError> {
-        self.plans
+    /// Looks up a prepared plan by name, returning a shared handle.
+    pub fn plan(&self, plan_name: &str) -> Result<Arc<PreparedPlan>, EngineError> {
+        self.read_state()
+            .plans
             .get(plan_name)
+            .map(Arc::clone)
             .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))
     }
 
-    /// Iterates over the registered plans in name order.
-    pub fn plans(&self) -> impl Iterator<Item = &PreparedPlan> {
-        self.plans.values()
+    /// A snapshot of the registered plans in name order.
+    pub fn plans(&self) -> Vec<Arc<PreparedPlan>> {
+        self.read_state().plans.values().map(Arc::clone).collect()
     }
 
-    /// The database catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// A snapshot of the database catalog. Entries hold `Arc<Database>` handles, so
+    /// the snapshot is cheap (no tuple data is copied) and immutable-consistent: it
+    /// reflects one instant of catalog state.
+    pub fn catalog(&self) -> Catalog {
+        self.read_state().catalog.clone()
     }
 
     /// Serves an exact φ-quantile from a prepared plan (cache-aware).
-    pub fn quantile(&mut self, plan_name: &str, phi: f64) -> Result<EngineAnswer, EngineError> {
+    pub fn quantile(&self, plan_name: &str, phi: f64) -> Result<EngineAnswer, EngineError> {
         self.quantile_with(plan_name, phi, Accuracy::Exact)
     }
 
     /// Serves a φ-quantile at the requested accuracy (cache-aware).
+    ///
+    /// Concurrency: the plan handle is cloned under a brief read lock; the solve runs
+    /// entirely outside any lock against the handle's immutable generation of data.
     pub fn quantile_with(
-        &mut self,
+        &self,
         plan_name: &str,
         phi: f64,
         accuracy: Accuracy,
     ) -> Result<EngineAnswer, EngineError> {
-        let plan = self
-            .plans
-            .get(plan_name)
-            .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))?;
-        self.counters.quantile_requests += 1;
+        let plan = self.plan(plan_name)?;
+        self.counters
+            .quantile_requests
+            .fetch_add(1, Ordering::Relaxed);
         let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
-        if let Some(result) = self.cache.get(&key) {
+        if let Some(result) = self.cache.get(plan.id, &key) {
             return Ok(EngineAnswer {
                 plan: plan_name.to_string(),
+                generation: plan.generation,
                 phi,
                 accuracy,
                 from_cache: true,
@@ -306,10 +398,11 @@ impl Engine {
             trimmer.as_ref(),
             &self.config.pivoting,
         )?;
-        self.counters.solved += 1;
-        self.cache.insert(key, result.clone());
+        self.counters.solved.fetch_add(1, Ordering::Relaxed);
+        self.cache.insert(plan.id, key, result.clone());
         Ok(EngineAnswer {
             plan: plan_name.to_string(),
+            generation: plan.generation,
             phi,
             accuracy,
             from_cache: false,
@@ -321,35 +414,36 @@ impl Engine {
     /// answered from the cache; all remaining fractions are solved together in **one**
     /// shared divide-and-conquer pass (see [`qjoin_core::batch`]).
     pub fn quantile_batch(
-        &mut self,
+        &self,
         plan_name: &str,
         phis: &[f64],
     ) -> Result<Vec<EngineAnswer>, EngineError> {
         self.quantile_batch_with(plan_name, phis, Accuracy::Exact)
     }
 
-    /// [`Engine::quantile_batch`] at an explicit accuracy.
+    /// [`Engine::quantile_batch`] at an explicit accuracy. Every answer in the batch
+    /// derives from the same plan handle, i.e. one database generation.
     pub fn quantile_batch_with(
-        &mut self,
+        &self,
         plan_name: &str,
         phis: &[f64],
         accuracy: Accuracy,
     ) -> Result<Vec<EngineAnswer>, EngineError> {
-        let plan = self
-            .plans
-            .get(plan_name)
-            .ok_or_else(|| EngineError::UnknownPlan(plan_name.to_string()))?;
-        self.counters.batch_requests += 1;
-        self.counters.quantile_requests += phis.len() as u64;
+        let plan = self.plan(plan_name)?;
+        self.counters.batch_requests.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .quantile_requests
+            .fetch_add(phis.len() as u64, Ordering::Relaxed);
 
         let mut answers: Vec<Option<EngineAnswer>> = vec![None; phis.len()];
         let mut missing: Vec<(usize, f64)> = Vec::new();
         for (pos, &phi) in phis.iter().enumerate() {
             let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
-            match self.cache.get(&key) {
+            match self.cache.get(plan.id, &key) {
                 Some(result) => {
                     answers[pos] = Some(EngineAnswer {
                         plan: plan_name.to_string(),
+                        generation: plan.generation,
                         phi,
                         accuracy,
                         from_cache: true,
@@ -369,12 +463,15 @@ impl Engine {
                 trimmer.as_ref(),
                 &self.config.pivoting,
             )?;
-            self.counters.solved += results.len() as u64;
+            self.counters
+                .solved
+                .fetch_add(results.len() as u64, Ordering::Relaxed);
             for ((pos, phi), result) in missing.into_iter().zip(results) {
                 let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
-                self.cache.insert(key, result.clone());
+                self.cache.insert(plan.id, key, result.clone());
                 answers[pos] = Some(EngineAnswer {
                     plan: plan_name.to_string(),
+                    generation: plan.generation,
                     phi,
                     accuracy,
                     from_cache: false,
@@ -394,10 +491,12 @@ impl Engine {
     /// equality on the underlying storage, so this is a direct observation of the
     /// copy-on-write invariant from the serving layer.
     pub fn plan_storage_stats(&self) -> Vec<PlanStorageStats> {
-        self.plans
+        let state = self.read_state();
+        state
+            .plans
             .values()
             .map(|plan| {
-                let catalog_db = self
+                let catalog_db = state
                     .catalog
                     .get(&plan.database)
                     .map(|entry| Arc::clone(&entry.database))
@@ -429,15 +528,31 @@ impl Engine {
             .collect()
     }
 
+    /// The cache's aggregated hit/miss/eviction/invalidation counters, as a
+    /// machine-readable struct (also embedded in [`Engine::stats`]).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-shard cache counters, in shard order (shard = plan id mod shard count).
+    pub fn cache_shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
+    }
+
     /// A snapshot of the engine's state and counters.
     pub fn stats(&self) -> EngineStats {
+        let (databases, plans) = {
+            let state = self.read_state();
+            (state.catalog.len(), state.plans.len())
+        };
         EngineStats {
-            databases: self.catalog.len(),
-            plans: self.plans.len(),
+            databases,
+            plans,
             cache_entries: self.cache.len(),
             cache_capacity: self.cache.capacity(),
+            cache_shards: self.cache.shards(),
             cache: self.cache.stats(),
-            counters: self.counters,
+            counters: self.counters.snapshot(),
         }
     }
 }
@@ -457,7 +572,7 @@ mod tests {
             ..Default::default()
         };
         let (_, database) = config.generate().into_parts();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         engine.create_database("social", database).unwrap();
         engine
             .register(
@@ -472,7 +587,7 @@ mod tests {
 
     #[test]
     fn serves_quantiles_identical_to_the_one_shot_solver() {
-        let (mut engine, config) = social_engine(150, 42);
+        let (engine, config) = social_engine(150, 42);
         let instance = config.generate();
         let ranking = config.likes_ranking();
         for phi in [0.1, 0.5, 0.9] {
@@ -486,7 +601,7 @@ mod tests {
 
     #[test]
     fn repeated_requests_hit_the_cache() {
-        let (mut engine, _) = social_engine(100, 7);
+        let (engine, _) = social_engine(100, 7);
         let first = engine.quantile("likes", 0.5).unwrap();
         let second = engine.quantile("likes", 0.5).unwrap();
         assert!(!first.from_cache);
@@ -496,11 +611,15 @@ mod tests {
         assert_eq!(stats.cache.hits, 1);
         assert_eq!(stats.counters.solved, 1);
         assert_eq!(stats.counters.quantile_requests, 2);
+        assert_eq!(engine.cache_stats().hits, 1);
+        // The per-shard breakdown sums to the aggregate.
+        let per_shard = engine.cache_shard_stats();
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), 1);
     }
 
     #[test]
     fn batch_mixes_cache_hits_with_one_shared_solve() {
-        let (mut engine, _) = social_engine(100, 9);
+        let (engine, _) = social_engine(100, 9);
         engine.quantile("likes", 0.5).unwrap();
         let answers = engine.quantile_batch("likes", &[0.25, 0.5, 0.75]).unwrap();
         assert!(!answers[0].from_cache);
@@ -516,7 +635,7 @@ mod tests {
 
     #[test]
     fn replace_database_invalidates_cached_results() {
-        let (mut engine, _) = social_engine(80, 1);
+        let (engine, _) = social_engine(80, 1);
         let before = engine.quantile("likes", 0.5).unwrap();
         assert!(engine.quantile("likes", 0.5).unwrap().from_cache);
 
@@ -535,6 +654,8 @@ mod tests {
         );
         assert_eq!(engine.catalog().get("social").unwrap().generation, 2);
         assert_eq!(engine.plan("likes").unwrap().generation, 2);
+        assert_eq!(before.generation, 1);
+        assert_eq!(after.generation, 2);
         // Different seeds virtually always shift the median.
         assert_ne!(
             (before.result.total_answers, before.result.weight.clone()),
@@ -545,7 +666,7 @@ mod tests {
 
     #[test]
     fn replace_database_is_atomic_on_recompile_failure() {
-        let (mut engine, _) = social_engine(60, 3);
+        let (engine, _) = social_engine(60, 3);
         let before_gen = engine.plan("likes").unwrap().generation;
         // A database missing the registered query's relations cannot recompile.
         let bad = Database::new();
@@ -567,7 +688,7 @@ mod tests {
         };
         let instance = config.generate();
         let (query, database) = instance.into_parts();
-        let mut engine = Engine::new();
+        let engine = Engine::new();
         engine.create_database("paths", database).unwrap();
         engine
             .register(
@@ -594,7 +715,7 @@ mod tests {
 
     #[test]
     fn plans_share_the_catalog_database_by_pointer() {
-        let (mut engine, _) = social_engine(80, 5);
+        let (engine, _) = social_engine(80, 5);
         engine
             .register(
                 "maxlikes",
@@ -639,7 +760,7 @@ mod tests {
 
     #[test]
     fn unknown_names_and_duplicates_error() {
-        let (mut engine, _) = social_engine(60, 2);
+        let (engine, _) = social_engine(60, 2);
         assert!(matches!(
             engine.quantile("nope", 0.5).unwrap_err(),
             EngineError::UnknownPlan(_)
@@ -666,5 +787,30 @@ mod tests {
             engine.drop_plan("likes").unwrap_err(),
             EngineError::UnknownPlan(_)
         ));
+    }
+
+    #[test]
+    fn shared_engine_serves_from_multiple_threads() {
+        let (engine, _) = social_engine(80, 11);
+        let engine = Arc::new(engine);
+        let serial: Vec<_> = [0.2, 0.4, 0.6, 0.8]
+            .iter()
+            .map(|&phi| engine.quantile("likes", phi).unwrap().result.weight)
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let engine = Arc::clone(&engine);
+                let serial = serial.clone();
+                std::thread::spawn(move || {
+                    for (i, &phi) in [0.2, 0.4, 0.6, 0.8].iter().enumerate() {
+                        let answer = engine.quantile("likes", phi).unwrap();
+                        assert_eq!(answer.result.weight, serial[i]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -41,7 +41,7 @@
 //! let (_, database) = SocialConfig { rows_per_relation: 120, ..Default::default() }
 //!     .generate()
 //!     .into_parts();
-//! let mut engine = Engine::new();
+//! let engine = Engine::new();
 //! engine.create_database("social", database).unwrap();
 //! engine
 //!     .register("likes", "social", social_network_query(), Ranking::sum(vars(&["l2", "l3"])))
@@ -62,7 +62,7 @@ pub mod engine;
 mod error;
 pub mod plan;
 
-pub use cache::{CacheStats, LruCache};
+pub use cache::{CacheStats, LruCache, ShardedLru};
 pub use catalog::{Catalog, CatalogEntry};
 pub use engine::{
     Engine, EngineAnswer, EngineConfig, EngineCounters, EngineStats, PlanStorageStats,

@@ -1,0 +1,294 @@
+//! Concurrent-correctness tests for the thread-safe engine.
+//!
+//! The contract under test (see the engine module docs):
+//!
+//! * `Engine: Send + Sync`, and all serving methods take `&self`;
+//! * N threads hammering `quantile`/`quantile_batch` against one shared engine get
+//!   answers **identical** to a serial run;
+//! * interleaved `replace_database` is atomic: every concurrently-served answer
+//!   belongs entirely to one database generation (no mixed-generation results), and
+//!   the generation recorded on the answer identifies which database produced it;
+//! * cache accounting stays exact under concurrency (no lost updates).
+
+use qjoin_engine::{Engine, EngineConfig};
+use qjoin_query::query::social_network_query;
+use qjoin_query::variable::vars;
+use qjoin_ranking::Ranking;
+use qjoin_workload::social::SocialConfig;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+// `static_assertions`-style compile-time checks: if the engine (or anything it
+// embeds) stops being thread-safe, this file fails to build.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<Arc<Engine>>();
+    assert_send_sync::<qjoin_engine::EngineStats>();
+    assert_send_sync::<qjoin_engine::CacheStats>();
+};
+
+fn social_database(rows: usize, seed: u64) -> qjoin_data::Database {
+    let config = SocialConfig {
+        rows_per_relation: rows,
+        seed,
+        ..Default::default()
+    };
+    config.generate().into_parts().1
+}
+
+fn engine_with_plan(rows: usize, seed: u64) -> Arc<Engine> {
+    let engine = Engine::new();
+    engine
+        .create_database("social", social_database(rows, seed))
+        .unwrap();
+    engine
+        .register(
+            "likes",
+            "social",
+            social_network_query(),
+            Ranking::sum(vars(&["l2", "l3"])),
+        )
+        .unwrap();
+    Arc::new(engine)
+}
+
+/// The φ grid shared by the hammer tests.
+fn phi_grid() -> Vec<f64> {
+    (1..=9).map(|i| i as f64 / 10.0).collect()
+}
+
+#[test]
+fn n_threads_hammering_quantile_match_serial_answers() {
+    let phis = phi_grid();
+    // Serial ground truth from an identically-built engine.
+    let serial_engine = engine_with_plan(90, 21);
+    let serial: Vec<(u128, String)> = phis
+        .iter()
+        .map(|&phi| {
+            let a = serial_engine.quantile("likes", phi).unwrap();
+            (a.result.target_index, a.result.weight.to_string())
+        })
+        .collect();
+
+    let engine = engine_with_plan(90, 21);
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let phis = phis.clone();
+            let serial = serial.clone();
+            std::thread::spawn(move || {
+                // Different threads sweep the grid in different orders, so cache
+                // fills race with cold solves in every interleaving.
+                for round in 0..4 {
+                    for i in 0..phis.len() {
+                        let i = (i + t * 3 + round) % phis.len();
+                        let a = engine.quantile("likes", phis[i]).unwrap();
+                        assert_eq!(
+                            (a.result.target_index, a.result.weight.to_string()),
+                            serial[i],
+                            "thread {t} round {round} phi {}",
+                            phis[i]
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // Cache accounting is exact: one lookup per request, one solve per miss.
+    let stats = engine.stats();
+    assert_eq!(stats.counters.quantile_requests, 8 * 4 * 9);
+    assert_eq!(
+        stats.cache.hits + stats.cache.misses,
+        stats.counters.quantile_requests
+    );
+    assert_eq!(stats.counters.solved, stats.cache.misses);
+    // Every φ was solved at least once, and never evicted at default capacity.
+    assert!(stats.counters.solved >= 9);
+    assert_eq!(stats.cache_entries, 9);
+}
+
+#[test]
+fn concurrent_batches_match_serial_answers() {
+    let phis = phi_grid();
+    let serial_engine = engine_with_plan(80, 33);
+    let serial: Vec<(u128, String)> = serial_engine
+        .quantile_batch("likes", &phis)
+        .unwrap()
+        .iter()
+        .map(|a| (a.result.target_index, a.result.weight.to_string()))
+        .collect();
+
+    let engine = engine_with_plan(80, 33);
+    let threads: Vec<_> = (0..6)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let phis = phis.clone();
+            let serial = serial.clone();
+            std::thread::spawn(move || {
+                // Each thread batches a rotated window of the grid.
+                for round in 0..3 {
+                    let start = (t + round) % 3;
+                    let window: Vec<f64> = phis[start..start + 6].to_vec();
+                    let answers = engine.quantile_batch("likes", &window).unwrap();
+                    for (k, answer) in answers.iter().enumerate() {
+                        let i = start + k;
+                        assert_eq!(
+                            (answer.result.target_index, answer.result.weight.to_string()),
+                            serial[i],
+                            "thread {t} round {round} phi {}",
+                            phis[i]
+                        );
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.counters.batch_requests, 6 * 3);
+    assert_eq!(stats.counters.quantile_requests, 6 * 3 * 6);
+}
+
+#[test]
+fn interleaved_replace_never_mixes_generations() {
+    // Two distinguishable databases: different seeds shift both the answer count
+    // and the quantile weights.
+    let rows = 70;
+    let (seed_a, seed_b) = (5, 606);
+    let expected = |seed: u64| -> (u128, String) {
+        let engine = engine_with_plan(rows, seed);
+        let a = engine.quantile("likes", 0.5).unwrap();
+        (a.result.total_answers, a.result.weight.to_string())
+    };
+    let expect_a = expected(seed_a);
+    let expect_b = expected(seed_b);
+    assert_ne!(expect_a, expect_b, "seeds must produce distinct answers");
+
+    let engine = engine_with_plan(rows, seed_a);
+    let stop = Arc::new(AtomicBool::new(false));
+
+    // Writer: flip the database back and forth. Generation g holds seed A when g
+    // is odd (gen 1 = the initial A), seed B when even.
+    let writer = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            for flip in 0..10 {
+                let seed = if flip % 2 == 0 { seed_b } else { seed_a };
+                engine
+                    .replace_database("social", social_database(rows, seed))
+                    .unwrap();
+            }
+            stop.store(true, Ordering::SeqCst);
+        })
+    };
+
+    // Readers: every answer must be *exactly* the A answer or the B answer, and
+    // must agree with the generation stamped on it — a result mixing two
+    // generations (old tuples, new count, or vice versa) fails both checks.
+    let readers: Vec<_> = (0..6)
+        .map(|_| {
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let expect_a = expect_a.clone();
+            let expect_b = expect_b.clone();
+            std::thread::spawn(move || {
+                let mut checked = 0u64;
+                while !stop.load(Ordering::SeqCst) || checked == 0 {
+                    let answer = engine.quantile("likes", 0.5).unwrap();
+                    let got = (
+                        answer.result.total_answers,
+                        answer.result.weight.to_string(),
+                    );
+                    let want = if answer.generation % 2 == 1 {
+                        &expect_a
+                    } else {
+                        &expect_b
+                    };
+                    assert_eq!(
+                        &got, want,
+                        "generation {} must serve its own database's answer",
+                        answer.generation
+                    );
+                    checked += 1;
+                }
+                checked
+            })
+        })
+        .collect();
+
+    writer.join().unwrap();
+    let total_checked: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+    assert!(total_checked > 0);
+    // 10 flips recompiled the single dependent plan 10 times (plus 2 initial
+    // registrations on the ground-truth engines, not counted here).
+    assert_eq!(engine.stats().counters.plan_compilations, 11);
+    assert_eq!(engine.catalog().get("social").unwrap().generation, 11);
+}
+
+#[test]
+fn single_shard_cache_still_correct_under_concurrency() {
+    // Degenerate configuration: one shard means every request contends on one
+    // cache lock; answers must still be exact.
+    let engine = Engine::with_config(EngineConfig {
+        cache_capacity: 4, // tiny: forces constant eviction churn
+        cache_shards: 1,
+        ..Default::default()
+    });
+    engine
+        .create_database("social", social_database(60, 9))
+        .unwrap();
+    engine
+        .register(
+            "likes",
+            "social",
+            social_network_query(),
+            Ranking::sum(vars(&["l2", "l3"])),
+        )
+        .unwrap();
+    let engine = Arc::new(engine);
+    let phis = phi_grid();
+    let serial: Vec<String> = phis
+        .iter()
+        .map(|&phi| {
+            engine
+                .quantile("likes", phi)
+                .unwrap()
+                .result
+                .weight
+                .to_string()
+        })
+        .collect();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let engine = Arc::clone(&engine);
+            let phis = phis.clone();
+            let serial = serial.clone();
+            std::thread::spawn(move || {
+                for round in 0..3 {
+                    for (i, &phi) in phis.iter().enumerate() {
+                        let a = engine.quantile("likes", phi).unwrap();
+                        assert_eq!(a.result.weight.to_string(), serial[i], "t{t} r{round}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.cache_shards, 1);
+    assert!(stats.cache_entries <= 4);
+    assert!(
+        stats.cache.evictions > 0,
+        "capacity 4 must churn: {stats:?}"
+    );
+}

@@ -1,0 +1,215 @@
+//! The `qjoin` binary: the engine CLI (REPL + one-shot subcommands) plus the
+//! network subcommands `serve` and `client` provided by this crate.
+
+use qjoin_server::{Client, ClientError, ServerConfig};
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::time::Duration;
+
+/// Usage text for the network subcommands (the engine's `HELP` covers the rest).
+const SERVE_HELP: &str = "\
+qjoin serve — run the TCP serving layer
+
+USAGE:
+  qjoin serve [addr=<host:port>] [workers=<n>] [queue=<n>] [cache=<n>]
+
+  addr     bind address; port 0 (the default) picks a free ephemeral port.
+           The bound address is printed as `qjoin-server listening on <addr> ...`.
+  workers  worker threads handling connections        (default 4)
+  queue    accepted-connection queue depth            (default 64)
+  cache    engine result-cache capacity, 0 disables   (default 1024)
+
+qjoin client — talk to a running server
+
+USAGE:
+  qjoin client <addr> [command ...]
+
+  Each trailing argument is one full protocol command (quote it); with no
+  commands, lines are read from stdin. Payload lines are printed to stdout,
+  `err` replies to stderr (exit code 1). See docs/PROTOCOL.md for the verbs.";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(run(&args));
+}
+
+fn run(args: &[String]) -> i32 {
+    match args.first().map(String::as_str) {
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("client") => cmd_client(&args[1..]),
+        Some("help") | Some("-h") | Some("--help") => {
+            println!("{}\n\n{SERVE_HELP}", qjoin_engine::cli::HELP);
+            0
+        }
+        // Everything else (repl, register, quantile, batch, stats, …) is the
+        // engine CLI's business.
+        _ => qjoin_engine::cli::main_with_args(args),
+    }
+}
+
+/// Parses `key=value` arguments against an allowed set.
+fn parse_params(tokens: &[String], allowed: &[&str]) -> Result<BTreeMap<String, String>, String> {
+    let mut params = BTreeMap::new();
+    for token in tokens {
+        let Some((key, value)) = token.split_once('=') else {
+            return Err(format!("expected key=value, got {token:?}"));
+        };
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown parameter {key:?}; expected one of: {}",
+                allowed.join(", ")
+            ));
+        }
+        params.insert(key.to_string(), value.to_string());
+    }
+    Ok(params)
+}
+
+fn cmd_serve(args: &[String]) -> i32 {
+    let params = match parse_params(args, &["addr", "workers", "queue", "cache"]) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{SERVE_HELP}");
+            return 1;
+        }
+    };
+    let addr = params
+        .get("addr")
+        .map(String::as_str)
+        // Ephemeral by default: parallel invocations never collide on a port.
+        .unwrap_or("127.0.0.1:0")
+        .to_string();
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        match params.get(key) {
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value {raw:?} for {key}")),
+            None => Ok(default),
+        }
+    };
+    let (workers, queue, cache) = match (|| {
+        Ok::<_, String>((
+            parse_usize("workers", 4)?,
+            parse_usize("queue", 64)?,
+            parse_usize("cache", 1024)?,
+        ))
+    })() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{SERVE_HELP}");
+            return 1;
+        }
+    };
+
+    let engine = std::sync::Arc::new(qjoin_engine::Engine::with_config(
+        qjoin_engine::EngineConfig {
+            cache_capacity: cache,
+            ..Default::default()
+        },
+    ));
+    let session = std::sync::Arc::new(qjoin_engine::cli::CliSession::with_engine(engine));
+    let config = ServerConfig {
+        workers,
+        queue_depth: queue,
+        ..Default::default()
+    };
+    let server = match qjoin_server::Server::bind(addr.as_str(), session, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => {
+            // CI and scripts parse this exact line to learn the ephemeral port.
+            println!("qjoin-server listening on {bound} ({workers} workers)");
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+        }
+        Err(e) => {
+            eprintln!("error: cannot resolve bound address: {e}");
+            return 1;
+        }
+    }
+    match server.run() {
+        Ok(summary) => {
+            println!(
+                "qjoin-server drained: {} connections, {} requests",
+                summary.connections, summary.requests
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("error: server failed: {e}");
+            1
+        }
+    }
+}
+
+/// Sends one command, prints its payload, and reports whether it ended the
+/// conversation (`quit`/`exit`/`shutdown`).
+fn run_one(client: &mut Client, command: &str) -> Result<bool, ClientError> {
+    let verb = command.split_whitespace().next().unwrap_or("");
+    let payload = client.send(command)?;
+    for line in &payload {
+        println!("{line}");
+    }
+    Ok(matches!(verb, "quit" | "exit" | "shutdown"))
+}
+
+fn cmd_client(args: &[String]) -> i32 {
+    let [addr, commands @ ..] = args else {
+        eprintln!("error: client needs a server address\n\n{SERVE_HELP}");
+        return 1;
+    };
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return 1;
+        }
+    };
+    // Solves can take a while on big workloads, but a hung server should not hang
+    // the client forever.
+    let _ = client.set_read_timeout(Some(Duration::from_secs(300)));
+
+    if commands.is_empty() {
+        // Interactive / piped mode: one command per stdin line.
+        let stdin = std::io::stdin();
+        for line in stdin.lock().lines() {
+            let line = match line {
+                Ok(line) => line,
+                Err(_) => break,
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match run_one(&mut client, &line) {
+                Ok(true) => return 0,
+                Ok(false) => {}
+                Err(ClientError::Remote(message)) => eprintln!("error: {message}"),
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+        0
+    } else {
+        // One-shot mode: each argument is a full command; stop at the first error.
+        for command in commands {
+            match run_one(&mut client, command) {
+                Ok(true) => return 0,
+                Ok(false) => {}
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return 1;
+                }
+            }
+        }
+        // Close the connection politely so the server's worker is freed at once.
+        let _ = client.quit();
+        0
+    }
+}

@@ -1,0 +1,175 @@
+//! A blocking client for the qjoin wire protocol.
+//!
+//! One [`Client`] wraps one TCP connection and speaks the line protocol from
+//! [`crate::protocol`]: send a command line, read one framed response. Remote
+//! errors (`err ...` replies) surface as [`ClientError::Remote`], so transport
+//! failures and server-side rejections stay distinguishable.
+
+use crate::protocol::{ProtocolError, Response};
+use std::fmt;
+use std::io::{self, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Errors raised by [`Client`] calls.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (dial, read, or write).
+    Io(io::Error),
+    /// The server replied with an `err` response; the payload is its message.
+    Remote(String),
+    /// The server replied with bytes that are not valid protocol framing, or the
+    /// request itself cannot be represented on the wire.
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Remote(message) => write!(f, "server error: {message}"),
+            ClientError::Protocol(what) => write!(f, "protocol error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ClientError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtocolError> for ClientError {
+    fn from(e: ProtocolError) -> Self {
+        match e {
+            ProtocolError::Io(e) => ClientError::Io(e),
+            ProtocolError::Closed => {
+                ClientError::Protocol("connection closed mid-response".to_string())
+            }
+            ProtocolError::Malformed(what) => ClientError::Protocol(what),
+        }
+    }
+}
+
+/// A blocking connection to a qjoin server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server (e.g. the address printed by `qjoin serve`).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sets (or clears) a deadline for each protocol read.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Sends one command line and reads the framed reply. Returns the payload lines
+    /// on success; a remote `err` reply becomes [`ClientError::Remote`].
+    pub fn send(&mut self, command: &str) -> Result<Vec<String>, ClientError> {
+        if command.contains('\n') || command.contains('\r') {
+            return Err(ClientError::Protocol(
+                "a command must be a single line".to_string(),
+            ));
+        }
+        writeln!(self.writer, "{command}")?;
+        self.writer.flush()?;
+        match Response::read_from(&mut self.reader)? {
+            Response::Ok(lines) => Ok(lines),
+            Response::Err(message) => Err(ClientError::Remote(message)),
+        }
+    }
+
+    /// Round-trips a `ping`.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let payload = self.send("ping")?;
+        if payload == ["pong"] {
+            Ok(())
+        } else {
+            Err(ClientError::Protocol(format!(
+                "unexpected ping reply: {payload:?}"
+            )))
+        }
+    }
+
+    /// Serves one quantile: `quantile <plan> <phi>`; returns the answer line.
+    pub fn quantile(&mut self, plan: &str, phi: f64) -> Result<String, ClientError> {
+        let payload = self.send(&format!("quantile {plan} {phi}"))?;
+        payload
+            .into_iter()
+            .next()
+            .ok_or_else(|| ClientError::Protocol("empty quantile reply".to_string()))
+    }
+
+    /// Serves a batch: `batch <plan> <phi> ...`; returns all payload lines (one per
+    /// φ plus the summary line).
+    pub fn batch(&mut self, plan: &str, phis: &[f64]) -> Result<Vec<String>, ClientError> {
+        let phi_args = phis
+            .iter()
+            .map(f64::to_string)
+            .collect::<Vec<_>>()
+            .join(" ");
+        self.send(&format!("batch {plan} {phi_args}"))
+    }
+
+    /// Fetches the server's statistics dump.
+    pub fn stats(&mut self) -> Result<Vec<String>, ClientError> {
+        self.send("stats")
+    }
+
+    /// Politely closes this connection (`quit`). The connection is consumed.
+    pub fn quit(mut self) -> Result<(), ClientError> {
+        self.send("quit").map(|_| ())
+    }
+
+    /// Asks the server to shut down and drain. The connection is consumed.
+    pub fn shutdown(mut self) -> Result<(), ClientError> {
+        self.send("shutdown").map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn multi_line_commands_are_rejected_client_side() {
+        // Build a client over an unconnected pair is impossible with std only, so
+        // validate the guard before any I/O happens: connect to a listener we
+        // control and never accept from.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = Client::connect(listener.local_addr().unwrap()).unwrap();
+        let err = client.send("two\nlines").unwrap_err();
+        assert!(matches!(err, ClientError::Protocol(_)));
+    }
+
+    #[test]
+    fn error_types_display_their_cause() {
+        let io: ClientError = io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        assert!(ClientError::Remote("nope".into())
+            .to_string()
+            .contains("nope"));
+        let from_closed: ClientError = ProtocolError::Closed.into();
+        assert!(matches!(from_closed, ClientError::Protocol(_)));
+    }
+}

@@ -1,0 +1,56 @@
+//! # qjoin-server
+//!
+//! A **concurrent network serving layer** over the thread-safe quantile engine:
+//! where `qjoin-engine` answers quantile requests in-process, this crate puts a TCP
+//! front end on one shared [`qjoin_engine::Engine`] so many clients can probe
+//! quantiles at once — the serving workload the paper's near-linear per-query
+//! bounds make attractive.
+//!
+//! Everything is **std-only**: `std::net` sockets, `std::thread` workers, and a
+//! line-delimited text protocol. The pieces:
+//!
+//! | Component | Module |
+//! |---|---|
+//! | wire format (framing, verbs, errors) | [`protocol`] |
+//! | bounded worker thread pool | [`pool`] |
+//! | accept loop + per-connection sessions + graceful drain | [`server`] |
+//! | blocking client library | [`client`] |
+//!
+//! The crate also ships the `qjoin` binary: all of the engine CLI's subcommands
+//! (REPL, one-shot `register`/`quantile`/`batch`/`stats`) plus `qjoin serve` and
+//! `qjoin client` for the network path.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qjoin_engine::cli::CliSession;
+//! use qjoin_server::{Client, Server, ServerConfig};
+//! use std::sync::Arc;
+//!
+//! // Bind an ephemeral port (never collides across parallel test runs).
+//! let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), ServerConfig::default())
+//!     .unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let join = std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! client.send("open s social rows=60 seed=3").unwrap();
+//! client.send("register likes s").unwrap();
+//! let answer = client.quantile("likes", 0.5).unwrap();
+//! assert!(answer.contains("phi=0.5000"));
+//! client.shutdown().unwrap();   // drains workers and stops the accept loop
+//! join.join().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod pool;
+pub mod protocol;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use pool::WorkerPool;
+pub use protocol::{ProtocolError, Response};
+pub use server::{Server, ServerConfig, ServerHandle, ServerSummary};

@@ -1,0 +1,149 @@
+//! A bounded worker thread pool, std-only.
+//!
+//! Jobs are fed through an [`mpsc::sync_channel`], so [`WorkerPool::submit`] blocks
+//! once the queue holds `queue_depth` unstarted jobs — natural backpressure for the
+//! accept loop instead of unbounded connection pile-up. Workers share the receiver
+//! behind a mutex and run the (shared) handler on each job.
+//!
+//! Dropping or [`WorkerPool::join`]ing the pool closes the channel; workers drain
+//! whatever is already queued, then exit, and `join` waits for them — this is the
+//! mechanism behind the server's graceful shutdown.
+
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+
+/// A fixed-size pool of named worker threads consuming jobs from a bounded queue.
+pub struct WorkerPool<T: Send + 'static> {
+    sender: Option<mpsc::SyncSender<T>>,
+    workers: Vec<thread::JoinHandle<()>>,
+}
+
+impl<T: Send + 'static> WorkerPool<T> {
+    /// Spawns `workers` threads (at least 1) named `{name}-{i}`, each running
+    /// `handler` on every job it pulls. The queue holds at most `queue_depth`
+    /// not-yet-started jobs (at least 1).
+    pub fn new(
+        name: &str,
+        workers: usize,
+        queue_depth: usize,
+        handler: impl Fn(T) + Send + Sync + 'static,
+    ) -> Self {
+        let (sender, receiver) = mpsc::sync_channel::<T>(queue_depth.max(1));
+        let receiver = Arc::new(Mutex::new(receiver));
+        let handler = Arc::new(handler);
+        let workers = (0..workers.max(1))
+            .map(|i| {
+                let receiver = Arc::clone(&receiver);
+                let handler = Arc::clone(&handler);
+                thread::Builder::new()
+                    .name(format!("{name}-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while popping, never while
+                        // handling, so other workers keep draining the queue.
+                        let job = receiver.lock().unwrap().recv();
+                        match job {
+                            Ok(job) => handler(job),
+                            Err(_) => break, // channel closed and drained
+                        }
+                    })
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            sender: Some(sender),
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job, blocking while the queue is full. Returns the job back if the
+    /// pool is already shut down (cannot happen while the pool is alive, since `join`
+    /// consumes it — but kept total for safety).
+    pub fn submit(&self, job: T) -> Result<(), T> {
+        match &self.sender {
+            Some(sender) => sender.send(job).map_err(|e| e.0),
+            None => Err(job),
+        }
+    }
+
+    /// Closes the queue, lets the workers drain every already-queued job, and waits
+    /// for them to exit.
+    pub fn join(mut self) {
+        self.shutdown_and_join();
+    }
+
+    fn shutdown_and_join(&mut self) {
+        drop(self.sender.take()); // closes the channel
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl<T: Send + 'static> Drop for WorkerPool<T> {
+    fn drop(&mut self) {
+        self.shutdown_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn all_jobs_run_even_across_join() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new("t", 4, 8, move |n: usize| {
+                thread::sleep(Duration::from_millis(n as u64 % 3));
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        for i in 0..32 {
+            pool.submit(i).unwrap();
+        }
+        pool.join(); // must drain everything queued before returning
+        assert_eq!(done.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn zero_workers_is_clamped_to_one() {
+        let done = Arc::new(AtomicUsize::new(0));
+        let pool = {
+            let done = Arc::clone(&done);
+            WorkerPool::new("t", 0, 0, move |_: ()| {
+                done.fetch_add(1, Ordering::SeqCst);
+            })
+        };
+        assert_eq!(pool.workers(), 1);
+        pool.submit(()).unwrap();
+        pool.join();
+        assert_eq!(done.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn jobs_are_distributed_across_workers() {
+        // With 4 workers and jobs that block until all workers are busy, every
+        // worker must pick up work (a single-threaded pool would deadlock here,
+        // so completing at all proves distribution).
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let pool = {
+            let barrier = Arc::clone(&barrier);
+            WorkerPool::new("t", 4, 4, move |_: ()| {
+                barrier.wait();
+            })
+        };
+        for _ in 0..4 {
+            pool.submit(()).unwrap();
+        }
+        pool.join();
+    }
+}

@@ -1,0 +1,223 @@
+//! The line-delimited wire protocol (see `docs/PROTOCOL.md` for the full spec).
+//!
+//! **Requests** are single lines of UTF-8 text, exactly the REPL command language
+//! (`open`, `replace`, `register`, `quantile`, `batch`, `plans`, `stats`, `help`),
+//! plus the connection verbs `ping`, `quit`/`exit`, and `shutdown`.
+//!
+//! **Responses** are framed so a client can read them without guessing:
+//!
+//! ```text
+//! ok <n>\n        n payload lines follow, each terminated by \n
+//! <line 1>\n
+//! ...
+//! <line n>\n
+//! ```
+//!
+//! or, for failures, a single line:
+//!
+//! ```text
+//! err <message>\n
+//! ```
+//!
+//! Error messages are flattened to one line (embedded newlines become `"; "`).
+//! Both sides of the protocol live here so the server, the client library, and the
+//! tests cannot drift apart.
+
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// One framed reply: either a payload of zero or more lines, or an error message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// Success, carrying the payload lines.
+    Ok(Vec<String>),
+    /// Failure, carrying a one-line error message.
+    Err(String),
+}
+
+impl Response {
+    /// A success response from a printable text block (split into lines; an empty
+    /// text becomes an empty payload).
+    pub fn from_text(text: &str) -> Response {
+        if text.is_empty() {
+            Response::Ok(Vec::new())
+        } else {
+            Response::Ok(text.lines().map(str::to_string).collect())
+        }
+    }
+
+    /// An error response; the message is flattened to a single line.
+    pub fn error(message: impl Into<String>) -> Response {
+        Response::Err(flatten(&message.into()))
+    }
+
+    /// True for [`Response::Ok`].
+    pub fn is_ok(&self) -> bool {
+        matches!(self, Response::Ok(_))
+    }
+
+    /// Serializes the response onto a writer using the framing above.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        match self {
+            Response::Ok(lines) => {
+                writeln!(w, "ok {}", lines.len())?;
+                for line in lines {
+                    writeln!(w, "{}", flatten(line))?;
+                }
+            }
+            Response::Err(message) => {
+                writeln!(w, "err {}", flatten(message))?;
+            }
+        }
+        w.flush()
+    }
+
+    /// Reads one framed response from a buffered reader.
+    pub fn read_from(r: &mut impl BufRead) -> Result<Response, ProtocolError> {
+        let header = read_line(r)?;
+        if let Some(count) = header.strip_prefix("ok ") {
+            let count: usize = count.trim().parse().map_err(|_| {
+                ProtocolError::Malformed(format!("bad payload count in {header:?}"))
+            })?;
+            let mut lines = Vec::with_capacity(count.min(4096));
+            for _ in 0..count {
+                lines.push(read_line(r)?);
+            }
+            Ok(Response::Ok(lines))
+        } else if let Some(message) = header.strip_prefix("err ") {
+            Ok(Response::Err(message.to_string()))
+        } else {
+            Err(ProtocolError::Malformed(format!(
+                "expected `ok <n>` or `err <message>`, got {header:?}"
+            )))
+        }
+    }
+}
+
+/// Reads one `\n`-terminated line, stripping the terminator (and a `\r` if present).
+fn read_line(r: &mut impl BufRead) -> Result<String, ProtocolError> {
+    let mut line = String::new();
+    let n = r.read_line(&mut line).map_err(ProtocolError::Io)?;
+    if n == 0 {
+        return Err(ProtocolError::Closed);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// Replaces newlines so any text fits in one wire line.
+fn flatten(text: &str) -> String {
+    if text.contains('\n') {
+        text.replace("\r\n", "; ").replace('\n', "; ")
+    } else {
+        text.to_string()
+    }
+}
+
+/// Errors raised while reading the wire format.
+#[derive(Debug)]
+pub enum ProtocolError {
+    /// The underlying transport failed.
+    Io(io::Error),
+    /// The peer closed the connection mid-response (or before one started).
+    Closed,
+    /// The peer sent something that is not valid framing.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolError::Io(e) => write!(f, "transport error: {e}"),
+            ProtocolError::Closed => write!(f, "connection closed by peer"),
+            ProtocolError::Malformed(what) => write!(f, "malformed response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ProtocolError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ProtocolError {
+    fn from(e: io::Error) -> Self {
+        ProtocolError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn roundtrip(response: &Response) -> Response {
+        let mut wire = Vec::new();
+        response.write_to(&mut wire).unwrap();
+        Response::read_from(&mut BufReader::new(wire.as_slice())).unwrap()
+    }
+
+    #[test]
+    fn ok_responses_roundtrip() {
+        for response in [
+            Response::Ok(vec![]),
+            Response::Ok(vec!["one".into()]),
+            Response::Ok(vec!["a".into(), "".into(), "c c c".into()]),
+        ] {
+            assert_eq!(roundtrip(&response), response);
+        }
+    }
+
+    #[test]
+    fn err_responses_roundtrip_flattened() {
+        let response = Response::error("first\nsecond");
+        assert_eq!(response, Response::Err("first; second".into()));
+        assert_eq!(roundtrip(&response), response);
+    }
+
+    #[test]
+    fn from_text_splits_lines() {
+        assert_eq!(Response::from_text(""), Response::Ok(vec![]));
+        assert_eq!(
+            Response::from_text("a\nb"),
+            Response::Ok(vec!["a".into(), "b".into()])
+        );
+    }
+
+    #[test]
+    fn payload_lines_are_flattened_on_write() {
+        let sneaky = Response::Ok(vec!["evil\ninjection".into()]);
+        let read_back = roundtrip(&sneaky);
+        assert_eq!(read_back, Response::Ok(vec!["evil; injection".into()]));
+    }
+
+    #[test]
+    fn malformed_headers_and_eof_are_errors() {
+        let mut empty = BufReader::new(&b""[..]);
+        assert!(matches!(
+            Response::read_from(&mut empty),
+            Err(ProtocolError::Closed)
+        ));
+        let mut garbage = BufReader::new(&b"what 3\n"[..]);
+        assert!(matches!(
+            Response::read_from(&mut garbage),
+            Err(ProtocolError::Malformed(_))
+        ));
+        let mut truncated = BufReader::new(&b"ok 2\nonly-one\n"[..]);
+        assert!(matches!(
+            Response::read_from(&mut truncated),
+            Err(ProtocolError::Closed)
+        ));
+        let mut bad_count = BufReader::new(&b"ok lots\n"[..]);
+        assert!(matches!(
+            Response::read_from(&mut bad_count),
+            Err(ProtocolError::Malformed(_))
+        ));
+    }
+}

@@ -1,0 +1,314 @@
+//! The TCP server: an accept loop feeding a bounded worker pool, one session-per-
+//! connection over one shared engine, and cooperative shutdown with graceful drain.
+//!
+//! ```text
+//!            ┌──────────────────────── Server ────────────────────────┐
+//!  accept ──▶│ bounded queue ─▶ worker pool (N threads)               │
+//!            │                     │ per connection: read line,       │
+//!            │                     ▼ intercept ping/quit/shutdown     │
+//!            │              Arc<CliSession> (shared command language) │
+//!            │                     │ executes against                 │
+//!            │                     ▼                                  │
+//!            │              Arc<Engine>  (thread-safe, &self serving) │
+//!            └────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! **Ephemeral ports**: bind to port 0 and the OS picks a free port;
+//! [`Server::local_addr`] exposes the real address, and `qjoin serve` prints it.
+//! Tests and CI always bind port 0 so parallel runs never collide.
+//!
+//! **Shutdown**: any connection sending `shutdown` (or [`ServerHandle::shutdown`])
+//! sets a flag and wakes the accept loop. The listener stops accepting, the queue
+//! is closed, workers finish the request they are executing (in-flight solves are
+//! never aborted), and [`Server::run`] joins them all before returning.
+
+use crate::pool::WorkerPool;
+use crate::protocol::Response;
+use qjoin_engine::cli::CliSession;
+use std::io::{self, BufRead, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Worker threads handling connections (each serves one connection at a time).
+    pub workers: usize,
+    /// Accepted-but-unstarted connections the queue holds before the accept loop
+    /// blocks (backpressure instead of unbounded pile-up).
+    pub queue_depth: usize,
+    /// How often an idle connection checks for server shutdown (the read timeout).
+    pub poll_interval: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 4,
+            queue_depth: 64,
+            poll_interval: Duration::from_millis(200),
+        }
+    }
+}
+
+/// What a finished server run observed (returned by [`Server::run`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerSummary {
+    /// Connections accepted and handed to the pool.
+    pub connections: u64,
+    /// Requests answered (one per protocol response written).
+    pub requests: u64,
+}
+
+/// A handle that can stop a running server from any thread.
+#[derive(Clone, Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The server's bound address (the real port, even when bound to port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// True once shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Requests shutdown: sets the flag and dials the listener once so the blocking
+    /// accept call wakes up and observes it. Idempotent.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wildcard binds (0.0.0.0 / ::) are not dialable on every platform; the
+        // loopback address with the same port reaches the listener regardless.
+        let mut dial = self.addr;
+        if dial.ip().is_unspecified() {
+            match dial {
+                SocketAddr::V4(_) => dial.set_ip(std::net::Ipv4Addr::LOCALHOST.into()),
+                SocketAddr::V6(_) => dial.set_ip(std::net::Ipv6Addr::LOCALHOST.into()),
+            }
+        }
+        // A failed dial is fine — it means the listener is already gone.
+        let _ = TcpStream::connect_timeout(&dial, Duration::from_secs(1));
+    }
+}
+
+/// A bound-but-not-yet-running server (see the module docs).
+pub struct Server {
+    listener: TcpListener,
+    session: Arc<CliSession>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds a listener (use port 0 for an OS-assigned ephemeral port) serving the
+    /// given shared session.
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        session: Arc<CliSession>,
+        config: ServerConfig,
+    ) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Server {
+            listener,
+            session,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The actually-bound address (resolves port 0 to the assigned port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle for stopping the server from another thread (or from a connection's
+    /// `shutdown` verb).
+    pub fn handle(&self) -> io::Result<ServerHandle> {
+        Ok(ServerHandle {
+            addr: self.local_addr()?,
+            shutdown: Arc::clone(&self.shutdown),
+        })
+    }
+
+    /// Runs the accept loop until shutdown, then drains: already-accepted
+    /// connections finish their current request before workers exit.
+    pub fn run(self) -> io::Result<ServerSummary> {
+        let handle = self.handle()?;
+        let requests = Arc::new(AtomicU64::new(0));
+        let pool = {
+            let session = Arc::clone(&self.session);
+            let poll_interval = self.config.poll_interval;
+            let handle = handle.clone();
+            let requests = Arc::clone(&requests);
+            WorkerPool::new(
+                "qjoin-worker",
+                self.config.workers,
+                self.config.queue_depth,
+                move |stream: TcpStream| {
+                    serve_connection(stream, &session, &handle, poll_interval, &requests);
+                },
+            )
+        };
+
+        let mut connections = 0u64;
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break; // the waking dial (or a raced real connection) lands here
+            }
+            match stream {
+                Ok(stream) => {
+                    connections += 1;
+                    if pool.submit(stream).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept failures (e.g. the peer vanished between
+                // accept and handshake) must not kill the server.
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        pool.join(); // graceful drain
+        Ok(ServerSummary {
+            connections,
+            requests: requests.load(Ordering::SeqCst),
+        })
+    }
+}
+
+/// Serves one connection: reads request lines, executes them against the shared
+/// session, writes framed responses. Returns (closing the connection) on EOF,
+/// transport errors, `quit`/`exit`, `shutdown`, or server shutdown.
+fn serve_connection(
+    stream: TcpStream,
+    session: &CliSession,
+    handle: &ServerHandle,
+    poll_interval: Duration,
+    requests: &AtomicU64,
+) {
+    // The read timeout doubles as the shutdown poll tick for idle connections.
+    let _ = stream.set_read_timeout(Some(poll_interval));
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // `read_line` appends whatever it consumed even when it then times out, so the
+    // partial line survives in `pending` across poll ticks. A newline-free flood
+    // would grow it forever, so over-long lines close the connection instead.
+    const MAX_LINE_BYTES: usize = 64 * 1024;
+    let mut pending = String::new();
+    loop {
+        if handle.is_shutdown() || pending.len() > MAX_LINE_BYTES {
+            return;
+        }
+        match reader.read_line(&mut pending) {
+            Ok(0) => return, // EOF: client closed cleanly
+            Ok(_) if pending.len() > MAX_LINE_BYTES => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                continue
+            }
+            Err(_) => return,
+        }
+        let line = std::mem::take(&mut pending);
+        let line = line.trim();
+        let (response, action) = dispatch(line, session);
+        requests.fetch_add(1, Ordering::SeqCst);
+        if response.write_to(&mut writer).is_err() {
+            return;
+        }
+        match action {
+            Action::Continue => {}
+            Action::Close => return,
+            Action::Shutdown => {
+                handle.shutdown();
+                return;
+            }
+        }
+    }
+}
+
+/// What the connection loop does after writing a response.
+enum Action {
+    Continue,
+    Close,
+    Shutdown,
+}
+
+/// Maps one request line to a response plus the follow-up action. Connection-level
+/// verbs (`ping`, `quit`/`exit`, `shutdown`) are intercepted here; everything else
+/// is the shared REPL command language. The shutdown flag itself is set by the
+/// caller *after* the reply is written, so the client always sees the confirmation.
+fn dispatch(line: &str, session: &CliSession) -> (Response, Action) {
+    match line.split_whitespace().next() {
+        None => (Response::Ok(Vec::new()), Action::Continue),
+        Some("ping") => (Response::Ok(vec!["pong".to_string()]), Action::Continue),
+        Some("quit") | Some("exit") => (Response::Ok(vec!["bye".to_string()]), Action::Close),
+        Some("shutdown") => (
+            Response::Ok(vec!["shutting down".to_string()]),
+            Action::Shutdown,
+        ),
+        Some(_) => match session.execute(line) {
+            Ok(output) => (Response::from_text(&output), Action::Continue),
+            // The REPL signals quit via a sentinel; treat it like `quit` for safety.
+            Err(e) if e == "__quit__" => (Response::Ok(vec!["bye".to_string()]), Action::Close),
+            Err(e) => (Response::error(e), Action::Continue),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spawn_server(
+        config: ServerConfig,
+    ) -> (ServerHandle, std::thread::JoinHandle<ServerSummary>) {
+        let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), config).unwrap();
+        let handle = server.handle().unwrap();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        (handle, join)
+    }
+
+    #[test]
+    fn binds_an_ephemeral_port_and_exposes_it() {
+        let (a, ja) = spawn_server(ServerConfig::default());
+        let (b, jb) = spawn_server(ServerConfig::default());
+        assert_ne!(a.addr().port(), 0);
+        assert_ne!(b.addr().port(), 0);
+        assert_ne!(a.addr(), b.addr(), "two ephemeral servers must not collide");
+        a.shutdown();
+        b.shutdown();
+        ja.join().unwrap();
+        jb.join().unwrap();
+    }
+
+    #[test]
+    fn handle_shutdown_stops_a_server_with_no_traffic() {
+        let (handle, join) = spawn_server(ServerConfig::default());
+        assert!(!handle.is_shutdown());
+        handle.shutdown();
+        let summary = join.join().unwrap();
+        assert!(handle.is_shutdown());
+        // The waking dial may or may not be counted as a connection, but no
+        // requests were ever answered.
+        assert_eq!(summary.requests, 0);
+    }
+}

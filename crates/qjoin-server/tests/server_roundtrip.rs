@@ -1,0 +1,197 @@
+//! End-to-end tests over real TCP connections: scripted sessions, concurrent
+//! clients sharing one engine, error replies, and graceful shutdown.
+//!
+//! Every server binds `127.0.0.1:0` (an OS-assigned ephemeral port), so parallel
+//! test runs and CI jobs can never collide on a port.
+
+use qjoin_engine::cli::CliSession;
+use qjoin_server::{Client, ClientError, Server, ServerConfig, ServerHandle, ServerSummary};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+fn start_server(workers: usize) -> (SocketAddr, ServerHandle, JoinHandle<ServerSummary>) {
+    let config = ServerConfig {
+        workers,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+    (addr, handle, join)
+}
+
+#[test]
+fn scripted_session_register_quantile_batch_stats_shutdown() {
+    let (addr, _handle, join) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+
+    client.ping().unwrap();
+    let opened = client.send("open s social rows=80 seed=3").unwrap();
+    assert_eq!(opened.len(), 1);
+    assert!(opened[0].contains("240 tuples"), "{opened:?}");
+
+    let registered = client.send("register likes s").unwrap();
+    assert!(registered[0].contains("strategy=sum-adjacent-pair"));
+
+    let answer = client.quantile("likes", 0.5).unwrap();
+    assert!(answer.contains("phi=0.5000"), "{answer}");
+
+    // The same φ again must come from the cache.
+    let cached = client.quantile("likes", 0.5).unwrap();
+    assert!(cached.contains("(cached)"), "{cached}");
+
+    let batch = client.batch("likes", &[0.25, 0.5, 0.75]).unwrap();
+    assert_eq!(batch.len(), 4, "3 answers + summary: {batch:?}");
+    assert!(batch[3].contains("1 from cache"), "{batch:?}");
+
+    let stats = client.stats().unwrap();
+    let stats_text = stats.join("\n");
+    assert!(stats_text.contains("plans:              1"), "{stats_text}");
+    assert!(stats_text.contains("db s: generation=1"), "{stats_text}");
+
+    client.shutdown().unwrap();
+    let summary = join.join().unwrap();
+    assert!(summary.requests >= 7, "{summary:?}");
+    // The server is gone: a fresh dial must fail (or be refused immediately).
+    assert!(
+        Client::connect(addr).is_err() || {
+            let mut c = Client::connect(addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}
+
+#[test]
+fn remote_errors_are_reported_not_fatal() {
+    let (addr, handle, join) = start_server(1);
+    let mut client = Client::connect(addr).unwrap();
+
+    // Unknown command.
+    let err = client.send("frobnicate").unwrap_err();
+    assert!(matches!(&err, ClientError::Remote(m) if m.contains("unknown command")));
+    // Unknown plan.
+    let err = client.send("quantile nope 0.5").unwrap_err();
+    assert!(matches!(&err, ClientError::Remote(m) if m.contains("no plan")));
+    // Out-of-range φ.
+    let err = client.send("quantile nope 1.5").unwrap_err();
+    assert!(matches!(&err, ClientError::Remote(m) if m.contains("[0, 1]")));
+    // The connection survives all of that.
+    client.ping().unwrap();
+    // Multi-line engine errors (e.g. help-bearing usage errors) arrive flattened.
+    let err = client.send("open").unwrap_err();
+    assert!(matches!(&err, ClientError::Remote(m) if m.contains("usage")));
+
+    client.quit().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn concurrent_clients_share_one_engine_and_agree() {
+    let (addr, handle, join) = start_server(4);
+
+    // Set up the catalog once.
+    let mut setup = Client::connect(addr).unwrap();
+    setup.send("open s social rows=100 seed=7").unwrap();
+    setup.send("register likes s").unwrap();
+    let expected: Vec<String> = [0.2, 0.5, 0.8]
+        .iter()
+        .map(|&phi| {
+            let line = setup.quantile("likes", phi).unwrap();
+            line.replace(" (cached)", "")
+        })
+        .collect();
+    setup.quit().unwrap();
+
+    // Many clients hammer the same plan; every answer must match the serial one.
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..5 {
+                    for (i, &phi) in [0.2, 0.5, 0.8].iter().enumerate() {
+                        let line = client.quantile("likes", phi).unwrap();
+                        let line = line.replace(" (cached)", "");
+                        assert_eq!(line, expected[i], "round {round}");
+                    }
+                }
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    // One engine served everybody: stats must show the accumulated requests.
+    let mut check = Client::connect(addr).unwrap();
+    let stats = check.stats().unwrap().join("\n");
+    assert!(
+        stats.contains("123 quantiles"),
+        "3 setup + 8*5*3 hammered: {stats}"
+    );
+    check.quit().unwrap();
+
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn more_connections_than_workers_all_get_served() {
+    // 2 workers, 6 sequential-ish clients: queued connections must be served, in
+    // whatever order, without losses.
+    let (addr, handle, join) = start_server(2);
+    let mut setup = Client::connect(addr).unwrap();
+    setup.send("open s social rows=60 seed=1").unwrap();
+    setup.send("register likes s").unwrap();
+    setup.quit().unwrap();
+
+    let threads: Vec<_> = (0..6)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let answer = client.quantile("likes", 0.5).unwrap();
+                assert!(answer.contains("phi=0.5000"));
+                client.quit().unwrap();
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert!(summary.connections >= 7, "{summary:?}");
+}
+
+#[test]
+fn shutdown_verb_from_one_client_stops_the_whole_server() {
+    let (addr, handle, join) = start_server(2);
+    let stopper = Client::connect(addr).unwrap();
+    stopper.shutdown().unwrap();
+    let summary = join.join().unwrap();
+    assert!(handle.is_shutdown());
+    assert_eq!(summary.requests, 1);
+}
+
+#[test]
+fn replace_over_the_wire_invalidates_caches() {
+    let (addr, handle, join) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    client.send("open s social rows=60 seed=5").unwrap();
+    client.send("register likes s").unwrap();
+    let before = client.quantile("likes", 0.5).unwrap();
+    assert!(client.quantile("likes", 0.5).unwrap().contains("(cached)"));
+
+    client.send("replace s social rows=60 seed=99").unwrap();
+    let after = client.quantile("likes", 0.5).unwrap();
+    assert!(!after.contains("(cached)"), "{after}");
+    assert_ne!(before, after);
+
+    client.shutdown().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}

@@ -14,8 +14,11 @@
 //! * [`core`] — the pivoting framework, exact and lossy trimmings, the partial-SUM
 //!   dichotomy, deterministic and randomized approximations, batched multi-φ solving,
 //!   and baselines;
-//! * [`engine`] — the persistent quantile-query engine: a catalog of named databases,
-//!   compile-once prepared plans, an LRU result cache, and the `qjoin` CLI;
+//! * [`engine`] — the persistent, thread-safe quantile-query engine: a catalog of
+//!   named databases, compile-once prepared plans, a sharded LRU result cache, and
+//!   the CLI command language;
+//! * [`server`] — the concurrent TCP serving layer: line protocol, bounded worker
+//!   pool, blocking client, and the `qjoin` binary's `serve`/`client` subcommands;
 //! * [`workload`] — synthetic instance generators used by the examples, tests, and
 //!   benchmarks.
 //!
@@ -42,6 +45,7 @@ pub use qjoin_engine as engine;
 pub use qjoin_exec as exec;
 pub use qjoin_query as query;
 pub use qjoin_ranking as ranking;
+pub use qjoin_server as server;
 pub use qjoin_workload as workload;
 
 pub use qjoin_core::solver::{
@@ -77,6 +81,7 @@ pub mod prelude {
     pub use qjoin_query::variable::vars;
     pub use qjoin_query::{Atom, Instance, JoinQuery, Variable};
     pub use qjoin_ranking::{AggregateKind, Ranking, Weight, WeightFn};
+    pub use qjoin_server::{Client, Server, ServerConfig};
     pub use qjoin_workload::path::PathConfig;
     pub use qjoin_workload::social::SocialConfig;
     pub use qjoin_workload::star::StarConfig;

@@ -122,7 +122,7 @@ fn self_join_elimination_shares_all_storage() {
 #[test]
 fn n_plans_share_one_database_allocation() {
     let (_, database) = social_instance(100, 17).into_parts();
-    let mut engine = Engine::new();
+    let engine = Engine::new();
     engine.create_database("social", database).unwrap();
     let rankings = [
         Ranking::sum(vars(&["l2", "l3"])),
