@@ -1,0 +1,152 @@
+//! Experiment E-SOLVE: the encoded execution layer vs the row path on cold solves.
+//!
+//! Three measurements over the social-network workload (the acceptance workload:
+//! `rows_per_relation = 300`, `seed = 2023`, exact SUM(l2, l3)) plus a LEX and a
+//! MIN/MAX configuration on the 3-path workload:
+//!
+//! * **row** — `exact_quantile_via_rows`: the materialized-tuple reference path
+//!   (per-round `Value` hashing, tuple copies per trim).
+//! * **encoded** — `exact_quantile`: the default path; each solve encodes the
+//!   database (dictionary + columns) and then runs entirely on `u64` codes and
+//!   selection-vector views.
+//! * **encoded (prepared)** — `exact_quantile_encoded` over a pre-built
+//!   [`EncodedInstance`]: the engine's amortized regime, where the encoding is
+//!   built once per catalog generation and reused across solves.
+//!
+//! Every mode solves the same φ set; per-solve medians are reported. The encoded
+//! answers are asserted pointwise equal to the row answers on every sample.
+//! `QJOIN_BENCH_SMOKE=1` (as CI sets) shrinks the sweep to a 1-sample smoke run.
+//! The JSON rows at the end are recorded in `BENCH_solve.json`.
+
+use qjoin_bench::{scaling_path_config, timed};
+use qjoin_core::encoded::exact_quantile_encoded;
+use qjoin_core::quantile::PivotingOptions;
+use qjoin_core::solver::{exact_quantile, exact_quantile_via_rows};
+use qjoin_core::QuantileResult;
+use qjoin_query::variable::vars;
+use qjoin_query::{EncodedInstance, Instance};
+use qjoin_ranking::Ranking;
+use qjoin_workload::social::SocialConfig;
+
+struct Case {
+    name: &'static str,
+    instance: Instance,
+    ranking: Ranking,
+}
+
+fn cases(smoke: bool) -> Vec<Case> {
+    let social = SocialConfig {
+        rows_per_relation: if smoke { 60 } else { 300 },
+        seed: 2023,
+        ..Default::default()
+    };
+    let path = scaling_path_config(if smoke { 100 } else { 1_000 }, 2023).generate();
+    vec![
+        Case {
+            name: "social/sum",
+            instance: social.generate(),
+            ranking: social.likes_ranking(),
+        },
+        Case {
+            name: "path3/lex",
+            instance: path.clone(),
+            ranking: Ranking::lex(vars(&["x1", "x4"])),
+        },
+        Case {
+            name: "path3/max",
+            instance: path,
+            ranking: Ranking::max(vars(&["x1", "x2", "x3", "x4"])),
+        },
+    ]
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn assert_pointwise(a: &QuantileResult, b: &QuantileResult, context: &str) {
+    assert_eq!(a.answer, b.answer, "{context}: answers diverge");
+    assert_eq!(a.weight, b.weight, "{context}: weights diverge");
+    assert_eq!(a.target_index, b.target_index, "{context}: targets diverge");
+}
+
+fn main() {
+    let smoke = std::env::var("QJOIN_BENCH_SMOKE").is_ok();
+    let samples = if smoke { 1 } else { 5 };
+    let phis: &[f64] = if smoke { &[0.5] } else { &[0.1, 0.5, 0.9] };
+
+    println!("# E-SOLVE: encoded execution layer vs row path, cold exact solves");
+    println!(
+        "# {} samples per mode, phis {:?}{}",
+        samples,
+        phis,
+        if smoke { ", SMOKE MODE" } else { "" }
+    );
+    println!();
+    println!("| case | mode | median ms/solve | speedup vs row |");
+    println!("|---|---|---|---|");
+
+    let options = PivotingOptions::default();
+    let mut rows_out: Vec<(String, String, f64, f64)> = Vec::new();
+    for case in cases(smoke) {
+        let Case {
+            name,
+            instance,
+            ranking,
+        } = case;
+        // Warm-up + correctness: encoded answers must equal row answers.
+        let encoded_db = EncodedInstance::from_instance(&instance).expect("encodable");
+        for &phi in phis {
+            let row = exact_quantile_via_rows(&instance, &ranking, phi).expect("row solve");
+            let enc = exact_quantile(&instance, &ranking, phi).expect("encoded solve");
+            let pre =
+                exact_quantile_encoded(&encoded_db, &ranking, phi, &options).expect("prepared");
+            assert_pointwise(&enc, &row, name);
+            assert_pointwise(&pre, &row, name);
+        }
+
+        let mut row_ms = Vec::new();
+        let mut enc_ms = Vec::new();
+        let mut pre_ms = Vec::new();
+        for _ in 0..samples {
+            for &phi in phis {
+                let (r, elapsed) = timed(|| exact_quantile_via_rows(&instance, &ranking, phi));
+                r.expect("row solve");
+                row_ms.push(elapsed.as_secs_f64() * 1e3);
+
+                let (r, elapsed) = timed(|| exact_quantile(&instance, &ranking, phi));
+                r.expect("encoded solve");
+                enc_ms.push(elapsed.as_secs_f64() * 1e3);
+
+                let (r, elapsed) =
+                    timed(|| exact_quantile_encoded(&encoded_db, &ranking, phi, &options));
+                r.expect("prepared solve");
+                pre_ms.push(elapsed.as_secs_f64() * 1e3);
+            }
+        }
+        let row_med = median(&mut row_ms);
+        for (mode, samples) in [
+            ("row", &mut row_ms),
+            ("encoded", &mut enc_ms),
+            ("encoded-prepared", &mut pre_ms),
+        ] {
+            let med = median(samples);
+            let speedup = row_med / med;
+            println!("| {name} | {mode} | {med:.2} | {speedup:.2}x |");
+            rows_out.push((name.to_string(), mode.to_string(), med, speedup));
+        }
+    }
+
+    println!();
+    println!("# JSON rows (for BENCH_solve.json):");
+    println!("[");
+    for (i, (case, mode, med, speedup)) in rows_out.iter().enumerate() {
+        let comma = if i + 1 == rows_out.len() { "" } else { "," };
+        println!(
+            "  {{\"case\": \"{case}\", \"mode\": \"{mode}\", \"median_ms\": {med:.3}, \
+             \"speedup_vs_row\": {speedup:.2}}}{comma}"
+        );
+    }
+    println!("]");
+}

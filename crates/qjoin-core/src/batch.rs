@@ -24,14 +24,12 @@
 //!
 //! [`quantile_by_pivoting`]: crate::quantile::quantile_by_pivoting
 
-use crate::pivot::select_pivot;
 use crate::quantile::{
-    keyed_answer_cmp, keyed_answer_to_assignment, materialized_keyed_answers, target_rank,
-    PivotingOptions, QuantileResult,
+    keyed_answer_cmp, keyed_answer_to_assignment, target_rank, PivotingOptions, QuantileResult,
+    RowBackend, SolveBackend,
 };
 use crate::trim::Trimmer;
 use crate::{CoreError, Result};
-use qjoin_exec::count::count_answers;
 use qjoin_query::{Instance, Variable};
 use qjoin_ranking::{RankPredicate, Ranking, WeightBound};
 
@@ -46,11 +44,11 @@ struct Target {
 }
 
 /// Read-only state shared by every node of the batched recursion.
-struct BatchState<'a> {
+struct BatchState<'a, B: SolveBackend> {
+    /// The backend the recursion counts, pivots, and trims through.
+    backend: &'a B,
     /// The *original* instance; trims are always rebuilt from it (Algorithm 1).
-    instance: &'a Instance,
-    ranking: &'a Ranking,
-    trimmer: &'a dyn Trimmer,
+    instance: &'a B::Inst,
     options: &'a PivotingOptions,
     /// Materialization threshold (defaults to the database size `n`).
     threshold: u128,
@@ -74,12 +72,26 @@ pub fn quantile_batch_by_pivoting(
     trimmer: &dyn Trimmer,
     options: &PivotingOptions,
 ) -> Result<Vec<QuantileResult>> {
+    let backend = RowBackend { ranking, trimmer };
+    let original_vars = instance.query().variables();
+    quantile_batch_backend(&backend, instance, phis, options, &original_vars)
+}
+
+/// The generic batched driver behind [`quantile_batch_by_pivoting`]: one shared
+/// recursion over any [`SolveBackend`].
+pub(crate) fn quantile_batch_backend<B: SolveBackend>(
+    backend: &B,
+    instance: &B::Inst,
+    phis: &[f64],
+    options: &PivotingOptions,
+    original_vars: &[Variable],
+) -> Result<Vec<QuantileResult>> {
     for &phi in phis {
         if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
             return Err(CoreError::InvalidPhi(phi));
         }
     }
-    let total = count_answers(instance)?;
+    let total = backend.count(instance)?;
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
@@ -100,16 +112,14 @@ pub fn quantile_batch_by_pivoting(
 
     let threshold = options
         .materialize_threshold
-        .unwrap_or(instance.database_size() as u128)
+        .unwrap_or(backend.database_size(instance) as u128)
         .max(1);
-    let original_vars = instance.query().variables();
     let state = BatchState {
+        backend,
         instance,
-        ranking,
-        trimmer,
         options,
         threshold,
-        original_vars: &original_vars,
+        original_vars,
         total,
     };
     let mut results: Vec<Option<QuantileResult>> = vec![None; phis.len()];
@@ -135,9 +145,9 @@ pub fn quantile_batch_by_pivoting(
 /// accumulated weight bounds `(low, high)`. `depth` counts the pivoting iterations
 /// performed on the path from the root, matching the single-φ driver's `iterations`.
 #[allow(clippy::too_many_arguments)]
-fn solve_group(
-    state: &BatchState<'_>,
-    current: Instance,
+fn solve_group<B: SolveBackend>(
+    state: &BatchState<'_, B>,
+    current: B::Inst,
     current_count: u128,
     offset: u128,
     low: WeightBound,
@@ -153,21 +163,19 @@ fn solve_group(
         return resolve_leaf(state, &current, offset, targets, depth, results);
     }
 
-    let pivot = select_pivot(&current, state.ranking)?;
+    let pivot = state.backend.select_pivot(&current)?;
     let pivot_weight = pivot.weight.clone();
 
     // Rebuild both partitions from the original instance, restricted to the candidate
     // region (low, high) — the same construction as the single-φ driver, so trimmed
     // instances (and therefore subsequent pivots) are identical.
     let lt = {
-        let first = state.trimmer.trim(
+        let first = state.backend.trim(
             state.instance,
-            state.ranking,
             &RankPredicate::less_than(pivot_weight.clone()),
         )?;
-        state.trimmer.trim(
+        state.backend.trim(
             &first,
-            state.ranking,
             &RankPredicate {
                 op: qjoin_ranking::CmpOp::Gt,
                 bound: low.clone(),
@@ -175,22 +183,20 @@ fn solve_group(
         )?
     };
     let gt = {
-        let first = state.trimmer.trim(
+        let first = state.backend.trim(
             state.instance,
-            state.ranking,
             &RankPredicate::greater_than(pivot_weight.clone()),
         )?;
-        state.trimmer.trim(
+        state.backend.trim(
             &first,
-            state.ranking,
             &RankPredicate {
                 op: qjoin_ranking::CmpOp::Lt,
                 bound: high.clone(),
             },
         )?
     };
-    let n_lt = count_answers(&lt)?;
-    let n_gt = count_answers(&gt)?;
+    let n_lt = state.backend.count(&lt)?;
+    let n_gt = state.backend.count(&gt)?;
     let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
 
     // Route each target into its partition; the equal-to band resolves to the pivot.
@@ -262,15 +268,15 @@ fn solve_group(
 
 /// Materializes a leaf's candidates once, sorts them once, and resolves every target
 /// in the leaf by direct indexing.
-fn resolve_leaf(
-    state: &BatchState<'_>,
-    current: &Instance,
+fn resolve_leaf<B: SolveBackend>(
+    state: &BatchState<'_, B>,
+    current: &B::Inst,
     offset: u128,
     targets: &[Target],
     depth: usize,
     results: &mut [Option<QuantileResult>],
 ) -> Result<()> {
-    let mut keyed = materialized_keyed_answers(current, state.ranking, state.original_vars)?;
+    let mut keyed = state.backend.keyed_answers(current, state.original_vars)?;
     if keyed.is_empty() {
         return Err(CoreError::NoAnswers);
     }

@@ -1,0 +1,188 @@
+//! The encoded execution layer: the §3 recursion over dictionary codes and
+//! selection-vector views.
+//!
+//! This module wires the encoded substrate into the quantile driver:
+//!
+//! * `weights` precomputes per-code weight tables for the ranking;
+//! * `trim` rebuilds the Section 5 trimmings as view rewrites (selection vectors,
+//!   tagged segments, packed dyadic-interval columns);
+//! * `pivot` runs Algorithm 2 over flat code rows;
+//! * this file provides the solve-backend implementation plus the public entry
+//!   points [`exact_quantile_encoded`] and [`exact_quantile_batch_encoded`].
+//!
+//! The encoded path is the **default** for exact solves (see [`crate::solver`]);
+//! its answers are pointwise identical to the row path's — same pivots, same
+//! partition counts, same final answer — which the cross-crate equivalence suite
+//! asserts over random instances, all ranking families, and boundary φ values.
+//! Constructions the encoded representation cannot express (e.g. more dyadic join
+//! groups than the packed interval code holds) surface as
+//! [`CoreError::EncodedUnsupported`], and callers fall back to the row path.
+
+pub(crate) mod pivot;
+pub(crate) mod trim;
+pub(crate) mod weights;
+
+pub use trim::ExactStrategy;
+
+use crate::pivot::PivotResult;
+use crate::quantile::{
+    quantile_by_pivoting_backend, PivotingOptions, QuantileResult, SolveBackend,
+};
+use crate::{CoreError, Result};
+use qjoin_data::Value;
+use qjoin_exec::encoded::{self as exec_encoded, EncodedContext};
+use qjoin_query::{EncodedInstance, Variable};
+use qjoin_ranking::{RankPredicate, Ranking, Weight};
+use weights::{contribution, CodeWeights};
+
+/// The encoded solve backend: counts, pivots, trims, and materializes over an
+/// [`EncodedInstance`], decoding only at the answer boundary.
+pub(crate) struct EncodedBackend<'a> {
+    ranking: &'a Ranking,
+    strategy: ExactStrategy,
+    weights: CodeWeights,
+}
+
+impl<'a> EncodedBackend<'a> {
+    /// Builds the backend for one solve: derives the strategy from the ranking kind
+    /// and precomputes the per-code weight tables.
+    pub(crate) fn new(instance: &EncodedInstance, ranking: &'a Ranking) -> EncodedBackend<'a> {
+        EncodedBackend {
+            ranking,
+            strategy: ExactStrategy::for_ranking(ranking),
+            weights: CodeWeights::build(instance.dictionary(), ranking),
+        }
+    }
+}
+
+impl SolveBackend for EncodedBackend<'_> {
+    type Inst = EncodedInstance;
+
+    fn count(&self, instance: &EncodedInstance) -> Result<u128> {
+        Ok(exec_encoded::count_answers(instance)?)
+    }
+
+    fn database_size(&self, instance: &EncodedInstance) -> usize {
+        instance.total_rows()
+    }
+
+    fn select_pivot(&self, instance: &EncodedInstance) -> Result<PivotResult> {
+        pivot::select_pivot_encoded(instance, self.ranking, &self.weights)
+    }
+
+    fn trim(
+        &self,
+        instance: &EncodedInstance,
+        predicate: &RankPredicate,
+    ) -> Result<EncodedInstance> {
+        trim::exact_trim_encoded(
+            instance,
+            self.ranking,
+            predicate,
+            self.strategy,
+            &self.weights,
+        )
+    }
+
+    fn keyed_answers(
+        &self,
+        instance: &EncodedInstance,
+        original_vars: &[Variable],
+    ) -> Result<Vec<(Weight, Vec<Value>)>> {
+        keyed_answers_encoded(instance, self.ranking, &self.weights, original_vars)
+    }
+}
+
+/// Enumerates an encoded instance's answers as `(weight, projected values)` pairs:
+/// the encoded twin of the row path's `materialized_keyed_answers`. Weights fold in
+/// the ranking's canonical order; only the original variables are decoded.
+fn keyed_answers_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    weights: &CodeWeights,
+    original_vars: &[Variable],
+) -> Result<Vec<(Weight, Vec<Value>)>> {
+    let ctx = EncodedContext::build(instance)?;
+    let schema = ctx.query().variables();
+    let weighted_positions: Vec<(usize, &Variable)> = ranking
+        .weighted_vars()
+        .iter()
+        .filter_map(|v| schema.iter().position(|s| s == v).map(|p| (p, v)))
+        .collect();
+    let projected_positions: Vec<usize> = original_vars
+        .iter()
+        .map(|v| {
+            schema
+                .iter()
+                .position(|s| s == v)
+                .expect("trimmed queries retain the original variables")
+        })
+        .collect();
+    let dictionary = instance.dictionary();
+    let mut out = Vec::new();
+    exec_encoded::for_each_answer_codes(&ctx, |codes| {
+        let mut weight = ranking.identity();
+        for &(pos, var) in &weighted_positions {
+            weight = ranking.combine(
+                &weight,
+                &contribution(ranking, var, weights.code_weight(var, codes[pos])),
+            );
+        }
+        let projected: Vec<Value> = projected_positions
+            .iter()
+            .map(|&p| dictionary.decode(codes[p]).clone())
+            .collect();
+        out.push((weight, projected));
+    });
+    Ok(out)
+}
+
+/// Computes an exact `φ`-quantile over an already-encoded instance (the engine's
+/// prepared-plan path: encode once per catalog generation, solve many times).
+///
+/// Results are pointwise identical to
+/// [`quantile_by_pivoting`](crate::quantile::quantile_by_pivoting) with the
+/// corresponding exact trimmer. Returns [`CoreError::EncodedUnsupported`] when the
+/// instance exceeds the encoded representation; callers fall back to the row path.
+pub fn exact_quantile_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phi: f64,
+    options: &PivotingOptions,
+) -> Result<QuantileResult> {
+    let backend = EncodedBackend::new(instance, ranking);
+    let original_vars = instance.query().variables();
+    quantile_by_pivoting_backend(&backend, instance, phi, options, &original_vars)
+}
+
+/// Batched multi-φ variant of [`exact_quantile_encoded`]: one shared recursion for
+/// all fractions, pointwise identical to independent encoded solves (and to the row
+/// path's batch solver).
+pub fn exact_quantile_batch_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &PivotingOptions,
+) -> Result<Vec<QuantileResult>> {
+    let backend = EncodedBackend::new(instance, ranking);
+    let original_vars = instance.query().variables();
+    crate::batch::quantile_batch_backend(&backend, instance, phis, options, &original_vars)
+}
+
+/// Convenience: encode a row instance and solve on the encoded path, surfacing any
+/// encoding failure as [`CoreError::EncodedUnsupported`].
+pub fn encode_instance(instance: &qjoin_query::Instance) -> Result<EncodedInstance> {
+    EncodedInstance::from_instance(instance)
+        .map_err(|e| CoreError::EncodedUnsupported(e.to_string()))
+}
+
+/// The encoded-default dispatch policy, stated once for every caller (solver and
+/// engine, single-φ and batch): keep the encoded result unless the encoded
+/// representation was [unsupported](CoreError::EncodedUnsupported), in which case
+/// run the row fallback; every other error propagates.
+pub fn or_row_fallback<T>(encoded: Result<T>, row: impl FnOnce() -> Result<T>) -> Result<T> {
+    match encoded {
+        Err(CoreError::EncodedUnsupported(_)) => row(),
+        other => other,
+    }
+}

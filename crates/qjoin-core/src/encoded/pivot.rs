@@ -1,0 +1,200 @@
+//! Encoded pivot selection: Algorithm 2 over code rows instead of assignments.
+//!
+//! The row implementation ([`crate::pivot`]) carries a `BTreeMap`-backed
+//! [`Assignment`](qjoin_query::Assignment) per message and re-derives ranking
+//! weights inside every comparison. Here a message is a flat slot array of `u64`
+//! codes (one slot per query variable, in sorted variable order, `u64::MAX` for
+//! unbound) plus its canonically-folded [`Weight`]. Comparisons are a weight
+//! comparison followed by a slice comparison — and because dictionary codes are
+//! assigned in value order (and synthesized code spaces are order-compatible), the
+//! slice comparison equals the row path's assignment comparison, so both paths pick
+//! the *same* pivot at every iteration.
+
+use super::weights::{contribution, CodeWeights};
+use crate::pivot::{pivot_quality, PivotResult};
+use crate::selection::weighted_median_by;
+use crate::{CoreError, Result};
+use qjoin_data::Value;
+use qjoin_exec::encoded::{EncodedContext, Key};
+use qjoin_query::{Assignment, EncodedInstance, Variable};
+use qjoin_ranking::{Ranking, Weight};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The unbound-slot sentinel. Dictionary codes are dense (far below this) and the
+/// packed interval codes of the SUM construction are capped strictly below it.
+const UNBOUND: u64 = u64::MAX;
+
+/// A pivot candidate: the codes of a partial answer and its canonical weight.
+type Candidate = (Arc<Vec<u64>>, Weight);
+
+/// One pivot message: a candidate plus the subtree's partial-answer count.
+type Msg = (Arc<Vec<u64>>, Weight, u128);
+
+/// Selects a `c`-pivot of an encoded instance's answers (Lemma 4.1), equal to the
+/// row path's [`select_pivot`](crate::pivot::select_pivot) result.
+pub(crate) fn select_pivot_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    weights: &CodeWeights,
+) -> Result<PivotResult> {
+    let ctx = EncodedContext::build(instance)?;
+    if ctx.has_no_answers() {
+        return Err(CoreError::NoAnswers);
+    }
+    let query = ctx.query();
+    let sorted_vars: Vec<Variable> = query.variable_set().into_iter().collect();
+    let slot_of: HashMap<&Variable, usize> = sorted_vars
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let n_slots = sorted_vars.len();
+    // Weighted variables present in the query, in weighted-variable order — the
+    // order `Ranking::weight_of` folds contributions in.
+    let weighted_slots: Vec<(usize, &Variable)> = ranking
+        .weighted_vars()
+        .iter()
+        .filter_map(|v| slot_of.get(v).map(|&s| (s, v)))
+        .collect();
+    let copy_plan: Vec<Vec<(usize, usize)>> = ctx
+        .nodes()
+        .iter()
+        .map(|n| {
+            query
+                .atom(n.atom_index)
+                .distinct_variable_positions()
+                .into_iter()
+                .map(|(v, pos)| (pos, slot_of[&v]))
+                .collect()
+        })
+        .collect();
+
+    let weight_of = |codes: &[u64]| -> Weight {
+        let mut acc = ranking.identity();
+        for &(slot, var) in &weighted_slots {
+            let code = codes[slot];
+            if code != UNBOUND {
+                acc = ranking.combine(
+                    &acc,
+                    &contribution(ranking, var, weights.code_weight(var, code)),
+                );
+            }
+        }
+        acc
+    };
+    // Weight order first, then code order — equal to the row comparator's
+    // `weight_of(a).cmp(weight_of(b)).then(a.cmp(b))` because code order equals
+    // value order and compared messages always bind the same variable set.
+    let cmp =
+        |a: &Candidate, b: &Candidate| ranking.compare(&a.1, &b.1).then_with(|| a.0.cmp(&b.0));
+
+    let n_nodes = ctx.nodes().len();
+    let mut per_tuple: Vec<Vec<Msg>> = vec![Vec::new(); n_nodes];
+    let mut per_group: Vec<HashMap<Key, Msg>> = vec![HashMap::new(); n_nodes];
+
+    for &node_id in &ctx.tree().bottom_up_order() {
+        let children = ctx.tree().node(node_id).children.clone();
+        let n_rows = ctx.node(node_id).rows.len();
+        let mut msgs: Vec<Msg> = Vec::with_capacity(n_rows);
+        for i in 0..n_rows {
+            let mut codes = vec![UNBOUND; n_slots];
+            for &(pos, slot) in &copy_plan[node_id] {
+                codes[slot] = ctx.code(node_id, i, pos);
+            }
+            let mut count: u128 = 1;
+            for &child in &children {
+                let key = ctx.key_from_parent(child, i);
+                let (child_codes, _, child_count) = per_group[child]
+                    .get(&key)
+                    .expect("full reducer guarantees a matching child group");
+                for slot in 0..n_slots {
+                    if child_codes[slot] != UNBOUND {
+                        codes[slot] = child_codes[slot];
+                    }
+                }
+                count *= child_count;
+            }
+            let weight = weight_of(&codes);
+            msgs.push((Arc::new(codes), weight, count));
+        }
+        per_tuple[node_id] = msgs;
+
+        if node_id != ctx.root() {
+            let mut groups: HashMap<Key, Msg> =
+                HashMap::with_capacity(ctx.node(node_id).groups.len());
+            for (key, members) in &ctx.node(node_id).groups {
+                let items: Vec<(Candidate, u128)> = members
+                    .iter()
+                    .map(|&i| {
+                        let (codes, weight, count) = &per_tuple[node_id][i as usize];
+                        ((Arc::clone(codes), weight.clone()), *count)
+                    })
+                    .collect();
+                let total: u128 = items.iter().map(|(_, c)| c).sum();
+                let median = weighted_median_by(&items, &cmp);
+                groups.insert(key.clone(), (median.0, median.1, total));
+            }
+            per_group[node_id] = groups;
+        }
+    }
+
+    // The artificial root V_0 = ∅: the final pivot is the weighted median of the
+    // root rows' pivots.
+    let root = ctx.root();
+    let items: Vec<(Candidate, u128)> = per_tuple[root]
+        .iter()
+        .map(|(codes, weight, count)| ((Arc::clone(codes), weight.clone()), *count))
+        .collect();
+    let total: u128 = items.iter().map(|(_, c)| c).sum();
+    let median = weighted_median_by(&items, &cmp);
+    let weight = median.1;
+
+    // Decode the pivot at the boundary. Synthesized variables decode to their raw
+    // code (they are dropped by the projection onto the original variables anyway);
+    // base variables decode through the dictionary.
+    let dict_space = dictionary_space_mask(instance, &sorted_vars);
+    let assignment = Assignment::from_pairs(
+        sorted_vars
+            .iter()
+            .enumerate()
+            .filter(|&(slot, _)| median.0[slot] != UNBOUND)
+            .map(|(slot, var)| {
+                let code = median.0[slot];
+                let value = if dict_space[slot] {
+                    instance.dictionary().decode(code).clone()
+                } else {
+                    Value::Int(code as i64)
+                };
+                (var.clone(), value)
+            }),
+    );
+    Ok(PivotResult {
+        assignment,
+        weight,
+        c: pivot_quality(ctx.tree()),
+        total_answers: total,
+    })
+}
+
+/// For each variable (in `sorted_vars` order): true when its codes live in the
+/// dictionary space, i.e. it occurs at a *base* column position of some atom.
+/// Synthesized variables only ever occur at synthesized (appended) positions.
+fn dictionary_space_mask(instance: &EncodedInstance, sorted_vars: &[Variable]) -> Vec<bool> {
+    sorted_vars
+        .iter()
+        .map(|var| {
+            instance
+                .query()
+                .atoms()
+                .iter()
+                .enumerate()
+                .find_map(|(atom_idx, atom)| {
+                    atom.positions_of(var)
+                        .first()
+                        .map(|&pos| pos < instance.relation_of_atom(atom_idx).base_arity())
+                })
+                .unwrap_or(true)
+        })
+        .collect()
+}

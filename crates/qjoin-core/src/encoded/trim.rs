@@ -1,0 +1,479 @@
+//! Encoded trimming: the Section 5 constructions producing selection-vector views.
+//!
+//! Each trimmer here is the encoded twin of a row trimmer in [`crate::trim`]: it
+//! reduces the predicate with the *same* shared partition plan (or the same adjacent
+//! cover for SUM), then rewrites the encoded instance by building views instead of
+//! materialized relations:
+//!
+//! * a unary filter becomes a **selection vector** over the shared base columns;
+//! * the partition union becomes one **tagged segment per partition** (the tag is a
+//!   constant synthesized column — no tuple is extended, let alone copied);
+//! * the dyadic SUM construction becomes a selection vector **with repeats** plus a
+//!   per-row synthesized column of packed `(group, level, index)` interval codes,
+//!   bit-packed so that code order equals the row path's composite-value order.
+//!
+//! Because both paths share the partition plans and the cover search, they partition
+//! the answer set identically; the equivalence suite asserts the resulting quantile
+//! answers are pointwise equal.
+
+use super::weights::CodeWeights;
+use crate::dichotomy::{classify_partial_sum, find_adjacent_cover, SumClassification};
+use crate::trim::lex::lex_partition_plan;
+use crate::trim::minmax::minmax_partition_plan;
+use crate::trim::sum::{check_sum_ranking, dyadic_cover, levels_for, scalar_bound};
+use crate::trim::{TrimPlan, UnaryConjunction, UnaryWeightPred};
+use crate::{CoreError, Result};
+use qjoin_data::{EncodedRelation, Segment, SynthCol};
+use qjoin_exec::Key;
+use qjoin_query::{Atom, EncodedInstance, Variable};
+use qjoin_ranking::{CmpOp, RankPredicate, Ranking, SumTupleWeights};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The exact trimming family a prepared encoded solve uses (the encoded analogue of
+/// selecting a concrete [`Trimmer`](crate::trim::Trimmer) implementation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExactStrategy {
+    /// MIN/MAX partition-union trimming (Theorem 5.3).
+    MinMax,
+    /// LEX partition-union trimming (Section 5.2).
+    Lex,
+    /// Tractable partial-SUM trimming (single atom or adjacent pair, Theorem 5.6).
+    Sum,
+}
+
+impl ExactStrategy {
+    /// The strategy serving a ranking kind (SUM tractability is re-checked per trim
+    /// call against the current rewritten query, exactly like the row trimmer).
+    pub fn for_ranking(ranking: &Ranking) -> ExactStrategy {
+        match ranking.kind() {
+            qjoin_ranking::AggregateKind::Min | qjoin_ranking::AggregateKind::Max => {
+                ExactStrategy::MinMax
+            }
+            qjoin_ranking::AggregateKind::Lex => ExactStrategy::Lex,
+            qjoin_ranking::AggregateKind::Sum => ExactStrategy::Sum,
+        }
+    }
+}
+
+/// Trims an encoded instance by the given predicate, producing a new encoded
+/// instance whose answers are exactly the original answers satisfying it.
+pub(crate) fn exact_trim_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    predicate: &RankPredicate,
+    strategy: ExactStrategy,
+    weights: &CodeWeights,
+) -> Result<EncodedInstance> {
+    if predicate.is_trivial() {
+        return Ok(instance.clone());
+    }
+    if predicate.is_unsatisfiable() {
+        return Ok(instance.empty_copy());
+    }
+    match strategy {
+        ExactStrategy::MinMax => match minmax_partition_plan(ranking, predicate)? {
+            TrimPlan::KeepAll => Ok(instance.clone()),
+            TrimPlan::DropAll => Ok(instance.empty_copy()),
+            TrimPlan::Partitions(partitions) => {
+                partition_union_trim_encoded(instance, weights, &partitions)
+            }
+        },
+        ExactStrategy::Lex => match lex_partition_plan(ranking, predicate)? {
+            TrimPlan::KeepAll => Ok(instance.clone()),
+            TrimPlan::DropAll => Ok(instance.empty_copy()),
+            TrimPlan::Partitions(partitions) => {
+                partition_union_trim_encoded(instance, weights, &partitions)
+            }
+        },
+        ExactStrategy::Sum => sum_trim_encoded(instance, ranking, predicate, weights),
+    }
+}
+
+/// The unary predicates of a conjunction that mention variables of `atom`, resolved
+/// to the variable's first position (mirrors the row path's `filtered_database`).
+fn relevant_predicates<'a>(
+    atom: &Atom,
+    conjunction: &'a UnaryConjunction,
+) -> Vec<(usize, UnaryWeightPred, &'a Variable)> {
+    conjunction
+        .iter()
+        .filter(|(var, _)| atom.contains(var))
+        .map(|(var, pred)| (atom.positions_of(var)[0], *pred, var))
+        .collect()
+}
+
+/// Filters a view by a conjunction of unary weight predicates (weights looked up
+/// through the per-code tables).
+fn filter_view(
+    rel: &EncodedRelation,
+    weights: &CodeWeights,
+    relevant: &[(usize, UnaryWeightPred, &Variable)],
+) -> EncodedRelation {
+    rel.filtered(|seg, row| {
+        relevant
+            .iter()
+            .all(|(pos, pred, var)| pred.holds(weights.code_weight(var, rel.code(seg, row, *pos))))
+    })
+}
+
+/// The encoded partition-union construction (Algorithm 3's skeleton): one tagged
+/// segment list per partition over shared base columns. Mirrors
+/// [`crate::trim::partition_union_trim`] segment for segment.
+fn partition_union_trim_encoded(
+    instance: &EncodedInstance,
+    weights: &CodeWeights,
+    partitions: &[UnaryConjunction],
+) -> Result<EncodedInstance> {
+    if partitions.is_empty() {
+        return Ok(instance.empty_copy());
+    }
+    let instance = instance.eliminate_self_joins()?;
+    let query = instance.query().clone();
+
+    if partitions.len() == 1 {
+        let mut replaced = Vec::new();
+        for (atom_idx, atom) in query.atoms().iter().enumerate() {
+            let rel = instance.relation_of_atom(atom_idx);
+            let relevant = relevant_predicates(atom, &partitions[0]);
+            if relevant.is_empty() {
+                continue; // untouched: shared by handle
+            }
+            replaced.push(filter_view(rel, weights, &relevant));
+        }
+        return Ok(instance.with_rewritten(query, replaced)?);
+    }
+
+    let query_vars = query.variable_set();
+    let partition_var = Variable::fresh("x_p", query_vars.iter());
+    let new_query = query.with_variable_everywhere(&partition_var);
+
+    let mut replaced = Vec::new();
+    for (atom_idx, atom) in query.atoms().iter().enumerate() {
+        let rel = instance.relation_of_atom(atom_idx);
+        let mut segments: Vec<Segment> = Vec::new();
+        for (partition_idx, conjunction) in partitions.iter().enumerate() {
+            let relevant = relevant_predicates(atom, conjunction);
+            let filtered = if relevant.is_empty() {
+                rel.clone()
+            } else {
+                filter_view(rel, weights, &relevant)
+            };
+            for seg in filtered.segments() {
+                let mut synth = seg.synth.clone();
+                synth.push(SynthCol::Const(partition_idx as u64));
+                segments.push(Segment {
+                    sel: seg.sel.clone(),
+                    synth,
+                });
+            }
+        }
+        replaced.push(EncodedRelation::from_segments(
+            rel.name(),
+            Arc::clone(rel.base()),
+            rel.synth_arity() + 1,
+            segments,
+        )?);
+    }
+    Ok(instance.with_rewritten(new_query, replaced)?)
+}
+
+/// Encoded partial-SUM trimming: single-atom filter or the dyadic adjacent-pair
+/// construction, selected per call by the same cover search as the row trimmer.
+fn sum_trim_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    predicate: &RankPredicate,
+    weights: &CodeWeights,
+) -> Result<EncodedInstance> {
+    check_sum_ranking(ranking)?;
+    let bound = scalar_bound(predicate)?;
+    let instance = instance.eliminate_self_joins()?;
+    match find_adjacent_cover(instance.query(), ranking.weighted_vars()) {
+        Some(cover) if cover.is_single_atom() => trim_single_atom_encoded(
+            &instance,
+            ranking,
+            weights,
+            predicate.op,
+            bound,
+            cover.atoms.0,
+        ),
+        Some(cover) => trim_adjacent_pair_encoded(
+            &instance,
+            ranking,
+            weights,
+            predicate.op,
+            bound,
+            cover.atoms,
+        ),
+        None => {
+            let witness = classify_partial_sum(instance.query(), ranking.weighted_vars());
+            Err(match witness {
+                SumClassification::UnknownTooLarge => CoreError::QueryTooLarge {
+                    atoms: instance.query().num_atoms(),
+                    limit: qjoin_query::join_tree::MAX_ENUMERATION_ATOMS,
+                },
+                other => CoreError::IntractableSum(format!("{other:?}")),
+            })
+        }
+    }
+}
+
+/// The weighted variables assigned to `atom_idx` by the tuple-weight mapping `μ`,
+/// with their first positions — the same pairs, in the same order, as the row path's
+/// [`SumTupleWeights`] evaluator.
+fn weighted_pairs(
+    query: &qjoin_query::JoinQuery,
+    ranking: &Ranking,
+    preferred: &[usize],
+    atom_idx: usize,
+) -> Vec<(Variable, usize)> {
+    let tw = SumTupleWeights::with_preferred_atoms(query, ranking, preferred);
+    tw.vars_of_atom(atom_idx)
+        .map(|v| (v.clone(), query.atom(atom_idx).positions_of(v)[0]))
+        .collect()
+}
+
+/// The partial sum carried by one view row (mirrors `SumTupleWeights::tuple_sum`,
+/// including the fold order).
+#[inline]
+fn row_sum(
+    rel: &EncodedRelation,
+    weights: &CodeWeights,
+    pairs: &[(Variable, usize)],
+    seg: usize,
+    row: usize,
+) -> f64 {
+    pairs
+        .iter()
+        .map(|(var, pos)| weights.code_weight(var, rel.code(seg, row, *pos)))
+        .sum()
+}
+
+/// Filters the covering atom's view by its rows' partial sums.
+fn trim_single_atom_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    weights: &CodeWeights,
+    op: CmpOp,
+    bound: f64,
+    atom_idx: usize,
+) -> Result<EncodedInstance> {
+    let query = instance.query().clone();
+    let pairs = weighted_pairs(&query, ranking, &[atom_idx], atom_idx);
+    let rel = instance.relation_of_atom(atom_idx);
+    let filtered = rel.filtered(|seg, row| {
+        let s = row_sum(rel, weights, &pairs, seg, row);
+        match op {
+            CmpOp::Lt => s < bound,
+            CmpOp::Gt => s > bound,
+        }
+    });
+    Ok(instance.with_rewritten(query, [filtered])?)
+}
+
+/// Bit widths of the packed dyadic-interval code: `gid(26) | level(6) | index(32)`.
+/// The field order makes packed-code order equal the row path's lexicographic
+/// `(group, (level, index))` composite order; the gid cap keeps the maximum packed
+/// value strictly below `u64::MAX` (the pivot layer's unbound sentinel).
+const INTERVAL_GID_SHIFT: u64 = 38;
+const INTERVAL_LEVEL_SHIFT: u64 = 32;
+const INTERVAL_MAX_GID: u64 = (1 << 26) - 2;
+
+fn pack_interval(gid: u64, level: u32, index: usize) -> Result<u64> {
+    if gid > INTERVAL_MAX_GID {
+        return Err(CoreError::EncodedUnsupported(format!(
+            "dyadic SUM construction needs {gid} join groups; the packed interval \
+             code supports at most {INTERVAL_MAX_GID}"
+        )));
+    }
+    debug_assert!(level < 64);
+    debug_assert!(index < (1usize << 32));
+    Ok((gid << INTERVAL_GID_SHIFT) | (u64::from(level) << INTERVAL_LEVEL_SHIFT) | index as u64)
+}
+
+/// One B-side row of the dyadic construction: its partial sum, its global position
+/// in the view (the row path's tuple index, used for the stable in-group sort), and
+/// its `(segment, row)` coordinates for gathering.
+struct BMember {
+    sum: f64,
+    global: u32,
+    seg: u32,
+    row: u32,
+}
+
+/// Accumulates the output rows of one rewritten view: base-row selections, gathered
+/// pre-existing synthesized columns, and the fresh packed-interval column.
+struct ViewBuilder {
+    sel: Vec<u32>,
+    old_synth: Vec<Vec<u64>>,
+    interval: Vec<u64>,
+}
+
+impl ViewBuilder {
+    fn new(synth_arity: usize) -> ViewBuilder {
+        ViewBuilder {
+            sel: Vec::new(),
+            old_synth: vec![Vec::new(); synth_arity],
+            interval: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, rel: &EncodedRelation, seg: usize, row: usize, interval_code: u64) {
+        let segment = &rel.segments()[seg];
+        self.sel.push(segment.sel.get(row));
+        for (k, col) in segment.synth.iter().enumerate() {
+            self.old_synth[k].push(col.get(row));
+        }
+        self.interval.push(interval_code);
+    }
+
+    fn build(self, rel: &EncodedRelation) -> Result<EncodedRelation> {
+        let mut synth: Vec<SynthCol> = self
+            .old_synth
+            .into_iter()
+            .map(|codes| SynthCol::PerRow(Arc::new(codes)))
+            .collect();
+        synth.push(SynthCol::PerRow(Arc::new(self.interval)));
+        let segment = Segment {
+            sel: qjoin_data::SelVec::Rows(Arc::new(self.sel)),
+            synth,
+        };
+        Ok(EncodedRelation::from_segments(
+            rel.name(),
+            Arc::clone(rel.base()),
+            rel.synth_arity() + 1,
+            vec![segment],
+        )?)
+    }
+}
+
+/// The dyadic prefix/suffix construction for an adjacent pair of atoms — the
+/// encoded twin of the row path's `trim_adjacent_pair` (Lemma 5.5).
+fn trim_adjacent_pair_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    weights: &CodeWeights,
+    op: CmpOp,
+    bound: f64,
+    (atom_a, atom_b): (usize, usize),
+) -> Result<EncodedInstance> {
+    let query = instance.query().clone();
+    let preferred = [atom_a, atom_b];
+    let pairs_a = weighted_pairs(&query, ranking, &preferred, atom_a);
+    let pairs_b = weighted_pairs(&query, ranking, &preferred, atom_b);
+
+    // Join-key positions: the variables shared between the two atoms.
+    let a_vars = query.atom(atom_a).variable_set();
+    let b_vars = query.atom(atom_b).variable_set();
+    let shared: Vec<Variable> = a_vars.intersection(&b_vars).cloned().collect();
+    let key_pos_a: Vec<usize> = shared
+        .iter()
+        .map(|v| query.atom(atom_a).positions_of(v)[0])
+        .collect();
+    let key_pos_b: Vec<usize> = shared
+        .iter()
+        .map(|v| query.atom(atom_b).positions_of(v)[0])
+        .collect();
+
+    // Group B's rows by the join key and sort each group by partial sum (ties by
+    // global row position, matching the row path's tuple-index tie-break).
+    let rel_b = instance.relation_of_atom(atom_b);
+    let mut key_buf: Vec<u64> = Vec::with_capacity(key_pos_b.len());
+    let mut groups: HashMap<Key, Vec<BMember>> = HashMap::new();
+    let mut global = 0u32;
+    rel_b.for_each_row(|seg, row| {
+        key_buf.clear();
+        key_buf.extend(key_pos_b.iter().map(|&p| rel_b.code(seg, row, p)));
+        groups
+            .entry(Key::from_codes(&key_buf))
+            .or_default()
+            .push(BMember {
+                sum: row_sum(rel_b, weights, &pairs_b, seg, row),
+                global,
+                seg: seg as u32,
+                row: row as u32,
+            });
+        global += 1;
+    });
+    for members in groups.values_mut() {
+        members.sort_by(|a, b| a.sum.total_cmp(&b.sum).then(a.global.cmp(&b.global)));
+    }
+    // Stable per-group identifiers in sorted key order: the dictionary assigns codes
+    // in value order, so this matches the row path's sorted `Vec<Value>` keys.
+    let mut ordered_keys: Vec<&Key> = groups.keys().collect();
+    ordered_keys.sort();
+    let group_ids: HashMap<Key, u64> = ordered_keys
+        .into_iter()
+        .enumerate()
+        .map(|(gid, key)| (key.clone(), gid as u64))
+        .collect();
+
+    // New variable v shared by the two atoms; its codes are packed interval ids.
+    let query_vars = query.variable_set();
+    let v = Variable::fresh("v_sum", query_vars.iter());
+    let new_atom_a = query.atom(atom_a).with_extra_variable(v.clone());
+    let new_atom_b = query.atom(atom_b).with_extra_variable(v.clone());
+    let new_query = query
+        .with_replaced_atom(atom_a, new_atom_a)
+        .with_replaced_atom(atom_b, new_atom_b);
+
+    // A-side: connect every A row to the dyadic cover of its qualifying range.
+    let rel_a = instance.relation_of_atom(atom_a);
+    let mut new_a = ViewBuilder::new(rel_a.synth_arity());
+    let mut a_result: Result<()> = Ok(());
+    rel_a.for_each_row(|seg, row| {
+        if a_result.is_err() {
+            return;
+        }
+        key_buf.clear();
+        key_buf.extend(key_pos_a.iter().map(|&p| rel_a.code(seg, row, p)));
+        let key = Key::from_codes(&key_buf);
+        let Some(members) = groups.get(&key) else {
+            return;
+        };
+        let gid = group_ids[&key];
+        let wa = row_sum(rel_a, weights, &pairs_a, seg, row);
+        let threshold = bound - wa;
+        let (lo, hi) = match op {
+            // w_A + w_B < λ ⇔ w_B < λ - w_A: the prefix of strictly smaller sums.
+            CmpOp::Lt => (0, members.partition_point(|m| m.sum < threshold)),
+            // w_A + w_B > λ ⇔ w_B > λ - w_A: the suffix of strictly larger sums.
+            CmpOp::Gt => (
+                members.partition_point(|m| m.sum <= threshold),
+                members.len(),
+            ),
+        };
+        for (level, index) in dyadic_cover(lo, hi) {
+            match pack_interval(gid, level, index) {
+                Ok(code) => new_a.push(rel_a, seg, row, code),
+                Err(e) => {
+                    a_result = Err(e);
+                    return;
+                }
+            }
+        }
+    });
+    a_result?;
+
+    // B-side: every B row joins the interval containing its position, one copy per
+    // level. Groups are walked in gid order, which is deterministic (the row path
+    // walks its hash map in arbitrary order; the answer set is identical).
+    let mut sorted_groups: Vec<(&Key, &Vec<BMember>)> = groups.iter().collect();
+    sorted_groups.sort_by_key(|(key, _)| group_ids[*key]);
+    let mut new_b = ViewBuilder::new(rel_b.synth_arity());
+    for (key, members) in sorted_groups {
+        let gid = group_ids[key];
+        let levels = levels_for(members.len());
+        for (pos, member) in members.iter().enumerate() {
+            for level in 0..=levels {
+                let code = pack_interval(gid, level, pos >> level)?;
+                new_b.push(rel_b, member.seg as usize, member.row as usize, code);
+            }
+        }
+    }
+
+    let new_a = new_a.build(rel_a)?;
+    let new_b = new_b.build(rel_b)?;
+    Ok(instance.with_rewritten(new_query, [new_a, new_b])?)
+}

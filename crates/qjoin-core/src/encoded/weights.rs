@@ -1,0 +1,103 @@
+//! Per-code weight tables: `w_x(decode(code))` precomputed per weighted variable.
+//!
+//! The row path re-evaluates `ranking.var_weight(var, value)` per tuple per trim
+//! round. On the encoded path every weighted variable's weight function is applied
+//! **once per dictionary code** at solve start; the hot loops then index a flat
+//! `Vec<f64>`. The tables produce bit-identical `f64`s to the row path (same weight
+//! function applied to the same decoded value), which is what keeps the two paths'
+//! pivots and partition counts pointwise equal.
+
+use qjoin_data::Dictionary;
+use qjoin_query::Variable;
+use qjoin_ranking::{AggregateKind, Ranking, Weight};
+use std::collections::HashMap;
+
+/// Precomputed `code → weight` tables for every weighted variable of a ranking.
+#[derive(Clone, Debug)]
+pub(crate) struct CodeWeights {
+    tables: HashMap<Variable, Vec<f64>>,
+}
+
+impl CodeWeights {
+    /// Applies each weighted variable's weight function to every dictionary value.
+    pub(crate) fn build(dictionary: &Dictionary, ranking: &Ranking) -> CodeWeights {
+        let mut tables = HashMap::with_capacity(ranking.weighted_vars().len());
+        for var in ranking.weighted_vars() {
+            if tables.contains_key(var) {
+                continue;
+            }
+            let table: Vec<f64> = dictionary
+                .values()
+                .iter()
+                .map(|value| ranking.var_weight(var, value))
+                .collect();
+            tables.insert(var.clone(), table);
+        }
+        CodeWeights { tables }
+    }
+
+    /// The weight `w_var(decode(code))`. Only valid for dictionary codes of weighted
+    /// variables (synthesized variables are never weighted).
+    #[inline]
+    pub(crate) fn code_weight(&self, var: &Variable, code: u64) -> f64 {
+        self.tables[var][code as usize]
+    }
+}
+
+/// The contribution of binding one weighted variable to a value of weight `w` —
+/// mirrors [`Ranking::contribution`] with the weight already computed, so the
+/// encoded path's canonical weight folds equal the row path's bit for bit.
+pub(crate) fn contribution(ranking: &Ranking, var: &Variable, w: f64) -> Weight {
+    match ranking.kind() {
+        AggregateKind::Sum | AggregateKind::Min | AggregateKind::Max => Weight::Num(w),
+        AggregateKind::Lex => {
+            let mut vec = vec![0.0; ranking.weighted_vars().len()];
+            if let Some(pos) = ranking.weighted_vars().iter().position(|v| v == var) {
+                vec[pos] = w;
+            }
+            Weight::Vec(vec)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qjoin_data::{Database, Relation, Value};
+    use qjoin_query::variable::vars;
+    use qjoin_ranking::WeightFn;
+
+    #[test]
+    fn tables_match_direct_weighting() {
+        let r = Relation::from_rows("R", &[&[3, 10], &[5, 20]]).unwrap();
+        let db = Database::from_relations([r]).unwrap();
+        let dict = Dictionary::from_database(&db);
+        let ranking = Ranking::sum(vars(&["x", "y"])).with_weight_fn(
+            Variable::new("y"),
+            WeightFn::Affine {
+                scale: 2.0,
+                offset: 1.0,
+            },
+        );
+        let weights = CodeWeights::build(&dict, &ranking);
+        for value in dict.values() {
+            let code = dict.encode(value).unwrap();
+            for var in ranking.weighted_vars() {
+                assert_eq!(
+                    weights.code_weight(var, code).to_bits(),
+                    ranking.var_weight(var, value).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contribution_mirrors_ranking() {
+        let ranking = Ranking::lex(vars(&["a", "b"]));
+        let got = contribution(&ranking, &Variable::new("b"), 7.0);
+        assert_eq!(
+            got,
+            ranking.contribution(&Variable::new("b"), &Value::from(7))
+        );
+    }
+}

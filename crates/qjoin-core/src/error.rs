@@ -30,6 +30,9 @@ pub enum CoreError {
         /// Maximum supported by exhaustive search.
         limit: usize,
     },
+    /// The encoded (dictionary-coded) execution path cannot represent this
+    /// instance or construction; the caller should fall back to the row path.
+    EncodedUnsupported(String),
     /// An execution-layer error.
     Exec(qjoin_exec::ExecError),
     /// A query-layer error.
@@ -58,6 +61,9 @@ impl fmt::Display for CoreError {
                 f,
                 "query has {atoms} atoms; exhaustive join-tree search supports at most {limit}"
             ),
+            CoreError::EncodedUnsupported(msg) => {
+                write!(f, "encoded execution path unavailable: {msg}")
+            }
             CoreError::Exec(e) => write!(f, "execution error: {e}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),

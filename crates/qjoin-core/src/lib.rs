@@ -43,6 +43,7 @@
 pub mod baseline;
 pub mod batch;
 pub mod dichotomy;
+pub mod encoded;
 mod error;
 pub mod lossy_trim;
 pub mod pivot;

@@ -14,10 +14,11 @@
 //! is an exact `φ`-quantile (Lemma 3.3); with ε′-lossy trimmings it is an approximate
 //! quantile whose rank error is bounded by the accumulated loss (Lemma 3.6).
 
-use crate::pivot::select_pivot;
+use crate::pivot::{select_pivot, PivotResult};
 use crate::selection::select_kth_by;
 use crate::trim::Trimmer;
 use crate::{CoreError, Result};
+use qjoin_data::Value;
 use qjoin_exec::count::count_answers;
 use qjoin_exec::yannakakis::materialize;
 use qjoin_query::{Assignment, Instance, Variable};
@@ -80,6 +81,71 @@ pub fn target_rank(phi: f64, total: u128) -> u128 {
     (snapped as u128).min(total - 1)
 }
 
+/// The operations the divide-and-conquer driver needs from an execution
+/// representation. Implemented by the **row** backend (materialized
+/// [`Instance`]s + a [`Trimmer`]) and by the **encoded** backend
+/// (dictionary-coded views, [`crate::encoded`]). The driver logic is written once
+/// and shared, so both representations take branch-for-branch identical recursions
+/// — the backbone of the paths' pointwise-equality guarantee.
+pub(crate) trait SolveBackend {
+    /// The instance representation the backend recurses over.
+    type Inst: Clone;
+
+    /// `|Q(D)|` of an instance (a linear-time Yannakakis counting pass).
+    fn count(&self, instance: &Self::Inst) -> Result<u128>;
+
+    /// The database size `n` (the default materialization threshold).
+    fn database_size(&self, instance: &Self::Inst) -> usize;
+
+    /// A `c`-pivot of the instance's answers (Algorithm 2).
+    fn select_pivot(&self, instance: &Self::Inst) -> Result<PivotResult>;
+
+    /// Trims the instance by a ranking predicate (Section 5).
+    fn trim(&self, instance: &Self::Inst, predicate: &RankPredicate) -> Result<Self::Inst>;
+
+    /// Materializes the instance's answers as `(weight, values projected onto
+    /// `original_vars`)` pairs for the final direct selection.
+    fn keyed_answers(
+        &self,
+        instance: &Self::Inst,
+        original_vars: &[Variable],
+    ) -> Result<Vec<(Weight, Vec<Value>)>>;
+}
+
+/// The row backend: materialized instances trimmed by a [`Trimmer`].
+pub(crate) struct RowBackend<'a> {
+    pub ranking: &'a Ranking,
+    pub trimmer: &'a dyn Trimmer,
+}
+
+impl SolveBackend for RowBackend<'_> {
+    type Inst = Instance;
+
+    fn count(&self, instance: &Instance) -> Result<u128> {
+        Ok(count_answers(instance)?)
+    }
+
+    fn database_size(&self, instance: &Instance) -> usize {
+        instance.database_size()
+    }
+
+    fn select_pivot(&self, instance: &Instance) -> Result<PivotResult> {
+        select_pivot(instance, self.ranking)
+    }
+
+    fn trim(&self, instance: &Instance, predicate: &RankPredicate) -> Result<Instance> {
+        self.trimmer.trim(instance, self.ranking, predicate)
+    }
+
+    fn keyed_answers(
+        &self,
+        instance: &Instance,
+        original_vars: &[Variable],
+    ) -> Result<Vec<(Weight, Vec<Value>)>> {
+        materialized_keyed_answers(instance, self.ranking, original_vars)
+    }
+}
+
 /// Computes the `φ`-quantile of the instance's answers under the ranking function,
 /// using the supplied trimming subroutine (Algorithm 1).
 pub fn quantile_by_pivoting(
@@ -89,20 +155,33 @@ pub fn quantile_by_pivoting(
     trimmer: &dyn Trimmer,
     options: &PivotingOptions,
 ) -> Result<QuantileResult> {
+    let backend = RowBackend { ranking, trimmer };
+    let original_vars = instance.query().variables();
+    quantile_by_pivoting_backend(&backend, instance, phi, options, &original_vars)
+}
+
+/// The generic driver behind [`quantile_by_pivoting`]: Algorithm 1 over any
+/// [`SolveBackend`].
+pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
+    backend: &B,
+    instance: &B::Inst,
+    phi: f64,
+    options: &PivotingOptions,
+    original_vars: &[Variable],
+) -> Result<QuantileResult> {
     if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
         return Err(CoreError::InvalidPhi(phi));
     }
-    let total = count_answers(instance)?;
+    let total = backend.count(instance)?;
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
     let target_index = target_rank(phi, total);
     let threshold = options
         .materialize_threshold
-        .unwrap_or(instance.database_size() as u128)
+        .unwrap_or(backend.database_size(instance) as u128)
         .max(1);
 
-    let original_vars = instance.query().variables();
     let mut current = instance.clone();
     let mut current_count = total;
     let mut k = target_index;
@@ -112,20 +191,15 @@ pub fn quantile_by_pivoting(
 
     while current_count > threshold && iterations < options.max_iterations {
         iterations += 1;
-        let pivot = select_pivot(&current, ranking)?;
+        let pivot = backend.select_pivot(&current)?;
         let pivot_weight = pivot.weight.clone();
 
         // Rebuild both partitions from the original instance, restricted to the
         // candidate region (low, high).
         let lt = {
-            let first = trimmer.trim(
-                instance,
-                ranking,
-                &RankPredicate::less_than(pivot_weight.clone()),
-            )?;
-            trimmer.trim(
+            let first = backend.trim(instance, &RankPredicate::less_than(pivot_weight.clone()))?;
+            backend.trim(
                 &first,
-                ranking,
                 &RankPredicate {
                     op: qjoin_ranking::CmpOp::Gt,
                     bound: low.clone(),
@@ -133,22 +207,18 @@ pub fn quantile_by_pivoting(
             )?
         };
         let gt = {
-            let first = trimmer.trim(
-                instance,
-                ranking,
-                &RankPredicate::greater_than(pivot_weight.clone()),
-            )?;
-            trimmer.trim(
+            let first =
+                backend.trim(instance, &RankPredicate::greater_than(pivot_weight.clone()))?;
+            backend.trim(
                 &first,
-                ranking,
                 &RankPredicate {
                     op: qjoin_ranking::CmpOp::Lt,
                     bound: high.clone(),
                 },
             )?
         };
-        let n_lt = count_answers(&lt)?;
-        let n_gt = count_answers(&gt)?;
+        let n_lt = backend.count(&lt)?;
+        let n_gt = backend.count(&gt)?;
         let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
 
         if k < n_lt {
@@ -157,7 +227,7 @@ pub fn quantile_by_pivoting(
             high = WeightBound::Finite(pivot_weight);
         } else if k < n_lt + n_eq {
             return Ok(QuantileResult {
-                answer: pivot.assignment.project(&original_vars),
+                answer: pivot.assignment.project(original_vars),
                 weight: pivot_weight,
                 total_answers: total,
                 target_index,
@@ -173,7 +243,7 @@ pub fn quantile_by_pivoting(
             // Lossy trimmings may drop the targeted answers entirely; fall back to the
             // pivot, which is within the accumulated error budget of the target.
             return Ok(QuantileResult {
-                answer: pivot.assignment.project(&original_vars),
+                answer: pivot.assignment.project(original_vars),
                 weight: pivot.weight,
                 total_answers: total,
                 target_index,
@@ -183,10 +253,16 @@ pub fn quantile_by_pivoting(
     }
 
     // Materialize the remaining candidates and select directly.
-    let (answer, weight) = select_from_materialized(&current, ranking, &original_vars, k)?;
+    let keyed = backend.keyed_answers(&current, original_vars)?;
+    if keyed.is_empty() {
+        return Err(CoreError::NoAnswers);
+    }
+    let k = (k as usize).min(keyed.len() - 1);
+    let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
+    let answer = keyed_answer_to_assignment(original_vars, &selected);
     Ok(QuantileResult {
         answer,
-        weight,
+        weight: selected.0,
         total_answers: total,
         target_index,
         iterations,
@@ -239,24 +315,6 @@ pub(crate) fn keyed_answer_to_assignment(
     keyed: &(Weight, Vec<qjoin_data::Value>),
 ) -> Assignment {
     Assignment::from_pairs(original_vars.iter().cloned().zip(keyed.1.iter().cloned()))
-}
-
-/// Materializes the instance's answers, projects them onto the original variables, and
-/// returns the answer of rank `k` (by weight, ties broken by the projected values).
-fn select_from_materialized(
-    instance: &Instance,
-    ranking: &Ranking,
-    original_vars: &[Variable],
-    k: u128,
-) -> Result<(Assignment, Weight)> {
-    let keyed = materialized_keyed_answers(instance, ranking, original_vars)?;
-    if keyed.is_empty() {
-        return Err(CoreError::NoAnswers);
-    }
-    let k = (k as usize).min(keyed.len() - 1);
-    let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
-    let assignment = keyed_answer_to_assignment(original_vars, &selected);
-    Ok((assignment, selected.0))
 }
 
 /// Computes the exact rank window of a weight within the instance's answers:

@@ -60,6 +60,11 @@ pub fn exact_quantile(instance: &Instance, ranking: &Ranking, phi: f64) -> Resul
 }
 
 /// [`exact_quantile`] with explicit driver options.
+///
+/// The solve runs on the **encoded** execution layer by default (dictionary-coded
+/// join keys and selection-vector views, see [`crate::encoded`]); instances the
+/// encoded representation cannot express fall back to the row path. Both paths
+/// return pointwise-identical answers.
 pub fn exact_quantile_with_options(
     instance: &Instance,
     ranking: &Ranking,
@@ -69,8 +74,56 @@ pub fn exact_quantile_with_options(
     if acyclicity::gyo_join_tree(instance.query()).is_none() {
         return Err(CoreError::CyclicQuery(instance.query().to_string()));
     }
+    // The §5.6 gate must run before solving on either path: even solves that never
+    // trim (instances small enough to materialize directly) must refuse intractable
+    // SUM rankings with a witness rather than quietly answering.
     let trimmer = select_exact_trimmer(instance, ranking)?;
-    quantile_by_pivoting(instance, ranking, phi, trimmer.as_ref(), options)
+    crate::encoded::or_row_fallback(
+        crate::encoded::encode_instance(instance)
+            .and_then(|enc| crate::encoded::exact_quantile_encoded(&enc, ranking, phi, options)),
+        || quantile_by_pivoting(instance, ranking, phi, trimmer.as_ref(), options),
+    )
+}
+
+/// [`exact_quantile`] forced onto the row (materialized-tuple) path. The reference
+/// implementation the encoded default is property-tested against, and the baseline
+/// the `exp_solve` experiment measures speedups over.
+pub fn exact_quantile_via_rows(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+) -> Result<QuantileResult> {
+    if acyclicity::gyo_join_tree(instance.query()).is_none() {
+        return Err(CoreError::CyclicQuery(instance.query().to_string()));
+    }
+    let trimmer = select_exact_trimmer(instance, ranking)?;
+    quantile_by_pivoting(
+        instance,
+        ranking,
+        phi,
+        trimmer.as_ref(),
+        &PivotingOptions::default(),
+    )
+}
+
+/// [`exact_quantile_batch`] forced onto the row path (see
+/// [`exact_quantile_via_rows`]).
+pub fn exact_quantile_batch_via_rows(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+) -> Result<Vec<QuantileResult>> {
+    if acyclicity::gyo_join_tree(instance.query()).is_none() {
+        return Err(CoreError::CyclicQuery(instance.query().to_string()));
+    }
+    let trimmer = select_exact_trimmer(instance, ranking)?;
+    crate::batch::quantile_batch_by_pivoting(
+        instance,
+        ranking,
+        phis,
+        trimmer.as_ref(),
+        &PivotingOptions::default(),
+    )
 }
 
 /// Computes **exact** `φ`-quantiles for every fraction in `phis` with one shared
@@ -85,7 +138,8 @@ pub fn exact_quantile_batch(
     exact_quantile_batch_with_options(instance, ranking, phis, &PivotingOptions::default())
 }
 
-/// [`exact_quantile_batch`] with explicit driver options.
+/// [`exact_quantile_batch`] with explicit driver options. Runs on the encoded
+/// execution layer by default, like [`exact_quantile_with_options`].
 pub fn exact_quantile_batch_with_options(
     instance: &Instance,
     ranking: &Ranking,
@@ -96,7 +150,20 @@ pub fn exact_quantile_batch_with_options(
         return Err(CoreError::CyclicQuery(instance.query().to_string()));
     }
     let trimmer = select_exact_trimmer(instance, ranking)?;
-    crate::batch::quantile_batch_by_pivoting(instance, ranking, phis, trimmer.as_ref(), options)
+    crate::encoded::or_row_fallback(
+        crate::encoded::encode_instance(instance).and_then(|enc| {
+            crate::encoded::exact_quantile_batch_encoded(&enc, ranking, phis, options)
+        }),
+        || {
+            crate::batch::quantile_batch_by_pivoting(
+                instance,
+                ranking,
+                phis,
+                trimmer.as_ref(),
+                options,
+            )
+        },
+    )
 }
 
 /// Computes a deterministic `(φ ± ε)`-approximate quantile for SUM ranking functions

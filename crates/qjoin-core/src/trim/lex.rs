@@ -5,7 +5,9 @@
 //! `i`-th is strictly smaller. These `r` cases are disjoint and each is a conjunction
 //! of unary predicates, so the partition-union construction applies verbatim.
 
-use super::{handle_trivial, partition_union_trim, Trimmer, UnaryConjunction, UnaryWeightPred};
+use super::{
+    handle_trivial, partition_union_trim, TrimPlan, Trimmer, UnaryConjunction, UnaryWeightPred,
+};
 use crate::{CoreError, Result};
 use qjoin_query::Instance;
 use qjoin_ranking::{AggregateKind, CmpOp, RankPredicate, Ranking};
@@ -24,52 +26,65 @@ impl Trimmer for LexTrimmer {
         if let Some(result) = handle_trivial(instance, predicate) {
             return result;
         }
-        if ranking.kind() != AggregateKind::Lex {
-            return Err(CoreError::UnsupportedRanking(format!(
-                "LexTrimmer cannot trim {:?} predicates",
-                ranking.kind()
-            )));
+        match lex_partition_plan(ranking, predicate)? {
+            TrimPlan::KeepAll => Ok(instance.clone()),
+            TrimPlan::DropAll => super::empty_copy(instance),
+            TrimPlan::Partitions(partitions) => {
+                partition_union_trim(instance, ranking, &partitions)
+            }
         }
-        let bound = predicate
-            .finite_bound()
-            .and_then(|w| w.as_vec())
-            .ok_or_else(|| {
-                CoreError::UnsupportedPredicate("LEX trimming requires a vector bound".to_string())
-            })?;
-        let weighted = ranking.weighted_vars();
-        if bound.len() != weighted.len() {
-            return Err(CoreError::UnsupportedPredicate(format!(
-                "LEX bound has {} components but the ranking has {} variables",
-                bound.len(),
-                weighted.len()
-            )));
-        }
-        if weighted.is_empty() {
-            // Zero-length tuples are all equal; a strict comparison never holds.
-            return super::empty_copy(instance);
-        }
-
-        let partitions: Vec<UnaryConjunction> = (0..weighted.len())
-            .map(|i| {
-                let mut conj: UnaryConjunction = weighted[..i]
-                    .iter()
-                    .zip(bound[..i].iter())
-                    .map(|(v, &b)| (v.clone(), UnaryWeightPred::Eq(b)))
-                    .collect();
-                let last = match predicate.op {
-                    CmpOp::Lt => UnaryWeightPred::Lt(bound[i]),
-                    CmpOp::Gt => UnaryWeightPred::Gt(bound[i]),
-                };
-                conj.push((weighted[i].clone(), last));
-                conj
-            })
-            .collect();
-        partition_union_trim(instance, ranking, &partitions)
     }
 
     fn name(&self) -> &'static str {
         "lex"
     }
+}
+
+/// Reduces a non-degenerate LEX predicate to its disjoint unary partitions
+/// (one per position at which the comparison can first differ, Lemma 5.4).
+/// Shared by [`LexTrimmer`] and the encoded trim layer.
+pub(crate) fn lex_partition_plan(ranking: &Ranking, predicate: &RankPredicate) -> Result<TrimPlan> {
+    if ranking.kind() != AggregateKind::Lex {
+        return Err(CoreError::UnsupportedRanking(format!(
+            "LexTrimmer cannot trim {:?} predicates",
+            ranking.kind()
+        )));
+    }
+    let bound = predicate
+        .finite_bound()
+        .and_then(|w| w.as_vec())
+        .ok_or_else(|| {
+            CoreError::UnsupportedPredicate("LEX trimming requires a vector bound".to_string())
+        })?;
+    let weighted = ranking.weighted_vars();
+    if bound.len() != weighted.len() {
+        return Err(CoreError::UnsupportedPredicate(format!(
+            "LEX bound has {} components but the ranking has {} variables",
+            bound.len(),
+            weighted.len()
+        )));
+    }
+    if weighted.is_empty() {
+        // Zero-length tuples are all equal; a strict comparison never holds.
+        return Ok(TrimPlan::DropAll);
+    }
+
+    let partitions: Vec<UnaryConjunction> = (0..weighted.len())
+        .map(|i| {
+            let mut conj: UnaryConjunction = weighted[..i]
+                .iter()
+                .zip(bound[..i].iter())
+                .map(|(v, &b)| (v.clone(), UnaryWeightPred::Eq(b)))
+                .collect();
+            let last = match predicate.op {
+                CmpOp::Lt => UnaryWeightPred::Lt(bound[i]),
+                CmpOp::Gt => UnaryWeightPred::Gt(bound[i]),
+            };
+            conj.push((weighted[i].clone(), last));
+            conj
+        })
+        .collect();
+    Ok(TrimPlan::Partitions(partitions))
 }
 
 #[cfg(test)]

@@ -12,7 +12,9 @@
 //! MIN is symmetric. Both constructions run in linear time and keep the query acyclic,
 //! so combined with the generic pivot they yield Theorem 5.3.
 
-use super::{handle_trivial, partition_union_trim, Trimmer, UnaryConjunction, UnaryWeightPred};
+use super::{
+    handle_trivial, partition_union_trim, TrimPlan, Trimmer, UnaryConjunction, UnaryWeightPred,
+};
 use crate::{CoreError, Result};
 use qjoin_query::Instance;
 use qjoin_ranking::{AggregateKind, CmpOp, RankPredicate, Ranking};
@@ -31,71 +33,84 @@ impl Trimmer for MinMaxTrimmer {
         if let Some(result) = handle_trivial(instance, predicate) {
             return result;
         }
-        let bound = predicate
-            .finite_bound()
-            .and_then(|w| w.as_num())
-            .ok_or_else(|| {
-                CoreError::UnsupportedPredicate(
-                    "MIN/MAX trimming requires a scalar bound".to_string(),
-                )
-            })?;
-        let weighted: Vec<_> = ranking.weighted_vars().to_vec();
-        if weighted.is_empty() {
-            // With no weighted variables every answer has the identity weight; the
-            // strict predicate either keeps everything or nothing.
-            let identity = ranking.identity();
-            return if predicate.satisfied_by(ranking, &identity) {
-                Ok(instance.clone())
-            } else {
-                super::empty_copy(instance)
-            };
-        }
-
-        let partitions: Vec<UnaryConjunction> = match (ranking.kind(), predicate.op) {
-            // max < λ ⇔ all weights < λ.
-            (AggregateKind::Max, CmpOp::Lt) => vec![weighted
-                .iter()
-                .map(|v| (v.clone(), UnaryWeightPred::Lt(bound)))
-                .collect()],
-            // min > λ ⇔ all weights > λ.
-            (AggregateKind::Min, CmpOp::Gt) => vec![weighted
-                .iter()
-                .map(|v| (v.clone(), UnaryWeightPred::Gt(bound)))
-                .collect()],
-            // max > λ ⇔ some weight > λ: partition by the first variable exceeding λ.
-            (AggregateKind::Max, CmpOp::Gt) => (0..weighted.len())
-                .map(|i| {
-                    let mut conj: UnaryConjunction = weighted[..i]
-                        .iter()
-                        .map(|v| (v.clone(), UnaryWeightPred::Le(bound)))
-                        .collect();
-                    conj.push((weighted[i].clone(), UnaryWeightPred::Gt(bound)));
-                    conj
-                })
-                .collect(),
-            // min < λ ⇔ some weight < λ: partition by the first variable below λ.
-            (AggregateKind::Min, CmpOp::Lt) => (0..weighted.len())
-                .map(|i| {
-                    let mut conj: UnaryConjunction = weighted[..i]
-                        .iter()
-                        .map(|v| (v.clone(), UnaryWeightPred::Ge(bound)))
-                        .collect();
-                    conj.push((weighted[i].clone(), UnaryWeightPred::Lt(bound)));
-                    conj
-                })
-                .collect(),
-            (other, _) => {
-                return Err(CoreError::UnsupportedRanking(format!(
-                    "MinMaxTrimmer cannot trim {other:?} predicates"
-                )))
+        match minmax_partition_plan(ranking, predicate)? {
+            TrimPlan::KeepAll => Ok(instance.clone()),
+            TrimPlan::DropAll => super::empty_copy(instance),
+            TrimPlan::Partitions(partitions) => {
+                partition_union_trim(instance, ranking, &partitions)
             }
-        };
-        partition_union_trim(instance, ranking, &partitions)
+        }
     }
 
     fn name(&self) -> &'static str {
         "minmax"
     }
+}
+
+/// Reduces a non-degenerate MIN/MAX predicate to its disjoint unary partitions
+/// (Lemma 5.2 / Figure 3). Shared by [`MinMaxTrimmer`] and the encoded trim layer.
+pub(crate) fn minmax_partition_plan(
+    ranking: &Ranking,
+    predicate: &RankPredicate,
+) -> Result<TrimPlan> {
+    let bound = predicate
+        .finite_bound()
+        .and_then(|w| w.as_num())
+        .ok_or_else(|| {
+            CoreError::UnsupportedPredicate("MIN/MAX trimming requires a scalar bound".to_string())
+        })?;
+    let weighted: Vec<_> = ranking.weighted_vars().to_vec();
+    if weighted.is_empty() {
+        // With no weighted variables every answer has the identity weight; the
+        // strict predicate either keeps everything or nothing.
+        let identity = ranking.identity();
+        return Ok(if predicate.satisfied_by(ranking, &identity) {
+            TrimPlan::KeepAll
+        } else {
+            TrimPlan::DropAll
+        });
+    }
+
+    let partitions: Vec<UnaryConjunction> = match (ranking.kind(), predicate.op) {
+        // max < λ ⇔ all weights < λ.
+        (AggregateKind::Max, CmpOp::Lt) => vec![weighted
+            .iter()
+            .map(|v| (v.clone(), UnaryWeightPred::Lt(bound)))
+            .collect()],
+        // min > λ ⇔ all weights > λ.
+        (AggregateKind::Min, CmpOp::Gt) => vec![weighted
+            .iter()
+            .map(|v| (v.clone(), UnaryWeightPred::Gt(bound)))
+            .collect()],
+        // max > λ ⇔ some weight > λ: partition by the first variable exceeding λ.
+        (AggregateKind::Max, CmpOp::Gt) => (0..weighted.len())
+            .map(|i| {
+                let mut conj: UnaryConjunction = weighted[..i]
+                    .iter()
+                    .map(|v| (v.clone(), UnaryWeightPred::Le(bound)))
+                    .collect();
+                conj.push((weighted[i].clone(), UnaryWeightPred::Gt(bound)));
+                conj
+            })
+            .collect(),
+        // min < λ ⇔ some weight < λ: partition by the first variable below λ.
+        (AggregateKind::Min, CmpOp::Lt) => (0..weighted.len())
+            .map(|i| {
+                let mut conj: UnaryConjunction = weighted[..i]
+                    .iter()
+                    .map(|v| (v.clone(), UnaryWeightPred::Ge(bound)))
+                    .collect();
+                conj.push((weighted[i].clone(), UnaryWeightPred::Lt(bound)));
+                conj
+            })
+            .collect(),
+        (other, _) => {
+            return Err(CoreError::UnsupportedRanking(format!(
+                "MinMaxTrimmer cannot trim {other:?} predicates"
+            )))
+        }
+    };
+    Ok(TrimPlan::Partitions(partitions))
 }
 
 #[cfg(test)]

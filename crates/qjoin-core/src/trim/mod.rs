@@ -12,9 +12,9 @@
 //! conjunction, tag every copy with a partition-identifier column `x_p`, and union the
 //! copies. Concrete trimmers for MIN/MAX, LEX, and SUM live in the submodules.
 
-mod lex;
-mod minmax;
-mod sum;
+pub(crate) mod lex;
+pub(crate) mod minmax;
+pub(crate) mod sum;
 
 pub use lex::LexTrimmer;
 pub use minmax::MinMaxTrimmer;
@@ -108,6 +108,20 @@ impl UnaryWeightPred {
 /// One partition of the partition-union construction: a conjunction of unary weight
 /// predicates over distinct variables.
 pub type UnaryConjunction = Vec<(Variable, UnaryWeightPred)>;
+
+/// The outcome of reducing a (non-degenerate) ranking predicate to unary-predicate
+/// partitions. Shared by the row trimmers and the encoded trim layer, so both paths
+/// partition answers identically by construction.
+#[derive(Clone, Debug)]
+pub(crate) enum TrimPlan {
+    /// The predicate holds for every answer (degenerate, e.g. MAX over no weighted
+    /// variables compared against a bound above the identity).
+    KeepAll,
+    /// The predicate holds for no answer.
+    DropAll,
+    /// The disjoint unary-conjunction partitions whose union is the predicate.
+    Partitions(Vec<UnaryConjunction>),
+}
 
 /// The partition-union trimming construction shared by the MIN/MAX and LEX trimmers
 /// (Algorithm 3 and Lemma 5.4).

@@ -101,7 +101,7 @@ impl Trimmer for AdjacentSumTrimmer {
     }
 }
 
-fn check_sum_ranking(ranking: &Ranking) -> Result<()> {
+pub(crate) fn check_sum_ranking(ranking: &Ranking) -> Result<()> {
     if ranking.kind() != AggregateKind::Sum {
         return Err(CoreError::UnsupportedRanking(format!(
             "SUM trimmers cannot trim {:?} predicates",
@@ -111,7 +111,7 @@ fn check_sum_ranking(ranking: &Ranking) -> Result<()> {
     Ok(())
 }
 
-fn scalar_bound(predicate: &RankPredicate) -> Result<f64> {
+pub(crate) fn scalar_bound(predicate: &RankPredicate) -> Result<f64> {
     predicate
         .finite_bound()
         .and_then(|w| w.as_num())
@@ -220,9 +220,14 @@ fn trim_adjacent_pair(
     }
 
     // B-side: every B tuple joins the dyadic interval containing its position, one
-    // copy per level.
+    // copy per level. Groups are walked in gid (sorted-key) order, not hash-map
+    // order: the output row order feeds the *next* trim round's in-group sort, so
+    // it must be deterministic — and identical to the encoded path's — for repeated
+    // trims to break partial-sum ties the same way on every run and on both paths.
+    let mut sorted_groups: Vec<_> = groups.iter().collect();
+    sorted_groups.sort_by_key(|(key, _)| group_ids[*key]);
     let mut new_b = Relation::new(rel_b.name(), rel_b.arity() + 1);
-    for (key, members) in &groups {
+    for (key, members) in sorted_groups {
         let gid = group_ids[key];
         let levels = levels_for(members.len());
         for (pos, (_, idx)) in members.iter().enumerate() {
@@ -248,7 +253,7 @@ fn interval_id(group: i64, level: u32, index: usize) -> Value {
 }
 
 /// The number of levels needed to cover positions `0..len`.
-fn levels_for(len: usize) -> u32 {
+pub(crate) fn levels_for(len: usize) -> u32 {
     if len <= 1 {
         0
     } else {
@@ -259,7 +264,7 @@ fn levels_for(len: usize) -> u32 {
 /// The canonical decomposition of the half-open range `[lo, hi)` into aligned dyadic
 /// intervals `[index · 2^level, (index + 1) · 2^level)`. Every position of the range is
 /// covered by exactly one interval of the decomposition.
-fn dyadic_cover(mut lo: usize, hi: usize) -> Vec<(u32, usize)> {
+pub(crate) fn dyadic_cover(mut lo: usize, hi: usize) -> Vec<(u32, usize)> {
     let mut out = Vec::new();
     while lo < hi {
         let align = if lo == 0 {

@@ -18,6 +18,10 @@ pub enum DataError {
     DuplicateRelation(String),
     /// A relation with this name does not exist in the database.
     UnknownRelation(String),
+    /// The database cannot be represented in encoded (dictionary-coded) form, e.g.
+    /// a relation exceeds the encoded layer's `u32` row indexing or a value is
+    /// missing from the dictionary it is encoded against.
+    EncodingOverflow(String),
 }
 
 impl fmt::Display for DataError {
@@ -36,6 +40,9 @@ impl fmt::Display for DataError {
             }
             DataError::UnknownRelation(name) => {
                 write!(f, "relation {name} does not exist in the database")
+            }
+            DataError::EncodingOverflow(msg) => {
+                write!(f, "database cannot be dictionary-encoded: {msg}")
             }
         }
     }

@@ -37,12 +37,16 @@
 #![warn(missing_docs)]
 
 mod database;
+pub mod encode;
 mod error;
 mod relation;
 mod tuple;
 mod value;
 
 pub use database::Database;
+pub use encode::{
+    Dictionary, EncodedColumns, EncodedDatabase, EncodedRelation, Segment, SelVec, SynthCol,
+};
 pub use error::DataError;
 pub use relation::Relation;
 pub use tuple::Tuple;

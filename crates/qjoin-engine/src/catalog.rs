@@ -6,7 +6,7 @@
 //! cached result derived from the old contents.
 
 use crate::error::EngineError;
-use qjoin_data::Database;
+use qjoin_data::{Database, EncodedDatabase};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -14,11 +14,17 @@ use std::sync::Arc;
 ///
 /// The database is held behind an [`Arc`]: every prepared plan compiled against this
 /// generation shares the same handle, so registering N plans (or recompiling them on
-/// replacement) allocates the tuple storage exactly once.
+/// replacement) allocates the tuple storage exactly once. The dictionary-coded form
+/// is built once per generation too, so every plan's encoded solve path amortizes
+/// the encoding pass across all queries of the generation.
 #[derive(Clone, Debug)]
 pub struct CatalogEntry {
     /// The database contents, shared with every plan compiled against this generation.
     pub database: Arc<Database>,
+    /// The dictionary-coded form of the same generation (`None` only when the
+    /// database cannot be encoded, e.g. it exceeds the encoded layer's row limits);
+    /// plans then fall back to the row path.
+    pub encoded: Option<Arc<EncodedDatabase>>,
     /// Bumped every time the database is replaced; generation 1 is the initial load.
     pub generation: u64,
 }
@@ -45,10 +51,13 @@ impl Catalog {
         if self.entries.contains_key(name) {
             return Err(EngineError::DuplicateDatabase(name.to_string()));
         }
+        let database: Arc<Database> = database.into();
+        let encoded = EncodedDatabase::encode(&database).ok().map(Arc::new);
         self.entries.insert(
             name.to_string(),
             CatalogEntry {
-                database: database.into(),
+                database,
+                encoded,
                 generation: 1,
             },
         );
@@ -62,11 +71,25 @@ impl Catalog {
         name: &str,
         database: impl Into<Arc<Database>>,
     ) -> Result<u64, EngineError> {
+        let database: Arc<Database> = database.into();
+        let encoded = EncodedDatabase::encode(&database).ok().map(Arc::new);
+        self.replace_with(name, database, encoded)
+    }
+
+    /// [`Catalog::replace`] with an already-encoded form (the engine encodes once
+    /// per replacement and shares the result with every recompiled plan).
+    pub fn replace_with(
+        &mut self,
+        name: &str,
+        database: Arc<Database>,
+        encoded: Option<Arc<EncodedDatabase>>,
+    ) -> Result<u64, EngineError> {
         let entry = self
             .entries
             .get_mut(name)
             .ok_or_else(|| EngineError::UnknownDatabase(name.to_string()))?;
-        entry.database = database.into();
+        entry.database = database;
+        entry.encoded = encoded;
         entry.generation += 1;
         Ok(entry.generation)
     }

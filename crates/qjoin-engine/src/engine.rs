@@ -269,6 +269,13 @@ impl Engine {
         database: impl Into<Arc<Database>>,
     ) -> Result<(), EngineError> {
         let database: Arc<Database> = database.into();
+        // Validate the name before paying the encoding pass (the write path below
+        // re-checks under the lock).
+        self.read_state().catalog.get(name)?;
+        // One encoding pass per generation, shared by every recompiled plan.
+        let encoded = qjoin_data::EncodedDatabase::encode(&database)
+            .ok()
+            .map(Arc::new);
         let mut state = self.write_state();
         let entry = state.catalog.get(name)?;
         let new_generation = entry.generation + 1;
@@ -282,9 +289,10 @@ impl Engine {
                 plan.instance.query().clone(),
                 plan.ranking.clone(),
                 &database,
+                encoded.as_ref(),
             )?);
         }
-        state.catalog.replace(name, database)?;
+        state.catalog.replace_with(name, database, encoded)?;
         for plan in recompiled {
             self.cache.invalidate(|key| key.0 == plan.id);
             self.counters
@@ -310,6 +318,7 @@ impl Engine {
         }
         let entry = state.catalog.get(database_name)?;
         let (generation, database) = (entry.generation, Arc::clone(&entry.database));
+        let encoded = entry.encoded.clone();
         let id = state.next_plan_id;
         let plan = Arc::new(PreparedPlan::compile(
             plan_name,
@@ -319,6 +328,7 @@ impl Engine {
             query,
             ranking,
             &database,
+            encoded.as_ref(),
         )?);
         state.next_plan_id += 1;
         self.counters
@@ -391,13 +401,30 @@ impl Engine {
             });
         }
         let trimmer = plan.trimmer_for(accuracy)?;
-        let result = quantile_by_pivoting(
-            &plan.instance,
-            &plan.ranking,
-            phi,
-            trimmer.as_ref(),
-            &self.config.pivoting,
-        )?;
+        // Exact requests run on the plan's cached encoded instance (built once per
+        // catalog generation); approximate requests and un-encodable instances use
+        // the row path. Both return pointwise-identical exact answers.
+        let row_solve = || {
+            quantile_by_pivoting(
+                &plan.instance,
+                &plan.ranking,
+                phi,
+                trimmer.as_ref(),
+                &self.config.pivoting,
+            )
+        };
+        let result = match (&accuracy, &plan.encoded_instance) {
+            (Accuracy::Exact, Some(encoded)) => qjoin_core::encoded::or_row_fallback(
+                qjoin_core::encoded::exact_quantile_encoded(
+                    encoded,
+                    &plan.ranking,
+                    phi,
+                    &self.config.pivoting,
+                ),
+                row_solve,
+            )?,
+            _ => row_solve()?,
+        };
         self.counters.solved.fetch_add(1, Ordering::Relaxed);
         self.cache.insert(plan.id, key, result.clone());
         Ok(EngineAnswer {
@@ -456,13 +483,27 @@ impl Engine {
         if !missing.is_empty() {
             let miss_phis: Vec<f64> = missing.iter().map(|&(_, phi)| phi).collect();
             let trimmer = plan.trimmer_for(accuracy)?;
-            let results = quantile_batch_by_pivoting(
-                &plan.instance,
-                &plan.ranking,
-                &miss_phis,
-                trimmer.as_ref(),
-                &self.config.pivoting,
-            )?;
+            let row_solve = || {
+                quantile_batch_by_pivoting(
+                    &plan.instance,
+                    &plan.ranking,
+                    &miss_phis,
+                    trimmer.as_ref(),
+                    &self.config.pivoting,
+                )
+            };
+            let results = match (&accuracy, &plan.encoded_instance) {
+                (Accuracy::Exact, Some(encoded)) => qjoin_core::encoded::or_row_fallback(
+                    qjoin_core::encoded::exact_quantile_batch_encoded(
+                        encoded,
+                        &plan.ranking,
+                        &miss_phis,
+                        &self.config.pivoting,
+                    ),
+                    row_solve,
+                )?,
+                _ => row_solve()?,
+            };
             self.counters
                 .solved
                 .fetch_add(results.len() as u64, Ordering::Relaxed);

@@ -16,9 +16,9 @@ use qjoin_core::dichotomy::{classify_partial_sum, SumClassification};
 use qjoin_core::lossy_trim::LossySumTrimmer;
 use qjoin_core::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer, Trimmer};
 use qjoin_core::CoreError;
-use qjoin_data::Database;
+use qjoin_data::{Database, EncodedDatabase};
 use qjoin_exec::count::count_answers;
-use qjoin_query::{acyclicity, Instance, JoinQuery, JoinTree};
+use qjoin_query::{acyclicity, EncodedInstance, Instance, JoinQuery, JoinTree};
 use qjoin_ranking::{AggregateKind, Ranking};
 use std::sync::Arc;
 use std::time::Duration;
@@ -103,6 +103,11 @@ pub struct PreparedPlan {
     /// The validated instance. Its database is the catalog's `Arc<Database>` for the
     /// plan's generation — shared, not copied, across all plans of that generation.
     pub instance: Instance,
+    /// The instance over the catalog's dictionary-coded form of the same generation
+    /// (shared across all plans of the generation). Exact solves run on it by
+    /// default; `None` when the generation could not be encoded, in which case
+    /// solves use the row path.
+    pub encoded_instance: Option<EncodedInstance>,
     /// The plan's ranking function.
     pub ranking: Ranking,
     /// The cached GYO join tree.
@@ -117,7 +122,9 @@ pub struct PreparedPlan {
 
 impl PreparedPlan {
     /// Compiles a registration: validates, derives the join tree, counts, classifies.
-    /// The plan's instance shares `database` by handle — no relation data is copied.
+    /// The plan's instance shares `database` by handle — no relation data is copied —
+    /// and its encoded instance shares the generation's dictionary-coded columns.
+    #[allow(clippy::too_many_arguments)]
     pub fn compile(
         name: &str,
         id: u64,
@@ -126,11 +133,15 @@ impl PreparedPlan {
         query: JoinQuery,
         ranking: Ranking,
         database: &Arc<Database>,
+        encoded: Option<&Arc<EncodedDatabase>>,
     ) -> Result<PreparedPlan, EngineError> {
         let start = std::time::Instant::now();
         let join_tree = acyclicity::gyo_join_tree(&query)
             .ok_or_else(|| EngineError::Core(CoreError::CyclicQuery(query.to_string())))?;
         let instance = Instance::new(query, Arc::clone(database))?;
+        let encoded_instance = encoded.and_then(|db| {
+            EncodedInstance::from_encoded_database(instance.query().clone(), db).ok()
+        });
         let total_answers = count_answers(&instance)?;
         let strategy = match ranking.kind() {
             AggregateKind::Min | AggregateKind::Max => PlanStrategy::MinMax,
@@ -155,6 +166,7 @@ impl PreparedPlan {
             database: database_name.to_string(),
             generation,
             instance,
+            encoded_instance,
             ranking,
             join_tree,
             total_answers,
@@ -243,7 +255,8 @@ mod tests {
         ];
         for (i, (ranking, label, exact)) in cases.into_iter().enumerate() {
             let plan =
-                PreparedPlan::compile("p", i as u64, "db", 1, path_query(3), ranking, &db).unwrap();
+                PreparedPlan::compile("p", i as u64, "db", 1, path_query(3), ranking, &db, None)
+                    .unwrap();
             assert_eq!(plan.strategy.label(), label);
             assert_eq!(plan.strategy.supports_exact(), exact);
             assert!(plan.total_answers > 0);
@@ -266,8 +279,8 @@ mod tests {
             .unwrap(),
         );
         let ranking = Ranking::sum(triangle_query().variables());
-        let err =
-            PreparedPlan::compile("p", 0, "db", 1, triangle_query(), ranking, &db).unwrap_err();
+        let err = PreparedPlan::compile("p", 0, "db", 1, triangle_query(), ranking, &db, None)
+            .unwrap_err();
         assert!(matches!(err, EngineError::Core(CoreError::CyclicQuery(_))));
     }
 
@@ -282,6 +295,7 @@ mod tests {
             path_query(3),
             Ranking::sum(path_query(3).variables()),
             &db,
+            None,
         )
         .unwrap();
         assert!(matches!(
@@ -307,6 +321,7 @@ mod tests {
             path_query(3),
             Ranking::max(path_query(3).variables()),
             &db,
+            None,
         )
         .unwrap();
         assert!(minmax.trimmer_for(Accuracy::Exact).is_ok());

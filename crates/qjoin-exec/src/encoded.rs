@@ -1,0 +1,521 @@
+//! Encoded join-tree execution: semi-join reduction, counting, and enumeration over
+//! dictionary codes.
+//!
+//! This is the encoded-path counterpart of [`JoinTreeContext`](crate::JoinTreeContext),
+//! [`count`](crate::count), and [`yannakakis`](crate::yannakakis): the same
+//! preprocessing (materialize per join-tree node, full reducer, join-group indexes)
+//! and the same algorithms, but every join key is a small array of `u64` codes
+//! ([`Key`]) read straight out of shared columns through selection vectors — no
+//! [`Value`](qjoin_data::Value) hashing, no per-key `Tuple::project` allocation.
+//! The join groups double as the pre-grouped adjacency indexes the counting and
+//! pivoting passes walk, so the per-tuple work of one trim round is a handful of
+//! integer hash lookups.
+//!
+//! Because the dictionary assigns codes in value order (and synthesized columns use
+//! order-compatible code spaces), every answer, count, and group computed here equals
+//! the row path's result exactly; the cross-crate equivalence suite asserts this.
+
+use crate::{ExecError, Result};
+use qjoin_query::{acyclicity, EncodedInstance, JoinQuery, JoinTree, Variable};
+use std::collections::{HashMap, HashSet};
+
+/// A join key: the codes of the variables shared with the parent node, in sorted
+/// variable order. Most keys have one or two components; larger keys box a slice.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Key {
+    /// The empty key (root nodes, cartesian products).
+    Unit,
+    /// A single-variable key.
+    One(u64),
+    /// A two-variable key.
+    Two(u64, u64),
+    /// Three or more components.
+    Many(Box<[u64]>),
+}
+
+impl Key {
+    /// Builds a key from its components.
+    pub fn from_codes(codes: &[u64]) -> Key {
+        match codes {
+            [] => Key::Unit,
+            [a] => Key::One(*a),
+            [a, b] => Key::Two(*a, *b),
+            more => Key::Many(more.into()),
+        }
+    }
+}
+
+/// Per-node state of an [`EncodedContext`].
+#[derive(Clone, Debug)]
+pub struct EncodedNode {
+    /// The join-tree node id this data belongs to.
+    pub node_id: usize,
+    /// Index of the query atom materialized at this node.
+    pub atom_index: usize,
+    /// Surviving `(segment, row)` coordinates into the node's relation view, in view
+    /// order, after the consistency filter and the full reducer.
+    pub rows: Vec<(u32, u32)>,
+    /// Positions of the variables shared with the parent within this node's atom
+    /// (sorted variable order; empty for the root).
+    pub own_key_positions: Vec<usize>,
+    /// Positions of the same variables within the parent node's atom.
+    pub parent_key_positions: Vec<usize>,
+    /// Pre-grouped adjacency index: join key → indices into `rows`.
+    pub groups: HashMap<Key, Vec<u32>>,
+}
+
+/// A rooted join tree with, per node, the semi-join reduced row set of an encoded
+/// relation view and a code-valued join-group index.
+#[derive(Clone, Debug)]
+pub struct EncodedContext {
+    query: JoinQuery,
+    tree: JoinTree,
+    nodes: Vec<EncodedNode>,
+    rels: Vec<qjoin_data::EncodedRelation>,
+}
+
+impl EncodedContext {
+    /// Builds a context for an acyclic encoded instance using its GYO join tree.
+    pub fn build(instance: &EncodedInstance) -> Result<Self> {
+        let tree = acyclicity::gyo_join_tree(instance.query())
+            .ok_or_else(|| ExecError::CyclicQuery(instance.query().to_string()))?;
+        Self::build_with_tree(instance, tree)
+    }
+
+    /// Builds a context using the provided join tree of the instance's query.
+    pub fn build_with_tree(instance: &EncodedInstance, tree: JoinTree) -> Result<Self> {
+        let query = instance.query().clone();
+        debug_assert!(tree.satisfies_running_intersection(&query));
+
+        let mut nodes: Vec<EncodedNode> = Vec::with_capacity(tree.num_nodes());
+        let mut rels: Vec<qjoin_data::EncodedRelation> = Vec::with_capacity(tree.num_nodes());
+        for node_id in 0..tree.num_nodes() {
+            let atom_index = tree.node(node_id).atom_index;
+            let atom = query.atom(atom_index);
+            let rel = instance.relation_of_atom(atom_index).clone();
+
+            // Repeated variables in the atom (e.g. R(x, x)) constrain matching rows.
+            let repeated: Vec<Vec<usize>> = atom
+                .distinct_variable_positions()
+                .into_iter()
+                .map(|(v, _)| atom.positions_of(&v))
+                .filter(|p| p.len() > 1)
+                .collect();
+            let mut rows: Vec<(u32, u32)> = Vec::with_capacity(rel.len());
+            rel.for_each_row(|seg, row| {
+                let consistent = repeated.iter().all(|positions| {
+                    let first = rel.code(seg, row, positions[0]);
+                    positions[1..]
+                        .iter()
+                        .all(|&p| rel.code(seg, row, p) == first)
+                });
+                if consistent {
+                    rows.push((seg as u32, row as u32));
+                }
+            });
+
+            let shared: Vec<Variable> = tree
+                .shared_with_parent(&query, node_id)
+                .into_iter()
+                .collect();
+            let own_key_positions: Vec<usize> =
+                shared.iter().map(|v| atom.positions_of(v)[0]).collect();
+            let parent_key_positions: Vec<usize> = match tree.node(node_id).parent {
+                None => Vec::new(),
+                Some(p) => {
+                    let parent_atom = query.atom(tree.node(p).atom_index);
+                    shared
+                        .iter()
+                        .map(|v| parent_atom.positions_of(v)[0])
+                        .collect()
+                }
+            };
+
+            nodes.push(EncodedNode {
+                node_id,
+                atom_index,
+                rows,
+                own_key_positions,
+                parent_key_positions,
+                groups: HashMap::new(),
+            });
+            rels.push(rel);
+        }
+
+        let mut ctx = EncodedContext {
+            query,
+            tree,
+            nodes,
+            rels,
+        };
+
+        // Full reducer: bottom-up, then top-down semi-joins over code keys.
+        for &node_id in &ctx.tree.bottom_up_order() {
+            let children = ctx.tree.node(node_id).children.clone();
+            for child in children {
+                let child_keys: HashSet<Key> = (0..ctx.nodes[child].rows.len())
+                    .map(|i| ctx.own_key(child, i))
+                    .collect();
+                let survivors: Vec<(u32, u32)> = (0..ctx.nodes[node_id].rows.len())
+                    .filter(|&i| child_keys.contains(&ctx.key_towards_child(node_id, child, i)))
+                    .map(|i| ctx.nodes[node_id].rows[i])
+                    .collect();
+                ctx.nodes[node_id].rows = survivors;
+            }
+        }
+        for &node_id in &ctx.tree.top_down_order() {
+            let children = ctx.tree.node(node_id).children.clone();
+            for child in children {
+                let parent_keys: HashSet<Key> = (0..ctx.nodes[node_id].rows.len())
+                    .map(|i| ctx.key_towards_child(node_id, child, i))
+                    .collect();
+                let survivors: Vec<(u32, u32)> = (0..ctx.nodes[child].rows.len())
+                    .filter(|&i| parent_keys.contains(&ctx.own_key(child, i)))
+                    .map(|i| ctx.nodes[child].rows[i])
+                    .collect();
+                ctx.nodes[child].rows = survivors;
+            }
+        }
+
+        // Pre-grouped adjacency indexes for non-root nodes.
+        for node_id in 0..ctx.nodes.len() {
+            if node_id == ctx.tree.root() {
+                continue;
+            }
+            let mut groups: HashMap<Key, Vec<u32>> = HashMap::new();
+            for i in 0..ctx.nodes[node_id].rows.len() {
+                groups
+                    .entry(ctx.own_key(node_id, i))
+                    .or_default()
+                    .push(i as u32);
+            }
+            ctx.nodes[node_id].groups = groups;
+        }
+
+        Ok(ctx)
+    }
+
+    /// The query this context evaluates.
+    pub fn query(&self) -> &JoinQuery {
+        &self.query
+    }
+
+    /// The join tree.
+    pub fn tree(&self) -> &JoinTree {
+        &self.tree
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> usize {
+        self.tree.root()
+    }
+
+    /// Per-node data, indexed by node id.
+    pub fn nodes(&self) -> &[EncodedNode] {
+        &self.nodes
+    }
+
+    /// Data of one node.
+    pub fn node(&self, id: usize) -> &EncodedNode {
+        &self.nodes[id]
+    }
+
+    /// The code of column `col` of row `i` (an index into the node's surviving rows).
+    #[inline]
+    pub fn code(&self, node: usize, i: usize, col: usize) -> u64 {
+        let (seg, row) = self.nodes[node].rows[i];
+        self.rels[node].code(seg as usize, row as usize, col)
+    }
+
+    /// The join key of row `i` of `node` towards its parent.
+    pub fn own_key(&self, node: usize, i: usize) -> Key {
+        let positions = &self.nodes[node].own_key_positions;
+        self.key_from_positions(node, i, positions)
+    }
+
+    /// The join key that row `i` of `parent` exposes towards `child`.
+    pub fn key_from_parent(&self, child: usize, parent_i: usize) -> Key {
+        let parent = self
+            .tree
+            .node(child)
+            .parent
+            .expect("key_from_parent needs a non-root child");
+        let positions = &self.nodes[child].parent_key_positions;
+        self.key_from_positions(parent, parent_i, positions)
+    }
+
+    fn key_towards_child(&self, parent: usize, child: usize, parent_i: usize) -> Key {
+        let positions = &self.nodes[child].parent_key_positions;
+        self.key_from_positions(parent, parent_i, positions)
+    }
+
+    fn key_from_positions(&self, node: usize, i: usize, positions: &[usize]) -> Key {
+        match positions {
+            [] => Key::Unit,
+            [a] => Key::One(self.code(node, i, *a)),
+            [a, b] => Key::Two(self.code(node, i, *a), self.code(node, i, *b)),
+            more => Key::Many(more.iter().map(|&p| self.code(node, i, p)).collect()),
+        }
+    }
+
+    /// True if the query has no answers (some node lost all rows during reduction).
+    pub fn has_no_answers(&self) -> bool {
+        self.nodes.iter().any(|n| n.rows.is_empty())
+    }
+
+    /// The indices (into `child`'s rows) joining with the given key.
+    pub fn child_group(&self, child: usize, key: &Key) -> &[u32] {
+        self.nodes[child]
+            .groups
+            .get(key)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Total surviving rows across all nodes.
+    pub fn total_rows(&self) -> usize {
+        self.nodes.iter().map(|n| n.rows.len()).sum()
+    }
+}
+
+/// Per-tuple subtree answer counts of an encoded context, plus the per-group
+/// aggregated messages (the encoded analogue of
+/// [`count::subtree_counts`](crate::count::subtree_counts)).
+#[derive(Clone, Debug)]
+pub struct EncodedCounts {
+    /// `per_tuple[node][i]` is the number of partial answers of the subtree rooted
+    /// at row `i` of `node`.
+    pub per_tuple: Vec<Vec<u128>>,
+    /// `per_group[node]` maps a join key to the summed count of its group.
+    pub per_group: Vec<HashMap<Key, u128>>,
+}
+
+/// Computes per-row subtree counts bottom-up (Example 2.1 of the paper).
+pub fn subtree_counts(ctx: &EncodedContext) -> EncodedCounts {
+    let n_nodes = ctx.nodes().len();
+    let mut per_tuple: Vec<Vec<u128>> = vec![Vec::new(); n_nodes];
+    let mut per_group: Vec<HashMap<Key, u128>> = vec![HashMap::new(); n_nodes];
+
+    for &node_id in &ctx.tree().bottom_up_order() {
+        let children = ctx.tree().node(node_id).children.clone();
+        let n_rows = ctx.node(node_id).rows.len();
+        let mut values: Vec<u128> = Vec::with_capacity(n_rows);
+        for i in 0..n_rows {
+            let mut val: u128 = 1;
+            for &child in &children {
+                let key = ctx.key_from_parent(child, i);
+                // The parent row survived the full reducer iff a matching group
+                // exists in this child (wrapped in the same invariant as the row
+                // path's message passing).
+                let msg = per_group[child]
+                    .get(&key)
+                    .expect("full reducer guarantees a matching child group");
+                val = val.checked_mul(*msg).expect("answer count overflowed u128");
+            }
+            values.push(val);
+        }
+        per_tuple[node_id] = values;
+
+        if node_id != ctx.root() {
+            let mut groups: HashMap<Key, u128> =
+                HashMap::with_capacity(ctx.node(node_id).groups.len());
+            for (key, members) in &ctx.node(node_id).groups {
+                let sum: u128 = members
+                    .iter()
+                    .map(|&i| per_tuple[node_id][i as usize])
+                    .sum();
+                groups.insert(key.clone(), sum);
+            }
+            per_group[node_id] = groups;
+        }
+    }
+
+    EncodedCounts {
+        per_tuple,
+        per_group,
+    }
+}
+
+/// The number of answers `|Q(D)|` of the context's instance.
+pub fn count_answers_ctx(ctx: &EncodedContext) -> u128 {
+    if ctx.has_no_answers() {
+        return 0;
+    }
+    let counts = subtree_counts(ctx);
+    counts.per_tuple[ctx.root()].iter().sum()
+}
+
+/// The number of answers `|Q(D)|` of an acyclic encoded instance, in linear time.
+pub fn count_answers(instance: &EncodedInstance) -> Result<u128> {
+    let ctx = EncodedContext::build(instance)?;
+    Ok(count_answers_ctx(&ctx))
+}
+
+/// Calls `f` once per query answer with the answer's codes laid out according to
+/// `ctx.query().variables()` (the same schema order as the row path's
+/// [`yannakakis::for_each_answer`](crate::yannakakis::for_each_answer)).
+pub fn for_each_answer_codes(ctx: &EncodedContext, mut f: impl FnMut(&[u64])) {
+    if ctx.has_no_answers() {
+        return;
+    }
+    let variables = ctx.query().variables();
+    let var_positions: HashMap<Variable, usize> = variables
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, v)| (v, i))
+        .collect();
+    let copy_plan: Vec<Vec<(usize, usize)>> = ctx
+        .nodes()
+        .iter()
+        .map(|n| {
+            ctx.query()
+                .atom(n.atom_index)
+                .distinct_variable_positions()
+                .into_iter()
+                .map(|(v, atom_pos)| (atom_pos, var_positions[&v]))
+                .collect()
+        })
+        .collect();
+
+    let order = ctx.tree().top_down_order();
+    let mut selected: Vec<usize> = vec![0; ctx.nodes().len()];
+    let mut row: Vec<u64> = vec![0; variables.len()];
+    descend(ctx, &order, 0, &copy_plan, &mut selected, &mut row, &mut f);
+}
+
+#[allow(clippy::too_many_arguments)]
+fn descend(
+    ctx: &EncodedContext,
+    order: &[usize],
+    depth: usize,
+    copy_plan: &[Vec<(usize, usize)>],
+    selected: &mut Vec<usize>,
+    row: &mut [u64],
+    f: &mut impl FnMut(&[u64]),
+) {
+    if depth == order.len() {
+        f(row);
+        return;
+    }
+    let node = order[depth];
+    let candidates: Vec<u32> = match ctx.tree().node(node).parent {
+        None => (0..ctx.node(node).rows.len() as u32).collect(),
+        Some(parent) => {
+            let key = ctx.key_from_parent(node, selected[parent]);
+            ctx.child_group(node, &key).to_vec()
+        }
+    };
+    for i in candidates {
+        selected[node] = i as usize;
+        for &(atom_pos, row_pos) in &copy_plan[node] {
+            row[row_pos] = ctx.code(node, i as usize, atom_pos);
+        }
+        descend(ctx, order, depth + 1, copy_plan, selected, row, f);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::count;
+    use crate::yannakakis;
+    use qjoin_data::{Database, Relation};
+    use qjoin_query::query::{figure1_query, path_query};
+    use qjoin_query::Instance;
+
+    fn figure1_instance() -> Instance {
+        let r = Relation::from_rows("R", &[&[1, 1], &[2, 2]]).unwrap();
+        let s = Relation::from_rows("S", &[&[1, 3], &[1, 4], &[1, 5], &[2, 3], &[2, 4]]).unwrap();
+        let t = Relation::from_rows("T", &[&[1, 6], &[1, 7], &[2, 6]]).unwrap();
+        let u = Relation::from_rows("U", &[&[6, 8], &[6, 9], &[7, 9]]).unwrap();
+        Instance::new(
+            figure1_query(),
+            Database::from_relations([r, s, t, u]).unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encoded_count_matches_row_count() {
+        let inst = figure1_instance();
+        let enc = EncodedInstance::from_instance(&inst).unwrap();
+        assert_eq!(
+            count_answers(&enc).unwrap(),
+            count::count_answers(&inst).unwrap()
+        );
+    }
+
+    #[test]
+    fn full_reducer_drops_the_same_rows() {
+        let r1 = Relation::from_rows("R1", &[&[1, 1], &[2, 99]]).unwrap();
+        let r2 = Relation::from_rows("R2", &[&[1, 10], &[98, 20]]).unwrap();
+        let inst =
+            Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap();
+        let enc = EncodedInstance::from_instance(&inst).unwrap();
+        let ctx = EncodedContext::build(&enc).unwrap();
+        assert_eq!(ctx.total_rows(), 2);
+        assert!(!ctx.has_no_answers());
+    }
+
+    #[test]
+    fn emptiness_propagates() {
+        let r1 = Relation::from_rows("R1", &[&[1, 1]]).unwrap();
+        let r2 = Relation::from_rows("R2", &[&[2, 5]]).unwrap();
+        let inst =
+            Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap();
+        let enc = EncodedInstance::from_instance(&inst).unwrap();
+        assert!(EncodedContext::build(&enc).unwrap().has_no_answers());
+        assert_eq!(count_answers(&enc).unwrap(), 0);
+    }
+
+    #[test]
+    fn enumeration_decodes_to_the_row_answers() {
+        let inst = figure1_instance();
+        let enc = EncodedInstance::from_instance(&inst).unwrap();
+        let ctx = EncodedContext::build(&enc).unwrap();
+        let dict = enc.dictionary();
+        let mut decoded: Vec<Vec<qjoin_data::Value>> = Vec::new();
+        for_each_answer_codes(&ctx, |codes| {
+            decoded.push(codes.iter().map(|&c| dict.decode(c).clone()).collect());
+        });
+        let row_answers = yannakakis::materialize(&inst).unwrap();
+        let mut expected: Vec<Vec<qjoin_data::Value>> = row_answers.rows().to_vec();
+        decoded.sort();
+        expected.sort();
+        assert_eq!(decoded, expected);
+    }
+
+    #[test]
+    fn repeated_variable_atoms_filter_by_code_equality() {
+        let r = Relation::from_rows("R", &[&[1, 1], &[1, 2], &[3, 3]]).unwrap();
+        let q = qjoin_query::JoinQuery::new(vec![qjoin_query::Atom::from_names("R", &["x", "x"])]);
+        let inst = Instance::new(q, Database::from_relations([r]).unwrap()).unwrap();
+        let enc = EncodedInstance::from_instance(&inst).unwrap();
+        let ctx = EncodedContext::build(&enc).unwrap();
+        assert_eq!(ctx.node(0).rows.len(), 2);
+    }
+
+    #[test]
+    fn cyclic_queries_are_rejected() {
+        let mut db = Database::new();
+        for name in ["R", "S", "T"] {
+            db.add_relation(Relation::from_rows(name, &[&[1, 1]]).unwrap())
+                .unwrap();
+        }
+        let inst = Instance::new(qjoin_query::query::triangle_query(), db).unwrap();
+        let enc = EncodedInstance::from_instance(&inst).unwrap();
+        assert!(matches!(
+            EncodedContext::build(&enc).unwrap_err(),
+            ExecError::CyclicQuery(_)
+        ));
+    }
+
+    #[test]
+    fn keys_pack_small_arities() {
+        assert_eq!(Key::from_codes(&[]), Key::Unit);
+        assert_eq!(Key::from_codes(&[7]), Key::One(7));
+        assert_eq!(Key::from_codes(&[7, 8]), Key::Two(7, 8));
+        assert!(matches!(Key::from_codes(&[1, 2, 3]), Key::Many(_)));
+    }
+}

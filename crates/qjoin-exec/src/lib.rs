@@ -25,6 +25,7 @@ mod answer;
 mod context;
 pub mod count;
 mod direct_access;
+pub mod encoded;
 mod error;
 pub mod message_passing;
 pub mod yannakakis;
@@ -32,6 +33,7 @@ pub mod yannakakis;
 pub use answer::AnswerSet;
 pub use context::{JoinTreeContext, NodeData};
 pub use direct_access::DirectAccess;
+pub use encoded::{EncodedContext, EncodedNode, Key};
 pub use error::ExecError;
 
 /// Convenient `Result` alias for executor operations.

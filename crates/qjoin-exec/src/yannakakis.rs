@@ -104,7 +104,7 @@ mod tests {
     use qjoin_data::{Database, Relation};
     use qjoin_query::query::{figure1_query, path_query};
     use qjoin_query::{Atom, JoinQuery};
-    use std::collections::HashSet;
+    use std::collections::{HashMap, HashSet};
 
     fn figure1_instance() -> Instance {
         let r = Relation::from_rows("R", &[&[1, 1], &[2, 2]]).unwrap();
@@ -138,6 +138,23 @@ mod tests {
     fn answers_satisfy_every_atom() {
         let inst = figure1_instance();
         let answers = materialize(&inst).unwrap();
+        // Prebuilt membership sets, one per relation: checking every answer against
+        // every atom is then linear in the output instead of quadratic (the same
+        // scan-to-hash-set rewrite the full reducer applies in production).
+        let membership: HashMap<&str, HashSet<&[Value]>> = inst
+            .query()
+            .atoms()
+            .iter()
+            .map(|atom| {
+                let rel = inst.database().relation(atom.relation()).unwrap();
+                (
+                    atom.relation(),
+                    rel.iter()
+                        .map(|t| t.values())
+                        .collect::<HashSet<&[Value]>>(),
+                )
+            })
+            .collect();
         for assignment in answers.iter_assignments() {
             for atom in inst.query().atoms() {
                 let projected: Vec<Value> = atom
@@ -145,9 +162,8 @@ mod tests {
                     .iter()
                     .map(|v| assignment.get(v).unwrap().clone())
                     .collect();
-                let rel = inst.database().relation(atom.relation()).unwrap();
                 assert!(
-                    rel.iter().any(|t| t.values() == projected.as_slice()),
+                    membership[atom.relation()].contains(projected.as_slice()),
                     "answer {assignment:?} violates atom {atom}"
                 );
             }

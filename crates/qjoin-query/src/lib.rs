@@ -28,6 +28,7 @@
 pub mod acyclicity;
 mod atom;
 pub mod binary;
+pub mod encoded;
 mod error;
 mod hypergraph;
 mod instance;
@@ -37,6 +38,7 @@ pub mod self_join;
 pub mod variable;
 
 pub use atom::Atom;
+pub use encoded::EncodedInstance;
 pub use error::QueryError;
 pub use hypergraph::Hypergraph;
 pub use instance::{Assignment, Instance};

@@ -61,17 +61,19 @@ pub mod prelude {
     pub use qjoin_core::baseline::{quantile_by_materialization, BaselineStrategy};
     pub use qjoin_core::batch::quantile_batch_by_pivoting;
     pub use qjoin_core::dichotomy::{classify_partial_sum, SumClassification};
+    pub use qjoin_core::encoded::{exact_quantile_batch_encoded, exact_quantile_encoded};
     pub use qjoin_core::lossy_trim::LossySumTrimmer;
     pub use qjoin_core::quantile::{quantile_by_pivoting, target_rank, PivotingOptions};
     pub use qjoin_core::sampling::{quantile_by_sampling, SamplingOptions};
     pub use qjoin_core::sketch::{sketch, RoundDirection, SketchBucket, SketchEntry};
     pub use qjoin_core::solver::{
         approximate_sum_quantile, exact_quantile, exact_quantile_batch,
-        exact_quantile_batch_with_options, exact_quantile_with_options, ErrorBudget,
+        exact_quantile_batch_via_rows, exact_quantile_batch_with_options, exact_quantile_via_rows,
+        exact_quantile_with_options, ErrorBudget,
     };
     pub use qjoin_core::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer, Trimmer};
     pub use qjoin_core::QuantileResult;
-    pub use qjoin_data::{Database, Relation, Tuple, Value};
+    pub use qjoin_data::{Database, EncodedDatabase, Relation, Tuple, Value};
     pub use qjoin_engine::{
         Accuracy, Engine, EngineAnswer, EngineConfig, EngineError, EngineStats, PlanStorageStats,
         PlanStrategy, PreparedPlan,
@@ -79,7 +81,7 @@ pub mod prelude {
     pub use qjoin_exec::count::count_answers;
     pub use qjoin_query::query::{path_query, social_network_query, star_query};
     pub use qjoin_query::variable::vars;
-    pub use qjoin_query::{Atom, Instance, JoinQuery, Variable};
+    pub use qjoin_query::{Atom, EncodedInstance, Instance, JoinQuery, Variable};
     pub use qjoin_ranking::{AggregateKind, Ranking, Weight, WeightFn};
     pub use qjoin_server::{Client, Server, ServerConfig};
     pub use qjoin_workload::path::PathConfig;

@@ -1,0 +1,212 @@
+//! Encoded-vs-row equivalence: the encoded execution layer (the default for exact
+//! solves) must return **pointwise identical** answers to the row path — same
+//! answer assignment, same weight (bit for bit), same target index, same iteration
+//! count — across ranking families, random instances, and boundary φ values.
+
+use proptest::prelude::*;
+use quantile_joins::core::encoded::{exact_quantile_batch_encoded, exact_quantile_encoded};
+use quantile_joins::core::quantile::rank_of_weight;
+use quantile_joins::prelude::*;
+use quantile_joins::workload::random_acyclic::RandomAcyclicConfig;
+
+fn random_instance(seed: u64, atoms: usize) -> Instance {
+    RandomAcyclicConfig {
+        atoms,
+        max_arity: 3,
+        tuples_per_relation: 12,
+        domain: 5,
+        seed,
+    }
+    .generate()
+}
+
+/// A ranking of the requested family over the instance's variables, mirroring the
+/// families the engine's dichotomy routes to the exact path.
+fn ranking_for(instance: &Instance, kind: usize) -> Option<Ranking> {
+    let variables = instance.query().variables();
+    match kind {
+        0 => Some(Ranking::min(variables)),
+        1 => Some(Ranking::max(variables)),
+        2 => Some(Ranking::lex(variables.into_iter().take(2).collect())),
+        _ => {
+            // Partial SUM over a prefix of the variables, only when tractable.
+            let weighted: Vec<Variable> = variables.into_iter().take(2).collect();
+            classify_partial_sum(instance.query(), &weighted)
+                .is_tractable()
+                .then(|| Ranking::sum(weighted))
+        }
+    }
+}
+
+fn assert_pointwise_equal(a: &QuantileResult, b: &QuantileResult, context: &str) {
+    assert_eq!(a.answer, b.answer, "{context}: answers differ");
+    assert_eq!(a.weight, b.weight, "{context}: weights differ");
+    assert_eq!(a.total_answers, b.total_answers, "{context}: totals differ");
+    assert_eq!(
+        a.target_index, b.target_index,
+        "{context}: target indices differ"
+    );
+    assert_eq!(
+        a.iterations, b.iterations,
+        "{context}: iteration counts differ"
+    );
+}
+
+/// φ values that stress rank boundaries: the extremes, plus fractions that land
+/// exactly on and just beside integer ranks.
+fn boundary_phis(total: u128) -> Vec<f64> {
+    let mut phis = vec![0.0, 0.25, 0.5, 0.75, 1.0];
+    if total > 1 {
+        let t = total as f64;
+        phis.push(1.0 / t);
+        phis.push((total - 1) as f64 / t);
+        phis.push(((total / 2) as f64) / t);
+    }
+    phis
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `exact_quantile` (encoded default) equals the row path pointwise across
+    /// MIN/MAX/LEX/SUM rankings and boundary φ values on random acyclic instances.
+    #[test]
+    fn encoded_and_row_solves_are_pointwise_identical(
+        seed in 0u64..3000,
+        atoms in 1usize..4,
+        kind in 0usize..4,
+    ) {
+        let instance = random_instance(seed, atoms);
+        let Some(ranking) = ranking_for(&instance, kind) else { return Ok(()) };
+        let total = count_answers(&instance).unwrap();
+        if total == 0 {
+            return Ok(());
+        }
+        for phi in boundary_phis(total) {
+            let encoded = exact_quantile(&instance, &ranking, phi).unwrap();
+            let row = exact_quantile_via_rows(&instance, &ranking, phi).unwrap();
+            assert_pointwise_equal(&encoded, &row, &format!("{ranking} at φ={phi}"));
+            // And the answer really is a φ-quantile.
+            let (below, equal) = rank_of_weight(&instance, &ranking, &encoded.weight).unwrap();
+            prop_assert!(
+                encoded.target_index >= below && encoded.target_index < below + equal,
+                "{ranking} at φ={phi}: target {} outside window [{below}, {})",
+                encoded.target_index,
+                below + equal
+            );
+        }
+    }
+
+    /// Batched multi-φ solving is pointwise identical across the two paths (and to
+    /// the single-φ driver, transitively via the row path's own guarantee).
+    #[test]
+    fn encoded_and_row_batches_are_pointwise_identical(
+        seed in 0u64..3000,
+        atoms in 1usize..4,
+        kind in 0usize..4,
+    ) {
+        let instance = random_instance(seed, atoms);
+        let Some(ranking) = ranking_for(&instance, kind) else { return Ok(()) };
+        let total = count_answers(&instance).unwrap();
+        if total == 0 {
+            return Ok(());
+        }
+        let phis = boundary_phis(total);
+        let encoded = exact_quantile_batch(&instance, &ranking, &phis).unwrap();
+        let row = exact_quantile_batch_via_rows(&instance, &ranking, &phis).unwrap();
+        prop_assert_eq!(encoded.len(), row.len());
+        for ((phi, e), r) in phis.iter().zip(&encoded).zip(&row) {
+            assert_pointwise_equal(e, r, &format!("batch {ranking} at φ={phi}"));
+        }
+    }
+}
+
+/// The engine's acceptance workload: encoded and row paths agree on the paper's
+/// social-network join at several φ, via both the pre-encoded entry point and the
+/// encode-per-solve default.
+#[test]
+fn social_network_workload_is_pointwise_identical() {
+    let config = SocialConfig {
+        rows_per_relation: 120,
+        seed: 2023,
+        ..Default::default()
+    };
+    let instance = config.generate();
+    let ranking = config.likes_ranking();
+    let encoded_db = EncodedInstance::from_instance(&instance).unwrap();
+    let options = PivotingOptions::default();
+    for phi in [0.0, 0.1, 0.5, 0.9, 1.0] {
+        let default_path = exact_quantile(&instance, &ranking, phi).unwrap();
+        let row = exact_quantile_via_rows(&instance, &ranking, phi).unwrap();
+        let pre_encoded = exact_quantile_encoded(&encoded_db, &ranking, phi, &options).unwrap();
+        assert_pointwise_equal(&default_path, &row, &format!("social φ={phi}"));
+        assert_pointwise_equal(&pre_encoded, &row, &format!("social pre-encoded φ={phi}"));
+    }
+    let phis = [0.05, 0.25, 0.5, 0.75, 0.95];
+    let batch_enc = exact_quantile_batch_encoded(&encoded_db, &ranking, &phis, &options).unwrap();
+    let batch_row = exact_quantile_batch_via_rows(&instance, &ranking, &phis).unwrap();
+    for ((phi, e), r) in phis.iter().zip(&batch_enc).zip(&batch_row) {
+        assert_pointwise_equal(e, r, &format!("social batch φ={phi}"));
+    }
+}
+
+/// A database relation the query never references must still count towards the
+/// materialization threshold on both paths (regression: the encoded path once
+/// sized the database from query-referenced views only, diverging from the row
+/// path's `Instance::database_size` and thus from its recursion).
+#[test]
+fn unreferenced_relations_keep_thresholds_identical() {
+    let mut r1 = Relation::new("R1", 2);
+    let mut r2 = Relation::new("R2", 2);
+    for i in 0..25i64 {
+        r1.push(vec![Value::from(i % 5), Value::from(i % 3)])
+            .unwrap();
+        r2.push(vec![Value::from(i % 3), Value::from(i % 4)])
+            .unwrap();
+    }
+    // A large relation no atom references: it inflates the database size (and so
+    // the default materialization threshold) on the row path.
+    let mut unused = Relation::new("Unused", 1);
+    for i in 0..500i64 {
+        unused.push(vec![Value::from(i)]).unwrap();
+    }
+    let instance = Instance::new(
+        path_query(2),
+        Database::from_relations([r1, r2, unused]).unwrap(),
+    )
+    .unwrap();
+    let ranking = Ranking::sum(instance.query().variables());
+    for phi in [0.0, 0.3, 0.5, 0.8, 1.0] {
+        let encoded = exact_quantile(&instance, &ranking, phi).unwrap();
+        let row = exact_quantile_via_rows(&instance, &ranking, phi).unwrap();
+        assert_pointwise_equal(&encoded, &row, &format!("unreferenced relation φ={phi}"));
+    }
+}
+
+/// String join keys exercise the non-integer dictionary space.
+#[test]
+fn string_keys_are_pointwise_identical() {
+    let mut r1 = Relation::new("R1", 2);
+    let mut r2 = Relation::new("R2", 2);
+    for i in 0..30i64 {
+        r1.push(vec![
+            Value::from(i),
+            Value::from(format!("k{}", i % 5).as_str()),
+        ])
+        .unwrap();
+        r2.push(vec![
+            Value::from(format!("k{}", i % 5).as_str()),
+            Value::from(1000 - 13 * i),
+        ])
+        .unwrap();
+    }
+    let instance =
+        Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap();
+    // Weight only the numeric endpoints (strings have no identity weight).
+    let ranking = Ranking::sum(vars(&["x1", "x3"]));
+    for phi in [0.0, 0.3, 0.5, 1.0] {
+        let encoded = exact_quantile(&instance, &ranking, phi).unwrap();
+        let row = exact_quantile_via_rows(&instance, &ranking, phi).unwrap();
+        assert_pointwise_equal(&encoded, &row, &format!("string keys φ={phi}"));
+    }
+}
