@@ -10,6 +10,10 @@
 //!   misses the result cache and runs the full §3 divide-and-conquer solve. This is
 //!   the CPU-bound path: throughput should scale with workers up to the host's
 //!   available parallelism.
+//! * **cold-coalesced** — all 8 clients request the *same* fresh φ each round
+//!   (barrier-synchronized), so the engine's in-flight gate merges them into one
+//!   shared batched solve. The row also records the `coalesced_batches` /
+//!   `coalesced_waiters` counter deltas observed over the phase.
 //! * **warm-cache** — requests cycle through a small primed φ set, so every request
 //!   is a sharded-LRU cache hit. This is the lock/syscall-bound path that measures
 //!   serving overhead.
@@ -39,6 +43,7 @@ fn main() {
     // Per-client request counts. Cold requests each run a full solve (~ms), warm
     // requests are cache hits (~µs), so warm gets more samples.
     let (cold_per_client, warm_per_client) = if smoke { (6, 40) } else { (40, 2_000) };
+    let coalesced_rounds = if smoke { 4 } else { 25 };
     let rows = if smoke { 60 } else { 120 };
     let parallelism = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -54,7 +59,8 @@ fn main() {
     println!("| workers | mode | requests | elapsed ms | req/s | speedup vs 1 |");
     println!("|---|---|---|---|---|---|");
 
-    let mut rows_out: Vec<(usize, &str, usize, f64, f64)> = Vec::new();
+    type Row = (usize, &'static str, usize, f64, f64, Option<(u64, u64)>);
+    let mut rows_out: Vec<Row> = Vec::new();
     let mut baselines: Vec<(&str, f64)> = Vec::new(); // (mode, rps) at workers=1
     for &workers in &WORKERS {
         let (addr, join) = start_server(workers, rows);
@@ -65,6 +71,18 @@ fn main() {
             unique_phi(t * cold_per_client + i)
         });
         let cold_rps = cold_requests as f64 / cold_elapsed.as_secs_f64();
+
+        // Cold-coalesced: every round all clients race for the same fresh φ, so
+        // the in-flight gate should fold most rounds into one shared solve.
+        let (batches_before, waiters_before) = coalescing_counters(addr);
+        let coalesced_requests = CLIENTS * coalesced_rounds;
+        let coalesced_elapsed = run_coalesced_phase(addr, coalesced_rounds);
+        let coalesced_rps = coalesced_requests as f64 / coalesced_elapsed.as_secs_f64();
+        let (batches_after, waiters_after) = coalescing_counters(addr);
+        let coalesced_counters = (
+            batches_after - batches_before,
+            waiters_after - waiters_before,
+        );
 
         // Warm-cache: prime a φ set once, then hammer it.
         {
@@ -81,9 +99,16 @@ fn main() {
         stopper.shutdown().expect("shutdown");
         join.join().expect("server thread");
 
-        for (mode, requests, elapsed, rps) in [
-            ("cold-solve", cold_requests, cold_elapsed, cold_rps),
-            ("warm-cache", warm_requests, warm_elapsed, warm_rps),
+        for (mode, requests, elapsed, rps, counters) in [
+            ("cold-solve", cold_requests, cold_elapsed, cold_rps, None),
+            (
+                "cold-coalesced",
+                coalesced_requests,
+                coalesced_elapsed,
+                coalesced_rps,
+                Some(coalesced_counters),
+            ),
+            ("warm-cache", warm_requests, warm_elapsed, warm_rps, None),
         ] {
             let speedup = baselines
                 .iter()
@@ -93,22 +118,35 @@ fn main() {
             if workers == 1 {
                 baselines.push((mode, rps));
             }
+            let extra = counters
+                .map(|(b, w)| format!(" (batches={b} waiters={w})"))
+                .unwrap_or_default();
             println!(
-                "| {workers} | {mode} | {requests} | {} | {rps:.0} | {speedup:.2}x |",
+                "| {workers} | {mode} | {requests} | {} | {rps:.0} | {speedup:.2}x{extra} |",
                 fmt_ms(elapsed)
             );
-            rows_out.push((workers, mode, requests, elapsed.as_secs_f64() * 1e3, rps));
+            rows_out.push((
+                workers,
+                mode,
+                requests,
+                elapsed.as_secs_f64() * 1e3,
+                rps,
+                counters,
+            ));
         }
     }
 
     println!();
     println!("# JSON rows (for BENCH_server.json):");
     println!("[");
-    for (i, (workers, mode, requests, ms, rps)) in rows_out.iter().enumerate() {
+    for (i, (workers, mode, requests, ms, rps, counters)) in rows_out.iter().enumerate() {
         let comma = if i + 1 == rows_out.len() { "" } else { "," };
+        let extra = counters
+            .map(|(b, w)| format!(", \"coalesced_batches\": {b}, \"coalesced_waiters\": {w}"))
+            .unwrap_or_default();
         println!(
             "  {{\"workers\": {workers}, \"mode\": \"{mode}\", \"requests\": {requests}, \
-             \"elapsed_ms\": {ms:.2}, \"throughput_rps\": {rps:.1}}}{comma}"
+             \"elapsed_ms\": {ms:.2}, \"throughput_rps\": {rps:.1}{extra}}}{comma}"
         );
     }
     println!("]");
@@ -126,6 +164,31 @@ fn unique_phi(index: usize) -> f64 {
 /// One of the `WARM_PHIS` primed fractions.
 fn warm_phi(index: usize) -> f64 {
     (index % WARM_PHIS + 1) as f64 / (WARM_PHIS + 1) as f64
+}
+
+/// A fresh φ per coalesced round, offset far past the cold-solve indices so the
+/// two phases never share a cache key.
+fn coalesced_phi(round: usize) -> f64 {
+    unique_phi(1_000_000 + round)
+}
+
+/// Reads the engine's coalescing counters over the wire via the `stats` verb.
+fn coalescing_counters(addr: SocketAddr) -> (u64, u64) {
+    let mut client = Client::connect(addr).expect("stats connect");
+    let stats = client.stats().expect("stats");
+    client.quit().expect("stats quit");
+    let line = stats
+        .iter()
+        .find(|l| l.contains("coalesced_batches="))
+        .expect("coalescing line in stats");
+    let grab = |key: &str| -> u64 {
+        line.split(key)
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .and_then(|n| n.parse().ok())
+            .expect("counter value")
+    };
+    (grab("coalesced_batches="), grab("coalesced_waiters="))
 }
 
 /// Boots a server with `workers` worker threads and a registered social plan;
@@ -175,6 +238,38 @@ fn run_phase(
                 for i in 0..per_client {
                     let phi = phi_of(t, i);
                     client.quantile("plan", phi).expect("quantile request");
+                }
+                client.quit().expect("client quit");
+            })
+        })
+        .collect();
+    let ((), elapsed) = timed(move || {
+        ready.wait();
+        for t in threads {
+            t.join().expect("client thread");
+        }
+    });
+    elapsed
+}
+
+/// Runs the cold-coalesced phase: `CLIENTS` threads, all racing for the *same*
+/// fresh φ each round, re-synchronized on a barrier between rounds so every round
+/// actually contends (instead of drifting apart into cache hits).
+fn run_coalesced_phase(addr: SocketAddr, rounds: usize) -> std::time::Duration {
+    let ready = Arc::new(Barrier::new(CLIENTS + 1));
+    let gate = Arc::new(Barrier::new(CLIENTS));
+    let threads: Vec<_> = (0..CLIENTS)
+        .map(|_| {
+            let ready = Arc::clone(&ready);
+            let gate = Arc::clone(&gate);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("client connect");
+                ready.wait();
+                for round in 0..rounds {
+                    gate.wait(); // everyone fires the same φ at once
+                    client
+                        .quantile("plan", coalesced_phi(round))
+                        .expect("quantile request");
                 }
                 client.quit().expect("client quit");
             })

@@ -1,0 +1,447 @@
+//! Cross-request coalescing of cold solves: the in-flight gate behind the engine's
+//! serving path.
+//!
+//! The paper's §4 batching theorem says one shared divide-and-conquer recursion
+//! answers k quantile targets for far less than k independent solves. The engine's
+//! `quantile_batch` exploits that *within* one request; this module exploits it
+//! *across* requests: concurrent cold exact requests against the same
+//! `(plan id, database generation)` register their φ targets with a [`Gate`], the
+//! first arrival becomes the **leader** and runs one batched solve over the merged
+//! sorted targets, and every other request (**waiter**) receives its answer from the
+//! shared batch — k waiters pay one shared recursion plus O(k) distribution instead
+//! of k full solves.
+//!
+//! ## Rounds and leadership handoff
+//!
+//! A [`Flight`] lives in the gate's map while any solve for its key is in progress.
+//! Targets that arrive while a round is already solving accumulate in `pending` and
+//! are merged into the *next* round (the group-commit pattern: the busier the
+//! server, the bigger — and proportionally cheaper — each batch). A leader solves
+//! exactly one round; if new targets accumulated meanwhile it hands leadership to
+//! one of their waiters (`needs_leader`) instead of looping forever, so leader
+//! latency stays bounded by one shared solve. The flight is removed from the map
+//! only when no targets are pending, and waiters register under the map lock, so a
+//! request can never attach to a flight that is about to disappear.
+//!
+//! ## Lock order
+//!
+//! Map lock before flight-state lock, everywhere both are held. Solves run with
+//! neither lock held.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The coalescing scope: `(plan id, database generation)`. Requests against
+/// different plans or different generations never share a batch.
+pub(crate) type GateKey = (u64, u64);
+
+/// How the gate served one request (the caller bumps its counters from this).
+#[derive(Debug)]
+pub(crate) struct GateOutcome<R, E> {
+    /// This request's answer (an `Err` from the solving leader is fanned out to
+    /// every request whose target it covered).
+    pub result: Result<R, E>,
+    /// Rounds this request led whose shared batch also served at least one waiter
+    /// (0 for waiters and for uncontended solves).
+    pub coalesced_rounds: u64,
+    /// True when the answer came out of a batch solved by *another* request.
+    pub was_follower: bool,
+}
+
+/// Shared state of one in-flight coalescing group.
+#[derive(Debug)]
+struct FlightState<R, E> {
+    /// φ targets awaiting the next round, deduplicated by bit pattern.
+    pending: Vec<f64>,
+    /// Published answers, keyed by φ bits.
+    results: HashMap<u64, Result<R, E>>,
+    /// Followers that attached since the last publish (leader snapshots this to
+    /// decide whether the round it just solved actually coalesced anything).
+    attached: u64,
+    /// Set by a leader that finished its round with targets still pending: the
+    /// first woken waiter whose φ is unresolved takes over as leader.
+    needs_leader: bool,
+    /// Set when the flight is removed from the map; no further rounds will run.
+    closed: bool,
+}
+
+/// One in-flight coalescing group (see the module docs).
+#[derive(Debug)]
+struct Flight<R, E> {
+    state: Mutex<FlightState<R, E>>,
+    cv: Condvar,
+}
+
+// Manual impls: `derive(Default)` would wrongly require `R: Default, E: Default`.
+impl<R, E> Default for FlightState<R, E> {
+    fn default() -> Self {
+        FlightState {
+            pending: Vec::new(),
+            results: HashMap::new(),
+            attached: 0,
+            needs_leader: false,
+            closed: false,
+        }
+    }
+}
+
+impl<R, E> Default for Flight<R, E> {
+    fn default() -> Self {
+        Flight {
+            state: Mutex::new(FlightState::default()),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The engine-wide in-flight gate: at most one [`Flight`] per key at a time.
+#[derive(Debug)]
+pub(crate) struct Gate<R, E> {
+    inflight: Mutex<HashMap<GateKey, Arc<Flight<R, E>>>>,
+}
+
+impl<R, E> Default for Gate<R, E> {
+    fn default() -> Self {
+        Gate {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl<R: Clone, E: Clone> Gate<R, E> {
+    pub fn new() -> Self {
+        Gate {
+            inflight: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Serves one φ target through the gate. `solve` receives a sorted, deduplicated
+    /// batch of targets (always containing at least the caller's own φ when the
+    /// caller leads) and must return one result per target, in order.
+    ///
+    /// The caller becomes the leader if no flight exists for `key`; otherwise it
+    /// either takes an already-published answer, or registers its φ and waits for a
+    /// round to deliver it (possibly being promoted to leader of that round).
+    pub fn serve(
+        &self,
+        key: GateKey,
+        phi: f64,
+        solve: impl Fn(&[f64]) -> Result<Vec<R>, E>,
+    ) -> GateOutcome<R, E> {
+        let bits = phi.to_bits();
+        let flight = {
+            let mut map = self.inflight.lock().expect("gate map lock poisoned");
+            match map.get(&key) {
+                Some(flight) => {
+                    let flight = Arc::clone(flight);
+                    // Register under the map lock: a flight still in the map is
+                    // guaranteed to run at least one more round before closing.
+                    let mut state = flight.state.lock().expect("flight lock poisoned");
+                    if let Some(result) = state.results.get(&bits) {
+                        // A shared batch already answered this exact target.
+                        return GateOutcome {
+                            result: result.clone(),
+                            coalesced_rounds: 0,
+                            was_follower: true,
+                        };
+                    }
+                    if !state.pending.iter().any(|p| p.to_bits() == bits) {
+                        state.pending.push(phi);
+                    }
+                    state.attached += 1;
+                    drop(state);
+                    drop(map);
+                    flight
+                }
+                None => {
+                    let flight: Arc<Flight<R, E>> = Arc::new(Flight::default());
+                    flight
+                        .state
+                        .lock()
+                        .expect("flight lock poisoned")
+                        .pending
+                        .push(phi);
+                    map.insert(key, Arc::clone(&flight));
+                    drop(map);
+                    return self.lead(key, &flight, bits, &solve);
+                }
+            }
+        };
+        // Follower: wait until a round publishes our answer, or until we are
+        // promoted to lead the round that contains it.
+        let mut state = flight.state.lock().expect("flight lock poisoned");
+        loop {
+            if let Some(result) = state.results.get(&bits) {
+                return GateOutcome {
+                    result: result.clone(),
+                    coalesced_rounds: 0,
+                    was_follower: true,
+                };
+            }
+            debug_assert!(!state.closed, "closed flight owes this waiter an answer");
+            if state.needs_leader {
+                state.needs_leader = false;
+                drop(state);
+                return self.lead(key, &flight, bits, &solve);
+            }
+            state = flight.cv.wait(state).expect("flight lock poisoned");
+        }
+    }
+
+    /// Runs one round as leader (plus close-or-handoff bookkeeping). Reached either
+    /// by the flight's creator or by a waiter promoted via `needs_leader`.
+    fn lead(
+        &self,
+        key: GateKey,
+        flight: &Arc<Flight<R, E>>,
+        my_bits: u64,
+        solve: &impl Fn(&[f64]) -> Result<Vec<R>, E>,
+    ) -> GateOutcome<R, E> {
+        let mut coalesced_rounds = 0u64;
+        let mut my_result: Option<Result<R, E>> = None;
+        loop {
+            // Take the next round, or close the flight if nothing is pending.
+            // Map lock first: removal must be atomic with the last pending check so
+            // no request can register into a flight that is closing.
+            let round: Vec<f64> = {
+                let mut map = self.inflight.lock().expect("gate map lock poisoned");
+                let mut state = flight.state.lock().expect("flight lock poisoned");
+                if state.pending.is_empty() {
+                    state.closed = true;
+                    map.remove(&key);
+                    flight.cv.notify_all();
+                    break;
+                }
+                let mut round = std::mem::take(&mut state.pending);
+                round.sort_by(f64::total_cmp);
+                round
+            };
+            match solve(&round) {
+                Ok(results) => {
+                    let mut state = flight.state.lock().expect("flight lock poisoned");
+                    for (target, result) in round.iter().zip(results) {
+                        state.results.insert(target.to_bits(), Ok(result));
+                    }
+                    if my_result.is_none() {
+                        my_result = state.results.get(&my_bits).cloned();
+                    }
+                    if state.attached > 0 {
+                        coalesced_rounds += 1;
+                        state.attached = 0;
+                    }
+                    let handoff = !state.pending.is_empty();
+                    if handoff {
+                        // New targets arrived mid-solve; one of their waiters leads
+                        // the next round so our own latency stays bounded.
+                        state.needs_leader = true;
+                    }
+                    flight.cv.notify_all();
+                    drop(state);
+                    if handoff {
+                        break;
+                    }
+                    // Loop once more: either close the flight or serve a round that
+                    // arrived between the publish above and the map lock.
+                }
+                Err(e) => {
+                    // Fan the failure out to this round and everything pending:
+                    // solve errors are deterministic per (plan, generation), so
+                    // rerunning them for each waiter would fail identically.
+                    let mut map = self.inflight.lock().expect("gate map lock poisoned");
+                    let mut state = flight.state.lock().expect("flight lock poisoned");
+                    for target in round.iter().chain(state.pending.clone().iter()) {
+                        state.results.insert(target.to_bits(), Err(e.clone()));
+                    }
+                    state.pending.clear();
+                    state.closed = true;
+                    map.remove(&key);
+                    flight.cv.notify_all();
+                    if my_result.is_none() {
+                        my_result = Some(Err(e));
+                    }
+                    break;
+                }
+            }
+        }
+        GateOutcome {
+            result: my_result.expect("a led round always covers the leader's own φ"),
+            coalesced_rounds,
+            // A promoted waiter solved its own target; it never consumed another
+            // request's batch, so it is not a coalesced waiter.
+            was_follower: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Barrier;
+    use std::thread;
+    use std::time::Duration;
+
+    type TestGate = Gate<f64, String>;
+
+    #[test]
+    fn uncontended_request_solves_itself() {
+        let gate = TestGate::new();
+        let calls = AtomicU64::new(0);
+        let out = gate.serve((1, 1), 0.5, |phis| {
+            calls.fetch_add(1, Ordering::SeqCst);
+            assert_eq!(phis, &[0.5]);
+            Ok(phis.iter().map(|p| p * 2.0).collect())
+        });
+        assert_eq!(out.result.unwrap(), 1.0);
+        assert_eq!(out.coalesced_rounds, 0);
+        assert!(!out.was_follower);
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // The flight is gone: the next request leads its own flight again.
+        assert!(gate.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn identical_concurrent_targets_share_one_solve() {
+        let gate = Arc::new(TestGate::new());
+        let solves = Arc::new(AtomicU64::new(0));
+        let in_solve = Arc::new(Barrier::new(2)); // solver + coordinator
+        let release = Arc::new(Barrier::new(2));
+
+        // Leader: its solve blocks until the coordinator releases it, guaranteeing
+        // the followers attach while the round is in flight.
+        let leader = {
+            let (gate, solves) = (Arc::clone(&gate), Arc::clone(&solves));
+            let (in_solve, release) = (Arc::clone(&in_solve), Arc::clone(&release));
+            thread::spawn(move || {
+                gate.serve((7, 3), 0.25, move |phis| {
+                    solves.fetch_add(1, Ordering::SeqCst);
+                    in_solve.wait();
+                    release.wait();
+                    Ok(phis.iter().map(|p| p + 1.0).collect())
+                })
+            })
+        };
+        in_solve.wait(); // the leader is now inside its solve
+        let followers: Vec<_> = (0..4)
+            .map(|_| {
+                let gate = Arc::clone(&gate);
+                thread::spawn(move || {
+                    gate.serve((7, 3), 0.25, |_| -> Result<Vec<f64>, String> {
+                        panic!("followers of an identical target must never solve")
+                    })
+                })
+            })
+            .collect();
+        // Give the followers time to attach, then let the round finish.
+        thread::sleep(Duration::from_millis(50));
+        release.wait();
+
+        let led = leader.join().unwrap();
+        assert_eq!(led.result.unwrap(), 1.25);
+        assert_eq!(led.coalesced_rounds, 1, "the round served waiters");
+        for f in followers {
+            let out = f.join().unwrap();
+            assert_eq!(out.result.unwrap(), 1.25);
+            assert!(out.was_follower);
+        }
+        assert_eq!(
+            solves.load(Ordering::SeqCst),
+            1,
+            "one shared solve for all 5"
+        );
+    }
+
+    #[test]
+    fn distinct_targets_merge_into_the_next_round() {
+        let gate = Arc::new(TestGate::new());
+        let rounds = Arc::new(Mutex::new(Vec::<Vec<f64>>::new()));
+        let in_solve = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        let leader = {
+            let (gate, rounds) = (Arc::clone(&gate), Arc::clone(&rounds));
+            let (in_solve, release) = (Arc::clone(&in_solve), Arc::clone(&release));
+            thread::spawn(move || {
+                gate.serve((1, 1), 0.5, move |phis| {
+                    rounds.lock().unwrap().push(phis.to_vec());
+                    if phis == [0.5] {
+                        // Only the first round blocks; the handed-off round runs free.
+                        in_solve.wait();
+                        release.wait();
+                    }
+                    Ok(phis.to_vec())
+                })
+            })
+        };
+        in_solve.wait();
+        // Three distinct targets arrive mid-round; they must merge into one
+        // sorted second round, led by one promoted waiter.
+        let stragglers: Vec<_> = [0.9, 0.1, 0.7]
+            .into_iter()
+            .map(|phi| {
+                let (gate, rounds) = (Arc::clone(&gate), Arc::clone(&rounds));
+                thread::spawn(move || {
+                    gate.serve((1, 1), phi, move |phis| {
+                        rounds.lock().unwrap().push(phis.to_vec());
+                        Ok(phis.to_vec())
+                    })
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50));
+        release.wait();
+
+        let led = leader.join().unwrap();
+        assert_eq!(led.result.unwrap(), 0.5);
+        let outs: Vec<_> = stragglers.into_iter().map(|t| t.join().unwrap()).collect();
+        for out in &outs {
+            assert!(out.result.is_ok());
+        }
+        let rounds = rounds.lock().unwrap();
+        assert_eq!(rounds[0], vec![0.5]);
+        assert_eq!(rounds[1], vec![0.1, 0.7, 0.9], "merged and sorted");
+        assert_eq!(rounds.len(), 2, "three stragglers shared one round");
+        // Exactly one straggler was promoted to lead round 2; the other two were
+        // served from its shared batch.
+        assert_eq!(outs.iter().filter(|o| o.was_follower).count(), 2);
+    }
+
+    #[test]
+    fn leader_errors_fan_out_to_every_waiter() {
+        let gate = Arc::new(TestGate::new());
+        let in_solve = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+        let leader = {
+            let gate = Arc::clone(&gate);
+            let (in_solve, release) = (Arc::clone(&in_solve), Arc::clone(&release));
+            thread::spawn(move || {
+                gate.serve((9, 9), 0.5, move |_| -> Result<Vec<f64>, String> {
+                    in_solve.wait();
+                    release.wait();
+                    Err("boom".to_string())
+                })
+            })
+        };
+        in_solve.wait();
+        let waiter = {
+            let gate = Arc::clone(&gate);
+            // A *different* φ pending at error time still gets the error (rerunning
+            // would fail identically).
+            thread::spawn(move || gate.serve((9, 9), 0.75, |_| Err("later".to_string())))
+        };
+        thread::sleep(Duration::from_millis(50));
+        release.wait();
+        assert_eq!(leader.join().unwrap().result.unwrap_err(), "boom");
+        assert_eq!(waiter.join().unwrap().result.unwrap_err(), "boom");
+        assert!(gate.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn different_keys_never_share_a_flight() {
+        let gate = TestGate::new();
+        let out_a = gate.serve((1, 1), 0.5, |p| Ok(p.to_vec()));
+        let out_b = gate.serve((1, 2), 0.5, |p| Ok(p.iter().map(|x| x + 1.0).collect()));
+        assert_eq!(out_a.result.unwrap(), 0.5);
+        assert_eq!(out_b.result.unwrap(), 1.5);
+    }
+}

@@ -6,9 +6,13 @@
 //! 1. the **LRU result cache**, keyed by `(plan id, database generation, φ, accuracy)`
 //!    — replacing a database bumps its generation, so stale results can never be
 //!    served;
-//! 2. the **batched multi-φ solver** for cache misses: a batch request solves all of
+//! 2. the **in-flight coalescing gate** for cold exact requests: concurrent misses
+//!    against the same `(plan, generation)` merge into **one** shared batched solve —
+//!    the first arrival leads, everyone else is served from its batch (the paper's
+//!    §4 batching theorem applied *across* requests; see the `coalesce` module);
+//! 3. the **batched multi-φ solver** for cache misses: a batch request solves all of
 //!    its missing fractions in one shared §3 recursion pass;
-//! 3. the **prepared plan**, which already paid for validation, the join tree, the
+//! 4. the **prepared plan**, which already paid for validation, the join tree, the
 //!    Yannakakis counts, and the §5 dichotomy at registration time.
 //!
 //! ## Concurrency
@@ -35,10 +39,10 @@
 
 use crate::cache::{CacheStats, ShardedLru};
 use crate::catalog::Catalog;
+use crate::coalesce::Gate;
 use crate::error::EngineError;
 use crate::plan::{Accuracy, PreparedPlan};
 use qjoin_core::batch::quantile_batch_by_pivoting;
-use qjoin_core::quantile::quantile_by_pivoting;
 use qjoin_core::{PivotingOptions, QuantileResult};
 use qjoin_data::Database;
 use qjoin_query::JoinQuery;
@@ -102,6 +106,12 @@ pub struct EngineCounters {
     pub solved: u64,
     /// Plan compilations, including recompilations after database replacement.
     pub plan_compilations: u64,
+    /// Coalesced solve rounds: shared batched solves that served at least one
+    /// waiter in addition to the leader (see the `coalesce` module).
+    pub coalesced_batches: u64,
+    /// Requests answered from another request's shared batch instead of running
+    /// their own solve.
+    pub coalesced_waiters: u64,
 }
 
 /// Lock-free counter cells behind the `&self` serving methods; [`AtomicCounters::snapshot`]
@@ -112,6 +122,8 @@ struct AtomicCounters {
     batch_requests: AtomicU64,
     solved: AtomicU64,
     plan_compilations: AtomicU64,
+    coalesced_batches: AtomicU64,
+    coalesced_waiters: AtomicU64,
 }
 
 impl AtomicCounters {
@@ -121,6 +133,8 @@ impl AtomicCounters {
             batch_requests: self.batch_requests.load(Ordering::Relaxed),
             solved: self.solved.load(Ordering::Relaxed),
             plan_compilations: self.plan_compilations.load(Ordering::Relaxed),
+            coalesced_batches: self.coalesced_batches.load(Ordering::Relaxed),
+            coalesced_waiters: self.coalesced_waiters.load(Ordering::Relaxed),
         }
     }
 }
@@ -185,6 +199,11 @@ impl fmt::Display for EngineStats {
             "requests:           {} quantiles ({} batch calls), {} solved by recursion",
             self.counters.quantile_requests, self.counters.batch_requests, self.counters.solved
         )?;
+        writeln!(
+            f,
+            "coalescing:         coalesced_batches={} coalesced_waiters={}",
+            self.counters.coalesced_batches, self.counters.coalesced_waiters
+        )?;
         write!(f, "plan compilations:  {}", self.counters.plan_compilations)
     }
 }
@@ -206,6 +225,9 @@ pub struct Engine {
     state: RwLock<EngineState>,
     cache: ShardedLru<CacheKey, QuantileResult>,
     counters: AtomicCounters,
+    /// In-flight gate coalescing concurrent cold exact solves per
+    /// `(plan id, generation)`.
+    gate: Gate<QuantileResult, EngineError>,
 }
 
 // The whole point of the `&self` refactor: an `Engine` can be shared across threads.
@@ -235,6 +257,7 @@ impl Engine {
             state: RwLock::new(EngineState::default()),
             cache,
             counters: AtomicCounters::default(),
+            gate: Gate::new(),
         }
     }
 
@@ -379,6 +402,9 @@ impl Engine {
     ///
     /// Concurrency: the plan handle is cloned under a brief read lock; the solve runs
     /// entirely outside any lock against the handle's immutable generation of data.
+    /// Cold **exact** requests additionally pass through the in-flight coalescing
+    /// gate: concurrent misses against the same `(plan, generation)` merge into one
+    /// shared batched solve instead of each paying a full recursion.
     pub fn quantile_with(
         &self,
         plan_name: &str,
@@ -400,33 +426,40 @@ impl Engine {
                 result,
             });
         }
-        let trimmer = plan.trimmer_for(accuracy)?;
-        // Exact requests run on the plan's cached encoded instance (built once per
-        // catalog generation); approximate requests and un-encodable instances use
-        // the row path. Both return pointwise-identical exact answers.
-        let row_solve = || {
-            quantile_by_pivoting(
-                &plan.instance,
-                &plan.ranking,
-                phi,
-                trimmer.as_ref(),
-                &self.config.pivoting,
-            )
+        let result = match accuracy {
+            Accuracy::Exact => {
+                let outcome = self.gate.serve((plan.id, plan.generation), phi, |phis| {
+                    let results = self.solve_batch_uncached(&plan, phis, Accuracy::Exact)?;
+                    // Publish to the LRU before the gate publishes to waiters, so
+                    // requests arriving after the round closes still hit the cache.
+                    for (&target, result) in phis.iter().zip(&results) {
+                        let key = (
+                            plan.id,
+                            plan.generation,
+                            target.to_bits(),
+                            Accuracy::Exact.key_bits(),
+                        );
+                        self.insert_cached(&plan, key, result.clone());
+                    }
+                    Ok(results)
+                });
+                self.counters
+                    .coalesced_batches
+                    .fetch_add(outcome.coalesced_rounds, Ordering::Relaxed);
+                if outcome.was_follower {
+                    self.counters
+                        .coalesced_waiters
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                outcome.result?
+            }
+            Accuracy::Approximate { .. } => {
+                let mut results = self.solve_batch_uncached(&plan, &[phi], accuracy)?;
+                let result = results.pop().expect("one result per requested φ");
+                self.insert_cached(&plan, key, result.clone());
+                result
+            }
         };
-        let result = match (&accuracy, &plan.encoded_instance) {
-            (Accuracy::Exact, Some(encoded)) => qjoin_core::encoded::or_row_fallback(
-                qjoin_core::encoded::exact_quantile_encoded(
-                    encoded,
-                    &plan.ranking,
-                    phi,
-                    &self.config.pivoting,
-                ),
-                row_solve,
-            )?,
-            _ => row_solve()?,
-        };
-        self.counters.solved.fetch_add(1, Ordering::Relaxed);
-        self.cache.insert(plan.id, key, result.clone());
         Ok(EngineAnswer {
             plan: plan_name.to_string(),
             generation: plan.generation,
@@ -435,6 +468,61 @@ impl Engine {
             from_cache: false,
             result,
         })
+    }
+
+    /// Solves a batch of fractions against a plan handle, bypassing the cache: the
+    /// shared miss path of [`Engine::quantile_with`], [`Engine::quantile_batch_with`],
+    /// and the coalescing gate's leader rounds. Returns one result per φ, in input
+    /// order, and bumps the `solved` counter.
+    fn solve_batch_uncached(
+        &self,
+        plan: &PreparedPlan,
+        phis: &[f64],
+        accuracy: Accuracy,
+    ) -> Result<Vec<QuantileResult>, EngineError> {
+        let trimmer = plan.trimmer_for(accuracy)?;
+        // Exact requests run on the plan's cached encoded instance (built once per
+        // catalog generation); approximate requests and un-encodable instances use
+        // the row path. Both return pointwise-identical exact answers.
+        let row_solve = || {
+            quantile_batch_by_pivoting(
+                &plan.instance,
+                &plan.ranking,
+                phis,
+                trimmer.as_ref(),
+                &self.config.pivoting,
+            )
+        };
+        let results = match (&accuracy, &plan.encoded_instance) {
+            (Accuracy::Exact, Some(encoded)) => qjoin_core::encoded::or_row_fallback(
+                qjoin_core::encoded::exact_quantile_batch_encoded(
+                    encoded,
+                    &plan.ranking,
+                    phis,
+                    &self.config.pivoting,
+                ),
+                row_solve,
+            )?,
+            _ => row_solve()?,
+        };
+        self.counters
+            .solved
+            .fetch_add(results.len() as u64, Ordering::Relaxed);
+        Ok(results)
+    }
+
+    /// Caches a solved result — but only if the plan's generation is still the
+    /// catalog's current one. A solve that raced `replace_database` must not
+    /// resurrect a dead-generation entry after the replacement's invalidation
+    /// sweep: the sweep runs under the state write lock, so holding the read lock
+    /// across the generation check *and* the insert makes the two atomic with
+    /// respect to any replacement.
+    fn insert_cached(&self, plan: &PreparedPlan, key: CacheKey, result: QuantileResult) {
+        let state = self.read_state();
+        let current = state.catalog.get(&plan.database).map(|e| e.generation);
+        if current == Ok(plan.generation) {
+            self.cache.insert(plan.id, key, result);
+        }
     }
 
     /// Serves many exact φ-quantiles from a prepared plan. Cached fractions are
@@ -482,34 +570,10 @@ impl Engine {
         }
         if !missing.is_empty() {
             let miss_phis: Vec<f64> = missing.iter().map(|&(_, phi)| phi).collect();
-            let trimmer = plan.trimmer_for(accuracy)?;
-            let row_solve = || {
-                quantile_batch_by_pivoting(
-                    &plan.instance,
-                    &plan.ranking,
-                    &miss_phis,
-                    trimmer.as_ref(),
-                    &self.config.pivoting,
-                )
-            };
-            let results = match (&accuracy, &plan.encoded_instance) {
-                (Accuracy::Exact, Some(encoded)) => qjoin_core::encoded::or_row_fallback(
-                    qjoin_core::encoded::exact_quantile_batch_encoded(
-                        encoded,
-                        &plan.ranking,
-                        &miss_phis,
-                        &self.config.pivoting,
-                    ),
-                    row_solve,
-                )?,
-                _ => row_solve()?,
-            };
-            self.counters
-                .solved
-                .fetch_add(results.len() as u64, Ordering::Relaxed);
+            let results = self.solve_batch_uncached(&plan, &miss_phis, accuracy)?;
             for ((pos, phi), result) in missing.into_iter().zip(results) {
                 let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
-                self.cache.insert(plan.id, key, result.clone());
+                self.insert_cached(&plan, key, result.clone());
                 answers[pos] = Some(EngineAnswer {
                     plan: plan_name.to_string(),
                     generation: plan.generation,

@@ -58,6 +58,7 @@
 pub mod cache;
 pub mod catalog;
 pub mod cli;
+mod coalesce;
 pub mod engine;
 mod error;
 pub mod plan;

@@ -15,8 +15,9 @@ USAGE:
 
   addr     bind address; port 0 (the default) picks a free ephemeral port.
            The bound address is printed as `qjoin-server listening on <addr> ...`.
-  workers  worker threads handling connections        (default 4)
-  queue    accepted-connection queue depth            (default 64)
+  workers  worker threads executing requests (connections are multiplexed
+           over a reactor, so idle connections hold no worker)  (default 4)
+  queue    dispatched-request queue depth before backpressure   (default 64)
   cache    engine result-cache capacity, 0 disables   (default 1024)
 
 qjoin client — talk to a running server

@@ -6,14 +6,20 @@
 //! quantiles at once — the serving workload the paper's near-linear per-query
 //! bounds make attractive.
 //!
-//! Everything is **std-only**: `std::net` sockets, `std::thread` workers, and a
-//! line-delimited text protocol. The pieces:
+//! Everything is **std-only**: `std::net` sockets, `std::thread` workers, a
+//! libc-free readiness layer, and a line-delimited text protocol. Connections are
+//! **multiplexed**: a reactor thread parks nonblocking connections and dispatches
+//! complete request lines to the worker pool, so idle connections cost zero
+//! worker threads, and concurrent cold requests for the same quantile coalesce
+//! into one shared batched solve inside the engine. The pieces:
 //!
 //! | Component | Module |
 //! |---|---|
 //! | wire format (framing, verbs, errors) | [`protocol`] |
+//! | readiness probing + wakeable parking (std-only) | [`poll`] |
+//! | nonblocking connection + line assembly | [`conn`] |
 //! | bounded worker thread pool | [`pool`] |
-//! | accept loop + per-connection sessions + graceful drain | [`server`] |
+//! | accept loop + reactor + graceful drain | [`server`] |
 //! | blocking client library | [`client`] |
 //!
 //! The crate also ships the `qjoin` binary: all of the engine CLI's subcommands
@@ -46,11 +52,15 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod conn;
+pub mod poll;
 pub mod pool;
 pub mod protocol;
 pub mod server;
 
 pub use client::{Client, ClientError};
+pub use conn::{Conn, MAX_LINE_BYTES};
+pub use poll::{Poller, Readiness, Waker};
 pub use pool::WorkerPool;
-pub use protocol::{ProtocolError, Response};
+pub use protocol::{ProtocolError, Response, MAX_PAYLOAD_LINES};
 pub use server::{Server, ServerConfig, ServerHandle, ServerSummary};

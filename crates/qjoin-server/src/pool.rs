@@ -130,6 +130,50 @@ mod tests {
     }
 
     #[test]
+    fn submit_blocks_on_a_full_queue_instead_of_dropping() {
+        // 1 worker, queue depth 1. The worker is parked on a gate, so: job 1 is
+        // being handled (blocked), job 2 fills the queue, and job 3's submit must
+        // *block* until the worker frees a slot — never drop or error.
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let handled = Arc::new(AtomicUsize::new(0));
+        let pool = Arc::new({
+            let (gate, handled) = (Arc::clone(&gate), Arc::clone(&handled));
+            WorkerPool::new("t", 1, 1, move |n: usize| {
+                if n == 0 {
+                    gate.wait(); // hold the worker until the test releases it
+                }
+                handled.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        pool.submit(0).unwrap(); // picked up by the worker, which parks on `gate`
+        pool.submit(1).unwrap(); // sits in the queue (now full)
+        let blocked_submit = {
+            let pool = Arc::clone(&pool);
+            let submitted = Arc::new(std::sync::atomic::AtomicBool::new(false));
+            let flag = Arc::clone(&submitted);
+            let t = thread::spawn(move || {
+                pool.submit(2).unwrap();
+                flag.store(true, Ordering::SeqCst);
+            });
+            (t, submitted)
+        };
+        // The third submit must still be blocked while the queue is full.
+        thread::sleep(Duration::from_millis(100));
+        assert!(
+            !blocked_submit.1.load(Ordering::SeqCst),
+            "submit returned with the queue still full"
+        );
+        assert_eq!(handled.load(Ordering::SeqCst), 0);
+        // Release the worker: the queue drains and the blocked submit completes.
+        gate.wait();
+        blocked_submit.0.join().unwrap();
+        assert!(blocked_submit.1.load(Ordering::SeqCst));
+        let pool = Arc::try_unwrap(pool).unwrap_or_else(|_| panic!("pool still shared"));
+        pool.join();
+        assert_eq!(handled.load(Ordering::SeqCst), 3, "no job was dropped");
+    }
+
+    #[test]
     fn jobs_are_distributed_across_workers() {
         // With 4 workers and jobs that block until all workers are busy, every
         // worker must pick up work (a single-threaded pool would deadlock here,

@@ -26,6 +26,12 @@
 use std::fmt;
 use std::io::{self, BufRead, Write};
 
+/// Most payload lines a client accepts in one `ok <n>` frame. Real responses are
+/// tiny (answers, stats dumps, `help`); the largest legitimate frames are batch
+/// replies, one line per φ, so a million lines is orders of magnitude of headroom
+/// while still rejecting nonsense counts that would loop a client to EOF.
+pub const MAX_PAYLOAD_LINES: usize = 1 << 20;
+
 /// One framed reply: either a payload of zero or more lines, or an error message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Response {
@@ -73,12 +79,21 @@ impl Response {
     }
 
     /// Reads one framed response from a buffered reader.
+    ///
+    /// The payload count is capped at [`MAX_PAYLOAD_LINES`]: a malformed or
+    /// hostile header like `ok 18446744073709551615` is rejected as
+    /// [`ProtocolError::Malformed`] instead of looping the client until EOF.
     pub fn read_from(r: &mut impl BufRead) -> Result<Response, ProtocolError> {
         let header = read_line(r)?;
         if let Some(count) = header.strip_prefix("ok ") {
             let count: usize = count.trim().parse().map_err(|_| {
                 ProtocolError::Malformed(format!("bad payload count in {header:?}"))
             })?;
+            if count > MAX_PAYLOAD_LINES {
+                return Err(ProtocolError::Malformed(format!(
+                    "payload count {count} exceeds the {MAX_PAYLOAD_LINES}-line cap"
+                )));
+            }
             let mut lines = Vec::with_capacity(count.min(4096));
             for _ in 0..count {
                 lines.push(read_line(r)?);
@@ -218,6 +233,30 @@ mod tests {
         assert!(matches!(
             Response::read_from(&mut bad_count),
             Err(ProtocolError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn hostile_payload_counts_are_rejected_not_looped() {
+        // A server claiming u64::MAX payload lines used to make the client read
+        // until EOF; now the cap rejects it up front.
+        let mut hostile = BufReader::new(&b"ok 18446744073709551615\nx\n"[..]);
+        match Response::read_from(&mut hostile) {
+            Err(ProtocolError::Malformed(m)) => assert!(m.contains("cap"), "{m}"),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // Just over the cap: rejected.
+        let wire = format!("ok {}\n", MAX_PAYLOAD_LINES + 1);
+        assert!(matches!(
+            Response::read_from(&mut BufReader::new(wire.as_bytes())),
+            Err(ProtocolError::Malformed(_))
+        ));
+        // At the cap the count is structurally fine (the truncated body then
+        // surfaces as Closed, which is a transport-level truth, not a loop).
+        let wire = format!("ok {}\n", MAX_PAYLOAD_LINES);
+        assert!(matches!(
+            Response::read_from(&mut BufReader::new(wire.as_bytes())),
+            Err(ProtocolError::Closed)
         ));
     }
 }

@@ -1,46 +1,71 @@
-//! The TCP server: an accept loop feeding a bounded worker pool, one session-per-
-//! connection over one shared engine, and cooperative shutdown with graceful drain.
+//! The TCP server: an accept loop feeding a **reactor** that multiplexes every
+//! connection over a bounded worker pool, with cooperative shutdown and graceful
+//! drain.
 //!
 //! ```text
-//!            ┌──────────────────────── Server ────────────────────────┐
-//!  accept ──▶│ bounded queue ─▶ worker pool (N threads)               │
-//!            │                     │ per connection: read line,       │
-//!            │                     ▼ intercept ping/quit/shutdown     │
-//!            │              Arc<CliSession> (shared command language) │
-//!            │                     │ executes against                 │
-//!            │                     ▼                                  │
-//!            │              Arc<Engine>  (thread-safe, &self serving) │
-//!            └────────────────────────────────────────────────────────┘
+//!            ┌───────────────────────── Server ──────────────────────────┐
+//!  accept ──▶│ register ─▶ reactor (1 thread, owns parked nonblocking    │
+//!            │             connections; probes readiness, assembles      │
+//!            │             request lines)                                │
+//!            │                │ one complete line = one job              │
+//!            │                ▼                                          │
+//!            │             worker pool (N threads): dispatch ping/quit/  │
+//!            │             shutdown, else Arc<CliSession> ─▶ Arc<Engine> │
+//!            │                │ write response, hand the                 │
+//!            │                ▼ connection back                          │
+//!            │             reactor (parks it again)                      │
+//!            └───────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! **Connections are multiplexed, not pinned**: workers execute *requests*, never
+//! own connections. An idle connection is a parked [`Conn`] in the reactor's
+//! registry — a buffer and a socket, zero threads — so any number of idle clients
+//! coexist with `workers` concurrent request executions. (The previous design
+//! dedicated a worker thread to each connection for its whole lifetime, so
+//! `workers` idle clients starved everyone else.)
+//!
+//! The reactor is std-only (see [`crate::poll`]): nonblocking sockets probed with
+//! `peek`, and a condvar [`Waker`] that workers ping when they finish a request —
+//! so under load the sweep cadence is event-driven, and the configurable
+//! [`ServerConfig::idle_tick`] only paces truly idle periods.
 //!
 //! **Ephemeral ports**: bind to port 0 and the OS picks a free port;
 //! [`Server::local_addr`] exposes the real address, and `qjoin serve` prints it.
 //! Tests and CI always bind port 0 so parallel runs never collide.
 //!
 //! **Shutdown**: any connection sending `shutdown` (or [`ServerHandle::shutdown`])
-//! sets a flag and wakes the accept loop. The listener stops accepting, the queue
-//! is closed, workers finish the request they are executing (in-flight solves are
-//! never aborted), and [`Server::run`] joins them all before returning.
+//! sets a flag, wakes the reactor, and dials the listener once so the blocking
+//! accept call returns. The reactor drops parked (idle) connections, workers
+//! finish the requests they are executing (in-flight solves are never aborted),
+//! and [`Server::run`] joins everything before returning.
 
+use crate::conn::{Conn, FillOutcome};
+use crate::poll::{self, Poller, Readiness, Waker};
 use crate::pool::WorkerPool;
 use crate::protocol::Response;
 use qjoin_engine::cli::CliSession;
-use std::io::{self, BufRead, BufReader};
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc::{Receiver, Sender, TryRecvError};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::Duration;
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
-    /// Worker threads handling connections (each serves one connection at a time).
+    /// Worker threads executing requests. Workers are a concurrency limit on
+    /// in-flight request execution, **not** on connections: idle connections park
+    /// in the reactor and hold no worker.
     pub workers: usize,
-    /// Accepted-but-unstarted connections the queue holds before the accept loop
-    /// blocks (backpressure instead of unbounded pile-up).
+    /// Dispatched-but-unstarted requests the worker queue holds before the
+    /// reactor's dispatch blocks (backpressure instead of unbounded pile-up).
     pub queue_depth: usize,
-    /// How often an idle connection checks for server shutdown (the read timeout).
-    pub poll_interval: Duration,
+    /// The reactor's sweep tick while connections are parked but quiet. Under
+    /// load the reactor is woken by worker completions instead of waiting out the
+    /// tick, so this only paces genuinely idle periods (and bounds how fast a
+    /// parked connection's newly-arrived bytes are noticed in the worst case).
+    pub idle_tick: Duration,
 }
 
 impl Default for ServerConfig {
@@ -48,7 +73,7 @@ impl Default for ServerConfig {
         ServerConfig {
             workers: 4,
             queue_depth: 64,
-            poll_interval: Duration::from_millis(200),
+            idle_tick: Duration::from_millis(1),
         }
     }
 }
@@ -56,9 +81,11 @@ impl Default for ServerConfig {
 /// What a finished server run observed (returned by [`Server::run`]).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ServerSummary {
-    /// Connections accepted and handed to the pool.
+    /// Connections accepted and registered with the reactor.
     pub connections: u64,
-    /// Requests answered (one per protocol response written).
+    /// Requests answered: non-empty command lines whose response was successfully
+    /// written back. Empty keep-alive lines and requests whose client vanished
+    /// mid-reply are not counted.
     pub requests: u64,
 }
 
@@ -67,6 +94,7 @@ pub struct ServerSummary {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Waker,
 }
 
 impl ServerHandle {
@@ -80,10 +108,11 @@ impl ServerHandle {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Requests shutdown: sets the flag and dials the listener once so the blocking
-    /// accept call wakes up and observes it. Idempotent.
+    /// Requests shutdown: sets the flag, wakes the reactor, and dials the listener
+    /// once so the blocking accept call wakes up and observes it. Idempotent.
     pub fn shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
         // Wildcard binds (0.0.0.0 / ::) are not dialable on every platform; the
         // loopback address with the same port reaches the listener regardless.
         let mut dial = self.addr;
@@ -104,6 +133,24 @@ pub struct Server {
     session: Arc<CliSession>,
     config: ServerConfig,
     shutdown: Arc<AtomicBool>,
+    poller: Poller,
+}
+
+/// One unit of worker work: a connection plus the complete request line the
+/// reactor assembled for it. The worker owns the connection exclusively while
+/// executing (it was removed from the reactor's registry), which is what makes
+/// response writes race-free without per-connection locks.
+struct Job {
+    conn: Conn,
+    line: String,
+}
+
+/// Reactor inbox traffic.
+enum ReactorMsg {
+    /// A freshly accepted connection to adopt.
+    Register(TcpStream),
+    /// A connection coming back from a worker that finished its request.
+    Done(Conn),
 }
 
 impl Server {
@@ -120,6 +167,7 @@ impl Server {
             session,
             config,
             shutdown: Arc::new(AtomicBool::new(false)),
+            poller: Poller::new(),
         })
     }
 
@@ -134,27 +182,56 @@ impl Server {
         Ok(ServerHandle {
             addr: self.local_addr()?,
             shutdown: Arc::clone(&self.shutdown),
+            waker: self.poller.waker(),
         })
     }
 
-    /// Runs the accept loop until shutdown, then drains: already-accepted
-    /// connections finish their current request before workers exit.
+    /// Runs the accept loop until shutdown, then drains: requests already
+    /// dispatched to workers finish before the pool exits; parked idle
+    /// connections are dropped.
     pub fn run(self) -> io::Result<ServerSummary> {
         let handle = self.handle()?;
         let requests = Arc::new(AtomicU64::new(0));
+        let (tx, rx) = mpsc::channel::<ReactorMsg>();
+        let waker = self.poller.waker();
+
         let pool = {
             let session = Arc::clone(&self.session);
-            let poll_interval = self.config.poll_interval;
             let handle = handle.clone();
             let requests = Arc::clone(&requests);
+            let waker = waker.clone();
+            // Workers return connections through the reactor's inbox. The sender
+            // sits behind a mutex only to satisfy the pool's `Sync` handler bound.
+            let done_tx = Mutex::new(tx.clone());
             WorkerPool::new(
                 "qjoin-worker",
                 self.config.workers,
                 self.config.queue_depth,
-                move |stream: TcpStream| {
-                    serve_connection(stream, &session, &handle, poll_interval, &requests);
+                move |job: Job| {
+                    execute_job(job, &session, &handle, &requests, &done_tx, &waker);
                 },
             )
+        };
+
+        let reactor = Reactor {
+            conns: Vec::new(),
+            inbox: rx,
+            poller: self.poller,
+            pool,
+            handle: handle.clone(),
+            idle_tick: self.config.idle_tick,
+        };
+        let reactor_thread = std::thread::Builder::new()
+            .name("qjoin-reactor".to_string())
+            .spawn(move || reactor.run())?;
+        let finish = |connections: u64| -> ServerSummary {
+            // Reactor first (it owns the pool), then drain in-flight requests.
+            let pool = reactor_thread.join().expect("reactor thread panicked");
+            pool.join();
+            ServerSummary {
+                connections,
+                requests: requests.load(Ordering::SeqCst),
+            }
         };
 
         let mut connections = 0u64;
@@ -165,74 +242,53 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     connections += 1;
-                    if pool.submit(stream).is_err() {
-                        break;
+                    if tx.send(ReactorMsg::Register(stream)).is_err() {
+                        break; // reactor gone — only happens on shutdown
                     }
+                    waker.wake();
                 }
                 // Transient accept failures (e.g. the peer vanished between
                 // accept and handshake) must not kill the server.
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) if e.kind() == io::ErrorKind::ConnectionAborted => continue,
-                Err(e) => return Err(e),
+                Err(e) => {
+                    handle.shutdown();
+                    drop(tx);
+                    finish(connections);
+                    return Err(e);
+                }
             }
         }
-        pool.join(); // graceful drain
-        Ok(ServerSummary {
-            connections,
-            requests: requests.load(Ordering::SeqCst),
-        })
+        drop(tx); // after this only workers hold inbox senders
+        waker.wake(); // make sure the reactor observes the shutdown flag
+        Ok(finish(connections))
     }
 }
 
-/// Serves one connection: reads request lines, executes them against the shared
-/// session, writes framed responses. Returns (closing the connection) on EOF,
-/// transport errors, `quit`/`exit`, `shutdown`, or server shutdown.
-fn serve_connection(
-    stream: TcpStream,
+/// Executes one dispatched request on a worker: write the reply, then either hand
+/// the connection back to the reactor or drop it. Already-buffered pipelined
+/// lines are served inline (no reactor round-trip) — bounded by what the reactor
+/// buffered, since workers never read from the socket.
+fn execute_job(
+    job: Job,
     session: &CliSession,
     handle: &ServerHandle,
-    poll_interval: Duration,
     requests: &AtomicU64,
+    done_tx: &Mutex<Sender<ReactorMsg>>,
+    waker: &Waker,
 ) {
-    // The read timeout doubles as the shutdown poll tick for idle connections.
-    let _ = stream.set_read_timeout(Some(poll_interval));
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    // `read_line` appends whatever it consumed even when it then times out, so the
-    // partial line survives in `pending` across poll ticks. A newline-free flood
-    // would grow it forever, so over-long lines close the connection instead.
-    const MAX_LINE_BYTES: usize = 64 * 1024;
-    let mut pending = String::new();
+    let Job { mut conn, mut line } = job;
     loop {
-        if handle.is_shutdown() || pending.len() > MAX_LINE_BYTES {
-            return;
+        let trimmed = line.trim();
+        let (response, action) = dispatch(trimmed, session);
+        let wrote = conn.write_response(&response).is_ok();
+        // Count only real served requests: non-empty commands whose reply made it
+        // back to the client.
+        if wrote && !trimmed.is_empty() {
+            requests.fetch_add(1, Ordering::SeqCst);
         }
-        match reader.read_line(&mut pending) {
-            Ok(0) => return, // EOF: client closed cleanly
-            Ok(_) if pending.len() > MAX_LINE_BYTES => return,
-            Ok(_) => {}
-            Err(e)
-                if matches!(
-                    e.kind(),
-                    io::ErrorKind::WouldBlock
-                        | io::ErrorKind::TimedOut
-                        | io::ErrorKind::Interrupted
-                ) =>
-            {
-                continue
-            }
-            Err(_) => return,
-        }
-        let line = std::mem::take(&mut pending);
-        let line = line.trim();
-        let (response, action) = dispatch(line, session);
-        requests.fetch_add(1, Ordering::SeqCst);
-        if response.write_to(&mut writer).is_err() {
-            return;
+        if !wrote {
+            return; // client vanished mid-reply; drop the connection
         }
         match action {
             Action::Continue => {}
@@ -242,10 +298,160 @@ fn serve_connection(
                 return;
             }
         }
+        match conn.next_line() {
+            Some(next) => line = next, // pipelined request already assembled
+            None => break,
+        }
+    }
+    if done_tx
+        .lock()
+        .expect("reactor inbox sender lock poisoned")
+        .send(ReactorMsg::Done(conn))
+        .is_ok()
+    {
+        waker.wake();
+    }
+    // A failed send means the reactor already exited (shutdown): drop the conn.
+}
+
+/// What one reactor pass decided about a parked connection.
+enum ConnVerdict {
+    /// Still parked (index unchanged).
+    Parked,
+    /// Removed from the registry: dispatched to a worker, closed, or rejected.
+    Removed,
+}
+
+/// How many consecutive quiet sweeps the reactor spins (with `yield_now`) before
+/// parking on the waker. Spinning briefly after activity catches the closed-loop
+/// pattern — client reads our response and immediately sends the next request —
+/// without eating a full idle tick of latency per request.
+const SPIN_SWEEPS: u32 = 64;
+
+/// The reactor: sole owner of every parked connection and of the worker pool.
+/// Returns the pool on exit so the server can drain in-flight requests.
+struct Reactor {
+    conns: Vec<Conn>,
+    inbox: Receiver<ReactorMsg>,
+    poller: Poller,
+    pool: WorkerPool<Job>,
+    handle: ServerHandle,
+    idle_tick: Duration,
+}
+
+impl Reactor {
+    fn run(mut self) -> WorkerPool<Job> {
+        let mut quiet_sweeps = 0u32;
+        loop {
+            // Drain the inbox: adopt new connections, re-park finished ones.
+            loop {
+                match self.inbox.try_recv() {
+                    Ok(ReactorMsg::Register(stream)) => {
+                        if let Ok(conn) = Conn::new(stream) {
+                            self.conns.push(conn);
+                        }
+                        quiet_sweeps = 0;
+                    }
+                    Ok(ReactorMsg::Done(conn)) => {
+                        self.conns.push(conn);
+                        quiet_sweeps = 0;
+                    }
+                    Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+                }
+            }
+            if self.handle.is_shutdown() {
+                // Parked connections are idle by definition — drop them (clients
+                // see EOF). In-flight requests drain in the pool join.
+                return self.pool;
+            }
+            // Sweep every parked connection once.
+            let mut any_activity = false;
+            let mut i = 0;
+            while i < self.conns.len() {
+                match self.service(i) {
+                    ConnVerdict::Parked => i += 1,
+                    ConnVerdict::Removed => any_activity = true, // swap_remove'd at i
+                }
+            }
+            if any_activity {
+                quiet_sweeps = 0;
+                continue;
+            }
+            quiet_sweeps += 1;
+            if quiet_sweeps < SPIN_SWEEPS {
+                std::thread::yield_now();
+                continue;
+            }
+            // Long quiet: park. Worker completions, registrations, and shutdown
+            // all wake us early; the tick only bounds discovery of bytes that
+            // arrive on parked connections with nothing else going on.
+            let tick = if self.conns.is_empty() {
+                Duration::from_millis(200)
+            } else {
+                self.idle_tick
+            };
+            if self.poller.wait(tick) {
+                quiet_sweeps = 0;
+            }
+        }
+    }
+
+    /// One pass over one parked connection: enforce the line-length bound, pop a
+    /// complete line (dispatch it), otherwise probe + pull in available bytes.
+    fn service(&mut self, i: usize) -> ConnVerdict {
+        if self.conns[i].over_line_limit() {
+            return self.reject_flood(i);
+        }
+        if let Some(line) = self.conns[i].next_line() {
+            return self.dispatch(i, line);
+        }
+        match poll::probe(self.conns[i].stream()) {
+            Readiness::NotReady => return ConnVerdict::Parked,
+            Readiness::Closed => {
+                self.conns.swap_remove(i);
+                return ConnVerdict::Removed;
+            }
+            Readiness::Readable => {}
+        }
+        match self.conns[i].fill() {
+            FillOutcome::Closed => {
+                self.conns.swap_remove(i);
+                ConnVerdict::Removed
+            }
+            FillOutcome::Progress | FillOutcome::Idle => {
+                if self.conns[i].over_line_limit() {
+                    return self.reject_flood(i);
+                }
+                match self.conns[i].next_line() {
+                    Some(line) => self.dispatch(i, line),
+                    None => ConnVerdict::Parked, // partial line stays buffered
+                }
+            }
+        }
+    }
+
+    /// Hands a complete request line to the pool. The connection moves out of the
+    /// registry — the worker owns it exclusively until it comes back via `Done`.
+    /// Blocks when the queue is full: natural backpressure, bounded by
+    /// `queue_depth` dispatched-but-unstarted requests.
+    fn dispatch(&mut self, i: usize, line: String) -> ConnVerdict {
+        let conn = self.conns.swap_remove(i);
+        // Submit can only fail after the pool shut down, which cannot happen
+        // while the reactor owns it; the conn would just be dropped.
+        let _ = self.pool.submit(Job { conn, line });
+        ConnVerdict::Removed
+    }
+
+    /// An over-long request line: say why, then close. (The old server closed
+    /// silently, leaving clients to guess.)
+    fn reject_flood(&mut self, i: usize) -> ConnVerdict {
+        let mut conn = self.conns.swap_remove(i);
+        let _ = conn.write_response(&Response::error("line too long"));
+        ConnVerdict::Removed
     }
 }
 
-/// What the connection loop does after writing a response.
+/// What the worker does after writing a response.
 enum Action {
     Continue,
     Close,

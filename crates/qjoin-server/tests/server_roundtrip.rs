@@ -5,10 +5,15 @@
 //! test runs and CI jobs can never collide on a port.
 
 use qjoin_engine::cli::CliSession;
-use qjoin_server::{Client, ClientError, Server, ServerConfig, ServerHandle, ServerSummary};
-use std::net::SocketAddr;
+use qjoin_server::{
+    Client, ClientError, Response, Server, ServerConfig, ServerHandle, ServerSummary,
+    MAX_LINE_BYTES,
+};
+use std::io::{BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 fn start_server(workers: usize) -> (SocketAddr, ServerHandle, JoinHandle<ServerSummary>) {
     let config = ServerConfig {
@@ -175,6 +180,171 @@ fn shutdown_verb_from_one_client_stops_the_whole_server() {
     let summary = join.join().unwrap();
     assert!(handle.is_shutdown());
     assert_eq!(summary.requests, 1);
+}
+
+#[test]
+fn over_long_lines_get_an_error_reply_before_close() {
+    // Regression: a newline-free flood beyond MAX_LINE_BYTES used to close the
+    // connection silently; the client must now see `err line too long` first.
+    let (addr, handle, join) = start_server(2);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let flood = vec![b'x'; MAX_LINE_BYTES + 64];
+    stream.write_all(&flood).unwrap();
+
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    match Response::read_from(&mut reader) {
+        Ok(Response::Err(message)) => assert_eq!(message, "line too long"),
+        other => panic!("expected `err line too long`, got {other:?}"),
+    }
+    // After the reply the server closes: the next read is EOF.
+    let mut rest = Vec::new();
+    reader.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "nothing may follow the error: {rest:?}");
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    // The rejected flood is not a served request.
+    assert_eq!(summary.requests, 0, "{summary:?}");
+}
+
+#[test]
+fn empty_keepalive_lines_are_answered_but_not_counted() {
+    // Regression: ServerSummary.requests used to count empty keep-alive lines
+    // (and requests whose reply failed to write). Empty lines still get their
+    // `ok 0` reply, but only real commands count.
+    let (addr, handle, join) = start_server(2);
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut send = |line: &str| -> Response {
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        Response::read_from(&mut reader).unwrap()
+    };
+    assert_eq!(send(""), Response::Ok(vec![]));
+    assert_eq!(send(""), Response::Ok(vec![]));
+    assert_eq!(send("ping"), Response::Ok(vec!["pong".into()]));
+    assert_eq!(send(""), Response::Ok(vec![]));
+    assert_eq!(send("quit"), Response::Ok(vec!["bye".into()]));
+
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert_eq!(
+        summary.requests, 2,
+        "only ping and quit are real requests: {summary:?}"
+    );
+}
+
+#[test]
+fn idle_connections_do_not_pin_workers() {
+    // 2 workers, 8 connected-but-idle clients: under the old thread-per-connection
+    // model the first two connections pinned both workers forever and a 9th client
+    // hung. With the reactor, idle connections are parked buffers and the 9th
+    // client is served promptly.
+    let (addr, handle, join) = start_server(2);
+    let idles: Vec<TcpStream> = (0..8).map(|_| TcpStream::connect(addr).unwrap()).collect();
+
+    let mut client = Client::connect(addr).unwrap();
+    // A timeout turns a regression into a clean failure instead of a hang.
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    client.ping().unwrap();
+    client.send("open s social rows=60 seed=2").unwrap();
+    client.send("register likes s").unwrap();
+    let answer = client.quantile("likes", 0.5).unwrap();
+    assert!(answer.contains("phi=0.5000"), "{answer}");
+    client.quit().unwrap();
+
+    drop(idles);
+    handle.shutdown();
+    let summary = join.join().unwrap();
+    assert!(summary.connections >= 9, "{summary:?}");
+}
+
+/// Extracts `(coalesced_batches, coalesced_waiters)` from a `stats` dump.
+fn coalescing_counters(stats: &[String]) -> (u64, u64) {
+    let line = stats
+        .iter()
+        .find(|l| l.contains("coalesced_batches="))
+        .unwrap_or_else(|| panic!("no coalescing line in {stats:?}"));
+    let grab = |key: &str| -> u64 {
+        let rest = line.split(key).nth(1).unwrap();
+        rest.split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap_or_else(|_| panic!("bad counter in {line:?}"))
+    };
+    (grab("coalesced_batches="), grab("coalesced_waiters="))
+}
+
+#[test]
+fn concurrent_identical_cold_requests_coalesce_over_the_wire() {
+    // k=8 clients fire the same cold φ at once: the engine's in-flight gate must
+    // merge them into one shared batched solve, observable through the stats
+    // verb's coalesced_batches / coalesced_waiters counters. Scheduling can let
+    // some request finish before another arrives (a plain cache hit), so retry
+    // with a fresh φ until an attempt demonstrably coalesced all eight; answer
+    // agreement is asserted on every attempt.
+    let k = 8;
+    let (addr, handle, join) = start_server(k);
+    let mut setup = Client::connect(addr).unwrap();
+    // A big-enough database that one cold solve dominates client startup skew.
+    setup.send("open s social rows=400 seed=11").unwrap();
+    setup.send("register likes s").unwrap();
+
+    let mut coalesced = false;
+    for attempt in 0..10 {
+        let phi = 0.31 + attempt as f64 * 0.029;
+        let (batches_before, waiters_before) = coalescing_counters(&setup.stats().unwrap());
+
+        let barrier = Arc::new(std::sync::Barrier::new(k));
+        let threads: Vec<_> = (0..k)
+            .map(|_| {
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    barrier.wait();
+                    let line = client.quantile("likes", phi).unwrap();
+                    client.quit().unwrap();
+                    line.replace(" (cached)", "")
+                })
+            })
+            .collect();
+        let answers: Vec<String> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+        // Every concurrent answer is identical to the (now cached) serial answer.
+        let reference = setup
+            .quantile("likes", phi)
+            .unwrap()
+            .replace(" (cached)", "");
+        for answer in &answers {
+            assert_eq!(answer, &reference, "attempt {attempt} phi {phi}");
+        }
+
+        let (batches_after, waiters_after) = coalescing_counters(&setup.stats().unwrap());
+        if batches_after > batches_before && waiters_after - waiters_before >= (k as u64) - 1 {
+            coalesced = true;
+            break;
+        }
+    }
+    assert!(
+        coalesced,
+        "10 attempts of 8 concurrent identical cold requests never fully coalesced"
+    );
+
+    setup.shutdown().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
 }
 
 #[test]
