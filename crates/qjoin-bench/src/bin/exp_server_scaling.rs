@@ -1,10 +1,12 @@
 //! Experiment E-SERVER: closed-loop load generation against `qjoin-server`,
 //! measuring how serving throughput scales with the worker-thread count.
 //!
-//! For each worker count (1/2/4/8) a fresh server is bound to an **ephemeral port**
-//! (`127.0.0.1:0`) with a fresh engine, the social-network workload is registered
-//! over the wire, and 8 closed-loop TCP clients (connect → request → wait for the
-//! reply → next request) hammer it in two modes:
+//! For each (worker count, mode) pair a **fresh server** is bound to an
+//! ephemeral port (`127.0.0.1:0`) with a fresh engine — one server per phase so
+//! each phase's latency histograms describe that phase only, not whatever ran
+//! before it — the social-network workload is registered over the wire, and 8
+//! closed-loop TCP clients (connect → request → wait for the reply → next
+//! request) hammer it:
 //!
 //! * **cold-solve** — every request carries a globally unique φ, so every request
 //!   misses the result cache and runs the full §3 divide-and-conquer solve. This is
@@ -12,11 +14,16 @@
 //!   available parallelism.
 //! * **cold-coalesced** — all 8 clients request the *same* fresh φ each round
 //!   (barrier-synchronized), so the engine's in-flight gate merges them into one
-//!   shared batched solve. The row also records the `coalesced_batches` /
-//!   `coalesced_waiters` counter deltas observed over the phase.
+//!   shared batched solve. The row also records the `qjoin_coalesced_batches_total`
+//!   / `qjoin_coalesced_waiters_total` counters observed over the phase.
 //! * **warm-cache** — requests cycle through a small primed φ set, so every request
 //!   is a sharded-LRU cache hit. This is the lock/syscall-bound path that measures
 //!   serving overhead.
+//!
+//! Alongside throughput, every row records the server-side **p50/p99 execute
+//! latency**, scraped from the `stats json` verb's `qjoin_execute_seconds`
+//! histogram at the end of the phase (no client-side timestamping: the numbers
+//! come from the same telemetry surface operators scrape in production).
 //!
 //! `QJOIN_BENCH_SMOKE=1` (as CI sets) shrinks the request counts to a 1-sample
 //! smoke run. The final block prints machine-readable JSON rows; the curve recorded
@@ -38,6 +45,18 @@ const WORKERS: [usize; 4] = [1, 2, 4, 8];
 /// The φ set primed and re-requested in warm-cache mode.
 const WARM_PHIS: usize = 16;
 
+/// One measured phase: throughput plus the server-side latency scrape.
+struct Row {
+    workers: usize,
+    mode: &'static str,
+    requests: usize,
+    elapsed_ms: f64,
+    rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    coalesced: Option<(u64, u64)>,
+}
+
 fn main() {
     let smoke = std::env::var("QJOIN_BENCH_SMOKE").is_ok();
     // Per-client request counts. Cold requests each run a full solve (~ms), warm
@@ -51,105 +70,134 @@ fn main() {
 
     println!("# E-SERVER: closed-loop thread scaling over qjoin-server");
     println!("# social workload rows={rows}, {CLIENTS} closed-loop TCP clients");
+    println!("# fresh server per (workers, mode); latency = server-side qjoin_execute_seconds");
     println!(
         "# host available_parallelism={parallelism}{}",
         if smoke { ", SMOKE MODE" } else { "" }
     );
     println!();
-    println!("| workers | mode | requests | elapsed ms | req/s | speedup vs 1 |");
-    println!("|---|---|---|---|---|---|");
+    println!("| workers | mode | requests | elapsed ms | req/s | p50 ms | p99 ms | speedup vs 1 |");
+    println!("|---|---|---|---|---|---|---|---|");
 
-    type Row = (usize, &'static str, usize, f64, f64, Option<(u64, u64)>);
     let mut rows_out: Vec<Row> = Vec::new();
     let mut baselines: Vec<(&str, f64)> = Vec::new(); // (mode, rps) at workers=1
     for &workers in &WORKERS {
-        let (addr, join) = start_server(workers, rows);
-
         // Cold-solve: every request is a unique φ — a guaranteed cache miss.
-        let cold_requests = CLIENTS * cold_per_client;
-        let cold_elapsed = run_phase(addr, cold_per_client, move |t, i| {
-            unique_phi(t * cold_per_client + i)
-        });
-        let cold_rps = cold_requests as f64 / cold_elapsed.as_secs_f64();
+        let cold = {
+            let (addr, join) = start_server(workers, rows);
+            let requests = CLIENTS * cold_per_client;
+            let elapsed = run_phase(addr, cold_per_client, move |t, i| {
+                unique_phi(t * cold_per_client + i)
+            });
+            let json = fetch_stats_json(addr);
+            stop_server(addr, join);
+            phase_row(workers, "cold-solve", requests, elapsed, &json, None)
+        };
 
         // Cold-coalesced: every round all clients race for the same fresh φ, so
-        // the in-flight gate should fold most rounds into one shared solve.
-        let (batches_before, waiters_before) = coalescing_counters(addr);
-        let coalesced_requests = CLIENTS * coalesced_rounds;
-        let coalesced_elapsed = run_coalesced_phase(addr, coalesced_rounds);
-        let coalesced_rps = coalesced_requests as f64 / coalesced_elapsed.as_secs_f64();
-        let (batches_after, waiters_after) = coalescing_counters(addr);
-        let coalesced_counters = (
-            batches_after - batches_before,
-            waiters_after - waiters_before,
-        );
+        // the in-flight gate should fold most rounds into one shared solve. The
+        // server is fresh, so the end-of-phase counters are the phase's own.
+        let coalesced = {
+            let (addr, join) = start_server(workers, rows);
+            let requests = CLIENTS * coalesced_rounds;
+            let elapsed = run_coalesced_phase(addr, coalesced_rounds);
+            let json = fetch_stats_json(addr);
+            stop_server(addr, join);
+            let counters = (
+                json_u64(&json, "qjoin_coalesced_batches_total"),
+                json_u64(&json, "qjoin_coalesced_waiters_total"),
+            );
+            phase_row(
+                workers,
+                "cold-coalesced",
+                requests,
+                elapsed,
+                &json,
+                Some(counters),
+            )
+        };
 
         // Warm-cache: prime a φ set once, then hammer it.
-        {
-            let mut primer = Client::connect(addr).expect("primer connect");
-            let phis: Vec<f64> = (0..WARM_PHIS).map(warm_phi).collect();
-            primer.batch("plan", &phis).expect("prime the cache");
-            primer.quit().expect("primer quit");
-        }
-        let warm_requests = CLIENTS * warm_per_client;
-        let warm_elapsed = run_phase(addr, warm_per_client, |t, i| warm_phi(t + i));
-        let warm_rps = warm_requests as f64 / warm_elapsed.as_secs_f64();
+        let warm = {
+            let (addr, join) = start_server(workers, rows);
+            {
+                let mut primer = Client::connect(addr).expect("primer connect");
+                let phis: Vec<f64> = (0..WARM_PHIS).map(warm_phi).collect();
+                primer.batch("plan", &phis).expect("prime the cache");
+                primer.quit().expect("primer quit");
+            }
+            let requests = CLIENTS * warm_per_client;
+            let elapsed = run_phase(addr, warm_per_client, |t, i| warm_phi(t + i));
+            let json = fetch_stats_json(addr);
+            stop_server(addr, join);
+            phase_row(workers, "warm-cache", requests, elapsed, &json, None)
+        };
 
-        let stopper = Client::connect(addr).expect("stopper connect");
-        stopper.shutdown().expect("shutdown");
-        join.join().expect("server thread");
-
-        for (mode, requests, elapsed, rps, counters) in [
-            ("cold-solve", cold_requests, cold_elapsed, cold_rps, None),
-            (
-                "cold-coalesced",
-                coalesced_requests,
-                coalesced_elapsed,
-                coalesced_rps,
-                Some(coalesced_counters),
-            ),
-            ("warm-cache", warm_requests, warm_elapsed, warm_rps, None),
-        ] {
+        for row in [cold, coalesced, warm] {
             let speedup = baselines
                 .iter()
-                .find(|(m, _)| *m == mode)
-                .map(|(_, base)| rps / base)
+                .find(|(m, _)| *m == row.mode)
+                .map(|(_, base)| row.rps / base)
                 .unwrap_or(1.0);
             if workers == 1 {
-                baselines.push((mode, rps));
+                baselines.push((row.mode, row.rps));
             }
-            let extra = counters
+            let extra = row
+                .coalesced
                 .map(|(b, w)| format!(" (batches={b} waiters={w})"))
                 .unwrap_or_default();
             println!(
-                "| {workers} | {mode} | {requests} | {} | {rps:.0} | {speedup:.2}x{extra} |",
-                fmt_ms(elapsed)
+                "| {} | {} | {} | {} | {:.0} | {:.3} | {:.3} | {speedup:.2}x{extra} |",
+                row.workers,
+                row.mode,
+                row.requests,
+                fmt_ms(std::time::Duration::from_secs_f64(row.elapsed_ms / 1e3)),
+                row.rps,
+                row.p50_ms,
+                row.p99_ms,
             );
-            rows_out.push((
-                workers,
-                mode,
-                requests,
-                elapsed.as_secs_f64() * 1e3,
-                rps,
-                counters,
-            ));
+            rows_out.push(row);
         }
     }
 
     println!();
     println!("# JSON rows (for BENCH_server.json):");
     println!("[");
-    for (i, (workers, mode, requests, ms, rps, counters)) in rows_out.iter().enumerate() {
+    for (i, row) in rows_out.iter().enumerate() {
         let comma = if i + 1 == rows_out.len() { "" } else { "," };
-        let extra = counters
+        let extra = row
+            .coalesced
             .map(|(b, w)| format!(", \"coalesced_batches\": {b}, \"coalesced_waiters\": {w}"))
             .unwrap_or_default();
         println!(
-            "  {{\"workers\": {workers}, \"mode\": \"{mode}\", \"requests\": {requests}, \
-             \"elapsed_ms\": {ms:.2}, \"throughput_rps\": {rps:.1}{extra}}}{comma}"
+            "  {{\"workers\": {}, \"mode\": \"{}\", \"requests\": {}, \
+             \"elapsed_ms\": {:.2}, \"throughput_rps\": {:.1}, \
+             \"latency_p50_ms\": {:.3}, \"latency_p99_ms\": {:.3}{extra}}}{comma}",
+            row.workers, row.mode, row.requests, row.elapsed_ms, row.rps, row.p50_ms, row.p99_ms
         );
     }
     println!("]");
+}
+
+/// Assembles one result row from a phase's wall-clock and its `stats json` dump.
+fn phase_row(
+    workers: usize,
+    mode: &'static str,
+    requests: usize,
+    elapsed: std::time::Duration,
+    json: &str,
+    coalesced: Option<(u64, u64)>,
+) -> Row {
+    Row {
+        workers,
+        mode,
+        requests,
+        elapsed_ms: elapsed.as_secs_f64() * 1e3,
+        rps: requests as f64 / elapsed.as_secs_f64(),
+        p50_ms: histogram_field_ms(json, "qjoin_execute_seconds", "p50_seconds"),
+        p99_ms: histogram_field_ms(json, "qjoin_execute_seconds", "p99_seconds"),
+        coalesced,
+    }
 }
 
 /// A φ unique per request index: low-discrepancy golden-ratio steps never repeat
@@ -172,23 +220,43 @@ fn coalesced_phi(round: usize) -> f64 {
     unique_phi(1_000_000 + round)
 }
 
-/// Reads the engine's coalescing counters over the wire via the `stats` verb.
-fn coalescing_counters(addr: SocketAddr) -> (u64, u64) {
+/// Scrapes the one-line `stats json` dump over the wire.
+fn fetch_stats_json(addr: SocketAddr) -> String {
     let mut client = Client::connect(addr).expect("stats connect");
-    let stats = client.stats().expect("stats");
+    let payload = client.send("stats json").expect("stats json");
     client.quit().expect("stats quit");
-    let line = stats
-        .iter()
-        .find(|l| l.contains("coalesced_batches="))
-        .expect("coalescing line in stats");
-    let grab = |key: &str| -> u64 {
-        line.split(key)
-            .nth(1)
-            .and_then(|rest| rest.split_whitespace().next())
-            .and_then(|n| n.parse().ok())
-            .expect("counter value")
+    assert_eq!(payload.len(), 1, "stats json must be one payload line");
+    payload.into_iter().next().unwrap()
+}
+
+/// Extracts an integer counter (`"key":N`) from the one-line JSON dump.
+fn json_u64(json: &str, key: &str) -> u64 {
+    json_number(json, &format!("\"{key}\":")) as u64
+}
+
+/// Extracts `field` (in seconds) from `series`'s histogram object in the
+/// one-line JSON dump, converted to milliseconds; 0 when the series is absent
+/// (e.g. no request ever recorded into it).
+fn histogram_field_ms(json: &str, series: &str, field: &str) -> f64 {
+    let Some(start) = json.find(&format!("\"{series}\":{{")) else {
+        return 0.0;
     };
-    (grab("coalesced_batches="), grab("coalesced_waiters="))
+    json_number(&json[start..], &format!("\"{field}\":")) * 1e3
+}
+
+/// Parses the number that follows the first occurrence of `prefix`.
+fn json_number(json: &str, prefix: &str) -> f64 {
+    let start = json
+        .find(prefix)
+        .unwrap_or_else(|| panic!("{prefix} not found in stats json"))
+        + prefix.len();
+    let rest = &json[start..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && c != 'e' && c != '+' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse()
+        .unwrap_or_else(|_| panic!("bad number after {prefix}: {:?}", &rest[..end]))
 }
 
 /// Boots a server with `workers` worker threads and a registered social plan;
@@ -217,6 +285,13 @@ fn start_server(
     setup.send("register plan s").expect("register plan");
     setup.quit().expect("setup quit");
     (addr, join)
+}
+
+/// Shuts a phase's server down and joins its run thread.
+fn stop_server(addr: SocketAddr, join: std::thread::JoinHandle<qjoin_server::ServerSummary>) {
+    let stopper = Client::connect(addr).expect("stopper connect");
+    stopper.shutdown().expect("shutdown");
+    join.join().expect("server thread");
 }
 
 /// Runs one closed-loop phase: `CLIENTS` threads, each connected once, each

@@ -28,10 +28,12 @@ use crate::quantile::{
     keyed_answer_cmp, keyed_answer_to_assignment, target_rank, PivotingOptions, QuantileResult,
     RowBackend, SolveBackend,
 };
+use crate::trace::{NoopTracer, SolvePhase, SolveTracer};
 use crate::trim::Trimmer;
 use crate::{CoreError, Result};
 use qjoin_query::{Instance, Variable};
 use qjoin_ranking::{RankPredicate, Ranking, WeightBound};
+use std::time::Instant;
 
 /// One pending quantile target: the position in the caller's φ slice plus the global
 /// rank it resolves to.
@@ -55,6 +57,8 @@ struct BatchState<'a, B: SolveBackend> {
     original_vars: &'a [Variable],
     /// `|Q(D)|`, counted once up front.
     total: u128,
+    /// Receives per-phase timing events (a no-op tracer when untraced).
+    tracer: &'a dyn SolveTracer,
 }
 
 /// Computes the `φ`-quantiles of the instance's answers for **all** fractions in
@@ -72,9 +76,22 @@ pub fn quantile_batch_by_pivoting(
     trimmer: &dyn Trimmer,
     options: &PivotingOptions,
 ) -> Result<Vec<QuantileResult>> {
+    quantile_batch_by_pivoting_traced(instance, ranking, phis, trimmer, options, &NoopTracer)
+}
+
+/// [`quantile_batch_by_pivoting`] with per-phase timing reported to `tracer` (see
+/// [`crate::trace`]). Results are identical to the untraced entry point.
+pub fn quantile_batch_by_pivoting_traced(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+    trimmer: &dyn Trimmer,
+    options: &PivotingOptions,
+    tracer: &dyn SolveTracer,
+) -> Result<Vec<QuantileResult>> {
     let backend = RowBackend { ranking, trimmer };
     let original_vars = instance.query().variables();
-    quantile_batch_backend(&backend, instance, phis, options, &original_vars)
+    quantile_batch_backend(&backend, instance, phis, options, &original_vars, tracer)
 }
 
 /// The generic batched driver behind [`quantile_batch_by_pivoting`]: one shared
@@ -85,13 +102,16 @@ pub(crate) fn quantile_batch_backend<B: SolveBackend>(
     phis: &[f64],
     options: &PivotingOptions,
     original_vars: &[Variable],
+    tracer: &dyn SolveTracer,
 ) -> Result<Vec<QuantileResult>> {
     for &phi in phis {
         if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
             return Err(CoreError::InvalidPhi(phi));
         }
     }
+    let prepare_started = Instant::now();
     let total = backend.count(instance)?;
+    tracer.phase(SolvePhase::Prepare, prepare_started.elapsed());
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
@@ -121,6 +141,7 @@ pub(crate) fn quantile_batch_backend<B: SolveBackend>(
         threshold,
         original_vars,
         total,
+        tracer,
     };
     let mut results: Vec<Option<QuantileResult>> = vec![None; phis.len()];
     solve_group(
@@ -163,12 +184,17 @@ fn solve_group<B: SolveBackend>(
         return resolve_leaf(state, &current, offset, targets, depth, results);
     }
 
+    let pivot_started = Instant::now();
     let pivot = state.backend.select_pivot(&current)?;
+    state
+        .tracer
+        .phase(SolvePhase::PivotScan, pivot_started.elapsed());
     let pivot_weight = pivot.weight.clone();
 
     // Rebuild both partitions from the original instance, restricted to the candidate
     // region (low, high) — the same construction as the single-φ driver, so trimmed
     // instances (and therefore subsequent pivots) are identical.
+    let trim_started = Instant::now();
     let lt = {
         let first = state.backend.trim(
             state.instance,
@@ -197,6 +223,9 @@ fn solve_group<B: SolveBackend>(
     };
     let n_lt = state.backend.count(&lt)?;
     let n_gt = state.backend.count(&gt)?;
+    state
+        .tracer
+        .phase(SolvePhase::TrimRound, trim_started.elapsed());
     let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
 
     // Route each target into its partition; the equal-to band resolves to the pivot.
@@ -276,11 +305,15 @@ fn resolve_leaf<B: SolveBackend>(
     depth: usize,
     results: &mut [Option<QuantileResult>],
 ) -> Result<()> {
+    let materialize_started = Instant::now();
     let mut keyed = state.backend.keyed_answers(current, state.original_vars)?;
     if keyed.is_empty() {
         return Err(CoreError::NoAnswers);
     }
     keyed.sort_by(keyed_answer_cmp);
+    state
+        .tracer
+        .phase(SolvePhase::Materialize, materialize_started.elapsed());
     for t in targets {
         let k = ((t.rank - offset) as usize).min(keyed.len() - 1);
         let selected = &keyed[k];

@@ -152,7 +152,14 @@ pub fn exact_quantile_encoded(
 ) -> Result<QuantileResult> {
     let backend = EncodedBackend::new(instance, ranking);
     let original_vars = instance.query().variables();
-    quantile_by_pivoting_backend(&backend, instance, phi, options, &original_vars)
+    quantile_by_pivoting_backend(
+        &backend,
+        instance,
+        phi,
+        options,
+        &original_vars,
+        &crate::trace::NoopTracer,
+    )
 }
 
 /// Batched multi-φ variant of [`exact_quantile_encoded`]: one shared recursion for
@@ -164,9 +171,21 @@ pub fn exact_quantile_batch_encoded(
     phis: &[f64],
     options: &PivotingOptions,
 ) -> Result<Vec<QuantileResult>> {
+    exact_quantile_batch_encoded_traced(instance, ranking, phis, options, &crate::trace::NoopTracer)
+}
+
+/// [`exact_quantile_batch_encoded`] with per-phase timing reported to `tracer` (see
+/// [`crate::trace`]). Results are identical to the untraced entry point.
+pub fn exact_quantile_batch_encoded_traced(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &PivotingOptions,
+    tracer: &dyn crate::trace::SolveTracer,
+) -> Result<Vec<QuantileResult>> {
     let backend = EncodedBackend::new(instance, ranking);
     let original_vars = instance.query().variables();
-    crate::batch::quantile_batch_backend(&backend, instance, phis, options, &original_vars)
+    crate::batch::quantile_batch_backend(&backend, instance, phis, options, &original_vars, tracer)
 }
 
 /// Convenience: encode a row instance and solve on the encoded path, surfacing any

@@ -19,6 +19,7 @@
 //! | §1 "direct way" baseline | [`baseline`] |
 //! | high-level routing | [`solver`] |
 //! | batched multi-φ solving (shared recursion tree) | [`batch`] |
+//! | per-phase solve tracing hooks | [`trace`] |
 //!
 //! ## Quick example
 //!
@@ -52,11 +53,13 @@ pub mod sampling;
 pub mod selection;
 pub mod sketch;
 pub mod solver;
+pub mod trace;
 pub mod trim;
 
-pub use batch::quantile_batch_by_pivoting;
+pub use batch::{quantile_batch_by_pivoting, quantile_batch_by_pivoting_traced};
 pub use error::CoreError;
 pub use quantile::{PivotingOptions, QuantileResult};
+pub use trace::{NoopTracer, SolvePhase, SolveTracer};
 
 /// Convenient `Result` alias for the quantile algorithms.
 pub type Result<T> = std::result::Result<T, CoreError>;

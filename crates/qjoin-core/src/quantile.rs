@@ -16,6 +16,7 @@
 
 use crate::pivot::{select_pivot, PivotResult};
 use crate::selection::select_kth_by;
+use crate::trace::{NoopTracer, SolvePhase, SolveTracer};
 use crate::trim::Trimmer;
 use crate::{CoreError, Result};
 use qjoin_data::Value;
@@ -23,6 +24,7 @@ use qjoin_exec::count::count_answers;
 use qjoin_exec::yannakakis::materialize;
 use qjoin_query::{Assignment, Instance, Variable};
 use qjoin_ranking::{RankPredicate, Ranking, Weight, WeightBound};
+use std::time::Instant;
 
 /// Tuning knobs for the pivoting driver.
 #[derive(Clone, Debug)]
@@ -155,9 +157,22 @@ pub fn quantile_by_pivoting(
     trimmer: &dyn Trimmer,
     options: &PivotingOptions,
 ) -> Result<QuantileResult> {
+    quantile_by_pivoting_traced(instance, ranking, phi, trimmer, options, &NoopTracer)
+}
+
+/// [`quantile_by_pivoting`] with per-phase timing reported to `tracer` (see
+/// [`crate::trace`]). Results are identical to the untraced entry point.
+pub fn quantile_by_pivoting_traced(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    trimmer: &dyn Trimmer,
+    options: &PivotingOptions,
+    tracer: &dyn SolveTracer,
+) -> Result<QuantileResult> {
     let backend = RowBackend { ranking, trimmer };
     let original_vars = instance.query().variables();
-    quantile_by_pivoting_backend(&backend, instance, phi, options, &original_vars)
+    quantile_by_pivoting_backend(&backend, instance, phi, options, &original_vars, tracer)
 }
 
 /// The generic driver behind [`quantile_by_pivoting`]: Algorithm 1 over any
@@ -168,11 +183,14 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     phi: f64,
     options: &PivotingOptions,
     original_vars: &[Variable],
+    tracer: &dyn SolveTracer,
 ) -> Result<QuantileResult> {
     if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
         return Err(CoreError::InvalidPhi(phi));
     }
+    let prepare_started = Instant::now();
     let total = backend.count(instance)?;
+    tracer.phase(SolvePhase::Prepare, prepare_started.elapsed());
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
@@ -191,11 +209,14 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
 
     while current_count > threshold && iterations < options.max_iterations {
         iterations += 1;
+        let pivot_started = Instant::now();
         let pivot = backend.select_pivot(&current)?;
+        tracer.phase(SolvePhase::PivotScan, pivot_started.elapsed());
         let pivot_weight = pivot.weight.clone();
 
         // Rebuild both partitions from the original instance, restricted to the
         // candidate region (low, high).
+        let trim_started = Instant::now();
         let lt = {
             let first = backend.trim(instance, &RankPredicate::less_than(pivot_weight.clone()))?;
             backend.trim(
@@ -219,6 +240,7 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
         };
         let n_lt = backend.count(&lt)?;
         let n_gt = backend.count(&gt)?;
+        tracer.phase(SolvePhase::TrimRound, trim_started.elapsed());
         let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
 
         if k < n_lt {
@@ -253,6 +275,7 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     }
 
     // Materialize the remaining candidates and select directly.
+    let materialize_started = Instant::now();
     let keyed = backend.keyed_answers(&current, original_vars)?;
     if keyed.is_empty() {
         return Err(CoreError::NoAnswers);
@@ -260,6 +283,7 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     let k = (k as usize).min(keyed.len() - 1);
     let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
     let answer = keyed_answer_to_assignment(original_vars, &selected);
+    tracer.phase(SolvePhase::Materialize, materialize_started.elapsed());
     Ok(QuantileResult {
         answer,
         weight: selected.0,

@@ -1,0 +1,110 @@
+//! Per-phase tracing hooks for the divide-and-conquer solve drivers.
+//!
+//! Both the single-φ driver ([`crate::quantile::quantile_by_pivoting_traced`]) and
+//! the batched driver ([`crate::batch::quantile_batch_by_pivoting_traced`]) accept a
+//! [`SolveTracer`] and report how long each algorithmic phase took:
+//!
+//! * [`SolvePhase::Prepare`] — the up-front `|Q(D)|` counting pass (one event per
+//!   solve);
+//! * [`SolvePhase::PivotScan`] — one `c`-pivot selection (Algorithm 2; one event per
+//!   pivoting round);
+//! * [`SolvePhase::TrimRound`] — one round's trim-and-count work: building the
+//!   less-than / greater-than partitions from the original instance and counting
+//!   both (one event per pivoting round, so **round counts** fall out of counting
+//!   these events);
+//! * [`SolvePhase::Materialize`] — materializing a leaf's candidates and selecting
+//!   the answer(s) directly.
+//!
+//! The trait is object-safe and every method defaults to a no-op, so the hooks cost
+//! one virtual call per phase event when a tracer is installed and the untraced
+//! entry points pay a [`NoopTracer`] whose calls the optimizer deletes. qjoin-core
+//! deliberately does **not** depend on any metrics crate: the engine layer supplies
+//! a tracer that records these durations into its own histograms.
+
+use std::time::Duration;
+
+/// One algorithmic phase of a pivoting solve (see the module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolvePhase {
+    /// The up-front `|Q(D)|` counting pass.
+    Prepare,
+    /// One `c`-pivot selection (Algorithm 2).
+    PivotScan,
+    /// One round of partition trimming and counting.
+    TrimRound,
+    /// Leaf materialization and direct selection.
+    Materialize,
+}
+
+impl SolvePhase {
+    /// All phases, in solve order.
+    pub const ALL: [SolvePhase; 4] = [
+        SolvePhase::Prepare,
+        SolvePhase::PivotScan,
+        SolvePhase::TrimRound,
+        SolvePhase::Materialize,
+    ];
+
+    /// A stable kebab-case label, suitable as a metric label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            SolvePhase::Prepare => "prepare",
+            SolvePhase::PivotScan => "pivot-scan",
+            SolvePhase::TrimRound => "trim-round",
+            SolvePhase::Materialize => "materialize",
+        }
+    }
+}
+
+/// Receives per-phase timing events from the solve drivers. All methods default to
+/// no-ops; implementations record into whatever sink they like. Methods take `&self`
+/// so a tracer can be shared across the recursion — use interior mutability
+/// (atomics, `Cell`) to accumulate.
+pub trait SolveTracer {
+    /// One phase of the solve took `elapsed`. [`SolvePhase::PivotScan`] and
+    /// [`SolvePhase::TrimRound`] fire once per pivoting round.
+    fn phase(&self, phase: SolvePhase, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
+}
+
+/// The do-nothing tracer used by the untraced public entry points.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl SolveTracer for NoopTracer {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+
+    #[test]
+    fn labels_are_stable_and_distinct() {
+        let labels: Vec<&str> = SolvePhase::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(
+            labels,
+            ["prepare", "pivot-scan", "trim-round", "materialize"]
+        );
+    }
+
+    #[test]
+    fn default_methods_are_no_ops_and_custom_tracers_accumulate() {
+        NoopTracer.phase(SolvePhase::Prepare, Duration::from_nanos(1));
+
+        struct Recording(RefCell<Vec<SolvePhase>>);
+        impl SolveTracer for Recording {
+            fn phase(&self, phase: SolvePhase, _elapsed: Duration) {
+                self.0.borrow_mut().push(phase);
+            }
+        }
+        let tracer = Recording(RefCell::new(Vec::new()));
+        let dynamic: &dyn SolveTracer = &tracer;
+        dynamic.phase(SolvePhase::TrimRound, Duration::ZERO);
+        dynamic.phase(SolvePhase::TrimRound, Duration::ZERO);
+        assert_eq!(
+            *tracer.0.borrow(),
+            [SolvePhase::TrimRound, SolvePhase::TrimRound]
+        );
+    }
+}

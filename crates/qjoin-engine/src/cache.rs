@@ -228,6 +228,15 @@ impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
             .sum()
     }
 
+    /// Live entries per shard, in shard order (the occupancy view behind the
+    /// `stats` dump's shard line and the `qjoin_cache_shard_entries` gauge).
+    pub fn shard_lens(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap().len())
+            .collect()
+    }
+
     /// Access statistics aggregated over all shards.
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::default();
@@ -328,6 +337,16 @@ mod tests {
         assert_eq!(cache.get(0, &(0, 2)), Some(3));
         assert_eq!(cache.get(1, &(1, 1)), Some(2));
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn shard_lens_report_per_shard_occupancy() {
+        let cache: ShardedLru<(u64, u32), i64> = ShardedLru::new(16, 4);
+        cache.insert(0, (0, 0), 1);
+        cache.insert(0, (0, 1), 2);
+        cache.insert(2, (2, 0), 3);
+        assert_eq!(cache.shard_lens(), vec![2, 0, 1, 0]);
+        assert_eq!(cache.shard_lens().iter().sum::<usize>(), cache.len());
     }
 
     #[test]

@@ -57,6 +57,8 @@ REPL COMMANDS:
   batch <plan> <phi> [<phi> ...] [eps=<ε>]  serve many quantiles in one pass
   plans                                     list prepared plans
   stats                                     engine statistics + per-plan storage sharing
+  stats json                                the same statistics as one JSON object
+  metrics                                   Prometheus-style metric exposition lines
   help                                      this text
   quit | exit                               leave the REPL";
 
@@ -117,7 +119,12 @@ impl CliSession {
             "quantile" => self.cmd_quantile(rest),
             "batch" => self.cmd_batch(rest),
             "plans" => Ok(self.cmd_plans()),
-            "stats" => Ok(self.cmd_stats()),
+            "stats" => match rest {
+                [] => Ok(self.cmd_stats()),
+                ["json"] => Ok(self.cmd_stats_json()),
+                _ => Err("usage: stats [json]".to_string()),
+            },
+            "metrics" => Ok(self.cmd_metrics()),
             "quit" | "exit" => Err("__quit__".to_string()),
             other => Err(format!("unknown command {other:?}; try `help`")),
         }
@@ -247,13 +254,36 @@ impl CliSession {
     /// (pointer-identical storage) and privately owned copies. With the copy-on-write
     /// data layer every plan should report `owned=0`.
     fn cmd_stats(&self) -> String {
-        let mut out = self.engine.stats().to_string();
+        // Sourced from the same registry snapshot as `stats json` / `metrics`,
+        // so the human dump and the machine surfaces can never diverge.
+        let metrics = self.engine.metrics_snapshot();
+        let stats = self.engine.stats();
+        let mut out = stats.to_string();
+        let uptime = metrics.gauge("qjoin_uptime_seconds", &[]).unwrap_or(0.0);
+        write!(out, "\nuptime:             {uptime:.1}s").unwrap();
+        let occupancy: Vec<String> = (0..stats.cache_shards)
+            .map(|shard| {
+                let shard = shard.to_string();
+                let entries = metrics
+                    .gauge("qjoin_cache_shard_entries", &[("shard", &shard)])
+                    .unwrap_or(0.0);
+                format!("{}", entries as usize)
+            })
+            .collect();
+        write!(
+            out,
+            "\ncache shards:       occupancy=[{}]",
+            occupancy.join(", ")
+        )
+        .unwrap();
         let catalog = self.engine.catalog();
         for (name, entry) in catalog.iter() {
+            let generation = metrics
+                .gauge("qjoin_db_generation", &[("db", name)])
+                .map_or(entry.generation, |g| g as u64);
             write!(
                 out,
-                "\ndb {name}: generation={} relations={} tuples={} resident≈{}",
-                entry.generation,
+                "\ndb {name}: generation={generation} relations={} tuples={} resident≈{}",
                 entry.database.num_relations(),
                 entry.database.total_tuples(),
                 format_bytes(entry.database.estimated_tuple_bytes()),
@@ -274,6 +304,16 @@ impl CliSession {
             .unwrap();
         }
         out
+    }
+
+    fn cmd_stats_json(&self) -> String {
+        qjoin_telemetry::render_json(&self.engine.metrics_snapshot())
+    }
+
+    fn cmd_metrics(&self) -> String {
+        qjoin_telemetry::render_prometheus(&self.engine.metrics_snapshot())
+            .trim_end()
+            .to_string()
     }
 }
 
@@ -642,6 +682,56 @@ mod tests {
             "{stats}"
         );
         assert!(stats.contains("owned≈0 B"), "{stats}");
+        // Registry-sourced lines: uptime and per-shard cache occupancy.
+        assert!(stats.contains("uptime:             "), "{stats}");
+        assert!(stats.contains("cache shards:       occupancy=["), "{stats}");
+    }
+
+    #[test]
+    fn metrics_and_stats_json_expose_the_registry() {
+        let session = CliSession::new();
+        ok(&session, "open s social rows=120 seed=3");
+        ok(&session, "register likes s");
+        ok(&session, "quantile likes 0.5");
+        ok(&session, "quantile likes 0.5"); // warm: cache hit
+
+        let metrics = ok(&session, "metrics");
+        assert!(
+            metrics.contains("# TYPE qjoin_solve_seconds histogram"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qjoin_solve_seconds_count{plan=\"likes\"} 1"),
+            "{metrics}"
+        );
+        assert!(
+            metrics.contains("qjoin_quantile_requests_total 2"),
+            "{metrics}"
+        );
+        assert!(metrics.contains("qjoin_cache_hits_total 1"), "{metrics}");
+        assert!(
+            metrics.contains("qjoin_db_generation{db=\"s\"} 1.0"),
+            "{metrics}"
+        );
+        assert!(
+            !metrics.ends_with('\n'),
+            "trailing newline would add an empty payload line"
+        );
+
+        let json = ok(&session, "stats json");
+        assert!(!json.contains('\n'), "stats json must be one line: {json}");
+        assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+        assert!(
+            json.contains("\"qjoin_quantile_requests_total\":2"),
+            "{json}"
+        );
+        assert!(
+            json.contains("\"qjoin_solve_seconds{plan=\\\"likes\\\"}\":{\"count\":1"),
+            "{json}"
+        );
+
+        // `stats` with any other argument is a usage error.
+        assert!(session.execute("stats nonsense").is_err());
     }
 
     #[test]

@@ -42,15 +42,18 @@ use crate::catalog::Catalog;
 use crate::coalesce::Gate;
 use crate::error::EngineError;
 use crate::plan::{Accuracy, PreparedPlan};
-use qjoin_core::batch::quantile_batch_by_pivoting;
-use qjoin_core::{PivotingOptions, QuantileResult};
+use crate::telemetry::RegistryTracer;
+use qjoin_core::batch::quantile_batch_by_pivoting_traced;
+use qjoin_core::{CoreError, PivotingOptions, QuantileResult};
 use qjoin_data::Database;
 use qjoin_query::JoinQuery;
 use qjoin_ranking::Ranking;
+use qjoin_telemetry::{Histogram, MetricsSnapshot, Registry};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
+use std::time::Instant;
 
 /// `(plan id, database generation, φ bits, accuracy bits)`.
 type CacheKey = (u64, u64, u64, Option<u64>);
@@ -228,6 +231,15 @@ pub struct Engine {
     /// In-flight gate coalescing concurrent cold exact solves per
     /// `(plan id, generation)`.
     gate: Gate<QuantileResult, EngineError>,
+    /// The shared metric registry: live solve/cache histograms plus counters
+    /// published from [`AtomicCounters`] at scrape time (see
+    /// [`Engine::metrics_snapshot`]). The serving layer registers its own
+    /// request-lifecycle metrics here, so one scrape covers the whole stack.
+    registry: Arc<Registry>,
+    /// Result-cache lookup latency (the "cache" span of a request).
+    cache_lookup: Arc<Histogram>,
+    /// Construction time, for the uptime gauge.
+    started: Instant,
 }
 
 // The whole point of the `&self` refactor: an `Engine` can be shared across threads.
@@ -252,12 +264,17 @@ impl Engine {
     /// An engine with explicit configuration.
     pub fn with_config(config: EngineConfig) -> Self {
         let cache = ShardedLru::new(config.cache_capacity, config.cache_shards);
+        let registry = Arc::new(Registry::new());
+        let cache_lookup = registry.histogram("qjoin_cache_lookup_seconds", &[]);
         Engine {
             config,
             state: RwLock::new(EngineState::default()),
             cache,
             counters: AtomicCounters::default(),
             gate: Gate::new(),
+            registry,
+            cache_lookup,
+            started: Instant::now(),
         }
     }
 
@@ -416,7 +433,7 @@ impl Engine {
             .quantile_requests
             .fetch_add(1, Ordering::Relaxed);
         let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
-        if let Some(result) = self.cache.get(plan.id, &key) {
+        if let Some(result) = self.cache_get_timed(plan.id, &key) {
             return Ok(EngineAnswer {
                 plan: plan_name.to_string(),
                 generation: plan.generation,
@@ -481,34 +498,52 @@ impl Engine {
         accuracy: Accuracy,
     ) -> Result<Vec<QuantileResult>, EngineError> {
         let trimmer = plan.trimmer_for(accuracy)?;
+        let tracer = RegistryTracer::for_plan(&self.registry, &plan.name);
+        let solve_started = Instant::now();
         // Exact requests run on the plan's cached encoded instance (built once per
         // catalog generation); approximate requests and un-encodable instances use
         // the row path. Both return pointwise-identical exact answers.
         let row_solve = || {
-            quantile_batch_by_pivoting(
+            quantile_batch_by_pivoting_traced(
                 &plan.instance,
                 &plan.ranking,
                 phis,
                 trimmer.as_ref(),
                 &self.config.pivoting,
+                &tracer,
             )
         };
-        let results = match (&accuracy, &plan.encoded_instance) {
-            (Accuracy::Exact, Some(encoded)) => qjoin_core::encoded::or_row_fallback(
-                qjoin_core::encoded::exact_quantile_batch_encoded(
+        // The `or_row_fallback` dispatch policy, inlined so the tracer can
+        // attribute the solve to whichever path actually produced the answers.
+        let (results, used_encoded_path) = match (&accuracy, &plan.encoded_instance) {
+            (Accuracy::Exact, Some(encoded)) => {
+                match qjoin_core::encoded::exact_quantile_batch_encoded_traced(
                     encoded,
                     &plan.ranking,
                     phis,
                     &self.config.pivoting,
-                ),
-                row_solve,
-            )?,
-            _ => row_solve()?,
+                    &tracer,
+                ) {
+                    Err(CoreError::EncodedUnsupported(_)) => (row_solve()?, false),
+                    other => (other?, true),
+                }
+            }
+            _ => (row_solve()?, false),
         };
+        tracer.finish(solve_started.elapsed(), used_encoded_path);
         self.counters
             .solved
             .fetch_add(results.len() as u64, Ordering::Relaxed);
         Ok(results)
+    }
+
+    /// A cache lookup timed into the `qjoin_cache_lookup_seconds` histogram —
+    /// the "cache" span of a request's lifecycle.
+    fn cache_get_timed(&self, plan_id: u64, key: &CacheKey) -> Option<QuantileResult> {
+        let started = Instant::now();
+        let result = self.cache.get(plan_id, key);
+        self.cache_lookup.record_duration(started.elapsed());
+        result
     }
 
     /// Caches a solved result — but only if the plan's generation is still the
@@ -554,7 +589,7 @@ impl Engine {
         let mut missing: Vec<(usize, f64)> = Vec::new();
         for (pos, &phi) in phis.iter().enumerate() {
             let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
-            match self.cache.get(plan.id, &key) {
+            match self.cache_get_timed(plan.id, &key) {
                 Some(result) => {
                     answers[pos] = Some(EngineAnswer {
                         plan: plan_name.to_string(),
@@ -659,6 +694,93 @@ impl Engine {
             cache: self.cache.stats(),
             counters: self.counters.snapshot(),
         }
+    }
+
+    /// The engine's shared metric registry. Layers above the engine (the server's
+    /// request-lifecycle timing, its slow-query log) register their metrics here,
+    /// so one [`Engine::metrics_snapshot`] scrape covers the whole stack.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Time since the engine was constructed.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.started.elapsed()
+    }
+
+    /// Live entries per cache shard, in shard order.
+    pub fn cache_shard_lens(&self) -> Vec<usize> {
+        self.cache.shard_lens()
+    }
+
+    /// Publishes the engine's counters, cache statistics, catalog gauges, and
+    /// uptime into the registry, then snapshots **everything** registered there
+    /// (including live solve histograms and any server-side metrics).
+    ///
+    /// Every exposition surface — the human `stats` dump's derived lines, `stats
+    /// json`, and the Prometheus `metrics` verb — renders from this one snapshot,
+    /// so the surfaces cannot diverge. The engine's atomic counters remain the
+    /// single source of truth; the registry copies are overwritten on every call.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        let registry = &self.registry;
+        let counters = self.counters.snapshot();
+        registry.publish_counter(
+            "qjoin_quantile_requests_total",
+            &[],
+            counters.quantile_requests,
+        );
+        registry.publish_counter("qjoin_batch_requests_total", &[], counters.batch_requests);
+        registry.publish_counter("qjoin_solved_total", &[], counters.solved);
+        registry.publish_counter(
+            "qjoin_plan_compilations_total",
+            &[],
+            counters.plan_compilations,
+        );
+        registry.publish_counter(
+            "qjoin_coalesced_batches_total",
+            &[],
+            counters.coalesced_batches,
+        );
+        registry.publish_counter(
+            "qjoin_coalesced_waiters_total",
+            &[],
+            counters.coalesced_waiters,
+        );
+
+        let cache = self.cache.stats();
+        registry.publish_counter("qjoin_cache_hits_total", &[], cache.hits);
+        registry.publish_counter("qjoin_cache_misses_total", &[], cache.misses);
+        registry.publish_counter("qjoin_cache_evictions_total", &[], cache.evictions);
+        registry.publish_counter("qjoin_cache_invalidations_total", &[], cache.invalidations);
+        registry.publish_gauge("qjoin_cache_entries", &[], self.cache.len() as f64);
+        registry.publish_gauge("qjoin_cache_capacity", &[], self.cache.capacity() as f64);
+        for (shard, len) in self.cache.shard_lens().into_iter().enumerate() {
+            let shard = shard.to_string();
+            registry.publish_gauge(
+                "qjoin_cache_shard_entries",
+                &[("shard", &shard)],
+                len as f64,
+            );
+        }
+
+        {
+            let state = self.read_state();
+            registry.publish_gauge("qjoin_databases", &[], state.catalog.len() as f64);
+            registry.publish_gauge("qjoin_plans", &[], state.plans.len() as f64);
+            for (name, entry) in state.catalog.iter() {
+                registry.publish_gauge(
+                    "qjoin_db_generation",
+                    &[("db", name)],
+                    entry.generation as f64,
+                );
+            }
+        }
+        registry.publish_gauge(
+            "qjoin_uptime_seconds",
+            &[],
+            self.started.elapsed().as_secs_f64(),
+        );
+        registry.snapshot()
     }
 }
 
@@ -892,6 +1014,80 @@ mod tests {
             engine.drop_plan("likes").unwrap_err(),
             EngineError::UnknownPlan(_)
         ));
+    }
+
+    #[test]
+    fn metrics_snapshot_publishes_counters_and_solve_histograms() {
+        let (engine, _) = social_engine(100, 13);
+        engine.quantile("likes", 0.5).unwrap(); // cold: solves
+        engine.quantile("likes", 0.5).unwrap(); // warm: cache hit
+        let snapshot = engine.metrics_snapshot();
+
+        // Published counters mirror the engine's atomics exactly.
+        assert_eq!(
+            snapshot.counter("qjoin_quantile_requests_total", &[]),
+            Some(2)
+        );
+        assert_eq!(snapshot.counter("qjoin_solved_total", &[]), Some(1));
+        assert_eq!(snapshot.counter("qjoin_cache_hits_total", &[]), Some(1));
+        assert_eq!(
+            snapshot.counter("qjoin_plan_compilations_total", &[]),
+            Some(1)
+        );
+        assert_eq!(snapshot.gauge("qjoin_databases", &[]), Some(1.0));
+        assert_eq!(snapshot.gauge("qjoin_plans", &[]), Some(1.0));
+        assert_eq!(
+            snapshot.gauge("qjoin_db_generation", &[("db", "social")]),
+            Some(1.0)
+        );
+        assert!(snapshot.gauge("qjoin_uptime_seconds", &[]).unwrap() >= 0.0);
+        // Shard occupancy gauges exist for every shard and sum to the entry count.
+        let shards = engine.cache_shard_lens();
+        assert_eq!(shards.len(), engine.stats().cache_shards);
+        assert_eq!(shards.iter().sum::<usize>(), engine.stats().cache_entries);
+
+        // Live solve telemetry: one whole-solve sample and nonzero phase spans.
+        let plan = [("plan", "likes")];
+        assert_eq!(
+            snapshot
+                .histogram("qjoin_solve_seconds", &plan)
+                .unwrap()
+                .count(),
+            1
+        );
+        let prepare = snapshot
+            .histogram(
+                "qjoin_solve_phase_seconds",
+                &[("plan", "likes"), ("phase", "prepare")],
+            )
+            .unwrap();
+        assert_eq!(prepare.count(), 1);
+        let rounds = snapshot.counter("qjoin_solve_rounds_total", &plan).unwrap();
+        let trim_rounds = snapshot
+            .histogram(
+                "qjoin_solve_phase_seconds",
+                &[("plan", "likes"), ("phase", "trim-round")],
+            )
+            .unwrap()
+            .count();
+        assert_eq!(
+            rounds, trim_rounds,
+            "round counter mirrors trim-round events"
+        );
+        // The encoded path served this social-network plan.
+        assert_eq!(
+            snapshot.counter("qjoin_solve_encoded_total", &plan),
+            Some(1)
+        );
+        assert_eq!(snapshot.counter("qjoin_solve_row_total", &plan), Some(0));
+        // Cache lookups were timed (one miss + one hit).
+        assert_eq!(
+            snapshot
+                .histogram("qjoin_cache_lookup_seconds", &[])
+                .unwrap()
+                .count(),
+            2
+        );
     }
 
     #[test]

@@ -62,6 +62,7 @@ mod coalesce;
 pub mod engine;
 mod error;
 pub mod plan;
+mod telemetry;
 
 pub use cache::{CacheStats, LruCache, ShardedLru};
 pub use catalog::{Catalog, CatalogEntry};

@@ -1,0 +1,121 @@
+//! Engine-side telemetry plumbing: the bridge between qjoin-core's
+//! [`SolveTracer`] hooks and the shared [`qjoin_telemetry::Registry`].
+//!
+//! One [`RegistryTracer`] is built per uncached solve. It resolves the per-plan
+//! histogram handles up front (a few registry lookups on the cold path only),
+//! then records each phase event with a couple of relaxed atomic adds:
+//!
+//! * `qjoin_solve_phase_seconds{plan, phase}` — one histogram per
+//!   [`SolvePhase`], so trim-round blowups and materialize-heavy shapes are
+//!   visible per plan;
+//! * `qjoin_solve_seconds{plan}` — the whole solve, recorded by
+//!   [`RegistryTracer::finish`];
+//! * `qjoin_solve_rounds_total{plan}` — pivoting rounds, counted from
+//!   [`SolvePhase::TrimRound`] events;
+//! * `qjoin_solve_encoded_total{plan}` / `qjoin_solve_row_total{plan}` — which
+//!   execution path actually produced the answers, making encoded-vs-row
+//!   fallback visible per query shape.
+
+use qjoin_core::{SolvePhase, SolveTracer};
+use qjoin_telemetry::{Counter, Histogram, Registry};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A [`SolveTracer`] that records phase timings into per-plan histograms of a
+/// shared registry (see the module docs).
+pub(crate) struct RegistryTracer {
+    solve: Arc<Histogram>,
+    phases: [Arc<Histogram>; 4],
+    rounds: AtomicU64,
+    rounds_total: Arc<Counter>,
+    encoded_total: Arc<Counter>,
+    row_total: Arc<Counter>,
+}
+
+impl RegistryTracer {
+    /// Resolves (or creates) this plan's metric handles in the registry.
+    pub(crate) fn for_plan(registry: &Registry, plan: &str) -> Self {
+        let labels = [("plan", plan)];
+        RegistryTracer {
+            solve: registry.histogram("qjoin_solve_seconds", &labels),
+            phases: SolvePhase::ALL.map(|phase| {
+                registry.histogram(
+                    "qjoin_solve_phase_seconds",
+                    &[("plan", plan), ("phase", phase.label())],
+                )
+            }),
+            rounds: AtomicU64::new(0),
+            rounds_total: registry.counter("qjoin_solve_rounds_total", &labels),
+            encoded_total: registry.counter("qjoin_solve_encoded_total", &labels),
+            row_total: registry.counter("qjoin_solve_row_total", &labels),
+        }
+    }
+
+    /// Records the whole-solve duration, flushes the round count, and attributes
+    /// the solve to the encoded or row path. Call once, after the solve returns.
+    pub(crate) fn finish(&self, elapsed: Duration, used_encoded_path: bool) {
+        self.solve.record_duration(elapsed);
+        self.rounds_total.add(self.rounds.load(Ordering::Relaxed));
+        if used_encoded_path {
+            self.encoded_total.inc();
+        } else {
+            self.row_total.inc();
+        }
+    }
+}
+
+impl SolveTracer for RegistryTracer {
+    fn phase(&self, phase: SolvePhase, elapsed: Duration) {
+        let index = SolvePhase::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("SolvePhase::ALL covers every phase");
+        self.phases[index].record_duration(elapsed);
+        if phase == SolvePhase::TrimRound {
+            self.rounds.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracer_records_per_phase_and_counts_rounds() {
+        let registry = Registry::new();
+        let tracer = RegistryTracer::for_plan(&registry, "likes");
+        tracer.phase(SolvePhase::Prepare, Duration::from_micros(5));
+        tracer.phase(SolvePhase::PivotScan, Duration::from_micros(2));
+        tracer.phase(SolvePhase::TrimRound, Duration::from_micros(9));
+        tracer.phase(SolvePhase::TrimRound, Duration::from_micros(7));
+        tracer.finish(Duration::from_micros(30), true);
+
+        let snapshot = registry.snapshot();
+        let plan = [("plan", "likes")];
+        assert_eq!(
+            snapshot
+                .histogram("qjoin_solve_seconds", &plan)
+                .unwrap()
+                .count(),
+            1
+        );
+        assert_eq!(
+            snapshot
+                .histogram(
+                    "qjoin_solve_phase_seconds",
+                    &[("plan", "likes"), ("phase", "trim-round")]
+                )
+                .unwrap()
+                .count(),
+            2
+        );
+        assert_eq!(snapshot.counter("qjoin_solve_rounds_total", &plan), Some(2));
+        assert_eq!(
+            snapshot.counter("qjoin_solve_encoded_total", &plan),
+            Some(1)
+        );
+        assert_eq!(snapshot.counter("qjoin_solve_row_total", &plan), Some(0));
+    }
+}

@@ -11,7 +11,7 @@ const SERVE_HELP: &str = "\
 qjoin serve — run the TCP serving layer
 
 USAGE:
-  qjoin serve [addr=<host:port>] [workers=<n>] [queue=<n>] [cache=<n>]
+  qjoin serve [addr=<host:port>] [workers=<n>] [queue=<n>] [cache=<n>] [slowms=<ms>]
 
   addr     bind address; port 0 (the default) picks a free ephemeral port.
            The bound address is printed as `qjoin-server listening on <addr> ...`.
@@ -19,6 +19,9 @@ USAGE:
            over a reactor, so idle connections hold no worker)  (default 4)
   queue    dispatched-request queue depth before backpressure   (default 64)
   cache    engine result-cache capacity, 0 disables   (default 1024)
+  slowms   slow-query log threshold in milliseconds: requests whose
+           queue-wait + execute time reaches it are kept for the
+           `slowlog` verb   (default 100)
 
 qjoin client — talk to a running server
 
@@ -27,7 +30,10 @@ USAGE:
 
   Each trailing argument is one full protocol command (quote it); with no
   commands, lines are read from stdin. Payload lines are printed to stdout,
-  `err` replies to stderr (exit code 1). See docs/PROTOCOL.md for the verbs.";
+  `err` replies to stderr. The exit code is 1 when the connection fails or
+  any command got an `err` reply (stdin mode keeps going after remote
+  errors, but still reports them in the exit code).
+  See docs/PROTOCOL.md for the verbs.";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -67,7 +73,7 @@ fn parse_params(tokens: &[String], allowed: &[&str]) -> Result<BTreeMap<String, 
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let params = match parse_params(args, &["addr", "workers", "queue", "cache"]) {
+    let params = match parse_params(args, &["addr", "workers", "queue", "cache", "slowms"]) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{SERVE_HELP}");
@@ -88,11 +94,12 @@ fn cmd_serve(args: &[String]) -> i32 {
             None => Ok(default),
         }
     };
-    let (workers, queue, cache) = match (|| {
+    let (workers, queue, cache, slowms) = match (|| {
         Ok::<_, String>((
             parse_usize("workers", 4)?,
             parse_usize("queue", 64)?,
             parse_usize("cache", 1024)?,
+            parse_usize("slowms", 100)?,
         ))
     })() {
         Ok(v) => v,
@@ -112,6 +119,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let config = ServerConfig {
         workers,
         queue_depth: queue,
+        slow_threshold: Duration::from_millis(slowms as u64),
         ..Default::default()
     };
     let server = match qjoin_server::Server::bind(addr.as_str(), session, config) {
@@ -148,6 +156,36 @@ fn cmd_serve(args: &[String]) -> i32 {
     }
 }
 
+/// Drives the client from a line-per-command script (stdin mode): remote `err`
+/// replies are reported and the script keeps going, but any error — remote or
+/// transport — makes the final exit code nonzero, so shell pipelines can tell a
+/// clean run from a degraded one.
+fn run_script(client: &mut Client, input: impl BufRead) -> i32 {
+    let mut failed = false;
+    for line in input.lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break,
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        match run_one(client, &line) {
+            Ok(true) => return i32::from(failed),
+            Ok(false) => {}
+            Err(ClientError::Remote(message)) => {
+                eprintln!("error: {message}");
+                failed = true;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                return 1;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
 /// Sends one command, prints its payload, and reports whether it ended the
 /// conversation (`quit`/`exit`/`shutdown`).
 fn run_one(client: &mut Client, command: &str) -> Result<bool, ClientError> {
@@ -177,26 +215,7 @@ fn cmd_client(args: &[String]) -> i32 {
 
     if commands.is_empty() {
         // Interactive / piped mode: one command per stdin line.
-        let stdin = std::io::stdin();
-        for line in stdin.lock().lines() {
-            let line = match line {
-                Ok(line) => line,
-                Err(_) => break,
-            };
-            if line.trim().is_empty() {
-                continue;
-            }
-            match run_one(&mut client, &line) {
-                Ok(true) => return 0,
-                Ok(false) => {}
-                Err(ClientError::Remote(message)) => eprintln!("error: {message}"),
-                Err(e) => {
-                    eprintln!("error: {e}");
-                    return 1;
-                }
-            }
-        }
-        0
+        run_script(&mut client, std::io::stdin().lock())
     } else {
         // One-shot mode: each argument is a full command; stop at the first error.
         for command in commands {
@@ -212,5 +231,53 @@ fn cmd_client(args: &[String]) -> i32 {
         // Close the connection politely so the server's worker is freed at once.
         let _ = client.quit();
         0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn with_client(test: impl FnOnce(&mut Client)) {
+        let server = qjoin_server::Server::bind(
+            "127.0.0.1:0",
+            std::sync::Arc::new(qjoin_engine::cli::CliSession::new()),
+            ServerConfig::default(),
+        )
+        .unwrap();
+        let addr = server.local_addr().unwrap();
+        let handle = server.handle().unwrap();
+        let join = std::thread::spawn(move || server.run().unwrap());
+        let mut client = Client::connect(addr).unwrap();
+        test(&mut client);
+        handle.shutdown();
+        join.join().unwrap();
+    }
+
+    #[test]
+    fn clean_script_exits_zero() {
+        with_client(|client| {
+            let script = "ping\n\nopen s social rows=60 seed=3\nquit\n";
+            assert_eq!(run_script(client, Cursor::new(script)), 0);
+        });
+    }
+
+    #[test]
+    fn script_with_a_remote_error_keeps_going_but_exits_nonzero() {
+        // Regression: a failing command in stdin mode used to be reported on
+        // stderr but swallowed by a 0 exit code.
+        with_client(|client| {
+            let script = "ping\nfrobnicate\nping\n";
+            assert_eq!(run_script(client, Cursor::new(script)), 1);
+        });
+    }
+
+    #[test]
+    fn quit_after_a_remote_error_still_exits_nonzero() {
+        with_client(|client| {
+            let script = "frobnicate\nquit\n";
+            assert_eq!(run_script(client, Cursor::new(script)), 1);
+        });
     }
 }

@@ -20,6 +20,7 @@
 //! | nonblocking connection + line assembly | [`conn`] |
 //! | bounded worker thread pool | [`pool`] |
 //! | accept loop + reactor + graceful drain | [`server`] |
+//! | request lifecycle timing + slow-query log | [`metrics`] |
 //! | blocking client library | [`client`] |
 //!
 //! The crate also ships the `qjoin` binary: all of the engine CLI's subcommands
@@ -53,6 +54,7 @@
 
 pub mod client;
 pub mod conn;
+pub mod metrics;
 pub mod poll;
 pub mod pool;
 pub mod protocol;
@@ -60,6 +62,7 @@ pub mod server;
 
 pub use client::{Client, ClientError};
 pub use conn::{Conn, MAX_LINE_BYTES};
+pub use metrics::ServerMetrics;
 pub use poll::{Poller, Readiness, Waker};
 pub use pool::WorkerPool;
 pub use protocol::{ProtocolError, Response, MAX_PAYLOAD_LINES};

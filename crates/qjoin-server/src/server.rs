@@ -40,6 +40,7 @@
 //! and [`Server::run`] joins everything before returning.
 
 use crate::conn::{Conn, FillOutcome};
+use crate::metrics::ServerMetrics;
 use crate::poll::{self, Poller, Readiness, Waker};
 use crate::pool::WorkerPool;
 use crate::protocol::Response;
@@ -49,7 +50,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, TryRecvError};
 use std::sync::{mpsc, Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Clone, Debug)]
@@ -66,6 +67,12 @@ pub struct ServerConfig {
     /// tick, so this only paces genuinely idle periods (and bounds how fast a
     /// parked connection's newly-arrived bytes are noticed in the worst case).
     pub idle_tick: Duration,
+    /// Requests whose queue-wait plus execute time reaches this threshold are
+    /// captured in the slow-query log (dumped by the `slowlog` verb).
+    pub slow_threshold: Duration,
+    /// How many slow requests the ring buffer keeps (newest win); 0 disables
+    /// the slow log entirely.
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -74,6 +81,8 @@ impl Default for ServerConfig {
             workers: 4,
             queue_depth: 64,
             idle_tick: Duration::from_millis(1),
+            slow_threshold: Duration::from_millis(100),
+            slow_log_capacity: 128,
         }
     }
 }
@@ -143,6 +152,8 @@ pub struct Server {
 struct Job {
     conn: Conn,
     line: String,
+    /// When the reactor handed the line to the pool — the start of queue-wait.
+    enqueued: Instant,
 }
 
 /// Reactor inbox traffic.
@@ -194,12 +205,20 @@ impl Server {
         let requests = Arc::new(AtomicU64::new(0));
         let (tx, rx) = mpsc::channel::<ReactorMsg>();
         let waker = self.poller.waker();
+        // Request-lifecycle series live in the engine's registry so the
+        // `metrics` / `stats json` verbs expose both layers in one scrape.
+        let metrics = Arc::new(ServerMetrics::new(
+            self.session.engine().registry(),
+            self.config.slow_threshold,
+            self.config.slow_log_capacity,
+        ));
 
         let pool = {
             let session = Arc::clone(&self.session);
             let handle = handle.clone();
             let requests = Arc::clone(&requests);
             let waker = waker.clone();
+            let metrics = Arc::clone(&metrics);
             // Workers return connections through the reactor's inbox. The sender
             // sits behind a mutex only to satisfy the pool's `Sync` handler bound.
             let done_tx = Mutex::new(tx.clone());
@@ -208,7 +227,9 @@ impl Server {
                 self.config.workers,
                 self.config.queue_depth,
                 move |job: Job| {
-                    execute_job(job, &session, &handle, &requests, &done_tx, &waker);
+                    execute_job(
+                        job, &session, &handle, &requests, &metrics, &done_tx, &waker,
+                    );
                 },
             )
         };
@@ -274,18 +295,32 @@ fn execute_job(
     session: &CliSession,
     handle: &ServerHandle,
     requests: &AtomicU64,
+    metrics: &ServerMetrics,
     done_tx: &Mutex<Sender<ReactorMsg>>,
     waker: &Waker,
 ) {
-    let Job { mut conn, mut line } = job;
+    let Job {
+        mut conn,
+        mut line,
+        mut enqueued,
+    } = job;
     loop {
+        let picked_up = Instant::now();
+        let queue_wait = picked_up.saturating_duration_since(enqueued);
         let trimmed = line.trim();
-        let (response, action) = dispatch(trimmed, session);
+        let (response, action) = dispatch(trimmed, session, metrics);
+        let executed = Instant::now();
         let wrote = conn.write_response(&response).is_ok();
         // Count only real served requests: non-empty commands whose reply made it
         // back to the client.
         if wrote && !trimmed.is_empty() {
             requests.fetch_add(1, Ordering::SeqCst);
+            metrics.record(
+                trimmed,
+                queue_wait,
+                executed.saturating_duration_since(picked_up),
+                executed.elapsed(),
+            );
         }
         if !wrote {
             return; // client vanished mid-reply; drop the connection
@@ -299,7 +334,12 @@ fn execute_job(
             }
         }
         match conn.next_line() {
-            Some(next) => line = next, // pipelined request already assembled
+            Some(next) => {
+                // Pipelined request served inline: it never sat in the pool
+                // queue, so its queue-wait is (near-)zero by construction.
+                line = next;
+                enqueued = Instant::now();
+            }
             None => break,
         }
     }
@@ -438,7 +478,11 @@ impl Reactor {
         let conn = self.conns.swap_remove(i);
         // Submit can only fail after the pool shut down, which cannot happen
         // while the reactor owns it; the conn would just be dropped.
-        let _ = self.pool.submit(Job { conn, line });
+        let _ = self.pool.submit(Job {
+            conn,
+            line,
+            enqueued: Instant::now(),
+        });
         ConnVerdict::Removed
     }
 
@@ -459,10 +503,11 @@ enum Action {
 }
 
 /// Maps one request line to a response plus the follow-up action. Connection-level
-/// verbs (`ping`, `quit`/`exit`, `shutdown`) are intercepted here; everything else
-/// is the shared REPL command language. The shutdown flag itself is set by the
-/// caller *after* the reply is written, so the client always sees the confirmation.
-fn dispatch(line: &str, session: &CliSession) -> (Response, Action) {
+/// verbs (`ping`, `quit`/`exit`, `shutdown`, `slowlog`) are intercepted here;
+/// everything else is the shared REPL command language. The shutdown flag itself
+/// is set by the caller *after* the reply is written, so the client always sees
+/// the confirmation.
+fn dispatch(line: &str, session: &CliSession, metrics: &ServerMetrics) -> (Response, Action) {
     match line.split_whitespace().next() {
         None => (Response::Ok(Vec::new()), Action::Continue),
         Some("ping") => (Response::Ok(vec!["pong".to_string()]), Action::Continue),
@@ -470,6 +515,10 @@ fn dispatch(line: &str, session: &CliSession) -> (Response, Action) {
         Some("shutdown") => (
             Response::Ok(vec!["shutting down".to_string()]),
             Action::Shutdown,
+        ),
+        Some("slowlog") => (
+            Response::from_text(&metrics.slowlog_dump()),
+            Action::Continue,
         ),
         Some(_) => match session.execute(line) {
             Ok(output) => (Response::from_text(&output), Action::Continue),

@@ -348,6 +348,110 @@ fn concurrent_identical_cold_requests_coalesce_over_the_wire() {
 }
 
 #[test]
+fn metrics_and_stats_json_over_the_wire() {
+    let (addr, handle, join) = start_server(4);
+    let mut client = Client::connect(addr).unwrap();
+    client.send("open s social rows=80 seed=3").unwrap();
+    client.send("register likes s").unwrap();
+    client.quantile("likes", 0.5).unwrap(); // cold: row of solve spans
+    client.quantile("likes", 0.5).unwrap(); // warm: cache hit
+
+    // Prometheus exposition: one `series value` per non-comment line.
+    let metrics = client.send("metrics").unwrap();
+    assert!(metrics.len() > 10, "{metrics:?}");
+    for line in metrics.iter().filter(|l| !l.starts_with('#')) {
+        let (series, value) = line.rsplit_once(' ').unwrap_or_else(|| panic!("{line}"));
+        assert!(!series.is_empty(), "{line}");
+        assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "{line}");
+    }
+    let text = metrics.join("\n");
+    // Server lifecycle series: every request so far went through the pipeline.
+    assert!(text.contains("qjoin_requests_total 4"), "{text}");
+    for name in [
+        "qjoin_queue_wait_seconds",
+        "qjoin_execute_seconds",
+        "qjoin_write_seconds",
+    ] {
+        let count_line = metrics
+            .iter()
+            .find(|l| l.starts_with(&format!("{name}_count")))
+            .unwrap_or_else(|| panic!("no {name}_count in {text}"));
+        let count: u64 = count_line.rsplit_once(' ').unwrap().1.parse().unwrap();
+        assert!(count >= 4, "{count_line}");
+    }
+    // Engine solve spans: exactly one cold solve, per-phase histograms populated.
+    assert!(
+        text.contains("qjoin_solve_seconds_count{plan=\"likes\"} 1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("qjoin_solve_phase_seconds_count{phase=\"prepare\",plan=\"likes\"} 1"),
+        "{text}"
+    );
+    assert!(text.contains("qjoin_cache_hits_total 1"), "{text}");
+
+    // The scrape itself is monotone: a second scrape sees strictly more requests.
+    let text2 = client.send("metrics").unwrap().join("\n");
+    assert!(text2.contains("qjoin_requests_total 5"), "{text2}");
+
+    // `stats json`: exactly one payload line holding one JSON object.
+    let json = client.send("stats json").unwrap();
+    assert_eq!(json.len(), 1, "{json:?}");
+    let json = &json[0];
+    assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+    assert!(json.contains("\"qjoin_requests_total\":6"), "{json}");
+    assert!(
+        json.contains("\"qjoin_queue_wait_seconds\":{\"count\":"),
+        "{json}"
+    );
+
+    client.shutdown().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
+fn slowlog_captures_requests_over_the_threshold() {
+    // Threshold zero: every request is a slow request.
+    let config = ServerConfig {
+        workers: 2,
+        slow_threshold: Duration::ZERO,
+        slow_log_capacity: 8,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    client.send("open s social rows=60 seed=3").unwrap();
+    let dump = client.send("slowlog").unwrap();
+    assert!(dump[0].contains("entries shown"), "{dump:?}");
+    let text = dump.join("\n");
+    assert!(
+        text.contains("cmd=\"open s social rows=60 seed=3\""),
+        "{text}"
+    );
+    assert!(text.contains("queue="), "{text}");
+    assert!(text.contains("execute="), "{text}");
+
+    // Default config (100ms threshold): cheap requests never land in the log.
+    client.quit().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+    let (addr, handle, join) = start_server(2);
+    let mut client = Client::connect(addr).unwrap();
+    client.ping().unwrap();
+    let dump = client.send("slowlog").unwrap();
+    assert!(dump[0].starts_with("slowlog: 0 entries shown"), "{dump:?}");
+    client.quit().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn replace_over_the_wire_invalidates_caches() {
     let (addr, handle, join) = start_server(2);
     let mut client = Client::connect(addr).unwrap();

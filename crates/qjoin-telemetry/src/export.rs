@@ -1,0 +1,265 @@
+//! Rendering a [`MetricsSnapshot`] for machines.
+//!
+//! Two formats, same data:
+//!
+//! * [`render_prometheus`] — text exposition lines (`key{label="..."} value`),
+//!   one series per line, with `# TYPE` headers and cumulative
+//!   `_bucket{le="..."}` / `_sum` / `_count` lines per histogram.
+//! * [`render_json`] — one **single-line** JSON object mapping each series name
+//!   to its value (number for counters/gauges, object with
+//!   count/sum/min/max/mean/p50/p90/p99 for histograms). Single-line on purpose:
+//!   the wire protocol flattens embedded newlines, so the whole dump must fit
+//!   one payload line.
+//!
+//! Per the crate-level unit convention, histogram samples are nanoseconds and
+//! both renderers convert them to **seconds**.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::{MetricsSnapshot, SampleValue};
+
+const NANOS_PER_SEC: f64 = 1e9;
+
+/// Renders Prometheus-style text exposition lines, `# TYPE`-annotated, one
+/// series per line, histogram nanoseconds converted to seconds.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    let mut last_typed: Option<&str> = None;
+    for sample in &snapshot.samples {
+        let kind = match &sample.value {
+            SampleValue::Counter(_) => "counter",
+            SampleValue::Gauge(_) => "gauge",
+            SampleValue::Histogram(_) => "histogram",
+        };
+        if last_typed != Some(sample.name.as_str()) {
+            out.push_str(&format!("# TYPE {} {kind}\n", sample.name));
+            last_typed = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            SampleValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                ));
+            }
+            SampleValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, None),
+                    fmt_f64(*v)
+                ));
+            }
+            SampleValue::Histogram(h) => {
+                for (le_nanos, cumulative) in h.cumulative_octaves() {
+                    let le = fmt_f64(le_nanos as f64 / NANOS_PER_SEC);
+                    out.push_str(&format!(
+                        "{}_bucket{} {cumulative}\n",
+                        sample.name,
+                        label_block(&sample.labels, Some(&le))
+                    ));
+                }
+                out.push_str(&format!(
+                    "{}_bucket{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, Some("+Inf")),
+                    h.count()
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, None),
+                    fmt_f64(h.sum() as f64 / NANOS_PER_SEC)
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, None),
+                    h.count()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as **one single-line JSON object**: each series name
+/// (labels folded into the key, Prometheus-style) maps to a number for
+/// counters/gauges or to a quantile-summary object for histograms.
+pub fn render_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for sample in &snapshot.samples {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let series = format!("{}{}", sample.name, label_block(&sample.labels, None));
+        out.push_str(&format!("\"{}\":", json_escape(&series)));
+        match &sample.value {
+            SampleValue::Counter(v) => out.push_str(&v.to_string()),
+            SampleValue::Gauge(v) => out.push_str(&json_f64(*v)),
+            SampleValue::Histogram(h) => out.push_str(&histogram_json(h)),
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let secs = |nanos: u64| json_f64(nanos as f64 / NANOS_PER_SEC);
+    format!(
+        "{{\"count\":{},\"sum_seconds\":{},\"min_seconds\":{},\"max_seconds\":{},\
+         \"mean_seconds\":{},\"p50_seconds\":{},\"p90_seconds\":{},\"p99_seconds\":{}}}",
+        h.count(),
+        secs(h.sum()),
+        secs(h.min()),
+        secs(h.max()),
+        json_f64(h.mean() / NANOS_PER_SEC),
+        secs(h.quantile(0.50)),
+        secs(h.quantile(0.90)),
+        secs(h.quantile(0.99)),
+    )
+}
+
+/// `{k="v",...}` with optional trailing `le`, or the empty string when there is
+/// nothing to emit.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+fn prom_escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// JSON string escaping for the characters our metric names and labels can
+/// plausibly carry (quotes, backslashes, control characters).
+fn json_escape(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// JSON has no NaN/Infinity literals — render them as `null`.
+fn json_f64(value: f64) -> String {
+    if value.is_finite() {
+        fmt_f64(value)
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Shortest round-trippable float formatting; integral values keep a `.0` so
+/// gauges stay visibly floating-point in the Prometheus dump.
+fn fmt_f64(value: f64) -> String {
+    if value == value.trunc() && value.abs() < 1e15 {
+        format!("{value:.1}")
+    } else {
+        format!("{value}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let registry = Registry::new();
+        registry.counter("qjoin_requests_total", &[]).add(42);
+        registry
+            .gauge("qjoin_cache_entries", &[("shard", "0")])
+            .set(3.0);
+        let h = registry.histogram("qjoin_solve_seconds", &[("plan", "likes")]);
+        h.record(1_000_000); // 1 ms
+        h.record(2_000_000);
+        registry
+    }
+
+    #[test]
+    fn prometheus_lines_have_expected_shapes() {
+        let text = render_prometheus(&sample_registry().snapshot());
+        assert!(text.contains("# TYPE qjoin_requests_total counter\n"));
+        assert!(text.contains("qjoin_requests_total 42\n"));
+        assert!(text.contains("qjoin_cache_entries{shard=\"0\"} 3.0\n"));
+        assert!(text.contains("# TYPE qjoin_solve_seconds histogram\n"));
+        assert!(text.contains("qjoin_solve_seconds_bucket{plan=\"likes\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("qjoin_solve_seconds_count{plan=\"likes\"} 2\n"));
+        // Every non-comment line is `series value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (series, value) = line.rsplit_once(' ').expect("space-separated");
+            assert!(!series.is_empty());
+            assert!(value == "+Inf" || value.parse::<f64>().is_ok(), "{line}");
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_in_seconds() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_seconds", &[]);
+        h.record(1_000); // 1 µs
+        h.record(1_000_000_000); // 1 s
+        let text = render_prometheus(&registry.snapshot());
+        let bucket_counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .map(|l| l.rsplit_once(' ').unwrap().1.parse().unwrap())
+            .collect();
+        assert!(bucket_counts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*bucket_counts.last().unwrap(), 2);
+        assert!(text.contains("lat_seconds_sum 1.000001\n"));
+    }
+
+    #[test]
+    fn json_is_one_line_with_expected_keys() {
+        let json = render_json(&sample_registry().snapshot());
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(!json.contains('\n'), "must stay on one wire line");
+        assert!(json.contains("\"qjoin_requests_total\":42"));
+        assert!(json.contains("\"qjoin_cache_entries{shard=\\\"0\\\"}\":3.0"));
+        assert!(json.contains("\"qjoin_solve_seconds{plan=\\\"likes\\\"}\":{\"count\":2,"));
+        assert!(json.contains("\"p50_seconds\":"));
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_non_finite() {
+        let registry = Registry::new();
+        registry.counter("c", &[("q", "a\"b\\c")]).inc();
+        registry.gauge("g", &[]).set(f64::NAN);
+        let text = render_prometheus(&registry.snapshot());
+        assert!(text.contains("c{q=\"a\\\"b\\\\c\"} 1\n"));
+        let json = render_json(&registry.snapshot());
+        assert!(json.contains("\"g\":null"));
+    }
+
+    #[test]
+    fn empty_snapshot_renders_empty() {
+        let snapshot = Registry::new().snapshot();
+        assert_eq!(render_prometheus(&snapshot), "");
+        assert_eq!(render_json(&snapshot), "{}");
+    }
+}

@@ -1,0 +1,353 @@
+//! A lock-free log-bucketed latency histogram.
+//!
+//! Values (nanoseconds by convention) are assigned to buckets by their binary
+//! exponent plus `SUB_BITS` linear sub-bucket bits — the HdrHistogram / DDSketch
+//! bucketing scheme. A bucket's width is at most `1/16` of its lower bound, so any
+//! quantile extracted from the buckets is within **6.25 % relative error** of the
+//! true stream quantile (values below 16 are bucketed exactly). The bucket array
+//! is `AtomicU64`s bumped with relaxed ordering: concurrent [`Histogram::record`]
+//! calls never lose counts and never contend on a lock.
+//!
+//! Histograms are **mergeable**: [`HistogramSnapshot::merge`] adds bucket arrays
+//! pointwise, and because the value → bucket mapping is monotone, quantiles of a
+//! merged snapshot carry the same one-bucket error bound with respect to the
+//! concatenated underlying streams — the property the test-suite checks by
+//! property testing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Linear sub-bucket bits per binary octave: 2⁴ = 16 sub-buckets, bounding each
+/// bucket's width to 1/16 of its lower bound.
+const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per octave.
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total buckets: indices `0..16` hold the values `0..16` exactly; every later
+/// group of 16 covers one binary octave up to `u64::MAX`.
+const BUCKET_COUNT: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// Maps a value to its bucket index (monotone non-decreasing in the value).
+#[inline]
+fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        return value as usize;
+    }
+    let exp = 63 - value.leading_zeros();
+    let group = (exp - SUB_BITS + 1) as usize;
+    let sub = ((value >> (exp - SUB_BITS)) & (SUB_COUNT as u64 - 1)) as usize;
+    group * SUB_COUNT + sub
+}
+
+/// The inclusive `[low, high]` value range of a bucket.
+fn bucket_bounds(index: usize) -> (u64, u64) {
+    if index < SUB_COUNT {
+        return (index as u64, index as u64);
+    }
+    let group = index / SUB_COUNT;
+    let sub = (index % SUB_COUNT) as u64;
+    let width = 1u64 << (group - 1);
+    let low = (SUB_COUNT as u64 + sub) << (group - 1);
+    (low, low + (width - 1))
+}
+
+/// A lock-free log-bucketed histogram (see the module docs). Recording is a few
+/// relaxed atomic operations; snapshots are taken without stopping writers.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: Box<[AtomicU64; BUCKET_COUNT]>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..BUCKET_COUNT).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; BUCKET_COUNT]> = buckets
+            .into_boxed_slice()
+            .try_into()
+            .expect("bucket count is fixed");
+        Histogram {
+            buckets,
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (nanoseconds by convention). Lock-free and wait-free on
+    /// every platform with native 64-bit atomics; concurrent calls lose nothing.
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`std::time::Duration`] as nanoseconds (saturating at `u64::MAX`).
+    pub fn record_duration(&self, duration: std::time::Duration) {
+        self.record(u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// A point-in-time copy of the bucket counts. Concurrent writers may land
+    /// between bucket reads, so a snapshot is a consistent *history prefix per
+    /// bucket* rather than one global instant — the standard trade for lock-free
+    /// recording. The snapshot's `count` is derived from the bucket array itself,
+    /// so quantile extraction is always self-consistent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let count = buckets.iter().sum();
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// An immutable, mergeable copy of a [`Histogram`]'s state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot (the identity of [`HistogramSnapshot::merge`]).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            buckets: vec![0; BUCKET_COUNT],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Total recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (wrapping only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean of the recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank) of the recorded stream, reported as the
+    /// **upper bound** of the bucket holding that rank: for a true stream value
+    /// `v` the estimate `e` satisfies `v ≤ e ≤ v + v/16` (exact below 16).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (index, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_bounds(index).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another snapshot into this one: bucket-wise addition, so the result
+    /// is exactly the snapshot of the concatenated streams (same error bound).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Cumulative per-octave counts for Prometheus-style `_bucket{le=...}` lines:
+    /// `(inclusive upper bound in nanoseconds, cumulative count)` per octave group,
+    /// up to the last non-empty group. At most 61 entries, typically a handful.
+    pub fn cumulative_octaves(&self) -> Vec<(u64, u64)> {
+        let last_nonzero = match self.buckets.iter().rposition(|&n| n > 0) {
+            Some(index) => index,
+            None => return Vec::new(),
+        };
+        let groups = last_nonzero / SUB_COUNT + 1;
+        let mut out = Vec::with_capacity(groups);
+        let mut cumulative = 0u64;
+        for group in 0..groups {
+            let slice = &self.buckets[group * SUB_COUNT..(group + 1) * SUB_COUNT];
+            cumulative += slice.iter().sum::<u64>();
+            let le = bucket_bounds(group * SUB_COUNT + SUB_COUNT - 1).1;
+            out.push((le, cumulative));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_contains_its_value() {
+        let mut previous = 0usize;
+        let samples: Vec<u64> = (0..2000)
+            .map(|i| i * 7)
+            .chain((0..64).map(|e| (1u64 << e).saturating_sub(1)))
+            .chain((0..64).map(|e| 1u64 << e))
+            .chain([u64::MAX])
+            .collect();
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        for v in sorted {
+            let index = bucket_index(v);
+            assert!(index >= previous, "bucket index must be monotone at {v}");
+            previous = index;
+            let (low, high) = bucket_bounds(index);
+            assert!(low <= v && v <= high, "value {v} outside [{low}, {high}]");
+            assert!(index < BUCKET_COUNT);
+            // Bucket width ≤ 1/16 of the lower bound (exact below 16).
+            if low >= SUB_COUNT as u64 {
+                assert!(high - low <= low / SUB_COUNT as u64);
+            } else {
+                assert_eq!(low, high);
+            }
+        }
+    }
+
+    #[test]
+    fn buckets_tile_the_value_space_contiguously() {
+        for index in 1..BUCKET_COUNT {
+            let (low, _) = bucket_bounds(index);
+            let (_, previous_high) = bucket_bounds(index - 1);
+            assert_eq!(low, previous_high + 1, "gap before bucket {index}");
+        }
+        assert_eq!(bucket_bounds(BUCKET_COUNT - 1).1, u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_carry_the_one_bucket_error_bound() {
+        let histogram = Histogram::new();
+        let values: Vec<u64> = (1..=10_000).map(|i| i * 13).collect();
+        for &v in &values {
+            histogram.record(v);
+        }
+        let snapshot = histogram.snapshot();
+        assert_eq!(snapshot.count(), values.len() as u64);
+        assert_eq!(snapshot.min(), 13);
+        assert_eq!(snapshot.max(), 130_000);
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let truth = values[rank - 1];
+            let estimate = snapshot.quantile(q);
+            assert!(estimate >= truth, "q={q}: {estimate} < {truth}");
+            assert!(
+                estimate <= truth + truth / 16 + 1,
+                "q={q}: {estimate} too far above {truth}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_value_edge_cases() {
+        let histogram = Histogram::new();
+        let empty = histogram.snapshot();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.min(), 0);
+        assert_eq!(empty.mean(), 0.0);
+        assert!(empty.cumulative_octaves().is_empty());
+
+        histogram.record(42);
+        let one = histogram.snapshot();
+        assert_eq!(one.count(), 1);
+        assert_eq!(one.quantile(0.0), 42);
+        assert_eq!(one.quantile(1.0), 42);
+        assert_eq!(one.min(), 42);
+        assert_eq!(one.max(), 42);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_addition() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for v in [1u64, 100, 10_000] {
+            a.record(v);
+        }
+        for v in [2u64, 100, 1_000_000] {
+            b.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 6);
+        assert_eq!(merged.sum(), 1 + 100 + 10_000 + 2 + 100 + 1_000_000);
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 1_000_000);
+
+        let both = Histogram::new();
+        for v in [1u64, 100, 10_000, 2, 100, 1_000_000] {
+            both.record(v);
+        }
+        assert_eq!(merged, both.snapshot());
+    }
+
+    #[test]
+    fn cumulative_octaves_are_monotone_and_end_at_count() {
+        let histogram = Histogram::new();
+        for v in [3u64, 17, 900, 40_000, 40_001] {
+            histogram.record(v);
+        }
+        let octaves = histogram.snapshot().cumulative_octaves();
+        assert!(!octaves.is_empty());
+        for pair in octaves.windows(2) {
+            assert!(pair[0].0 < pair[1].0, "le bounds must increase");
+            assert!(
+                pair[0].1 <= pair[1].1,
+                "cumulative counts must not decrease"
+            );
+        }
+        assert_eq!(octaves.last().unwrap().1, 5);
+    }
+}

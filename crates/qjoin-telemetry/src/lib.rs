@@ -1,0 +1,39 @@
+//! # qjoin-telemetry
+//!
+//! The workspace's std-only observability substrate: the same log-bucketed
+//! histogram structure that approximate-quantile systems (the DDSketch / Moments
+//! lineage) serve *answers* from, turned inward to instrument our own request and
+//! solve latencies.
+//!
+//! Three layers, no dependencies, no locks on the hot path:
+//!
+//! * [`Histogram`] — a lock-free log-bucketed latency histogram: an array of
+//!   relaxed atomic buckets indexed by the value's binary exponent plus four
+//!   linear sub-bucket bits, giving ≤ 1/16 relative error per bucket. Recording
+//!   is a handful of relaxed atomic adds; [`Histogram::snapshot`] materializes a
+//!   mergeable [`HistogramSnapshot`] with p50/p90/p99/max extraction.
+//! * [`Registry`] — a named-metric registry of [`Counter`]s, [`Gauge`]s, and
+//!   histograms, keyed by `(name, sorted label pairs)`. Registration is
+//!   get-or-create, so independent subsystems can share one metric by agreeing
+//!   on its name.
+//! * [`export`] — [`MetricsSnapshot`] rendering: Prometheus-style text
+//!   exposition lines ([`export::render_prometheus`]) and a single JSON object
+//!   ([`export::render_json`]).
+//!
+//! ## Unit convention
+//!
+//! Histograms **record nanoseconds** (`u64`); both exporters render them as
+//! **seconds**, so histogram metric names should end in `_seconds`
+//! (`qjoin_solve_seconds`, `qjoin_queue_wait_seconds`, …). Counters and gauges
+//! are unitless and exported verbatim.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod histogram;
+pub mod registry;
+
+pub use export::{render_json, render_prometheus};
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::{Counter, Gauge, MetricSample, MetricsSnapshot, Registry, SampleValue};

@@ -1,0 +1,321 @@
+//! A named-metric registry of counters, gauges, and histograms.
+//!
+//! Metrics are keyed by `(name, sorted label pairs)`. Registration is
+//! get-or-create under a short-lived write lock; the returned handles are
+//! `Arc`-backed atomics, so the hot path (bumping a counter, recording a
+//! latency) never takes the registry lock again.
+//!
+//! Two registration modes exist on purpose:
+//!
+//! * **Live** metrics ([`Registry::counter`], [`Registry::gauge`],
+//!   [`Registry::histogram`]) are updated by the subsystem that owns them as
+//!   events happen.
+//! * **Published** values ([`Registry::publish_counter`],
+//!   [`Registry::publish_gauge`]) are *overwritten at scrape time* from an
+//!   external source of truth (e.g. the engine's existing atomic counters).
+//!   Every exporter — human dump, JSON, Prometheus — then reads the same
+//!   registry, so the surfaces cannot diverge.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+use crate::histogram::{Histogram, HistogramSnapshot};
+
+/// A monotonically increasing `u64` metric.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value — for publishing an externally tracked count.
+    pub fn store(&self, n: u64) {
+        self.value.store(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time `f64` metric, stored as bits in an atomic.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Overwrites the value.
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// `(name, sorted label pairs)` — the registry key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+struct MetricKey {
+    name: String,
+    labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        MetricKey {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// The shared registry. Cheap to clone behind an [`Arc`]; see the module docs
+/// for the live-vs-published registration modes.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: RwLock<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Get-or-create the counter `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics if the same key was previously registered as a different metric
+    /// type — that is a programming error, not a runtime condition.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.write().expect("registry lock poisoned");
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::default())))
+        {
+            Metric::Counter(c) => Arc::clone(c),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get-or-create the gauge `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics on a metric-type conflict, as for [`Registry::counter`].
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.write().expect("registry lock poisoned");
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::default())))
+        {
+            Metric::Gauge(g) => Arc::clone(g),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Get-or-create the histogram `name{labels}`.
+    ///
+    /// # Panics
+    /// Panics on a metric-type conflict, as for [`Registry::counter`].
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.write().expect("registry lock poisoned");
+        match metrics
+            .entry(key)
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => Arc::clone(h),
+            _ => panic!("metric {name} already registered with a different type"),
+        }
+    }
+
+    /// Publishes an externally tracked count: get-or-create, then overwrite.
+    /// Call at scrape time so every exposition surface reads the same value.
+    pub fn publish_counter(&self, name: &str, labels: &[(&str, &str)], value: u64) {
+        self.counter(name, labels).store(value);
+    }
+
+    /// Publishes an externally tracked gauge value: get-or-create, then
+    /// overwrite.
+    pub fn publish_gauge(&self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.gauge(name, labels).set(value);
+    }
+
+    /// A point-in-time copy of every registered metric, sorted by key.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let metrics = self.metrics.read().expect("registry lock poisoned");
+        let samples = metrics
+            .iter()
+            .map(|(key, metric)| MetricSample {
+                name: key.name.clone(),
+                labels: key.labels.clone(),
+                value: match metric {
+                    Metric::Counter(c) => SampleValue::Counter(c.get()),
+                    Metric::Gauge(g) => SampleValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SampleValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        MetricsSnapshot { samples }
+    }
+}
+
+/// One metric's value inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SampleValue {
+    /// A monotone count.
+    Counter(u64),
+    /// A point-in-time value.
+    Gauge(f64),
+    /// A full histogram snapshot (nanosecond-valued by convention).
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, labels, value)` triple inside a [`MetricsSnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// The metric name (e.g. `qjoin_requests_total`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// The value at snapshot time.
+    pub value: SampleValue,
+}
+
+/// A point-in-time copy of a whole [`Registry`], ready for rendering.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// All samples, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+}
+
+impl MetricsSnapshot {
+    /// The counter value for `name` with exactly the given labels, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)? {
+            SampleValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The gauge value for `name` with exactly the given labels, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.find(name, labels)? {
+            SampleValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The histogram snapshot for `name` with exactly the given labels, if
+    /// present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match self.find(name, labels)? {
+            SampleValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&SampleValue> {
+        let mut wanted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        wanted.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == wanted)
+            .map(|s| &s.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_or_create_returns_the_same_metric() {
+        let registry = Registry::new();
+        let a = registry.counter("hits", &[]);
+        let b = registry.counter("hits", &[]);
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.snapshot().counter("hits", &[]), Some(3));
+    }
+
+    #[test]
+    fn labels_distinguish_metrics_and_order_does_not() {
+        let registry = Registry::new();
+        registry
+            .counter("reqs", &[("verb", "quantile"), ("plan", "likes")])
+            .inc();
+        registry.counter("reqs", &[("verb", "batch")]).add(5);
+        let snapshot = registry.snapshot();
+        assert_eq!(
+            snapshot.counter("reqs", &[("plan", "likes"), ("verb", "quantile")]),
+            Some(1)
+        );
+        assert_eq!(snapshot.counter("reqs", &[("verb", "batch")]), Some(5));
+        assert_eq!(snapshot.counter("reqs", &[]), None);
+    }
+
+    #[test]
+    fn publish_overwrites_at_scrape_time() {
+        let registry = Registry::new();
+        registry.publish_counter("solved", &[], 7);
+        registry.publish_counter("solved", &[], 9);
+        registry.publish_gauge("entries", &[], 3.0);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("solved", &[]), Some(9));
+        assert_eq!(snapshot.gauge("entries", &[]), Some(3.0));
+    }
+
+    #[test]
+    fn histograms_round_trip_through_snapshots() {
+        let registry = Registry::new();
+        let h = registry.histogram("lat", &[("kind", "warm")]);
+        h.record(500);
+        h.record(1500);
+        let snapshot = registry.snapshot();
+        let hist = snapshot.histogram("lat", &[("kind", "warm")]).unwrap();
+        assert_eq!(hist.count(), 2);
+        assert_eq!(hist.min(), 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn type_conflicts_panic() {
+        let registry = Registry::new();
+        registry.counter("x", &[]);
+        registry.gauge("x", &[]);
+    }
+}

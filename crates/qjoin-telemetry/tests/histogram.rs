@@ -1,0 +1,138 @@
+//! Integration tests for the log-bucketed histogram: the merge/quantile error
+//! bound as a property over random streams, and lock-free recording under
+//! contention.
+//!
+//! The vendored proptest has no collection strategies, so streams are generated
+//! from integer **seeds**: each case draws a seed (plus shape parameters) and
+//! expands it deterministically with the vendored `rand`.
+
+use proptest::prelude::*;
+use qjoin_telemetry::Histogram;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Expands a seed into a value stream spanning several octaves, so buckets of
+/// very different widths all get exercised.
+fn stream(seed: u64, len: usize, max_exp: u32) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len)
+        .map(|_| {
+            let exp = rng.random_range(0..=max_exp);
+            rng.random_range(0..=(1u64 << exp))
+        })
+        .collect()
+}
+
+fn record_all(values: &[u64]) -> Histogram {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The true (inclusive-rank) quantile of a sorted stream, matching the
+/// histogram's rank convention: rank = clamp(ceil(q·n), 1, n).
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len();
+    let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Merged quantiles bound the union stream's true quantiles within one
+    /// bucket's relative error: with 16 sub-buckets per octave, the estimate is
+    /// the true value at the same rank rounded up to its bucket's upper bound,
+    /// so `true ≤ estimate ≤ true + true/16 + 1`.
+    #[test]
+    fn merge_quantiles_bound_the_union_stream(
+        seed_a in 0u64..10_000,
+        seed_b in 10_000u64..20_000,
+        len_a in 1usize..400,
+        len_b in 1usize..400,
+        max_exp in 0u32..40,
+    ) {
+        let a = stream(seed_a, len_a, max_exp);
+        let b = stream(seed_b, len_b, max_exp);
+        let mut merged = record_all(&a).snapshot();
+        merged.merge(&record_all(&b).snapshot());
+
+        let mut union: Vec<u64> = a.iter().chain(b.iter()).copied().collect();
+        union.sort_unstable();
+        prop_assert_eq!(merged.count(), union.len() as u64);
+        prop_assert_eq!(merged.min(), union[0]);
+        prop_assert_eq!(merged.max(), *union.last().unwrap());
+
+        for q in [0.0, 0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let truth = true_quantile(&union, q);
+            let est = merged.quantile(q);
+            prop_assert!(est >= truth, "q={q}: est {est} < true {truth}");
+            prop_assert!(
+                est <= truth + truth / 16 + 1,
+                "q={q}: est {est} exceeds true {truth} by more than one bucket"
+            );
+        }
+    }
+
+    /// Merging is exactly bucket-wise: merge(a, b) sees the same buckets as one
+    /// histogram fed the concatenated stream.
+    #[test]
+    fn merge_equals_recording_the_concatenation(
+        seed in 0u64..10_000,
+        split in 1usize..199,
+        max_exp in 0u32..40,
+    ) {
+        let all = stream(seed, 200, max_exp);
+        let (a, b) = all.split_at(split);
+        let mut merged = record_all(a).snapshot();
+        merged.merge(&record_all(b).snapshot());
+        let direct = record_all(&all).snapshot();
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.sum(), direct.sum());
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            prop_assert_eq!(merged.quantile(q), direct.quantile(q));
+        }
+    }
+}
+
+/// Concurrent `record` calls lose no counts: the bucket array and the
+/// sum/min/max registers are all atomic, so 8 threads hammering one histogram
+/// must account for every single value.
+#[test]
+fn concurrent_recording_loses_nothing() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    let h = Arc::new(Histogram::new());
+    let threads: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(t);
+                let mut sum = 0u64;
+                for i in 0..PER_THREAD {
+                    // A mix of deterministic ramp (covers many octaves) and
+                    // random values (collides buckets across threads).
+                    let v = if i % 2 == 0 {
+                        t * PER_THREAD + i
+                    } else {
+                        rng.random_range(0..1 << 30)
+                    };
+                    h.record(v);
+                    sum += v;
+                }
+                sum
+            })
+        })
+        .collect();
+    let expected_sum: u64 = threads.into_iter().map(|t| t.join().unwrap()).sum();
+
+    let snapshot = h.snapshot();
+    assert_eq!(snapshot.count(), THREADS * PER_THREAD);
+    assert_eq!(snapshot.sum(), expected_sum);
+    // Thread 0's ramp starts at 0, so the global minimum is exactly 0.
+    assert_eq!(snapshot.min(), 0);
+    assert!(snapshot.max() >= (THREADS - 1) * PER_THREAD);
+}

@@ -19,6 +19,8 @@
 //!   the CLI command language;
 //! * [`server`] — the concurrent TCP serving layer: line protocol, bounded worker
 //!   pool, blocking client, and the `qjoin` binary's `serve`/`client` subcommands;
+//! * [`telemetry`] — the observability substrate: lock-free log-bucketed latency
+//!   histograms, a named-metric registry, and Prometheus/JSON exposition;
 //! * [`workload`] — synthetic instance generators used by the examples, tests, and
 //!   benchmarks.
 //!
@@ -46,6 +48,7 @@ pub use qjoin_exec as exec;
 pub use qjoin_query as query;
 pub use qjoin_ranking as ranking;
 pub use qjoin_server as server;
+pub use qjoin_telemetry as telemetry;
 pub use qjoin_workload as workload;
 
 pub use qjoin_core::solver::{
