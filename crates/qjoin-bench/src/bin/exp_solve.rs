@@ -17,6 +17,11 @@
 //! answers are asserted pointwise equal to the row answers on every sample.
 //! `QJOIN_BENCH_SMOKE=1` (as CI sets) shrinks the sweep to a 1-sample smoke run.
 //! The JSON rows at the end are recorded in `BENCH_solve.json`.
+//!
+//! A second sweep runs the prepared encoded solve through the work-stealing
+//! chunk executor at 1/2/4/8 threads (T=1 is purely sequential), asserting
+//! bit-identical answers at every degree and reporting per-degree medians —
+//! the rows recorded in `BENCH_parallel.json`.
 
 use qjoin_bench::{scaling_path_config, timed};
 use qjoin_core::encoded::exact_quantile_encoded;
@@ -146,6 +151,80 @@ fn main() {
         println!(
             "  {{\"case\": \"{case}\", \"mode\": \"{mode}\", \"median_ms\": {med:.3}, \
              \"speedup_vs_row\": {speedup:.2}}}{comma}"
+        );
+    }
+    println!("]");
+
+    thread_sweep(smoke, samples, phis, &options);
+}
+
+/// The intra-solve parallelism sweep: the prepared encoded solve at executor
+/// degrees 1, 2, 4, and 8 over the same cases. Answers are asserted pointwise
+/// equal to the T=1 run at every degree (the executor's bit-identity guarantee);
+/// timings only show a speedup when the host actually has spare cores.
+fn thread_sweep(smoke: bool, samples: usize, phis: &[f64], options: &PivotingOptions) {
+    let degrees = [1usize, 2, 4, 8];
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!();
+    println!("# E-SOLVE-PAR: prepared encoded solve across executor thread counts");
+    println!("# host cores: {host_cores} (degrees above that cannot speed up)");
+    println!();
+    println!("| case | threads | median ms/solve | speedup vs 1 thread |");
+    println!("|---|---|---|---|");
+
+    let mut rows_out: Vec<(String, usize, f64, f64)> = Vec::new();
+    for case in cases(smoke) {
+        let Case {
+            name,
+            instance,
+            ranking,
+        } = case;
+        let encoded_db = EncodedInstance::from_instance(&instance).expect("encodable");
+        let mut baseline: Vec<QuantileResult> = Vec::new();
+        let mut seq_med = 0.0;
+        for (d, &threads) in degrees.iter().enumerate() {
+            let pool = qjoin_par::Pool::new(threads);
+            let mut ms = Vec::new();
+            qjoin_par::with_pool(&pool, || {
+                for round in 0..samples {
+                    for (p, &phi) in phis.iter().enumerate() {
+                        let (r, elapsed) =
+                            timed(|| exact_quantile_encoded(&encoded_db, &ranking, phi, options));
+                        let result = r.expect("prepared solve");
+                        ms.push(elapsed.as_secs_f64() * 1e3);
+                        if round == 0 {
+                            if threads == 1 {
+                                baseline.push(result);
+                            } else {
+                                assert_pointwise(
+                                    &result,
+                                    &baseline[p],
+                                    &format!("{name} at {threads} threads"),
+                                );
+                            }
+                        }
+                    }
+                }
+            });
+            let med = median(&mut ms);
+            if d == 0 {
+                seq_med = med;
+            }
+            let speedup = seq_med / med;
+            println!("| {name} | {threads} | {med:.2} | {speedup:.2}x |");
+            rows_out.push((name.to_string(), threads, med, speedup));
+        }
+    }
+
+    println!();
+    println!("# JSON rows (for BENCH_parallel.json):");
+    println!("[");
+    println!("  {{\"host_cores\": {host_cores}}},");
+    for (i, (case, threads, med, speedup)) in rows_out.iter().enumerate() {
+        let comma = if i + 1 == rows_out.len() { "" } else { "," };
+        println!(
+            "  {{\"case\": \"{case}\", \"threads\": {threads}, \"median_ms\": {med:.3}, \
+             \"speedup_vs_seq\": {speedup:.2}}}{comma}"
         );
     }
     println!("]");

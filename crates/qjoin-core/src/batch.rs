@@ -25,8 +25,8 @@
 //! [`quantile_by_pivoting`]: crate::quantile::quantile_by_pivoting
 
 use crate::quantile::{
-    keyed_answer_cmp, keyed_answer_to_assignment, target_rank, PivotingOptions, QuantileResult,
-    RowBackend, SolveBackend,
+    keyed_answer_cmp, keyed_answer_to_assignment, report_parallel, target_rank, PivotingOptions,
+    QuantileResult, RowBackend, SolveBackend,
 };
 use crate::trace::{NoopTracer, SolvePhase, SolveTracer};
 use crate::trim::Trimmer;
@@ -110,8 +110,10 @@ pub(crate) fn quantile_batch_backend<B: SolveBackend>(
         }
     }
     let prepare_started = Instant::now();
+    let prepare_par = qjoin_par::thread_parallel_nanos();
     let total = backend.count(instance)?;
     tracer.phase(SolvePhase::Prepare, prepare_started.elapsed());
+    report_parallel(tracer, SolvePhase::Prepare, prepare_par);
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
@@ -185,47 +187,61 @@ fn solve_group<B: SolveBackend>(
     }
 
     let pivot_started = Instant::now();
+    let pivot_par = qjoin_par::thread_parallel_nanos();
     let pivot = state.backend.select_pivot(&current)?;
     state
         .tracer
         .phase(SolvePhase::PivotScan, pivot_started.elapsed());
+    report_parallel(state.tracer, SolvePhase::PivotScan, pivot_par);
     let pivot_weight = pivot.weight.clone();
 
     // Rebuild both partitions from the original instance, restricted to the candidate
     // region (low, high) — the same construction as the single-φ driver, so trimmed
-    // instances (and therefore subsequent pivots) are identical.
+    // instances (and therefore subsequent pivots) are identical. The two sides are
+    // independent rebuilds of the same immutable instance, so they run as the two
+    // arms of a `par_join` (sequential at one thread).
     let trim_started = Instant::now();
-    let lt = {
-        let first = state.backend.trim(
-            state.instance,
-            &RankPredicate::less_than(pivot_weight.clone()),
-        )?;
-        state.backend.trim(
-            &first,
-            &RankPredicate {
-                op: qjoin_ranking::CmpOp::Gt,
-                bound: low.clone(),
+    let trim_par = qjoin_par::thread_parallel_nanos();
+    let (lt_result, gt_result) = {
+        let backend = state.backend;
+        let instance = state.instance;
+        let pw_lt = pivot_weight.clone();
+        let pw_gt = pivot_weight.clone();
+        let low_bound = low.clone();
+        let high_bound = high.clone();
+        qjoin_par::par_join(
+            move || -> Result<(B::Inst, u128)> {
+                let first = backend.trim(instance, &RankPredicate::less_than(pw_lt))?;
+                let lt = backend.trim(
+                    &first,
+                    &RankPredicate {
+                        op: qjoin_ranking::CmpOp::Gt,
+                        bound: low_bound,
+                    },
+                )?;
+                let n_lt = backend.count(&lt)?;
+                Ok((lt, n_lt))
             },
-        )?
-    };
-    let gt = {
-        let first = state.backend.trim(
-            state.instance,
-            &RankPredicate::greater_than(pivot_weight.clone()),
-        )?;
-        state.backend.trim(
-            &first,
-            &RankPredicate {
-                op: qjoin_ranking::CmpOp::Lt,
-                bound: high.clone(),
+            move || -> Result<(B::Inst, u128)> {
+                let first = backend.trim(instance, &RankPredicate::greater_than(pw_gt))?;
+                let gt = backend.trim(
+                    &first,
+                    &RankPredicate {
+                        op: qjoin_ranking::CmpOp::Lt,
+                        bound: high_bound,
+                    },
+                )?;
+                let n_gt = backend.count(&gt)?;
+                Ok((gt, n_gt))
             },
-        )?
+        )
     };
-    let n_lt = state.backend.count(&lt)?;
-    let n_gt = state.backend.count(&gt)?;
+    let (lt, n_lt) = lt_result?;
+    let (gt, n_gt) = gt_result?;
     state
         .tracer
         .phase(SolvePhase::TrimRound, trim_started.elapsed());
+    report_parallel(state.tracer, SolvePhase::TrimRound, trim_par);
     let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
 
     // Route each target into its partition; the equal-to band resolves to the pivot.
@@ -306,6 +322,7 @@ fn resolve_leaf<B: SolveBackend>(
     results: &mut [Option<QuantileResult>],
 ) -> Result<()> {
     let materialize_started = Instant::now();
+    let materialize_par = qjoin_par::thread_parallel_nanos();
     let mut keyed = state.backend.keyed_answers(current, state.original_vars)?;
     if keyed.is_empty() {
         return Err(CoreError::NoAnswers);
@@ -314,6 +331,7 @@ fn resolve_leaf<B: SolveBackend>(
     state
         .tracer
         .phase(SolvePhase::Materialize, materialize_started.elapsed());
+    report_parallel(state.tracer, SolvePhase::Materialize, materialize_par);
     for t in targets {
         let k = ((t.rank - offset) as usize).min(keyed.len() - 1);
         let selected = &keyed[k];

@@ -96,47 +96,73 @@ pub(crate) fn select_pivot_encoded(
     for &node_id in &ctx.tree().bottom_up_order() {
         let children = ctx.tree().node(node_id).children.clone();
         let n_rows = ctx.node(node_id).rows.len();
+        // Algorithm-2 scan: every row's message (code gather, child merge,
+        // weight fold, count product) is independent of every other row's, so
+        // the scan is chunked over the executor pool. Each message's weight is
+        // still folded in weighted-variable order on its own row, and chunk
+        // partials concatenate in canonical order — the message vector is
+        // bit-identical to the sequential scan at any thread count.
+        let chunks: Vec<Vec<Msg>> =
+            qjoin_par::par_map_chunks(n_rows, qjoin_par::DEFAULT_CHUNK, |_, range| {
+                range
+                    .map(|i| {
+                        let mut codes = vec![UNBOUND; n_slots];
+                        for &(pos, slot) in &copy_plan[node_id] {
+                            codes[slot] = ctx.code(node_id, i, pos);
+                        }
+                        let mut count: u128 = 1;
+                        for &child in &children {
+                            let key = ctx.key_from_parent(child, i);
+                            let (child_codes, _, child_count) = per_group[child]
+                                .get(&key)
+                                .expect("full reducer guarantees a matching child group");
+                            for slot in 0..n_slots {
+                                if child_codes[slot] != UNBOUND {
+                                    codes[slot] = child_codes[slot];
+                                }
+                            }
+                            count *= child_count;
+                        }
+                        let weight = weight_of(&codes);
+                        (Arc::new(codes), weight, count)
+                    })
+                    .collect()
+            });
         let mut msgs: Vec<Msg> = Vec::with_capacity(n_rows);
-        for i in 0..n_rows {
-            let mut codes = vec![UNBOUND; n_slots];
-            for &(pos, slot) in &copy_plan[node_id] {
-                codes[slot] = ctx.code(node_id, i, pos);
-            }
-            let mut count: u128 = 1;
-            for &child in &children {
-                let key = ctx.key_from_parent(child, i);
-                let (child_codes, _, child_count) = per_group[child]
-                    .get(&key)
-                    .expect("full reducer guarantees a matching child group");
-                for slot in 0..n_slots {
-                    if child_codes[slot] != UNBOUND {
-                        codes[slot] = child_codes[slot];
-                    }
-                }
-                count *= child_count;
-            }
-            let weight = weight_of(&codes);
-            msgs.push((Arc::new(codes), weight, count));
+        for chunk in chunks {
+            msgs.extend(chunk);
         }
-        per_tuple[node_id] = msgs;
 
         if node_id != ctx.root() {
-            let mut groups: HashMap<Key, Msg> =
-                HashMap::with_capacity(ctx.node(node_id).groups.len());
-            for (key, members) in &ctx.node(node_id).groups {
-                let items: Vec<(Candidate, u128)> = members
-                    .iter()
-                    .map(|&i| {
-                        let (codes, weight, count) = &per_tuple[node_id][i as usize];
-                        ((Arc::clone(codes), weight.clone()), *count)
-                    })
-                    .collect();
-                let total: u128 = items.iter().map(|(_, c)| c).sum();
-                let median = weighted_median_by(&items, &cmp);
-                groups.insert(key.clone(), (median.0, median.1, total));
+            // Independent per-group weighted medians, fanned out in chunks;
+            // each median folds its group's members in ascending row order.
+            let entries: Vec<(&Key, &Vec<u32>)> = ctx.node(node_id).groups.iter().collect();
+            let medians: Vec<Vec<Msg>> =
+                qjoin_par::par_map_chunks(entries.len(), qjoin_par::DEFAULT_CHUNK, |_, range| {
+                    range
+                        .map(|g| {
+                            let items: Vec<(Candidate, u128)> = entries[g]
+                                .1
+                                .iter()
+                                .map(|&i| {
+                                    let (codes, weight, count) = &msgs[i as usize];
+                                    ((Arc::clone(codes), weight.clone()), *count)
+                                })
+                                .collect();
+                            let total: u128 = items.iter().map(|(_, c)| c).sum();
+                            let median = weighted_median_by(&items, &cmp);
+                            (median.0, median.1, total)
+                        })
+                        .collect()
+                });
+            let mut groups: HashMap<Key, Msg> = HashMap::with_capacity(entries.len());
+            let mut flat = medians.into_iter().flatten();
+            for (key, _) in entries {
+                groups.insert(key.clone(), flat.next().expect("one median per group"));
             }
             per_group[node_id] = groups;
         }
+        per_tuple[node_id] = msgs;
     }
 
     // The artificial root V_0 = ∅: the final pivot is the weighted median of the

@@ -132,15 +132,20 @@ fn partition_union_trim_encoded(
     let query = instance.query().clone();
 
     if partitions.len() == 1 {
-        let mut replaced = Vec::new();
-        for (atom_idx, atom) in query.atoms().iter().enumerate() {
+        // Independent per-atom filters (each itself chunk-parallel inside
+        // `EncodedRelation::filtered`), gathered in atom order.
+        let n_atoms = query.atoms().len();
+        let filtered: Vec<Option<EncodedRelation>> = qjoin_par::par_map(n_atoms, |atom_idx| {
+            let atom = &query.atoms()[atom_idx];
             let rel = instance.relation_of_atom(atom_idx);
             let relevant = relevant_predicates(atom, &partitions[0]);
             if relevant.is_empty() {
-                continue; // untouched: shared by handle
+                None // untouched: shared by handle
+            } else {
+                Some(filter_view(rel, weights, &relevant))
             }
-            replaced.push(filter_view(rel, weights, &relevant));
-        }
+        });
+        let replaced: Vec<EncodedRelation> = filtered.into_iter().flatten().collect();
         return Ok(instance.with_rewritten(query, replaced)?);
     }
 
@@ -148,8 +153,12 @@ fn partition_union_trim_encoded(
     let partition_var = Variable::fresh("x_p", query_vars.iter());
     let new_query = query.with_variable_everywhere(&partition_var);
 
-    let mut replaced = Vec::new();
-    for (atom_idx, atom) in query.atoms().iter().enumerate() {
+    // Each atom's tagged segment list is built independently; results are
+    // gathered in atom order (and segments within an atom in partition order),
+    // so the rewritten views match the sequential construction exactly.
+    let n_atoms = query.atoms().len();
+    let rewritten: Vec<Result<EncodedRelation>> = qjoin_par::par_map(n_atoms, |atom_idx| {
+        let atom = &query.atoms()[atom_idx];
         let rel = instance.relation_of_atom(atom_idx);
         let mut segments: Vec<Segment> = Vec::new();
         for (partition_idx, conjunction) in partitions.iter().enumerate() {
@@ -168,12 +177,16 @@ fn partition_union_trim_encoded(
                 });
             }
         }
-        replaced.push(EncodedRelation::from_segments(
+        Ok(EncodedRelation::from_segments(
             rel.name(),
             Arc::clone(rel.base()),
             rel.synth_arity() + 1,
             segments,
-        )?);
+        )?)
+    });
+    let mut replaced = Vec::with_capacity(n_atoms);
+    for view in rewritten {
+        replaced.push(view?);
     }
     Ok(instance.with_rewritten(new_query, replaced)?)
 }
@@ -232,6 +245,20 @@ fn weighted_pairs(
     tw.vars_of_atom(atom_idx)
         .map(|v| (v.clone(), query.atom(atom_idx).positions_of(v)[0]))
         .collect()
+}
+
+/// Prefix row offsets of a view's segments (`offsets[s]` is the global index of
+/// segment `s`'s first row; the last entry is the total row count). Turns a
+/// global row index into `(segment, row)` coordinates for chunked scans.
+fn segment_offsets(rel: &EncodedRelation) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(rel.segments().len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for seg in rel.segments() {
+        total += seg.len();
+        offsets.push(total);
+    }
+    offsets
 }
 
 /// The partial sum carried by one view row (mirrors `SumTupleWeights::tuple_sum`,
@@ -328,6 +355,16 @@ impl ViewBuilder {
         self.interval.push(interval_code);
     }
 
+    /// Appends another builder's rows (used to concatenate chunk-local partials
+    /// in canonical chunk order).
+    fn append(&mut self, mut other: ViewBuilder) {
+        self.sel.append(&mut other.sel);
+        for (dst, mut src) in self.old_synth.iter_mut().zip(other.old_synth) {
+            dst.append(&mut src);
+        }
+        self.interval.append(&mut other.interval);
+    }
+
     fn build(self, rel: &EncodedRelation) -> Result<EncodedRelation> {
         let mut synth: Vec<SynthCol> = self
             .old_synth
@@ -377,25 +414,43 @@ fn trim_adjacent_pair_encoded(
         .collect();
 
     // Group B's rows by the join key and sort each group by partial sum (ties by
-    // global row position, matching the row path's tuple-index tie-break).
+    // global row position, matching the row path's tuple-index tie-break). The
+    // grouping pass is chunked over the executor pool; chunk-local maps merge in
+    // canonical chunk order, keeping each group's members in global-row order
+    // before the (total-ordered, hence order-insensitive) sort.
     let rel_b = instance.relation_of_atom(atom_b);
-    let mut key_buf: Vec<u64> = Vec::with_capacity(key_pos_b.len());
+    let offsets_b = segment_offsets(rel_b);
+    let total_b = *offsets_b.last().expect("offsets include the empty prefix");
+    let chunk_maps: Vec<HashMap<Key, Vec<BMember>>> =
+        qjoin_par::par_map_chunks(total_b, qjoin_par::DEFAULT_CHUNK, |_, range| {
+            let mut local: HashMap<Key, Vec<BMember>> = HashMap::new();
+            let mut key_buf: Vec<u64> = Vec::with_capacity(key_pos_b.len());
+            let mut seg = offsets_b.partition_point(|&o| o <= range.start) - 1;
+            for global in range {
+                while global >= offsets_b[seg + 1] {
+                    seg += 1;
+                }
+                let row = global - offsets_b[seg];
+                key_buf.clear();
+                key_buf.extend(key_pos_b.iter().map(|&p| rel_b.code(seg, row, p)));
+                local
+                    .entry(Key::from_codes(&key_buf))
+                    .or_default()
+                    .push(BMember {
+                        sum: row_sum(rel_b, weights, &pairs_b, seg, row),
+                        global: global as u32,
+                        seg: seg as u32,
+                        row: row as u32,
+                    });
+            }
+            local
+        });
     let mut groups: HashMap<Key, Vec<BMember>> = HashMap::new();
-    let mut global = 0u32;
-    rel_b.for_each_row(|seg, row| {
-        key_buf.clear();
-        key_buf.extend(key_pos_b.iter().map(|&p| rel_b.code(seg, row, p)));
-        groups
-            .entry(Key::from_codes(&key_buf))
-            .or_default()
-            .push(BMember {
-                sum: row_sum(rel_b, weights, &pairs_b, seg, row),
-                global,
-                seg: seg as u32,
-                row: row as u32,
-            });
-        global += 1;
-    });
+    for local in chunk_maps {
+        for (key, members) in local {
+            groups.entry(key).or_default().extend(members);
+        }
+    }
     for members in groups.values_mut() {
         members.sort_by(|a, b| a.sum.total_cmp(&b.sum).then(a.global.cmp(&b.global)));
     }
@@ -419,58 +474,76 @@ fn trim_adjacent_pair_encoded(
         .with_replaced_atom(atom_b, new_atom_b);
 
     // A-side: connect every A row to the dyadic cover of its qualifying range.
+    // Rows are independent, so the scan is chunked; chunk-local builders are
+    // appended in canonical chunk order (and the first packing error in scan
+    // order wins), reproducing the sequential output exactly.
     let rel_a = instance.relation_of_atom(atom_a);
-    let mut new_a = ViewBuilder::new(rel_a.synth_arity());
-    let mut a_result: Result<()> = Ok(());
-    rel_a.for_each_row(|seg, row| {
-        if a_result.is_err() {
-            return;
-        }
-        key_buf.clear();
-        key_buf.extend(key_pos_a.iter().map(|&p| rel_a.code(seg, row, p)));
-        let key = Key::from_codes(&key_buf);
-        let Some(members) = groups.get(&key) else {
-            return;
-        };
-        let gid = group_ids[&key];
-        let wa = row_sum(rel_a, weights, &pairs_a, seg, row);
-        let threshold = bound - wa;
-        let (lo, hi) = match op {
-            // w_A + w_B < λ ⇔ w_B < λ - w_A: the prefix of strictly smaller sums.
-            CmpOp::Lt => (0, members.partition_point(|m| m.sum < threshold)),
-            // w_A + w_B > λ ⇔ w_B > λ - w_A: the suffix of strictly larger sums.
-            CmpOp::Gt => (
-                members.partition_point(|m| m.sum <= threshold),
-                members.len(),
-            ),
-        };
-        for (level, index) in dyadic_cover(lo, hi) {
-            match pack_interval(gid, level, index) {
-                Ok(code) => new_a.push(rel_a, seg, row, code),
-                Err(e) => {
-                    a_result = Err(e);
-                    return;
+    let offsets_a = segment_offsets(rel_a);
+    let total_a = *offsets_a.last().expect("offsets include the empty prefix");
+    let a_parts: Vec<Result<ViewBuilder>> =
+        qjoin_par::par_map_chunks(total_a, qjoin_par::DEFAULT_CHUNK, |_, range| {
+            let mut part = ViewBuilder::new(rel_a.synth_arity());
+            let mut key_buf: Vec<u64> = Vec::with_capacity(key_pos_a.len());
+            let mut seg = offsets_a.partition_point(|&o| o <= range.start) - 1;
+            for global in range {
+                while global >= offsets_a[seg + 1] {
+                    seg += 1;
+                }
+                let row = global - offsets_a[seg];
+                key_buf.clear();
+                key_buf.extend(key_pos_a.iter().map(|&p| rel_a.code(seg, row, p)));
+                let key = Key::from_codes(&key_buf);
+                let Some(members) = groups.get(&key) else {
+                    continue;
+                };
+                let gid = group_ids[&key];
+                let wa = row_sum(rel_a, weights, &pairs_a, seg, row);
+                let threshold = bound - wa;
+                let (lo, hi) = match op {
+                    // w_A + w_B < λ ⇔ w_B < λ - w_A: the prefix of strictly smaller sums.
+                    CmpOp::Lt => (0, members.partition_point(|m| m.sum < threshold)),
+                    // w_A + w_B > λ ⇔ w_B > λ - w_A: the suffix of strictly larger sums.
+                    CmpOp::Gt => (
+                        members.partition_point(|m| m.sum <= threshold),
+                        members.len(),
+                    ),
+                };
+                for (level, index) in dyadic_cover(lo, hi) {
+                    part.push(rel_a, seg, row, pack_interval(gid, level, index)?);
                 }
             }
-        }
-    });
-    a_result?;
+            Ok(part)
+        });
+    let mut new_a = ViewBuilder::new(rel_a.synth_arity());
+    for part in a_parts {
+        new_a.append(part?);
+    }
 
     // B-side: every B row joins the interval containing its position, one copy per
     // level. Groups are walked in gid order, which is deterministic (the row path
-    // walks its hash map in arbitrary order; the answer set is identical).
+    // walks its hash map in arbitrary order; the answer set is identical); the
+    // per-group expansions are independent and chunked, appended in gid order.
     let mut sorted_groups: Vec<(&Key, &Vec<BMember>)> = groups.iter().collect();
     sorted_groups.sort_by_key(|(key, _)| group_ids[*key]);
-    let mut new_b = ViewBuilder::new(rel_b.synth_arity());
-    for (key, members) in sorted_groups {
-        let gid = group_ids[key];
-        let levels = levels_for(members.len());
-        for (pos, member) in members.iter().enumerate() {
-            for level in 0..=levels {
-                let code = pack_interval(gid, level, pos >> level)?;
-                new_b.push(rel_b, member.seg as usize, member.row as usize, code);
+    let b_parts: Vec<Result<ViewBuilder>> =
+        qjoin_par::par_map_chunks(sorted_groups.len(), qjoin_par::DEFAULT_CHUNK, |_, range| {
+            let mut part = ViewBuilder::new(rel_b.synth_arity());
+            for g in range {
+                let (key, members) = sorted_groups[g];
+                let gid = group_ids[key];
+                let levels = levels_for(members.len());
+                for (pos, member) in members.iter().enumerate() {
+                    for level in 0..=levels {
+                        let code = pack_interval(gid, level, pos >> level)?;
+                        part.push(rel_b, member.seg as usize, member.row as usize, code);
+                    }
+                }
             }
-        }
+            Ok(part)
+        });
+    let mut new_b = ViewBuilder::new(rel_b.synth_arity());
+    for part in b_parts {
+        new_b.append(part?);
     }
 
     let new_a = new_a.build(rel_a)?;

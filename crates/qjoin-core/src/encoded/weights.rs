@@ -20,17 +20,26 @@ pub(crate) struct CodeWeights {
 
 impl CodeWeights {
     /// Applies each weighted variable's weight function to every dictionary value.
+    /// The per-code fold is chunked over the executor pool; each code's weight is
+    /// computed independently and the chunks concatenate in canonical order, so
+    /// the tables are bit-identical at any thread count.
     pub(crate) fn build(dictionary: &Dictionary, ranking: &Ranking) -> CodeWeights {
+        let values = dictionary.values();
         let mut tables = HashMap::with_capacity(ranking.weighted_vars().len());
         for var in ranking.weighted_vars() {
             if tables.contains_key(var) {
                 continue;
             }
-            let table: Vec<f64> = dictionary
-                .values()
-                .iter()
-                .map(|value| ranking.var_weight(var, value))
-                .collect();
+            let chunks: Vec<Vec<f64>> =
+                qjoin_par::par_map_chunks(values.len(), qjoin_par::DEFAULT_CHUNK, |_, range| {
+                    range
+                        .map(|code| ranking.var_weight(var, &values[code]))
+                        .collect()
+                });
+            let mut table: Vec<f64> = Vec::with_capacity(values.len());
+            for chunk in chunks {
+                table.extend(chunk);
+            }
             tables.insert(var.clone(), table);
         }
         CodeWeights { tables }

@@ -89,9 +89,12 @@ pub fn target_rank(phi: f64, total: u128) -> u128 {
 /// (dictionary-coded views, [`crate::encoded`]). The driver logic is written once
 /// and shared, so both representations take branch-for-branch identical recursions
 /// — the backbone of the paths' pointwise-equality guarantee.
-pub(crate) trait SolveBackend {
+/// (`Sync` on the backend and `Send + Sync` on the instances lets the driver
+/// rebuild the less-than and greater-than partitions as the two arms of a
+/// [`qjoin_par::par_join`]; both backends are plain shared data.)
+pub(crate) trait SolveBackend: Sync {
     /// The instance representation the backend recurses over.
-    type Inst: Clone;
+    type Inst: Clone + Send + Sync;
 
     /// `|Q(D)|` of an instance (a linear-time Yannakakis counting pass).
     fn count(&self, instance: &Self::Inst) -> Result<u128>;
@@ -175,6 +178,16 @@ pub fn quantile_by_pivoting_traced(
     quantile_by_pivoting_backend(&backend, instance, phi, options, &original_vars, tracer)
 }
 
+/// Reports the executor time a phase accrued on this thread since `before` (a
+/// [`qjoin_par::thread_parallel_nanos`] sample taken when the phase started).
+/// Only pool-executed regions count, so a 1-thread solve reports nothing.
+pub(crate) fn report_parallel(tracer: &dyn SolveTracer, phase: SolvePhase, before: u64) {
+    let delta = qjoin_par::thread_parallel_nanos().saturating_sub(before);
+    if delta > 0 {
+        tracer.parallel(phase, std::time::Duration::from_nanos(delta));
+    }
+}
+
 /// The generic driver behind [`quantile_by_pivoting`]: Algorithm 1 over any
 /// [`SolveBackend`].
 pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
@@ -189,8 +202,10 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
         return Err(CoreError::InvalidPhi(phi));
     }
     let prepare_started = Instant::now();
+    let prepare_par = qjoin_par::thread_parallel_nanos();
     let total = backend.count(instance)?;
     tracer.phase(SolvePhase::Prepare, prepare_started.elapsed());
+    report_parallel(tracer, SolvePhase::Prepare, prepare_par);
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
@@ -210,37 +225,54 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     while current_count > threshold && iterations < options.max_iterations {
         iterations += 1;
         let pivot_started = Instant::now();
+        let pivot_par = qjoin_par::thread_parallel_nanos();
         let pivot = backend.select_pivot(&current)?;
         tracer.phase(SolvePhase::PivotScan, pivot_started.elapsed());
+        report_parallel(tracer, SolvePhase::PivotScan, pivot_par);
         let pivot_weight = pivot.weight.clone();
 
         // Rebuild both partitions from the original instance, restricted to the
-        // candidate region (low, high).
+        // candidate region (low, high). The two partitions are independent, so
+        // their trim+count pairs run as the two arms of a join (sequentially,
+        // lt first, when the pool has one thread — the original order).
         let trim_started = Instant::now();
-        let lt = {
-            let first = backend.trim(instance, &RankPredicate::less_than(pivot_weight.clone()))?;
-            backend.trim(
-                &first,
-                &RankPredicate {
-                    op: qjoin_ranking::CmpOp::Gt,
-                    bound: low.clone(),
+        let trim_par = qjoin_par::thread_parallel_nanos();
+        let (lt_result, gt_result) = {
+            let pw_lt = pivot_weight.clone();
+            let pw_gt = pivot_weight.clone();
+            let low_bound = low.clone();
+            let high_bound = high.clone();
+            qjoin_par::par_join(
+                move || -> Result<(B::Inst, u128)> {
+                    let first = backend.trim(instance, &RankPredicate::less_than(pw_lt))?;
+                    let lt = backend.trim(
+                        &first,
+                        &RankPredicate {
+                            op: qjoin_ranking::CmpOp::Gt,
+                            bound: low_bound,
+                        },
+                    )?;
+                    let n_lt = backend.count(&lt)?;
+                    Ok((lt, n_lt))
                 },
-            )?
-        };
-        let gt = {
-            let first =
-                backend.trim(instance, &RankPredicate::greater_than(pivot_weight.clone()))?;
-            backend.trim(
-                &first,
-                &RankPredicate {
-                    op: qjoin_ranking::CmpOp::Lt,
-                    bound: high.clone(),
+                move || -> Result<(B::Inst, u128)> {
+                    let first = backend.trim(instance, &RankPredicate::greater_than(pw_gt))?;
+                    let gt = backend.trim(
+                        &first,
+                        &RankPredicate {
+                            op: qjoin_ranking::CmpOp::Lt,
+                            bound: high_bound,
+                        },
+                    )?;
+                    let n_gt = backend.count(&gt)?;
+                    Ok((gt, n_gt))
                 },
-            )?
+            )
         };
-        let n_lt = backend.count(&lt)?;
-        let n_gt = backend.count(&gt)?;
+        let (lt, n_lt) = lt_result?;
+        let (gt, n_gt) = gt_result?;
         tracer.phase(SolvePhase::TrimRound, trim_started.elapsed());
+        report_parallel(tracer, SolvePhase::TrimRound, trim_par);
         let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
 
         if k < n_lt {
@@ -276,6 +308,7 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
 
     // Materialize the remaining candidates and select directly.
     let materialize_started = Instant::now();
+    let materialize_par = qjoin_par::thread_parallel_nanos();
     let keyed = backend.keyed_answers(&current, original_vars)?;
     if keyed.is_empty() {
         return Err(CoreError::NoAnswers);
@@ -284,6 +317,7 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
     let answer = keyed_answer_to_assignment(original_vars, &selected);
     tracer.phase(SolvePhase::Materialize, materialize_started.elapsed());
+    report_parallel(tracer, SolvePhase::Materialize, materialize_par);
     Ok(QuantileResult {
         answer,
         weight: selected.0,

@@ -66,6 +66,13 @@ pub trait SolveTracer {
     fn phase(&self, phase: SolvePhase, elapsed: Duration) {
         let _ = (phase, elapsed);
     }
+
+    /// Executor time the phase accrued on the driver thread — wall time of
+    /// pool-executed parallel regions only, so `parallel / phase` approximates
+    /// the fraction of the phase spent inside the chunk executor.
+    fn parallel(&self, phase: SolvePhase, elapsed: Duration) {
+        let _ = (phase, elapsed);
+    }
 }
 
 /// The do-nothing tracer used by the untraced public entry points.

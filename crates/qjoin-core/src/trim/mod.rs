@@ -31,7 +31,11 @@ use qjoin_ranking::{RankPredicate, Ranking};
 /// (projected onto the original query's variables) are answers of the original
 /// instance satisfying the predicate. *Exact* trimmers retain all such answers;
 /// *lossy* trimmers (Definition 3.5) may drop up to an `ε` fraction of them.
-pub trait Trimmer {
+///
+/// `Sync` because the solve driver rebuilds the two sides of a partition through
+/// the same trimmer concurrently (`qjoin_par::par_join`); all implementations are
+/// stateless.
+pub trait Trimmer: Sync {
     /// Rewrites the instance so that its answers are (a 1-ε fraction of) the original
     /// answers satisfying `predicate`.
     fn trim(

@@ -160,14 +160,18 @@ pub struct EncodedDatabase {
 
 impl EncodedDatabase {
     /// Encodes a database: builds the dictionary, then every relation's columns.
+    /// Relations encode independently, so they are fanned out over the current
+    /// executor pool; results are gathered in relation order, so the encoding
+    /// (and the first error reported, if any) is identical at any thread count.
     pub fn encode(db: &Database) -> Result<EncodedDatabase> {
         let dictionary = Arc::new(Dictionary::from_database(db));
+        let rels: Vec<_> = db.relations().collect();
+        let encoded = qjoin_par::par_map(rels.len(), |i| {
+            EncodedColumns::encode(rels[i], &dictionary).map(Arc::new)
+        });
         let mut relations = BTreeMap::new();
-        for rel in db.relations() {
-            relations.insert(
-                rel.name().to_string(),
-                Arc::new(EncodedColumns::encode(rel, &dictionary)?),
-            );
+        for (rel, columns) in rels.iter().zip(encoded) {
+            relations.insert(rel.name().to_string(), columns?);
         }
         Ok(EncodedDatabase {
             dictionary,
@@ -404,31 +408,56 @@ impl EncodedRelation {
     /// A view keeping only the rows for which `keep` returns true. When a segment
     /// keeps every row, it is shared (cloned by handle) rather than rebuilt — the
     /// encoded analogue of [`crate::Relation::filtered`]'s sharing guarantee.
-    pub fn filtered(&self, mut keep: impl FnMut(usize, usize) -> bool) -> EncodedRelation {
+    ///
+    /// Each segment is scanned in fixed-size chunks over the current executor
+    /// pool; every chunk packs its surviving rows locally and the partials are
+    /// concatenated in canonical chunk order, so the resulting selection vector
+    /// is byte-identical to the sequential scan at any thread count.
+    pub fn filtered(&self, keep: impl Fn(usize, usize) -> bool + Sync) -> EncodedRelation {
+        let keep = &keep;
         let segments = self
             .segments
             .iter()
             .enumerate()
             .map(|(seg_idx, seg)| {
-                let mask: Vec<bool> = (0..seg.len()).map(|row| keep(seg_idx, row)).collect();
-                if mask.iter().all(|&k| k) {
+                let parts: Vec<(Vec<u32>, Vec<Vec<u64>>)> =
+                    qjoin_par::par_map_chunks(seg.len(), qjoin_par::DEFAULT_CHUNK, |_, range| {
+                        let mut rows = Vec::new();
+                        let mut synth: Vec<Vec<u64>> = vec![Vec::new(); seg.synth.len()];
+                        for row in range {
+                            if !keep(seg_idx, row) {
+                                continue;
+                            }
+                            rows.push(seg.sel.get(row));
+                            for (k, col) in seg.synth.iter().enumerate() {
+                                if let SynthCol::PerRow(codes) = col {
+                                    synth[k].push(codes[row]);
+                                }
+                            }
+                        }
+                        (rows, synth)
+                    });
+                let kept: usize = parts.iter().map(|(rows, _)| rows.len()).sum();
+                if kept == seg.len() {
                     return seg.clone();
                 }
-                let rows: Vec<u32> = (0..seg.len())
-                    .filter(|&row| mask[row])
-                    .map(|row| seg.sel.get(row))
-                    .collect();
+                let mut rows = Vec::with_capacity(kept);
+                let mut synth_rows: Vec<Vec<u64>> = vec![Vec::new(); seg.synth.len()];
+                for (part_rows, part_synth) in parts {
+                    rows.extend(part_rows);
+                    for (k, part) in part_synth.into_iter().enumerate() {
+                        synth_rows[k].extend(part);
+                    }
+                }
                 let synth = seg
                     .synth
                     .iter()
-                    .map(|col| match col {
+                    .enumerate()
+                    .map(|(k, col)| match col {
                         SynthCol::Const(c) => SynthCol::Const(*c),
-                        SynthCol::PerRow(codes) => SynthCol::PerRow(Arc::new(
-                            (0..seg.len())
-                                .filter(|&row| mask[row])
-                                .map(|row| codes[row])
-                                .collect(),
-                        )),
+                        SynthCol::PerRow(_) => {
+                            SynthCol::PerRow(Arc::new(std::mem::take(&mut synth_rows[k])))
+                        }
                     })
                     .collect();
                 Segment {

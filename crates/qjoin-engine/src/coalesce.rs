@@ -48,6 +48,18 @@ pub(crate) struct GateOutcome<R, E> {
     pub was_follower: bool,
 }
 
+/// How the gate served one multi-φ request ([`Gate::serve_many`]).
+#[derive(Debug)]
+pub(crate) struct GateBatchOutcome<R, E> {
+    /// One answer per requested φ, in input order (an `Err` from any covering
+    /// round fails the whole request, exactly as an un-gated batch solve would).
+    pub results: Result<Vec<R>, E>,
+    /// Rounds this request led whose shared batch also served at least one waiter.
+    pub coalesced_rounds: u64,
+    /// True when every answer came out of batches solved by *other* requests.
+    pub was_follower: bool,
+}
+
 /// Shared state of one in-flight coalescing group.
 #[derive(Debug)]
 struct FlightState<R, E> {
@@ -128,7 +140,35 @@ impl<R: Clone, E: Clone> Gate<R, E> {
         phi: f64,
         solve: impl Fn(&[f64]) -> Result<Vec<R>, E>,
     ) -> GateOutcome<R, E> {
-        let bits = phi.to_bits();
+        let outcome = self.serve_many(key, &[phi], solve);
+        GateOutcome {
+            result: outcome
+                .results
+                .map(|mut results| results.pop().expect("one result per requested φ")),
+            coalesced_rounds: outcome.coalesced_rounds,
+            was_follower: outcome.was_follower,
+        }
+    }
+
+    /// [`Gate::serve`] for a whole batch of φ targets at once: the multi-φ miss
+    /// path of `quantile_batch`. All of the caller's unresolved targets register
+    /// with the flight together, so a batch request folds into an in-flight round
+    /// (or seeds one other requests fold into) instead of running its own solve
+    /// next to it. Returns one answer per φ in input order.
+    pub fn serve_many(
+        &self,
+        key: GateKey,
+        phis: &[f64],
+        solve: impl Fn(&[f64]) -> Result<Vec<R>, E>,
+    ) -> GateBatchOutcome<R, E> {
+        if phis.is_empty() {
+            return GateBatchOutcome {
+                results: Ok(Vec::new()),
+                coalesced_rounds: 0,
+                was_follower: false,
+            };
+        }
+        let bits: Vec<u64> = phis.iter().map(|p| p.to_bits()).collect();
         let flight = {
             let mut map = self.inflight.lock().expect("gate map lock poisoned");
             match map.get(&key) {
@@ -137,16 +177,20 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                     // Register under the map lock: a flight still in the map is
                     // guaranteed to run at least one more round before closing.
                     let mut state = flight.state.lock().expect("flight lock poisoned");
-                    if let Some(result) = state.results.get(&bits) {
-                        // A shared batch already answered this exact target.
-                        return GateOutcome {
-                            result: result.clone(),
+                    if let Some(results) = collect_results(&state, &bits) {
+                        // Shared batches already answered every target.
+                        return GateBatchOutcome {
+                            results,
                             coalesced_rounds: 0,
                             was_follower: true,
                         };
                     }
-                    if !state.pending.iter().any(|p| p.to_bits() == bits) {
-                        state.pending.push(phi);
+                    for (&phi, b) in phis.iter().zip(&bits) {
+                        if !state.results.contains_key(b)
+                            && !state.pending.iter().any(|p| p.to_bits() == *b)
+                        {
+                            state.pending.push(phi);
+                        }
                     }
                     state.attached += 1;
                     drop(state);
@@ -155,25 +199,27 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                 }
                 None => {
                     let flight: Arc<Flight<R, E>> = Arc::new(Flight::default());
-                    flight
-                        .state
-                        .lock()
-                        .expect("flight lock poisoned")
-                        .pending
-                        .push(phi);
+                    {
+                        let mut state = flight.state.lock().expect("flight lock poisoned");
+                        for (&phi, b) in phis.iter().zip(&bits) {
+                            if !state.pending.iter().any(|p| p.to_bits() == *b) {
+                                state.pending.push(phi);
+                            }
+                        }
+                    }
                     map.insert(key, Arc::clone(&flight));
                     drop(map);
-                    return self.lead(key, &flight, bits, &solve);
+                    return self.lead(key, &flight, &bits, &solve);
                 }
             }
         };
-        // Follower: wait until a round publishes our answer, or until we are
-        // promoted to lead the round that contains it.
+        // Follower: wait until rounds publish every one of our answers, or until
+        // we are promoted to lead the round that contains the remainder.
         let mut state = flight.state.lock().expect("flight lock poisoned");
         loop {
-            if let Some(result) = state.results.get(&bits) {
-                return GateOutcome {
-                    result: result.clone(),
+            if let Some(results) = collect_results(&state, &bits) {
+                return GateBatchOutcome {
+                    results,
                     coalesced_rounds: 0,
                     was_follower: true,
                 };
@@ -182,23 +228,25 @@ impl<R: Clone, E: Clone> Gate<R, E> {
             if state.needs_leader {
                 state.needs_leader = false;
                 drop(state);
-                return self.lead(key, &flight, bits, &solve);
+                return self.lead(key, &flight, &bits, &solve);
             }
             state = flight.cv.wait(state).expect("flight lock poisoned");
         }
     }
 
     /// Runs one round as leader (plus close-or-handoff bookkeeping). Reached either
-    /// by the flight's creator or by a waiter promoted via `needs_leader`.
+    /// by the flight's creator or by a waiter promoted via `needs_leader`. Every one
+    /// of the leader's own targets is either already published or registered in
+    /// `pending`, so the round it solves resolves all of them.
     fn lead(
         &self,
         key: GateKey,
         flight: &Arc<Flight<R, E>>,
-        my_bits: u64,
+        my_bits: &[u64],
         solve: &impl Fn(&[f64]) -> Result<Vec<R>, E>,
-    ) -> GateOutcome<R, E> {
+    ) -> GateBatchOutcome<R, E> {
         let mut coalesced_rounds = 0u64;
-        let mut my_result: Option<Result<R, E>> = None;
+        let mut my_result: Option<Result<Vec<R>, E>> = None;
         loop {
             // Take the next round, or close the flight if nothing is pending.
             // Map lock first: removal must be atomic with the last pending check so
@@ -206,13 +254,20 @@ impl<R: Clone, E: Clone> Gate<R, E> {
             let round: Vec<f64> = {
                 let mut map = self.inflight.lock().expect("gate map lock poisoned");
                 let mut state = flight.state.lock().expect("flight lock poisoned");
-                if state.pending.is_empty() {
+                // Targets an earlier round already published need no re-solve
+                // (answers are deterministic per key); their waiters read the
+                // published results when notified.
+                let taken = std::mem::take(&mut state.pending);
+                let mut round: Vec<f64> = taken
+                    .into_iter()
+                    .filter(|p| !state.results.contains_key(&p.to_bits()))
+                    .collect();
+                if round.is_empty() {
                     state.closed = true;
                     map.remove(&key);
                     flight.cv.notify_all();
                     break;
                 }
-                let mut round = std::mem::take(&mut state.pending);
                 round.sort_by(f64::total_cmp);
                 round
             };
@@ -223,7 +278,7 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                         state.results.insert(target.to_bits(), Ok(result));
                     }
                     if my_result.is_none() {
-                        my_result = state.results.get(&my_bits).cloned();
+                        my_result = collect_results(&state, my_bits);
                     }
                     if state.attached > 0 {
                         coalesced_rounds += 1;
@@ -263,14 +318,31 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                 }
             }
         }
-        GateOutcome {
-            result: my_result.expect("a led round always covers the leader's own φ"),
+        GateBatchOutcome {
+            results: my_result.expect("a led round always covers the leader's own φs"),
             coalesced_rounds,
-            // A promoted waiter solved its own target; it never consumed another
+            // A promoted waiter solved its own targets; it never consumed another
             // request's batch, so it is not a coalesced waiter.
             was_follower: false,
         }
     }
+}
+
+/// `Some` once every requested bit has a published answer: the answers in request
+/// order, or the first published error (errors fan out to the whole flight, so any
+/// error fails the whole request — identical to an un-gated batch solve).
+fn collect_results<R: Clone, E: Clone>(
+    state: &FlightState<R, E>,
+    bits: &[u64],
+) -> Option<Result<Vec<R>, E>> {
+    let mut results = Vec::with_capacity(bits.len());
+    for b in bits {
+        match state.results.get(b)? {
+            Ok(result) => results.push(result.clone()),
+            Err(e) => return Some(Err(e.clone())),
+        }
+    }
+    Some(Ok(results))
 }
 
 #[cfg(test)]
@@ -434,6 +506,77 @@ mod tests {
         assert_eq!(leader.join().unwrap().result.unwrap_err(), "boom");
         assert_eq!(waiter.join().unwrap().result.unwrap_err(), "boom");
         assert!(gate.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn batch_requests_fold_into_an_in_flight_round() {
+        let gate = Arc::new(TestGate::new());
+        let rounds = Arc::new(Mutex::new(Vec::<Vec<f64>>::new()));
+        let in_solve = Arc::new(Barrier::new(2));
+        let release = Arc::new(Barrier::new(2));
+
+        // A single-φ leader blocks mid-solve while two multi-φ batches attach.
+        let leader = {
+            let (gate, rounds) = (Arc::clone(&gate), Arc::clone(&rounds));
+            let (in_solve, release) = (Arc::clone(&in_solve), Arc::clone(&release));
+            thread::spawn(move || {
+                gate.serve((4, 2), 0.5, move |phis| {
+                    rounds.lock().unwrap().push(phis.to_vec());
+                    if phis == [0.5] {
+                        in_solve.wait();
+                        release.wait();
+                    }
+                    Ok(phis.to_vec())
+                })
+            })
+        };
+        in_solve.wait();
+        // Two overlapping batches; their union (minus what round 1 answers) must
+        // come out as ONE merged, sorted, deduplicated second round.
+        let batches: Vec<_> = [vec![0.1, 0.5, 0.9], vec![0.9, 0.3]]
+            .into_iter()
+            .map(|phis| {
+                let (gate, rounds) = (Arc::clone(&gate), Arc::clone(&rounds));
+                thread::spawn(move || {
+                    let out = gate.serve_many((4, 2), &phis, move |round| {
+                        rounds.lock().unwrap().push(round.to_vec());
+                        Ok(round.to_vec())
+                    });
+                    (phis, out)
+                })
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(50));
+        release.wait();
+
+        assert_eq!(leader.join().unwrap().result.unwrap(), 0.5);
+        let outs: Vec<_> = batches.into_iter().map(|t| t.join().unwrap()).collect();
+        for (phis, out) in &outs {
+            // Answers come back in the request's own input order.
+            assert_eq!(out.results.as_ref().unwrap(), phis);
+        }
+        // Exactly one batch was promoted to lead round 2; the other followed.
+        assert_eq!(outs.iter().filter(|(_, o)| o.was_follower).count(), 1);
+        let rounds = rounds.lock().unwrap();
+        assert_eq!(rounds[0], vec![0.5]);
+        assert_eq!(
+            rounds[1],
+            vec![0.1, 0.3, 0.9],
+            "batch targets merged, deduplicated (0.5, double 0.9), and sorted"
+        );
+        assert_eq!(rounds.len(), 2, "two batch requests shared one round");
+        assert!(gate.inflight.lock().unwrap().is_empty());
+    }
+
+    #[test]
+    fn serve_many_preserves_duplicate_targets_in_order() {
+        let gate = TestGate::new();
+        let out = gate.serve_many((6, 1), &[0.5, 0.2, 0.5], |phis| {
+            assert_eq!(phis, &[0.2, 0.5], "solver sees the deduplicated round");
+            Ok(phis.to_vec())
+        });
+        assert_eq!(out.results.unwrap(), vec![0.5, 0.2, 0.5]);
+        assert!(!out.was_follower);
     }
 
     #[test]

@@ -69,6 +69,12 @@ pub struct EngineConfig {
     pub cache_shards: usize,
     /// Options forwarded to the §3 pivoting driver.
     pub pivoting: PivotingOptions,
+    /// Intra-solve parallelism degree. `Some(t)` gives the engine its own
+    /// work-stealing pool of `t` threads (`1` is guaranteed purely sequential —
+    /// no worker threads are spawned and every parallel surface runs inline);
+    /// `None` uses the process-wide pool sized by `QJOIN_THREADS` (or the host's
+    /// available parallelism). Answers are bit-identical at any setting.
+    pub threads: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -77,6 +83,7 @@ impl Default for EngineConfig {
             cache_capacity: 1024,
             cache_shards: 8,
             pivoting: PivotingOptions::default(),
+            threads: None,
         }
     }
 }
@@ -238,6 +245,9 @@ pub struct Engine {
     registry: Arc<Registry>,
     /// Result-cache lookup latency (the "cache" span of a request).
     cache_lookup: Arc<Histogram>,
+    /// The engine's own chunk-executor pool when `config.threads` is set;
+    /// `None` delegates to the process-wide [`qjoin_par::global`] pool.
+    pool: Option<qjoin_par::Pool>,
     /// Construction time, for the uptime gauge.
     started: Instant,
 }
@@ -266,6 +276,7 @@ impl Engine {
         let cache = ShardedLru::new(config.cache_capacity, config.cache_shards);
         let registry = Arc::new(Registry::new());
         let cache_lookup = registry.histogram("qjoin_cache_lookup_seconds", &[]);
+        let pool = config.threads.map(qjoin_par::Pool::new);
         Engine {
             config,
             state: RwLock::new(EngineState::default()),
@@ -274,7 +285,28 @@ impl Engine {
             gate: Gate::new(),
             registry,
             cache_lookup,
+            pool,
             started: Instant::now(),
+        }
+    }
+
+    /// Runs `f` with the engine's executor pool installed as the thread's current
+    /// pool: the engine's own pool when `config.threads` is set, the process-wide
+    /// one otherwise. Every compute entry point (solving, encoding) goes through
+    /// here so the `threads` knob governs all intra-engine parallelism.
+    fn run_pooled<R>(&self, f: impl FnOnce() -> R) -> R {
+        match &self.pool {
+            Some(pool) => qjoin_par::with_pool(pool, f),
+            None => qjoin_par::with_pool(qjoin_par::global(), f),
+        }
+    }
+
+    /// The executor's counters: the engine's own pool when configured, the
+    /// process-wide pool otherwise.
+    pub fn pool_stats(&self) -> qjoin_par::PoolStats {
+        match &self.pool {
+            Some(pool) => pool.stats(),
+            None => qjoin_par::global().stats(),
         }
     }
 
@@ -313,24 +345,28 @@ impl Engine {
         // re-checks under the lock).
         self.read_state().catalog.get(name)?;
         // One encoding pass per generation, shared by every recompiled plan.
-        let encoded = qjoin_data::EncodedDatabase::encode(&database)
-            .ok()
-            .map(Arc::new);
+        let encoded = self.run_pooled(|| {
+            qjoin_data::EncodedDatabase::encode(&database)
+                .ok()
+                .map(Arc::new)
+        });
         let mut state = self.write_state();
         let entry = state.catalog.get(name)?;
         let new_generation = entry.generation + 1;
         let mut recompiled = Vec::new();
         for plan in state.plans.values().filter(|p| p.database == name) {
-            recompiled.push(PreparedPlan::compile(
-                &plan.name,
-                plan.id,
-                name,
-                new_generation,
-                plan.instance.query().clone(),
-                plan.ranking.clone(),
-                &database,
-                encoded.as_ref(),
-            )?);
+            recompiled.push(self.run_pooled(|| {
+                PreparedPlan::compile(
+                    &plan.name,
+                    plan.id,
+                    name,
+                    new_generation,
+                    plan.instance.query().clone(),
+                    plan.ranking.clone(),
+                    &database,
+                    encoded.as_ref(),
+                )
+            })?);
         }
         state.catalog.replace_with(name, database, encoded)?;
         for plan in recompiled {
@@ -360,16 +396,18 @@ impl Engine {
         let (generation, database) = (entry.generation, Arc::clone(&entry.database));
         let encoded = entry.encoded.clone();
         let id = state.next_plan_id;
-        let plan = Arc::new(PreparedPlan::compile(
-            plan_name,
-            id,
-            database_name,
-            generation,
-            query,
-            ranking,
-            &database,
-            encoded.as_ref(),
-        )?);
+        let plan = Arc::new(self.run_pooled(|| {
+            PreparedPlan::compile(
+                plan_name,
+                id,
+                database_name,
+                generation,
+                query,
+                ranking,
+                &database,
+                encoded.as_ref(),
+            )
+        })?);
         state.next_plan_id += 1;
         self.counters
             .plan_compilations
@@ -515,21 +553,26 @@ impl Engine {
         };
         // The `or_row_fallback` dispatch policy, inlined so the tracer can
         // attribute the solve to whichever path actually produced the answers.
-        let (results, used_encoded_path) = match (&accuracy, &plan.encoded_instance) {
-            (Accuracy::Exact, Some(encoded)) => {
-                match qjoin_core::encoded::exact_quantile_batch_encoded_traced(
-                    encoded,
-                    &plan.ranking,
-                    phis,
-                    &self.config.pivoting,
-                    &tracer,
-                ) {
-                    Err(CoreError::EncodedUnsupported(_)) => (row_solve()?, false),
-                    other => (other?, true),
+        // The whole solve runs with the engine's executor pool installed, so the
+        // `threads` knob (and `QJOIN_THREADS`) governs every chunked hot loop.
+        let (results, used_encoded_path) =
+            self.run_pooled(|| -> Result<(Vec<QuantileResult>, bool), EngineError> {
+                match (&accuracy, &plan.encoded_instance) {
+                    (Accuracy::Exact, Some(encoded)) => {
+                        match qjoin_core::encoded::exact_quantile_batch_encoded_traced(
+                            encoded,
+                            &plan.ranking,
+                            phis,
+                            &self.config.pivoting,
+                            &tracer,
+                        ) {
+                            Err(CoreError::EncodedUnsupported(_)) => Ok((row_solve()?, false)),
+                            other => Ok((other?, true)),
+                        }
+                    }
+                    _ => Ok((row_solve()?, false)),
                 }
-            }
-            _ => (row_solve()?, false),
-        };
+            })?;
         tracer.finish(solve_started.elapsed(), used_encoded_path);
         self.counters
             .solved
@@ -605,7 +648,41 @@ impl Engine {
         }
         if !missing.is_empty() {
             let miss_phis: Vec<f64> = missing.iter().map(|&(_, phi)| phi).collect();
-            let results = self.solve_batch_uncached(&plan, &miss_phis, accuracy)?;
+            // Cold exact misses go through the same in-flight gate as single-φ
+            // requests: the whole miss set registers with the flight at once, so
+            // concurrent batch requests fold into one shared solve round.
+            let results = match accuracy {
+                Accuracy::Exact => {
+                    let outcome =
+                        self.gate
+                            .serve_many((plan.id, plan.generation), &miss_phis, |phis| {
+                                let results =
+                                    self.solve_batch_uncached(&plan, phis, Accuracy::Exact)?;
+                                for (&target, result) in phis.iter().zip(&results) {
+                                    let key = (
+                                        plan.id,
+                                        plan.generation,
+                                        target.to_bits(),
+                                        Accuracy::Exact.key_bits(),
+                                    );
+                                    self.insert_cached(&plan, key, result.clone());
+                                }
+                                Ok(results)
+                            });
+                    self.counters
+                        .coalesced_batches
+                        .fetch_add(outcome.coalesced_rounds, Ordering::Relaxed);
+                    if outcome.was_follower {
+                        self.counters
+                            .coalesced_waiters
+                            .fetch_add(1, Ordering::Relaxed);
+                    }
+                    outcome.results?
+                }
+                Accuracy::Approximate { .. } => {
+                    self.solve_batch_uncached(&plan, &miss_phis, accuracy)?
+                }
+            };
             for ((pos, phi), result) in missing.into_iter().zip(results) {
                 let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
                 self.insert_cached(&plan, key, result.clone());
@@ -780,6 +857,14 @@ impl Engine {
             &[],
             self.started.elapsed().as_secs_f64(),
         );
+
+        // Executor counters: chunk tasks executed and cross-worker steals on the
+        // pool this engine solves with (its own when `threads` is configured, the
+        // process-wide pool otherwise).
+        let pool = self.pool_stats();
+        registry.publish_gauge("qjoin_threads", &[], pool.threads as f64);
+        registry.publish_counter("qjoin_parallel_tasks_total", &[], pool.tasks);
+        registry.publish_counter("qjoin_parallel_steals_total", &[], pool.steals);
         registry.snapshot()
     }
 }

@@ -14,7 +14,10 @@
 //!   [`SolvePhase::TrimRound`] events;
 //! * `qjoin_solve_encoded_total{plan}` / `qjoin_solve_row_total{plan}` — which
 //!   execution path actually produced the answers, making encoded-vs-row
-//!   fallback visible per query shape.
+//!   fallback visible per query shape;
+//! * `qjoin_solve_parallel_seconds{plan, phase}` — wall time each phase spent
+//!   inside chunk-executor regions, so `parallel / phase` approximates how much
+//!   of a phase the work-stealing pool actually covers.
 
 use qjoin_core::{SolvePhase, SolveTracer};
 use qjoin_telemetry::{Counter, Histogram, Registry};
@@ -27,6 +30,7 @@ use std::time::Duration;
 pub(crate) struct RegistryTracer {
     solve: Arc<Histogram>,
     phases: [Arc<Histogram>; 4],
+    parallel: [Arc<Histogram>; 4],
     rounds: AtomicU64,
     rounds_total: Arc<Counter>,
     encoded_total: Arc<Counter>,
@@ -42,6 +46,12 @@ impl RegistryTracer {
             phases: SolvePhase::ALL.map(|phase| {
                 registry.histogram(
                     "qjoin_solve_phase_seconds",
+                    &[("plan", plan), ("phase", phase.label())],
+                )
+            }),
+            parallel: SolvePhase::ALL.map(|phase| {
+                registry.histogram(
+                    "qjoin_solve_parallel_seconds",
                     &[("plan", plan), ("phase", phase.label())],
                 )
             }),
@@ -75,6 +85,14 @@ impl SolveTracer for RegistryTracer {
         if phase == SolvePhase::TrimRound {
             self.rounds.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    fn parallel(&self, phase: SolvePhase, elapsed: Duration) {
+        let index = SolvePhase::ALL
+            .iter()
+            .position(|p| *p == phase)
+            .expect("SolvePhase::ALL covers every phase");
+        self.parallel[index].record_duration(elapsed);
     }
 }
 

@@ -101,18 +101,7 @@ impl EncodedContext {
                 .map(|(v, _)| atom.positions_of(&v))
                 .filter(|p| p.len() > 1)
                 .collect();
-            let mut rows: Vec<(u32, u32)> = Vec::with_capacity(rel.len());
-            rel.for_each_row(|seg, row| {
-                let consistent = repeated.iter().all(|positions| {
-                    let first = rel.code(seg, row, positions[0]);
-                    positions[1..]
-                        .iter()
-                        .all(|&p| rel.code(seg, row, p) == first)
-                });
-                if consistent {
-                    rows.push((seg as u32, row as u32));
-                }
-            });
+            let rows = consistent_coords(&rel, &repeated);
 
             let shared: Vec<Variable> = tree
                 .shared_with_parent(&query, node_id)
@@ -149,45 +138,61 @@ impl EncodedContext {
             rels,
         };
 
-        // Full reducer: bottom-up, then top-down semi-joins over code keys.
+        // Full reducer: bottom-up, then top-down semi-joins over code keys. The
+        // key-set builds and survivor scans are chunked over the executor pool;
+        // set membership is order-independent and survivors concatenate in
+        // canonical chunk order, so the reduced row sets match the sequential
+        // pass exactly.
         for &node_id in &ctx.tree.bottom_up_order() {
             let children = ctx.tree.node(node_id).children.clone();
             for child in children {
-                let child_keys: HashSet<Key> = (0..ctx.nodes[child].rows.len())
-                    .map(|i| ctx.own_key(child, i))
-                    .collect();
-                let survivors: Vec<(u32, u32)> = (0..ctx.nodes[node_id].rows.len())
-                    .filter(|&i| child_keys.contains(&ctx.key_towards_child(node_id, child, i)))
-                    .map(|i| ctx.nodes[node_id].rows[i])
-                    .collect();
+                let child_keys = key_set(|i| ctx.own_key(child, i), ctx.nodes[child].rows.len());
+                let survivors = filter_rows(&ctx.nodes[node_id].rows, |i| {
+                    child_keys.contains(&ctx.key_towards_child(node_id, child, i))
+                });
                 ctx.nodes[node_id].rows = survivors;
             }
         }
         for &node_id in &ctx.tree.top_down_order() {
             let children = ctx.tree.node(node_id).children.clone();
             for child in children {
-                let parent_keys: HashSet<Key> = (0..ctx.nodes[node_id].rows.len())
-                    .map(|i| ctx.key_towards_child(node_id, child, i))
-                    .collect();
-                let survivors: Vec<(u32, u32)> = (0..ctx.nodes[child].rows.len())
-                    .filter(|&i| parent_keys.contains(&ctx.own_key(child, i)))
-                    .map(|i| ctx.nodes[child].rows[i])
-                    .collect();
+                let parent_keys = key_set(
+                    |i| ctx.key_towards_child(node_id, child, i),
+                    ctx.nodes[node_id].rows.len(),
+                );
+                let survivors = filter_rows(&ctx.nodes[child].rows, |i| {
+                    parent_keys.contains(&ctx.own_key(child, i))
+                });
                 ctx.nodes[child].rows = survivors;
             }
         }
 
-        // Pre-grouped adjacency indexes for non-root nodes.
+        // Pre-grouped adjacency indexes for non-root nodes: chunk-local maps
+        // merged in chunk order, so every group's member list stays ascending —
+        // exactly what the sequential insertion produced.
         for node_id in 0..ctx.nodes.len() {
             if node_id == ctx.tree.root() {
                 continue;
             }
+            let chunk_maps: Vec<HashMap<Key, Vec<u32>>> = qjoin_par::par_map_chunks(
+                ctx.nodes[node_id].rows.len(),
+                qjoin_par::DEFAULT_CHUNK,
+                |_, range| {
+                    let mut local: HashMap<Key, Vec<u32>> = HashMap::new();
+                    for i in range {
+                        local
+                            .entry(ctx.own_key(node_id, i))
+                            .or_default()
+                            .push(i as u32);
+                    }
+                    local
+                },
+            );
             let mut groups: HashMap<Key, Vec<u32>> = HashMap::new();
-            for i in 0..ctx.nodes[node_id].rows.len() {
-                groups
-                    .entry(ctx.own_key(node_id, i))
-                    .or_default()
-                    .push(i as u32);
+            for local in chunk_maps {
+                for (key, members) in local {
+                    groups.entry(key).or_default().extend(members);
+                }
             }
             ctx.nodes[node_id].groups = groups;
         }
@@ -278,6 +283,77 @@ impl EncodedContext {
     }
 }
 
+/// Scans a relation view in fixed-size chunks over the executor pool and
+/// returns the `(segment, row)` coordinates whose repeated-variable positions
+/// agree, in view order (partials concatenate in canonical chunk order).
+fn consistent_coords(
+    rel: &qjoin_data::EncodedRelation,
+    repeated: &[Vec<usize>],
+) -> Vec<(u32, u32)> {
+    // Prefix offsets turn a global row index into (segment, row) coordinates.
+    let mut offsets: Vec<usize> = Vec::with_capacity(rel.segments().len() + 1);
+    let mut total = 0usize;
+    offsets.push(0);
+    for seg in rel.segments() {
+        total += seg.len();
+        offsets.push(total);
+    }
+    let parts: Vec<Vec<(u32, u32)>> =
+        qjoin_par::par_map_chunks(total, qjoin_par::DEFAULT_CHUNK, |_, range| {
+            let mut out = Vec::with_capacity(range.len());
+            let mut seg = offsets.partition_point(|&o| o <= range.start) - 1;
+            for idx in range {
+                while idx >= offsets[seg + 1] {
+                    seg += 1;
+                }
+                let row = idx - offsets[seg];
+                let consistent = repeated.iter().all(|positions| {
+                    let first = rel.code(seg, row, positions[0]);
+                    positions[1..]
+                        .iter()
+                        .all(|&p| rel.code(seg, row, p) == first)
+                });
+                if consistent {
+                    out.push((seg as u32, row as u32));
+                }
+            }
+            out
+        });
+    let mut rows = Vec::with_capacity(total);
+    for part in parts {
+        rows.extend(part);
+    }
+    rows
+}
+
+/// Builds the set of join keys `key(0) .. key(n - 1)` with chunk-local sets
+/// unioned afterwards (set membership is order-independent).
+fn key_set(key: impl Fn(usize) -> Key + Sync, n: usize) -> HashSet<Key> {
+    let parts: Vec<HashSet<Key>> =
+        qjoin_par::par_map_chunks(n, qjoin_par::DEFAULT_CHUNK, |_, range| {
+            range.map(&key).collect()
+        });
+    let mut keys = HashSet::new();
+    for part in parts {
+        keys.extend(part);
+    }
+    keys
+}
+
+/// Keeps the rows whose index satisfies `keep`, scanning in chunks and
+/// concatenating survivors in canonical chunk order.
+fn filter_rows(rows: &[(u32, u32)], keep: impl Fn(usize) -> bool + Sync) -> Vec<(u32, u32)> {
+    let parts: Vec<Vec<(u32, u32)>> =
+        qjoin_par::par_map_chunks(rows.len(), qjoin_par::DEFAULT_CHUNK, |_, range| {
+            range.filter(|&i| keep(i)).map(|i| rows[i]).collect()
+        });
+    let mut survivors = Vec::with_capacity(rows.len());
+    for part in parts {
+        survivors.extend(part);
+    }
+    survivors
+}
+
 /// Per-tuple subtree answer counts of an encoded context, plus the per-group
 /// aggregated messages (the encoded analogue of
 /// [`count::subtree_counts`](crate::count::subtree_counts)).
@@ -299,35 +375,53 @@ pub fn subtree_counts(ctx: &EncodedContext) -> EncodedCounts {
     for &node_id in &ctx.tree().bottom_up_order() {
         let children = ctx.tree().node(node_id).children.clone();
         let n_rows = ctx.node(node_id).rows.len();
+        // Rows of one node are independent: chunk the per-row child-message
+        // products over the executor pool. Concatenating the chunk partials in
+        // canonical order reproduces the sequential per-tuple vector exactly
+        // (the per-row products themselves are exact u128 arithmetic).
+        let chunks: Vec<Vec<u128>> =
+            qjoin_par::par_map_chunks(n_rows, qjoin_par::DEFAULT_CHUNK, |_, range| {
+                range
+                    .map(|i| {
+                        let mut val: u128 = 1;
+                        for &child in &children {
+                            let key = ctx.key_from_parent(child, i);
+                            // The parent row survived the full reducer iff a
+                            // matching group exists in this child (wrapped in the
+                            // same invariant as the row path's message passing).
+                            let msg = per_group[child]
+                                .get(&key)
+                                .expect("full reducer guarantees a matching child group");
+                            val = val.checked_mul(*msg).expect("answer count overflowed u128");
+                        }
+                        val
+                    })
+                    .collect()
+            });
         let mut values: Vec<u128> = Vec::with_capacity(n_rows);
-        for i in 0..n_rows {
-            let mut val: u128 = 1;
-            for &child in &children {
-                let key = ctx.key_from_parent(child, i);
-                // The parent row survived the full reducer iff a matching group
-                // exists in this child (wrapped in the same invariant as the row
-                // path's message passing).
-                let msg = per_group[child]
-                    .get(&key)
-                    .expect("full reducer guarantees a matching child group");
-                val = val.checked_mul(*msg).expect("answer count overflowed u128");
-            }
-            values.push(val);
+        for chunk in chunks {
+            values.extend(chunk);
         }
-        per_tuple[node_id] = values;
 
         if node_id != ctx.root() {
-            let mut groups: HashMap<Key, u128> =
-                HashMap::with_capacity(ctx.node(node_id).groups.len());
-            for (key, members) in &ctx.node(node_id).groups {
-                let sum: u128 = members
-                    .iter()
-                    .map(|&i| per_tuple[node_id][i as usize])
-                    .sum();
-                groups.insert(key.clone(), sum);
+            // Group sums are independent too; each sum folds its members in
+            // ascending row order (exact integer arithmetic), so the aggregated
+            // messages are identical at any thread count.
+            let entries: Vec<(&Key, &Vec<u32>)> = ctx.node(node_id).groups.iter().collect();
+            let sums: Vec<Vec<u128>> =
+                qjoin_par::par_map_chunks(entries.len(), qjoin_par::DEFAULT_CHUNK, |_, range| {
+                    range
+                        .map(|g| entries[g].1.iter().map(|&i| values[i as usize]).sum())
+                        .collect()
+                });
+            let mut groups: HashMap<Key, u128> = HashMap::with_capacity(entries.len());
+            let mut flat = sums.into_iter().flatten();
+            for (key, _) in entries {
+                groups.insert(key.clone(), flat.next().expect("one sum per group"));
             }
             per_group[node_id] = groups;
         }
+        per_tuple[node_id] = values;
     }
 
     EncodedCounts {

@@ -1,0 +1,809 @@
+//! # qjoin-par
+//!
+//! A std-only, vendored work-stealing chunk executor for the quantile-joins
+//! workspace. The build environment has no access to crates.io, so this crate
+//! plays the role rayon would otherwise play, with a deliberately small surface:
+//!
+//! * [`Pool`] — a fixed-size thread pool. A pool of `T` threads spawns `T - 1`
+//!   worker threads; the thread that submits a parallel region always
+//!   participates, so `T` is the true parallelism degree and `T = 1` spawns
+//!   nothing and runs every region inline, purely sequentially.
+//! * [`global`] — a lazily-initialized process-wide pool sized by the
+//!   `QJOIN_THREADS` environment variable (falling back to
+//!   `available_parallelism`).
+//! * [`with_pool`] — scopes a pool as the calling thread's *current* pool;
+//!   [`par_map`], [`par_map_chunks`], and [`par_join`] pick up the current pool
+//!   so deep call stacks need no plumbed handle.
+//!
+//! ## Scheduling
+//!
+//! Each worker owns a deque. Workers pop their own deque LIFO (depth-first, so
+//! nested regions stay cache-hot and bounded) and steal from other workers'
+//! deques FIFO (breadth-first, so thieves take the oldest — largest — pending
+//! work). Regions submitted from a non-worker thread go through a shared
+//! injector queue, and the submitting thread helps execute until its region
+//! drains. A worker that submits a nested region pushes the chunks onto its own
+//! deque, where LIFO pop services them before anything else.
+//!
+//! ## Determinism
+//!
+//! Parallelism here never changes *what* is computed, only *where*:
+//!
+//! * chunk boundaries depend only on the input length and the requested chunk
+//!   size — never on the thread count or on runtime timing;
+//! * [`par_map`] and [`par_map_chunks`] return the per-chunk results as a `Vec`
+//!   in canonical chunk order, so callers reduce partials in exactly the order
+//!   the sequential loop would have used.
+//!
+//! A caller that folds the returned partials left-to-right therefore produces
+//! bit-identical answers at every thread count, including `T = 1`.
+//!
+//! ## Panics
+//!
+//! A panic inside a chunk is caught on the executing thread, the region still
+//! drains (no chunk is lost, no worker dies), and the first panic payload is
+//! re-thrown on the submitting thread when the region completes.
+
+#![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Default rows-per-chunk used by callers that have no better domain-specific
+/// number. Fixed (never derived from the thread count) so that chunk
+/// decompositions — and therefore combine orders — are identical at any `T`.
+pub const DEFAULT_CHUNK: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Run state: one parallel region
+// ---------------------------------------------------------------------------
+
+/// Type-erased state of one in-flight parallel region.
+///
+/// `payload` points at a typed payload living on the submitting thread's stack;
+/// `exec` knows the concrete type and runs task `index` against it. The
+/// submitting thread blocks in [`run_region`] until `remaining` reaches zero,
+/// so `payload` strictly outlives every dereference. The `RunCore` itself is
+/// reference-counted by the tasks, so a finishing worker may touch `done` /
+/// `done_cv` even after the submitter has already moved on.
+struct RunCore {
+    exec: unsafe fn(*const (), usize),
+    payload: *const (),
+    remaining: AtomicUsize,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `payload` is only dereferenced inside `exec`, which runs strictly
+// before the `remaining` decrement that releases the blocked submitter, and the
+// typed payloads only contain Sync state (the closure plus Mutex-guarded result
+// slots). Everything else in RunCore is already thread-safe.
+unsafe impl Send for RunCore {}
+unsafe impl Sync for RunCore {}
+
+impl RunCore {
+    /// Executes task `index`, recording a panic instead of unwinding into the
+    /// executor, and flips `done` when this was the last outstanding task.
+    fn run_task(&self, index: usize) {
+        let exec = self.exec;
+        let payload = self.payload;
+        // SAFETY: the submitter keeps `payload` alive until `remaining` hits
+        // zero, which cannot happen before this call returns.
+        let outcome = catch_unwind(AssertUnwindSafe(|| unsafe { exec(payload, index) }));
+        if let Err(cause) = outcome {
+            let mut slot = lock(&self.panic);
+            if slot.is_none() {
+                *slot = Some(cause);
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = lock(&self.done);
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// One schedulable unit: a region plus a task index within it.
+#[derive(Clone)]
+struct Task {
+    core: Arc<RunCore>,
+    index: usize,
+}
+
+// ---------------------------------------------------------------------------
+// Pool internals
+// ---------------------------------------------------------------------------
+
+/// State shared between a pool's workers and every submitting thread.
+struct Shared {
+    /// Parallelism degree (worker threads + the participating submitter).
+    threads: usize,
+    /// One deque per worker thread (`threads - 1` of them).
+    deques: Vec<Mutex<VecDeque<Task>>>,
+    /// Overflow queue for regions submitted from non-worker threads.
+    injector: Mutex<VecDeque<Task>>,
+    /// Wake generation: bumped (with `wake_cv` notified) on every submission.
+    wake: Mutex<u64>,
+    wake_cv: Condvar,
+    shutdown: AtomicBool,
+    /// Tasks executed, by anyone (workers and helping submitters).
+    tasks: AtomicU64,
+    /// Tasks taken from another worker's deque.
+    steals: AtomicU64,
+}
+
+/// Locks a mutex, shrugging off poisoning (chunk panics are already contained
+/// by `catch_unwind`; a poisoned flag must not wedge the executor).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Finds a task: own deque LIFO first (workers only), then the injector FIFO,
+/// then a FIFO steal sweep over the other workers' deques.
+fn find_task(shared: &Shared, me: Option<usize>) -> Option<Task> {
+    if let Some(i) = me {
+        if let Some(task) = lock(&shared.deques[i]).pop_back() {
+            return Some(task);
+        }
+    }
+    if let Some(task) = lock(&shared.injector).pop_front() {
+        return Some(task);
+    }
+    let n = shared.deques.len();
+    let start = me.map_or(0, |i| i + 1);
+    for k in 0..n {
+        let j = (start + k) % n;
+        if Some(j) == me {
+            continue;
+        }
+        if let Some(task) = lock(&shared.deques[j]).pop_front() {
+            shared.steals.fetch_add(1, Ordering::Relaxed);
+            return Some(task);
+        }
+    }
+    None
+}
+
+fn execute(shared: &Shared, task: Task) {
+    shared.tasks.fetch_add(1, Ordering::Relaxed);
+    task.core.run_task(task.index);
+}
+
+fn worker_main(shared: Arc<Shared>, me: usize) {
+    CURRENT.with(|current| *current.borrow_mut() = Some(Arc::clone(&shared)));
+    WORKER.with(|worker| worker.set(Some((Arc::as_ptr(&shared) as usize, me))));
+    loop {
+        // Read the wake generation *before* scanning, so a submission that
+        // lands between the scan and the wait bumps the generation and the
+        // wait below falls straight through (no lost wakeup).
+        let gen = *lock(&shared.wake);
+        if let Some(task) = find_task(&shared, Some(me)) {
+            execute(&shared, task);
+            continue;
+        }
+        if shared.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let mut guard = lock(&shared.wake);
+        while *guard == gen && !shared.shutdown.load(Ordering::Acquire) {
+            guard = shared
+                .wake_cv
+                .wait(guard)
+                .unwrap_or_else(|e| e.into_inner());
+        }
+    }
+}
+
+/// Submits `count` tasks for `core` and blocks until the region drains,
+/// helping execute tasks (its own and anyone else's) while it waits. Re-throws
+/// the region's first chunk panic, if any.
+fn run_region(shared: &Arc<Shared>, core: Arc<RunCore>, count: usize) {
+    let me = worker_index(shared);
+    match me {
+        // Worker thread: push onto our own deque; LIFO pop drains the nested
+        // region depth-first before anything older.
+        Some(i) => {
+            let mut deque = lock(&shared.deques[i]);
+            for index in 0..count {
+                deque.push_back(Task {
+                    core: Arc::clone(&core),
+                    index,
+                });
+            }
+        }
+        // Foreign thread: go through the shared injector.
+        None => {
+            let mut injector = lock(&shared.injector);
+            for index in 0..count {
+                injector.push_back(Task {
+                    core: Arc::clone(&core),
+                    index,
+                });
+            }
+        }
+    }
+    {
+        let mut gen = lock(&shared.wake);
+        *gen = gen.wrapping_add(1);
+        shared.wake_cv.notify_all();
+    }
+    loop {
+        if core.remaining.load(Ordering::Acquire) == 0 {
+            break;
+        }
+        if let Some(task) = find_task(shared, me) {
+            execute(shared, task);
+            continue;
+        }
+        // Nothing takeable anywhere: every remaining task of our region is
+        // being executed by some other thread, so park until the last one
+        // flips `done`. (Tasks are never re-queued, so no new work for this
+        // region can appear while we wait.)
+        let mut done = lock(&core.done);
+        while !*done {
+            done = core.done_cv.wait(done).unwrap_or_else(|e| e.into_inner());
+        }
+        break;
+    }
+    let panic = lock(&core.panic).take();
+    if let Some(cause) = panic {
+        resume_unwind(cause);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pool handle, global pool, current-pool scoping
+// ---------------------------------------------------------------------------
+
+/// A fixed-size work-stealing thread pool.
+///
+/// Dropping a `Pool` shuts its workers down and joins them; in-flight regions
+/// complete first because every submitter blocks inside its own region.
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool")
+            .field("threads", &self.shared.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Executor counters, exposed for telemetry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Parallelism degree of the pool.
+    pub threads: usize,
+    /// Tasks executed (by workers and by helping submitters).
+    pub tasks: u64,
+    /// Tasks taken from another worker's deque.
+    pub steals: u64,
+}
+
+impl Pool {
+    /// Creates a pool with parallelism degree `threads` (clamped to at least
+    /// 1). `threads - 1` worker threads are spawned; `threads = 1` spawns
+    /// nothing and every parallel surface runs inline, purely sequentially.
+    pub fn new(threads: usize) -> Pool {
+        let threads = threads.max(1);
+        let workers = threads - 1;
+        let shared = Arc::new(Shared {
+            threads,
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            wake: Mutex::new(0),
+            wake_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("qjoin-par-{i}"))
+                    .spawn(move || worker_main(shared, i))
+                    .expect("qjoin-par: cannot spawn worker thread")
+            })
+            .collect();
+        Pool { shared, workers }
+    }
+
+    /// The pool's parallelism degree.
+    pub fn threads(&self) -> usize {
+        self.shared.threads
+    }
+
+    /// Snapshot of the executor counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            threads: self.shared.threads,
+            tasks: self.shared.tasks.load(Ordering::Relaxed),
+            steals: self.shared.steals.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for Pool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let mut gen = lock(&self.shared.wake);
+            *gen = gen.wrapping_add(1);
+            self.shared.wake_cv.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+thread_local! {
+    /// The pool parallel surfaces submit to, when scoped via [`with_pool`] (or
+    /// permanently, for worker threads).
+    static CURRENT: RefCell<Option<Arc<Shared>>> = const { RefCell::new(None) };
+    /// `(pool identity, worker index)` for pool worker threads.
+    static WORKER: Cell<Option<(usize, usize)>> = const { Cell::new(None) };
+    /// Nanoseconds this thread has spent submitting pool-executed regions.
+    static PAR_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+static GLOBAL: OnceLock<Pool> = OnceLock::new();
+
+/// The process-wide pool, created on first use with [`default_threads`] threads.
+pub fn global() -> &'static Pool {
+    GLOBAL.get_or_init(|| Pool::new(default_threads()))
+}
+
+/// The parallelism degree requested by the environment: `QJOIN_THREADS` if set
+/// to a positive integer, otherwise `std::thread::available_parallelism()`.
+pub fn default_threads() -> usize {
+    let fallback = || {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    };
+    match std::env::var("QJOIN_THREADS") {
+        Ok(raw) => raw
+            .trim()
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(fallback),
+        Err(_) => fallback(),
+    }
+}
+
+/// Runs `f` with `pool` as the calling thread's current pool, restoring the
+/// previous scope afterwards (also on unwind).
+pub fn with_pool<R>(pool: &Pool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Shared>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|current| *current.borrow_mut() = previous);
+        }
+    }
+    let previous = CURRENT.with(|current| current.borrow_mut().replace(Arc::clone(&pool.shared)));
+    let _restore = Restore(previous);
+    f()
+}
+
+fn current_shared() -> Arc<Shared> {
+    if let Some(shared) = CURRENT.with(|current| current.borrow().clone()) {
+        return shared;
+    }
+    Arc::clone(&global().shared)
+}
+
+/// The current pool's parallelism degree (1 means parallel surfaces run inline).
+pub fn current_threads() -> usize {
+    current_shared().threads
+}
+
+/// Counters of the current pool (the scoped pool, or the global one).
+pub fn current_stats() -> PoolStats {
+    let shared = current_shared();
+    PoolStats {
+        threads: shared.threads,
+        tasks: shared.tasks.load(Ordering::Relaxed),
+        steals: shared.steals.load(Ordering::Relaxed),
+    }
+}
+
+/// Total nanoseconds this thread has spent inside pool-executed parallel
+/// regions ([`par_map`]/[`par_map_chunks`]/[`par_join`] calls that actually
+/// went through a pool — inline sequential fallbacks do not count). Monotone
+/// non-decreasing; sample before and after a section to attribute time to it.
+pub fn thread_parallel_nanos() -> u64 {
+    PAR_NANOS.with(Cell::get)
+}
+
+/// `Some(index)` when the calling thread is a worker of `shared`.
+fn worker_index(shared: &Arc<Shared>) -> Option<usize> {
+    let (pool, index) = WORKER.with(Cell::get)?;
+    (pool == Arc::as_ptr(shared) as usize).then_some(index)
+}
+
+fn add_parallel_nanos(start: Instant) {
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    PAR_NANOS.with(|cell| cell.set(cell.get().saturating_add(nanos)));
+}
+
+// ---------------------------------------------------------------------------
+// Parallel surfaces
+// ---------------------------------------------------------------------------
+
+struct MapPayload<T, F> {
+    f: F,
+    slots: Vec<Mutex<Option<T>>>,
+}
+
+/// # Safety
+/// `payload` must point at a live `MapPayload<T, F>` whose `slots` has more
+/// than `index` entries.
+unsafe fn exec_map<T, F: Fn(usize) -> T>(payload: *const (), index: usize) {
+    // SAFETY: per this function's contract; upheld by `par_map`, which passes a
+    // matching payload and blocks until the region drains.
+    let payload = unsafe { &*payload.cast::<MapPayload<T, F>>() };
+    let value = (payload.f)(index);
+    *lock(&payload.slots[index]) = Some(value);
+}
+
+/// Computes `f(0) .. f(n - 1)` on the current pool and returns the results in
+/// index order — the canonical order a sequential loop would have produced, so
+/// left-to-right folds over the result are deterministic at any thread count.
+///
+/// Runs inline (no pool machinery at all) when the current pool has one thread
+/// or `n <= 1`.
+pub fn par_map<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let shared = current_shared();
+    if shared.threads <= 1 || n == 1 {
+        return (0..n).map(f).collect();
+    }
+    let start = Instant::now();
+    let payload = MapPayload {
+        f,
+        slots: (0..n).map(|_| Mutex::new(None)).collect::<Vec<_>>(),
+    };
+    let core = Arc::new(RunCore {
+        exec: exec_map::<T, F>,
+        payload: (&payload as *const MapPayload<T, F>).cast(),
+        remaining: AtomicUsize::new(n),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    run_region(&shared, core, n);
+    add_parallel_nanos(start);
+    payload
+        .slots
+        .into_iter()
+        .map(|slot| {
+            lock(&slot)
+                .take()
+                .expect("qjoin-par: chunk completed without a result")
+        })
+        .collect()
+}
+
+/// Splits `0..len` into chunks of `chunk` indices (the last one short) and maps
+/// `f(chunk_index, range)` over them in parallel, returning per-chunk results
+/// in canonical chunk order.
+///
+/// Chunk boundaries depend only on `len` and `chunk` — never on the thread
+/// count — so the decomposition (and any in-order fold of the partials) is
+/// identical at every `T`.
+pub fn par_map_chunks<T, F>(len: usize, chunk: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = chunk.max(1);
+    let chunks = len.div_ceil(chunk);
+    par_map(chunks, move |i| {
+        let lo = i * chunk;
+        f(i, lo..((lo + chunk).min(len)))
+    })
+}
+
+struct JoinPayload<A, B, RA, RB> {
+    a: Mutex<Option<A>>,
+    b: Mutex<Option<B>>,
+    ra: Mutex<Option<RA>>,
+    rb: Mutex<Option<RB>>,
+}
+
+/// # Safety
+/// `payload` must point at a live `JoinPayload<A, B, RA, RB>`; `index` must be
+/// 0 or 1, each presented at most once.
+unsafe fn exec_join<A, B, RA, RB>(payload: *const (), index: usize)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    // SAFETY: per this function's contract; upheld by `par_join`.
+    let payload = unsafe { &*payload.cast::<JoinPayload<A, B, RA, RB>>() };
+    if index == 0 {
+        let f = lock(&payload.a)
+            .take()
+            .expect("qjoin-par: join task 0 reran");
+        let value = f();
+        *lock(&payload.ra) = Some(value);
+    } else {
+        let f = lock(&payload.b)
+            .take()
+            .expect("qjoin-par: join task 1 reran");
+        let value = f();
+        *lock(&payload.rb) = Some(value);
+    }
+}
+
+/// Runs `a` and `b`, potentially in parallel, and returns both results.
+/// Sequential (`(a(), b())`, in that order) when the current pool has one
+/// thread.
+pub fn par_join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let shared = current_shared();
+    if shared.threads <= 1 {
+        return (a(), b());
+    }
+    let start = Instant::now();
+    let payload = JoinPayload {
+        a: Mutex::new(Some(a)),
+        b: Mutex::new(Some(b)),
+        ra: Mutex::new(None),
+        rb: Mutex::new(None),
+    };
+    let core = Arc::new(RunCore {
+        exec: exec_join::<A, B, RA, RB>,
+        payload: (&payload as *const JoinPayload<A, B, RA, RB>).cast(),
+        remaining: AtomicUsize::new(2),
+        panic: Mutex::new(None),
+        done: Mutex::new(false),
+        done_cv: Condvar::new(),
+    });
+    run_region(&shared, core, 2);
+    add_parallel_nanos(start);
+    let ra = lock(&payload.ra)
+        .take()
+        .expect("qjoin-par: join arm 0 completed without a result");
+    let rb = lock(&payload.rb)
+        .take()
+        .expect("qjoin-par: join arm 1 completed without a result");
+    (ra, rb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    #[test]
+    fn sequential_pool_runs_inline_on_the_calling_thread() {
+        let pool = Pool::new(1);
+        let caller = std::thread::current().id();
+        let ids = with_pool(&pool, || par_map(8, |_| std::thread::current().id()));
+        assert!(ids.iter().all(|id| *id == caller));
+        let (x, y) = with_pool(&pool, || par_join(|| 1 + 1, || 2 + 2));
+        assert_eq!((x, y), (2, 4));
+        // Purely sequential: the pool machinery was never touched.
+        assert_eq!(pool.stats().tasks, 0);
+        assert_eq!(pool.stats().steals, 0);
+    }
+
+    #[test]
+    fn map_results_are_in_canonical_order_at_every_thread_count() {
+        let expected: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let pool = Pool::new(threads);
+            let got = with_pool(&pool, || par_map(1000, |i| i * 3 + 1));
+            assert_eq!(got, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunk_boundaries_depend_only_on_len_and_chunk() {
+        let mut seen = Vec::new();
+        for threads in [1, 4] {
+            let pool = Pool::new(threads);
+            let ranges = with_pool(&pool, || par_map_chunks(2500, 1024, |i, range| (i, range)));
+            seen.push(ranges);
+        }
+        assert_eq!(seen[0], seen[1]);
+        assert_eq!(
+            seen[0],
+            vec![(0, 0..1024), (1, 1024..2048), (2, 2048..2500)]
+        );
+    }
+
+    #[test]
+    fn no_lost_chunks_under_contention() {
+        let pool = Arc::new(Pool::new(4));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    for round in 0..20 {
+                        let base = t * 1000 + round;
+                        let got = with_pool(&pool, || par_map(257, move |i| base + i));
+                        let expected: Vec<usize> = (0..257).map(|i| base + i).collect();
+                        assert_eq!(got, expected);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        // 8 threads x 20 rounds x 257 chunks, every one accounted for.
+        assert_eq!(pool.stats().tasks, 8 * 20 * 257);
+    }
+
+    #[test]
+    fn nested_maps_complete() {
+        let pool = Pool::new(4);
+        let got = with_pool(&pool, || {
+            par_map(6, |i| {
+                par_map(50, move |j| i * 50 + j).iter().sum::<usize>()
+            })
+        });
+        let expected: Vec<usize> = (0..6).map(|i| (0..50).map(|j| i * 50 + j).sum()).collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn par_join_runs_both_arms_and_nests() {
+        let pool = Pool::new(4);
+        let (a, b) = with_pool(&pool, || {
+            par_join(
+                || par_map(100, |i| i as u64).iter().sum::<u64>(),
+                || par_map(100, |i| (i as u64) * 2).iter().sum::<u64>(),
+            )
+        });
+        assert_eq!(a, 4950);
+        assert_eq!(b, 9900);
+    }
+
+    #[test]
+    fn chunk_panic_propagates_and_the_pool_survives() {
+        let pool = Pool::new(4);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            with_pool(&pool, || {
+                par_map(64, |i| {
+                    if i == 33 {
+                        panic!("chunk 33 exploded");
+                    }
+                    i
+                })
+            })
+        }));
+        let cause = attempt.expect_err("the chunk panic must propagate");
+        let message = cause
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or_else(|| cause.downcast_ref::<String>().unwrap().as_str());
+        assert!(message.contains("chunk 33 exploded"));
+        // No worker died with the panicking chunk: the pool still works.
+        let got = with_pool(&pool, || par_map(100, |i| i + 1));
+        assert_eq!(got, (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_arm_panic_propagates() {
+        let pool = Pool::new(2);
+        let attempt = catch_unwind(AssertUnwindSafe(|| {
+            with_pool(&pool, || {
+                par_join(|| 7, || -> u32 { panic!("arm b exploded") })
+            })
+        }));
+        assert!(attempt.is_err());
+        let (x, y) = with_pool(&pool, || par_join(|| 1, || 2));
+        assert_eq!((x, y), (1, 2));
+    }
+
+    /// Drives the deque discipline directly (no timing dependence): local pops
+    /// are LIFO, steals are FIFO and counted.
+    #[test]
+    fn local_pop_is_lifo_and_steals_are_fifo_and_counted() {
+        let shared = Arc::new(Shared {
+            threads: 3,
+            deques: (0..2).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            wake: Mutex::new(0),
+            wake_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            tasks: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        unsafe fn noop(_: *const (), _: usize) {}
+        let core = Arc::new(RunCore {
+            exec: noop,
+            payload: std::ptr::null(),
+            remaining: AtomicUsize::new(4),
+            panic: Mutex::new(None),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        });
+        for index in 0..4 {
+            lock(&shared.deques[0]).push_back(Task {
+                core: Arc::clone(&core),
+                index,
+            });
+        }
+        // Owner (worker 0) pops its own deque LIFO: newest chunk first.
+        assert_eq!(find_task(&shared, Some(0)).unwrap().index, 3);
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 0);
+        // A thief (worker 1) steals FIFO: oldest chunk first, and it counts.
+        assert_eq!(find_task(&shared, Some(1)).unwrap().index, 0);
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 1);
+        // A non-worker submitter helping out also steals FIFO.
+        assert_eq!(find_task(&shared, None).unwrap().index, 1);
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 2);
+        // Owner again: LIFO of what's left.
+        assert_eq!(find_task(&shared, Some(0)).unwrap().index, 2);
+        assert_eq!(shared.steals.load(Ordering::Relaxed), 2);
+        assert!(find_task(&shared, Some(0)).is_none());
+    }
+
+    #[test]
+    fn parallel_nanos_accumulate_only_for_pool_executed_regions() {
+        let before = thread_parallel_nanos();
+        let sequential = Pool::new(1);
+        with_pool(&sequential, || par_map(512, |i| i));
+        assert_eq!(thread_parallel_nanos(), before);
+        let pool = Pool::new(2);
+        with_pool(&pool, || par_map(512, |i| i));
+        assert!(thread_parallel_nanos() > before);
+    }
+
+    #[test]
+    fn with_pool_scopes_and_restores() {
+        let a = Pool::new(3);
+        let b = Pool::new(2);
+        with_pool(&a, || {
+            assert_eq!(current_threads(), 3);
+            with_pool(&b, || assert_eq!(current_threads(), 2));
+            assert_eq!(current_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn dropping_a_pool_joins_idle_workers() {
+        let pool = Pool::new(4);
+        let counter = AtomicU32::new(0);
+        with_pool(&pool, || {
+            par_map(32, |_| {
+                counter.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 32);
+        drop(pool); // must not hang
+    }
+}

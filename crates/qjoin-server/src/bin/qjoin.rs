@@ -11,7 +11,8 @@ const SERVE_HELP: &str = "\
 qjoin serve — run the TCP serving layer
 
 USAGE:
-  qjoin serve [addr=<host:port>] [workers=<n>] [queue=<n>] [cache=<n>] [slowms=<ms>]
+  qjoin serve [addr=<host:port>] [workers=<n>] [queue=<n>] [cache=<n>]
+              [slowms=<ms>] [threads=<n>]
 
   addr     bind address; port 0 (the default) picks a free ephemeral port.
            The bound address is printed as `qjoin-server listening on <addr> ...`.
@@ -22,6 +23,10 @@ USAGE:
   slowms   slow-query log threshold in milliseconds: requests whose
            queue-wait + execute time reaches it are kept for the
            `slowlog` verb   (default 100)
+  threads  intra-solve parallelism: the engine's work-stealing chunk
+           executor runs each solve over this many threads. 1 is purely
+           sequential; answers are bit-identical at any setting
+           (default: QJOIN_THREADS, else the host's parallelism)
 
 qjoin client — talk to a running server
 
@@ -73,7 +78,10 @@ fn parse_params(tokens: &[String], allowed: &[&str]) -> Result<BTreeMap<String, 
 }
 
 fn cmd_serve(args: &[String]) -> i32 {
-    let params = match parse_params(args, &["addr", "workers", "queue", "cache", "slowms"]) {
+    let params = match parse_params(
+        args,
+        &["addr", "workers", "queue", "cache", "slowms", "threads"],
+    ) {
         Ok(p) => p,
         Err(e) => {
             eprintln!("error: {e}\n\n{SERVE_HELP}");
@@ -94,12 +102,23 @@ fn cmd_serve(args: &[String]) -> i32 {
             None => Ok(default),
         }
     };
-    let (workers, queue, cache, slowms) = match (|| {
+    let (workers, queue, cache, slowms, threads) = match (|| {
         Ok::<_, String>((
             parse_usize("workers", 4)?,
             parse_usize("queue", 64)?,
             parse_usize("cache", 1024)?,
             parse_usize("slowms", 100)?,
+            // `None` defers to the process-wide pool (QJOIN_THREADS or the
+            // host's available parallelism); `threads=1` is purely sequential.
+            params
+                .get("threads")
+                .map(|raw| {
+                    raw.parse::<usize>()
+                        .ok()
+                        .filter(|&t| t >= 1)
+                        .ok_or_else(|| format!("invalid value {raw:?} for threads"))
+                })
+                .transpose()?,
         ))
     })() {
         Ok(v) => v,
@@ -112,6 +131,7 @@ fn cmd_serve(args: &[String]) -> i32 {
     let engine = std::sync::Arc::new(qjoin_engine::Engine::with_config(
         qjoin_engine::EngineConfig {
             cache_capacity: cache,
+            threads,
             ..Default::default()
         },
     ));

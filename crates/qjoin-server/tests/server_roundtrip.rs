@@ -348,6 +348,77 @@ fn concurrent_identical_cold_requests_coalesce_over_the_wire() {
 }
 
 #[test]
+fn concurrent_batch_requests_fold_into_shared_rounds_over_the_wire() {
+    // k clients fire overlapping cold `batch` requests at once: every batch's
+    // miss set registers with the in-flight gate together, so the batches fold
+    // into shared solve rounds instead of each running its own recursion —
+    // observable as coalesced_waiters bumps on the stats verb. As above, retry
+    // with fresh φ sets because scheduling can serialize the requests; answer
+    // agreement is asserted on every attempt.
+    let k = 6;
+    let (addr, handle, join) = start_server(k);
+    let mut setup = Client::connect(addr).unwrap();
+    setup.send("open s social rows=400 seed=23").unwrap();
+    setup.send("register likes s").unwrap();
+
+    let mut coalesced = false;
+    for attempt in 0..10 {
+        let base = 0.11 + attempt as f64 * 0.031;
+        // Overlapping but non-identical φ sets per client.
+        let phi_sets: Vec<Vec<f64>> = (0..k)
+            .map(|i| vec![base, base + 0.2, base + 0.001 * i as f64])
+            .collect();
+        let (batches_before, waiters_before) = coalescing_counters(&setup.stats().unwrap());
+
+        let barrier = Arc::new(std::sync::Barrier::new(k));
+        let threads: Vec<_> = phi_sets
+            .iter()
+            .map(|phis| {
+                let barrier = Arc::clone(&barrier);
+                let phis = phis.clone();
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .set_read_timeout(Some(Duration::from_secs(60)))
+                        .unwrap();
+                    barrier.wait();
+                    let lines = client.batch("likes", &phis).unwrap();
+                    client.quit().unwrap();
+                    lines
+                })
+            })
+            .collect();
+        let replies: Vec<Vec<String>> = threads.into_iter().map(|t| t.join().unwrap()).collect();
+
+        // Every client's per-φ answers agree with the (now cached) serial ones.
+        for (phis, lines) in phi_sets.iter().zip(&replies) {
+            assert_eq!(lines.len(), phis.len() + 1, "answers + summary: {lines:?}");
+            for (&phi, line) in phis.iter().zip(lines) {
+                let reference = setup
+                    .quantile("likes", phi)
+                    .unwrap()
+                    .replace(" (cached)", "");
+                assert_eq!(line.replace(" (cached)", ""), reference, "phi {phi}");
+            }
+        }
+
+        let (batches_after, waiters_after) = coalescing_counters(&setup.stats().unwrap());
+        if batches_after > batches_before && waiters_after > waiters_before {
+            coalesced = true;
+            break;
+        }
+    }
+    assert!(
+        coalesced,
+        "10 attempts of concurrent overlapping batch requests never coalesced"
+    );
+
+    setup.shutdown().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn metrics_and_stats_json_over_the_wire() {
     let (addr, handle, join) = start_server(4);
     let mut client = Client::connect(addr).unwrap();

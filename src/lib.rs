@@ -45,6 +45,7 @@ pub use qjoin_core as core;
 pub use qjoin_data as data;
 pub use qjoin_engine as engine;
 pub use qjoin_exec as exec;
+pub use qjoin_par as par;
 pub use qjoin_query as query;
 pub use qjoin_ranking as ranking;
 pub use qjoin_server as server;

@@ -210,3 +210,115 @@ fn string_keys_are_pointwise_identical() {
         assert_pointwise_equal(&encoded, &row, &format!("string keys φ={phi}"));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Thread-sweep bit-identity: the chunk executor must not change any answer
+// ---------------------------------------------------------------------------
+
+/// The executor pools for the thread sweep, built once per test process. T=1 is
+/// the guaranteed-sequential degree; the others exercise real chunk scheduling
+/// (the parallel code paths run even on a 1-core host — determinism comes from
+/// canonical chunk order, not from how chunks land on threads).
+fn sweep_pools() -> &'static [(usize, quantile_joins::par::Pool)] {
+    static POOLS: std::sync::OnceLock<Vec<(usize, quantile_joins::par::Pool)>> =
+        std::sync::OnceLock::new();
+    POOLS.get_or_init(|| {
+        [1usize, 2, 4, 8]
+            .into_iter()
+            .map(|t| (t, quantile_joins::par::Pool::new(t)))
+            .collect()
+    })
+}
+
+/// Weights as raw bit patterns: "identical" for the sweep means bit-identical
+/// `f64`s, not merely `==` (which would let `-0.0` and `0.0` slip past).
+fn weight_bits(w: &Weight) -> Vec<u64> {
+    match w {
+        Weight::Num(x) => vec![x.to_bits()],
+        Weight::Vec(v) => v.iter().map(|x| x.to_bits()).collect(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every answer of the encoded batch solve is bit-identical at executor
+    /// degrees 1, 2, 4, and 8 — across MIN/MAX/LEX/SUM rankings and boundary φ.
+    #[test]
+    fn parallel_solves_are_bit_identical_across_thread_counts(
+        seed in 0u64..3000,
+        atoms in 1usize..4,
+        kind in 0usize..4,
+    ) {
+        let instance = random_instance(seed, atoms);
+        let Some(ranking) = ranking_for(&instance, kind) else { return Ok(()) };
+        let total = count_answers(&instance).unwrap();
+        if total == 0 {
+            return Ok(());
+        }
+        let phis = boundary_phis(total);
+        let mut baseline: Option<Vec<QuantileResult>> = None;
+        for (threads, pool) in sweep_pools() {
+            let results = quantile_joins::par::with_pool(pool, || {
+                exact_quantile_batch(&instance, &ranking, &phis)
+            })
+            .unwrap();
+            match &baseline {
+                None => baseline = Some(results),
+                Some(sequential) => {
+                    prop_assert_eq!(results.len(), sequential.len());
+                    for ((phi, seq), par) in phis.iter().zip(sequential).zip(&results) {
+                        let context = format!("{ranking} at φ={phi}, {threads} threads");
+                        assert_pointwise_equal(par, seq, &context);
+                        prop_assert_eq!(
+                            weight_bits(&par.weight),
+                            weight_bits(&seq.weight),
+                            "{}: weight bits differ",
+                            context
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The engine end to end at explicit thread counts: `EngineConfig { threads }`
+/// must not change any served answer, and T=1 must not spawn executor workers.
+#[test]
+fn engine_answers_are_bit_identical_across_thread_configs() {
+    let config = SocialConfig {
+        rows_per_relation: 150,
+        seed: 77,
+        ..Default::default()
+    };
+    let phis = [0.0, 0.1, 0.5, 0.9, 1.0];
+    let mut baseline: Option<Vec<Vec<u64>>> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let engine = Engine::with_config(quantile_joins::engine::EngineConfig {
+            threads: Some(threads),
+            ..Default::default()
+        });
+        let (_, database) = config.generate().into_parts();
+        engine.create_database("social", database).unwrap();
+        engine
+            .register(
+                "likes",
+                "social",
+                social_network_query(),
+                config.likes_ranking(),
+            )
+            .unwrap();
+        let answers = engine.quantile_batch("likes", &phis).unwrap();
+        let bits: Vec<Vec<u64>> = answers
+            .iter()
+            .map(|a| weight_bits(&a.result.weight))
+            .collect();
+        match &baseline {
+            None => baseline = Some(bits),
+            Some(sequential) => {
+                assert_eq!(&bits, sequential, "threads={threads} changed an answer")
+            }
+        }
+    }
+}
