@@ -25,6 +25,11 @@
 //! histogram at the end of the phase (no client-side timestamping: the numbers
 //! come from the same telemetry surface operators scrape in production).
 //!
+//! A final **tracing-overhead** section reruns the warm-cache phase twice at a
+//! fixed worker count — flight recorder on (`tracecap=64`, the default, so
+//! every request records its span trace) vs off (`tracecap=0`) — to price the
+//! per-request span tracing on the overhead-dominated path. Budget: ≤ 3%.
+//!
 //! `QJOIN_BENCH_SMOKE=1` (as CI sets) shrinks the request counts to a 1-sample
 //! smoke run. The final block prints machine-readable JSON rows; the curve recorded
 //! in `BENCH_server.json` at the workspace root comes from this binary.
@@ -44,6 +49,15 @@ const WORKERS: [usize; 4] = [1, 2, 4, 8];
 
 /// The φ set primed and re-requested in warm-cache mode.
 const WARM_PHIS: usize = 16;
+
+/// The flight recorder's default capacity (mirrors `EngineConfig::default`):
+/// the "tracing on" arm of the overhead comparison, and what every other phase
+/// runs with — the sweep prices the default configuration, not a stripped one.
+const DEFAULT_TRACECAP: usize = 64;
+
+/// Worker count for the tracing-overhead comparison (fixed so the two arms
+/// differ only in the recorder capacity).
+const OVERHEAD_WORKERS: usize = 2;
 
 /// One measured phase: throughput plus the server-side latency scrape.
 struct Row {
@@ -160,6 +174,68 @@ fn main() {
         }
     }
 
+    // Tracing overhead: the warm-cache phase (per-request cost dominated by
+    // serving overhead, so span recording shows up loudest) with the flight
+    // recorder at its default capacity vs disabled.
+    println!();
+    println!(
+        "# tracing overhead: warm-cache at {OVERHEAD_WORKERS} workers, \
+         recorder tracecap={DEFAULT_TRACECAP} (on) vs tracecap=0 (off)"
+    );
+    println!("| workers | mode | requests | elapsed ms | req/s | p50 ms | p99 ms |");
+    println!("|---|---|---|---|---|---|---|");
+    // Scheduler noise on a shared host easily exceeds the effect being priced,
+    // so the two arms are interleaved over several repeats and each arm keeps
+    // its best (least-interfered) run.
+    let overhead_repeats = if smoke { 1 } else { 3 };
+    let mut best: Vec<Option<Row>> = vec![None, None];
+    for _ in 0..overhead_repeats {
+        for (arm, (mode, tracecap)) in [
+            ("warm-trace-on", DEFAULT_TRACECAP),
+            ("warm-trace-off", 0usize),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let (addr, join) = start_server_with_tracecap(OVERHEAD_WORKERS, rows, tracecap);
+            {
+                let mut primer = Client::connect(addr).expect("primer connect");
+                let phis: Vec<f64> = (0..WARM_PHIS).map(warm_phi).collect();
+                primer.batch("plan", &phis).expect("prime the cache");
+                primer.quit().expect("primer quit");
+            }
+            let requests = CLIENTS * warm_per_client;
+            let elapsed = run_phase(addr, warm_per_client, |t, i| warm_phi(t + i));
+            let json = fetch_stats_json(addr);
+            stop_server(addr, join);
+            let row = phase_row(OVERHEAD_WORKERS, mode, requests, elapsed, &json, None);
+            if best[arm].as_ref().map(|b| row.rps > b.rps).unwrap_or(true) {
+                best[arm] = Some(row);
+            }
+        }
+    }
+    let mut overhead_rps: Vec<f64> = Vec::new();
+    for row in best.into_iter().flatten() {
+        println!(
+            "| {} | {} | {} | {} | {:.0} | {:.3} | {:.3} |",
+            row.workers,
+            row.mode,
+            row.requests,
+            fmt_ms(std::time::Duration::from_secs_f64(row.elapsed_ms / 1e3)),
+            row.rps,
+            row.p50_ms,
+            row.p99_ms,
+        );
+        overhead_rps.push(row.rps);
+        rows_out.push(row);
+    }
+    let (on, off) = (overhead_rps[0], overhead_rps[1]);
+    println!(
+        "# warm-path tracing overhead: {:+.2}% throughput vs recorder off \
+         (best of {overhead_repeats} interleaved repeats per arm; budget: <= 3%)",
+        (off - on) / off * 100.0
+    );
+
     println!();
     println!("# JSON rows (for BENCH_server.json):");
     println!("[");
@@ -268,13 +344,36 @@ fn start_server(
     SocketAddr,
     std::thread::JoinHandle<qjoin_server::ServerSummary>,
 ) {
+    start_server_with_tracecap(workers, rows, DEFAULT_TRACECAP)
+}
+
+/// [`start_server`] with an explicit flight-recorder capacity (the
+/// tracing-overhead phases pit `DEFAULT_TRACECAP` against 0).
+fn start_server_with_tracecap(
+    workers: usize,
+    rows: usize,
+    tracecap: usize,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<qjoin_server::ServerSummary>,
+) {
+    let engine = Arc::new(qjoin_engine::Engine::with_config(
+        qjoin_engine::EngineConfig {
+            flight_recorder_capacity: tracecap,
+            ..Default::default()
+        },
+    ));
     let config = ServerConfig {
         workers,
         queue_depth: CLIENTS * 2,
         ..Default::default()
     };
-    let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), config)
-        .expect("bind ephemeral port");
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Arc::new(CliSession::with_engine(engine)),
+        config,
+    )
+    .expect("bind ephemeral port");
     let addr = server.local_addr().expect("bound address");
     let join = std::thread::spawn(move || server.run().expect("server run"));
 

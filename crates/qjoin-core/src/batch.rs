@@ -28,7 +28,7 @@ use crate::quantile::{
     keyed_answer_cmp, keyed_answer_to_assignment, report_parallel, target_rank, PivotingOptions,
     QuantileResult, RowBackend, SolveBackend,
 };
-use crate::trace::{NoopTracer, SolvePhase, SolveTracer};
+use crate::trace::{sat64, NoopTracer, PhaseContext, SolvePhase, SolveTracer};
 use crate::trim::Trimmer;
 use crate::{CoreError, Result};
 use qjoin_query::{Instance, Variable};
@@ -112,7 +112,15 @@ pub(crate) fn quantile_batch_backend<B: SolveBackend>(
     let prepare_started = Instant::now();
     let prepare_par = qjoin_par::thread_parallel_nanos();
     let total = backend.count(instance)?;
-    tracer.phase(SolvePhase::Prepare, prepare_started.elapsed());
+    tracer.phase_event(
+        SolvePhase::Prepare,
+        prepare_started.elapsed(),
+        &PhaseContext {
+            candidates: Some(sat64(total)),
+            targets: Some(phis.len() as u64),
+            ..PhaseContext::default()
+        },
+    );
     report_parallel(tracer, SolvePhase::Prepare, prepare_par);
     if total == 0 {
         return Err(CoreError::NoAnswers);
@@ -189,9 +197,17 @@ fn solve_group<B: SolveBackend>(
     let pivot_started = Instant::now();
     let pivot_par = qjoin_par::thread_parallel_nanos();
     let pivot = state.backend.select_pivot(&current)?;
-    state
-        .tracer
-        .phase(SolvePhase::PivotScan, pivot_started.elapsed());
+    state.tracer.phase_event(
+        SolvePhase::PivotScan,
+        pivot_started.elapsed(),
+        &PhaseContext {
+            round: Some(depth as u64),
+            candidates: Some(sat64(current_count)),
+            pivot_slots: Some(pivot.assignment.len() as u64),
+            targets: Some(targets.len() as u64),
+            ..PhaseContext::default()
+        },
+    );
     report_parallel(state.tracer, SolvePhase::PivotScan, pivot_par);
     let pivot_weight = pivot.weight.clone();
 
@@ -238,11 +254,21 @@ fn solve_group<B: SolveBackend>(
     };
     let (lt, n_lt) = lt_result?;
     let (gt, n_gt) = gt_result?;
-    state
-        .tracer
-        .phase(SolvePhase::TrimRound, trim_started.elapsed());
-    report_parallel(state.tracer, SolvePhase::TrimRound, trim_par);
     let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
+    state.tracer.phase_event(
+        SolvePhase::TrimRound,
+        trim_started.elapsed(),
+        &PhaseContext {
+            round: Some(depth as u64),
+            candidates: Some(sat64(current_count)),
+            n_lt: Some(sat64(n_lt)),
+            n_eq: Some(sat64(n_eq)),
+            n_gt: Some(sat64(n_gt)),
+            targets: Some(targets.len() as u64),
+            ..PhaseContext::default()
+        },
+    );
+    report_parallel(state.tracer, SolvePhase::TrimRound, trim_par);
 
     // Route each target into its partition; the equal-to band resolves to the pivot.
     let mut lt_targets = Vec::new();
@@ -328,9 +354,16 @@ fn resolve_leaf<B: SolveBackend>(
         return Err(CoreError::NoAnswers);
     }
     keyed.sort_by(keyed_answer_cmp);
-    state
-        .tracer
-        .phase(SolvePhase::Materialize, materialize_started.elapsed());
+    state.tracer.phase_event(
+        SolvePhase::Materialize,
+        materialize_started.elapsed(),
+        &PhaseContext {
+            round: Some(depth as u64),
+            materialized: Some(keyed.len() as u64),
+            targets: Some(targets.len() as u64),
+            ..PhaseContext::default()
+        },
+    );
     report_parallel(state.tracer, SolvePhase::Materialize, materialize_par);
     for t in targets {
         let k = ((t.rank - offset) as usize).min(keyed.len() - 1);

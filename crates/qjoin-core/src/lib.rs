@@ -59,7 +59,7 @@ pub mod trim;
 pub use batch::{quantile_batch_by_pivoting, quantile_batch_by_pivoting_traced};
 pub use error::CoreError;
 pub use quantile::{PivotingOptions, QuantileResult};
-pub use trace::{NoopTracer, SolvePhase, SolveTracer};
+pub use trace::{NoopTracer, PhaseContext, SolvePhase, SolveTracer};
 
 /// Convenient `Result` alias for the quantile algorithms.
 pub type Result<T> = std::result::Result<T, CoreError>;

@@ -16,7 +16,7 @@
 
 use crate::pivot::{select_pivot, PivotResult};
 use crate::selection::select_kth_by;
-use crate::trace::{NoopTracer, SolvePhase, SolveTracer};
+use crate::trace::{sat64, NoopTracer, PhaseContext, SolvePhase, SolveTracer};
 use crate::trim::Trimmer;
 use crate::{CoreError, Result};
 use qjoin_data::Value;
@@ -204,7 +204,14 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     let prepare_started = Instant::now();
     let prepare_par = qjoin_par::thread_parallel_nanos();
     let total = backend.count(instance)?;
-    tracer.phase(SolvePhase::Prepare, prepare_started.elapsed());
+    tracer.phase_event(
+        SolvePhase::Prepare,
+        prepare_started.elapsed(),
+        &PhaseContext {
+            candidates: Some(sat64(total)),
+            ..PhaseContext::default()
+        },
+    );
     report_parallel(tracer, SolvePhase::Prepare, prepare_par);
     if total == 0 {
         return Err(CoreError::NoAnswers);
@@ -227,7 +234,16 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
         let pivot_started = Instant::now();
         let pivot_par = qjoin_par::thread_parallel_nanos();
         let pivot = backend.select_pivot(&current)?;
-        tracer.phase(SolvePhase::PivotScan, pivot_started.elapsed());
+        tracer.phase_event(
+            SolvePhase::PivotScan,
+            pivot_started.elapsed(),
+            &PhaseContext {
+                round: Some(iterations as u64 - 1),
+                candidates: Some(sat64(current_count)),
+                pivot_slots: Some(pivot.assignment.len() as u64),
+                ..PhaseContext::default()
+            },
+        );
         report_parallel(tracer, SolvePhase::PivotScan, pivot_par);
         let pivot_weight = pivot.weight.clone();
 
@@ -271,9 +287,20 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
         };
         let (lt, n_lt) = lt_result?;
         let (gt, n_gt) = gt_result?;
-        tracer.phase(SolvePhase::TrimRound, trim_started.elapsed());
-        report_parallel(tracer, SolvePhase::TrimRound, trim_par);
         let n_eq = current_count.saturating_sub(n_lt).saturating_sub(n_gt);
+        tracer.phase_event(
+            SolvePhase::TrimRound,
+            trim_started.elapsed(),
+            &PhaseContext {
+                round: Some(iterations as u64 - 1),
+                candidates: Some(sat64(current_count)),
+                n_lt: Some(sat64(n_lt)),
+                n_eq: Some(sat64(n_eq)),
+                n_gt: Some(sat64(n_gt)),
+                ..PhaseContext::default()
+            },
+        );
+        report_parallel(tracer, SolvePhase::TrimRound, trim_par);
 
         if k < n_lt {
             current = lt;
@@ -316,7 +343,16 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     let k = (k as usize).min(keyed.len() - 1);
     let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
     let answer = keyed_answer_to_assignment(original_vars, &selected);
-    tracer.phase(SolvePhase::Materialize, materialize_started.elapsed());
+    tracer.phase_event(
+        SolvePhase::Materialize,
+        materialize_started.elapsed(),
+        &PhaseContext {
+            round: Some(iterations as u64),
+            candidates: Some(sat64(current_count)),
+            materialized: Some(keyed.len() as u64),
+            ..PhaseContext::default()
+        },
+    );
     report_parallel(tracer, SolvePhase::Materialize, materialize_par);
     Ok(QuantileResult {
         answer,

@@ -56,6 +56,38 @@ impl SolvePhase {
     }
 }
 
+/// Structured context attached to a phase event — what the solve knew when the
+/// phase finished, so a span-recording tracer can attribute *why* a round was
+/// expensive, not just how long it took. Every field is optional: a phase
+/// reports what it has (a prepare has no round index, a leaf has no trim
+/// sizes). Counts larger than `u64::MAX` saturate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseContext {
+    /// Zero-based pivoting-round index (the recursion depth in the batched
+    /// driver). `None` for the one-shot prepare/materialize phases of the
+    /// single-φ driver's straight-line prologue.
+    pub round: Option<u64>,
+    /// Candidate answers entering the phase (pre-trim size).
+    pub candidates: Option<u64>,
+    /// Candidates strictly below the pivot after a trim round.
+    pub n_lt: Option<u64>,
+    /// Candidates tied with the pivot after a trim round.
+    pub n_eq: Option<u64>,
+    /// Candidates strictly above the pivot after a trim round.
+    pub n_gt: Option<u64>,
+    /// Variable slots in the pivot assignment (a pivot-scan phase).
+    pub pivot_slots: Option<u64>,
+    /// Number of φ targets routed through this node (batched driver).
+    pub targets: Option<u64>,
+    /// Answers materialized at a leaf (a materialize phase).
+    pub materialized: Option<u64>,
+}
+
+/// Saturates a `u128` count into the `u64` a [`PhaseContext`] field carries.
+pub(crate) fn sat64(value: u128) -> u64 {
+    value.min(u64::MAX as u128) as u64
+}
+
 /// Receives per-phase timing events from the solve drivers. All methods default to
 /// no-ops; implementations record into whatever sink they like. Methods take `&self`
 /// so a tracer can be shared across the recursion — use interior mutability
@@ -65,6 +97,16 @@ pub trait SolveTracer {
     /// [`SolvePhase::TrimRound`] fire once per pivoting round.
     fn phase(&self, phase: SolvePhase, elapsed: Duration) {
         let _ = (phase, elapsed);
+    }
+
+    /// A phase event with structured context (round index, pre/post-trim
+    /// sizes, pivot slot counts, routed-target counts). The drivers emit
+    /// *this* method; the default forwards to [`SolveTracer::phase`] so
+    /// duration-only tracers keep working unchanged and [`NoopTracer`] stays
+    /// zero-cost.
+    fn phase_event(&self, phase: SolvePhase, elapsed: Duration, ctx: &PhaseContext) {
+        let _ = ctx;
+        self.phase(phase, elapsed);
     }
 
     /// Executor time the phase accrued on the driver thread — wall time of
@@ -113,5 +155,24 @@ mod tests {
             *tracer.0.borrow(),
             [SolvePhase::TrimRound, SolvePhase::TrimRound]
         );
+    }
+
+    #[test]
+    fn phase_event_defaults_to_forwarding_durations() {
+        struct DurationOnly(RefCell<Vec<SolvePhase>>);
+        impl SolveTracer for DurationOnly {
+            fn phase(&self, phase: SolvePhase, _elapsed: Duration) {
+                self.0.borrow_mut().push(phase);
+            }
+        }
+        let tracer = DurationOnly(RefCell::new(Vec::new()));
+        let dynamic: &dyn SolveTracer = &tracer;
+        let ctx = PhaseContext {
+            round: Some(3),
+            n_lt: Some(10),
+            ..PhaseContext::default()
+        };
+        dynamic.phase_event(SolvePhase::TrimRound, Duration::ZERO, &ctx);
+        assert_eq!(*tracer.0.borrow(), [SolvePhase::TrimRound]);
     }
 }

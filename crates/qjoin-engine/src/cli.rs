@@ -59,6 +59,11 @@ REPL COMMANDS:
   stats                                     engine statistics + per-plan storage sharing
   stats json                                the same statistics as one JSON object
   metrics                                   Prometheus-style metric exposition lines
+  trace last [n]                            the n most recent request span traces
+  trace id <id>                             one retained trace as an indented span tree
+  trace chrome <id|last>                    a trace as Chrome trace-event JSON (chrome://tracing)
+  explain <plan> <phi>                      dichotomy class, join-tree shape, target rank
+  explain analyze <plan> <phi>              explain + one traced uncached solve's observations
   help                                      this text
   quit | exit                               leave the REPL";
 
@@ -125,6 +130,8 @@ impl CliSession {
                 _ => Err("usage: stats [json]".to_string()),
             },
             "metrics" => Ok(self.cmd_metrics()),
+            "trace" => self.cmd_trace(rest),
+            "explain" => self.cmd_explain(rest),
             "quit" | "exit" => Err("__quit__".to_string()),
             other => Err(format!("unknown command {other:?}; try `help`")),
         }
@@ -314,6 +321,72 @@ impl CliSession {
         qjoin_telemetry::render_prometheus(&self.engine.metrics_snapshot())
             .trim_end()
             .to_string()
+    }
+
+    /// `trace last [n]` / `trace id <id>` / `trace chrome <id|last>`: reads
+    /// recorded request traces back out of the engine's flight recorder.
+    fn cmd_trace(&self, args: &[&str]) -> Result<String, String> {
+        const USAGE: &str = "usage: trace last [n] | trace id <id> | trace chrome <id|last>";
+        let recorder = self.engine.recorder();
+        if !recorder.is_enabled() {
+            return Err("span tracing is disabled (flight recorder capacity 0); \
+                 restart with a non-zero tracecap"
+                .to_string());
+        }
+        let last_trace = || {
+            recorder
+                .last(1)
+                .into_iter()
+                .next()
+                .ok_or_else(|| "no traces recorded yet".to_string())
+        };
+        let by_id = |raw: &str| {
+            let id = qjoin_telemetry::TraceId::parse(raw)
+                .ok_or_else(|| format!("invalid trace id {raw:?} (expected hex)"))?;
+            recorder
+                .get(id)
+                .ok_or_else(|| format!("trace {id} is not in the flight recorder (evicted?)"))
+        };
+        match args {
+            [] | ["last"] => Ok(qjoin_telemetry::render_tree(last_trace()?.as_ref())),
+            ["last", n] => {
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("invalid trace count {n:?}"))?;
+                let traces = recorder.last(n.max(1));
+                if traces.is_empty() {
+                    return Err("no traces recorded yet".to_string());
+                }
+                Ok(traces
+                    .iter()
+                    .map(|t| qjoin_telemetry::render_tree(t))
+                    .collect::<Vec<_>>()
+                    .join("\n"))
+            }
+            ["id", raw] => Ok(qjoin_telemetry::render_tree(by_id(raw)?.as_ref())),
+            ["chrome", "last"] => Ok(qjoin_telemetry::chrome_trace_json(last_trace()?.as_ref())),
+            ["chrome", raw] => Ok(qjoin_telemetry::chrome_trace_json(by_id(raw)?.as_ref())),
+            _ => Err(USAGE.to_string()),
+        }
+    }
+
+    /// `explain [analyze] <plan> <phi>`: the §5 dichotomy class and plan shape,
+    /// plus (with `analyze`) one traced uncached solve's observed rounds.
+    fn cmd_explain(&self, args: &[&str]) -> Result<String, String> {
+        const USAGE: &str = "usage: explain [analyze] <plan> <phi>";
+        let (analyze, rest) = match args {
+            ["analyze", rest @ ..] => (true, rest),
+            rest => (false, rest),
+        };
+        let [plan, phi] = rest else {
+            return Err(USAGE.to_string());
+        };
+        let phi = parse_phi(phi)?;
+        let report = self
+            .engine
+            .explain(plan, phi, analyze)
+            .map_err(|e| e.to_string())?;
+        Ok(report.render().trim_end().to_string())
     }
 }
 
@@ -792,6 +865,105 @@ mod tests {
         ok(&session, "register p s");
         assert!(session.execute("quantile p 0.5 esp=0.1").is_err());
         assert!(session.execute("batch p 0.5 esp=0.1").is_err());
+    }
+
+    #[test]
+    fn trace_verbs_replay_recorded_requests() {
+        let session = CliSession::new();
+        ok(&session, "open s social rows=120 seed=3");
+        ok(&session, "register likes s");
+        ok(&session, "quantile likes 0.5");
+
+        // The cold solve recorded a full request trace: lifecycle spans plus
+        // one per solve phase, each carrying its structured arguments.
+        let tree = ok(&session, "trace last 1");
+        for needle in [
+            "request",
+            "cache-lookup",
+            "solve",
+            "prepare",
+            "pivot-scan",
+            "trim-round",
+            "materialize",
+            "round=",
+            "candidates=",
+        ] {
+            assert!(tree.contains(needle), "missing {needle:?} in:\n{tree}");
+        }
+
+        // `trace id` replays the same trace by its hex id.
+        let id = tree
+            .split_whitespace()
+            .nth(1)
+            .expect("render_tree leads with `trace <id>`");
+        let by_id = ok(&session, &format!("trace id {id}"));
+        assert_eq!(tree, by_id);
+
+        // The chrome export is one line of trace-event JSON with complete events.
+        let chrome = ok(&session, &format!("trace chrome {id}"));
+        assert!(!chrome.contains('\n'), "{chrome}");
+        assert!(chrome.starts_with('[') && chrome.ends_with(']'), "{chrome}");
+        assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+        assert!(chrome.contains("\"name\":\"trim-round\""), "{chrome}");
+        assert_eq!(ok(&session, "trace chrome last"), chrome);
+
+        // A warm repeat records a new (cache-hit) trace, newest first.
+        ok(&session, "quantile likes 0.5");
+        let warm = ok(&session, "trace last 1");
+        assert!(warm.contains("hit=true"), "{warm}");
+        assert!(!warm.contains("solve"), "{warm}");
+
+        // Errors are reported, not panicked.
+        assert!(session.execute("trace id zzz").is_err());
+        assert!(session.execute("trace id ffffffff").is_err());
+        assert!(session.execute("trace bogus").is_err());
+    }
+
+    #[test]
+    fn trace_reports_disabled_recorder() {
+        let session =
+            CliSession::with_engine(Arc::new(Engine::with_config(crate::engine::EngineConfig {
+                flight_recorder_capacity: 0,
+                ..Default::default()
+            })));
+        ok(&session, "open s social rows=40 seed=1");
+        ok(&session, "register likes s");
+        ok(&session, "quantile likes 0.5");
+        let err = session.execute("trace last").unwrap_err();
+        assert!(err.contains("disabled"), "{err}");
+    }
+
+    #[test]
+    fn explain_names_the_dichotomy_class() {
+        let session = CliSession::new();
+        ok(&session, "open s social rows=120 seed=3");
+        ok(&session, "register likes s");
+        let report = ok(&session, "explain likes 0.5");
+        assert!(
+            report.contains("dichotomy class: sum-adjacent-pair"),
+            "{report}"
+        );
+        assert!(report.contains("Theorem 5.6"), "{report}");
+        assert!(report.contains("join tree: 3 atoms"), "{report}");
+        assert!(report.contains("targets rank"), "{report}");
+
+        // analyze runs one real solve and reports its observed rounds.
+        let analyzed = ok(&session, "explain analyze likes 0.5");
+        assert!(analyzed.contains("analyze: solved in"), "{analyzed}");
+        assert!(analyzed.contains("round 0:"), "{analyzed}");
+        assert!(analyzed.contains("n_lt="), "{analyzed}");
+
+        // The intractable class explains itself and analyzes approximately.
+        ok(&session, "open p path atoms=3 rows=40 seed=4");
+        ok(&session, "register fullsum p ranking=sum:*");
+        let hard = ok(&session, "explain analyze fullsum 0.5");
+        assert!(hard.contains("sum-approximate-only"), "{hard}");
+        assert!(hard.contains("NP-hard"), "{hard}");
+        assert!(hard.contains("approximate eps=0.05"), "{hard}");
+
+        assert!(session.execute("explain").is_err());
+        assert!(session.execute("explain nope 0.5").is_err());
+        assert!(session.execute("explain likes 1.5").is_err());
     }
 
     #[test]

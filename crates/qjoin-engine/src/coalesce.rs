@@ -46,6 +46,10 @@ pub(crate) struct GateOutcome<R, E> {
     pub coalesced_rounds: u64,
     /// True when the answer came out of a batch solved by *another* request.
     pub was_follower: bool,
+    /// The opaque tag the serving round's solve returned (the engine passes the
+    /// leader's trace id here, so a follower's span can reference the trace that
+    /// actually did the work). `None` when the solve reported no tag (tag 0).
+    pub leader_tag: Option<u64>,
 }
 
 /// How the gate served one multi-φ request ([`Gate::serve_many`]).
@@ -58,15 +62,23 @@ pub(crate) struct GateBatchOutcome<R, E> {
     pub coalesced_rounds: u64,
     /// True when every answer came out of batches solved by *other* requests.
     pub was_follower: bool,
+    /// The first non-zero solve tag among the rounds that served this request's
+    /// targets (see [`GateOutcome::leader_tag`]).
+    pub leader_tag: Option<u64>,
 }
+
+/// A leader's own answers plus the tag of the round that produced them
+/// (accumulated across the rounds the leader solves; see [`Gate::lead`]).
+type TaggedResults<R, E> = (Result<Vec<R>, E>, Option<u64>);
 
 /// Shared state of one in-flight coalescing group.
 #[derive(Debug)]
 struct FlightState<R, E> {
     /// φ targets awaiting the next round, deduplicated by bit pattern.
     pending: Vec<f64>,
-    /// Published answers, keyed by φ bits.
-    results: HashMap<u64, Result<R, E>>,
+    /// Published answers, keyed by φ bits, each carrying the solve tag of the
+    /// round that produced it (0 when the solve reported none).
+    results: HashMap<u64, Result<(R, u64), E>>,
     /// Followers that attached since the last publish (leader snapshots this to
     /// decide whether the round it just solved actually coalesced anything).
     attached: u64,
@@ -129,7 +141,9 @@ impl<R: Clone, E: Clone> Gate<R, E> {
 
     /// Serves one φ target through the gate. `solve` receives a sorted, deduplicated
     /// batch of targets (always containing at least the caller's own φ when the
-    /// caller leads) and must return one result per target, in order.
+    /// caller leads) and must return one result per target, in order, plus an
+    /// opaque tag published alongside the round's answers (the engine passes the
+    /// solve's trace id; 0 means "no tag").
     ///
     /// The caller becomes the leader if no flight exists for `key`; otherwise it
     /// either takes an already-published answer, or registers its φ and waits for a
@@ -138,7 +152,7 @@ impl<R: Clone, E: Clone> Gate<R, E> {
         &self,
         key: GateKey,
         phi: f64,
-        solve: impl Fn(&[f64]) -> Result<Vec<R>, E>,
+        solve: impl Fn(&[f64]) -> Result<(Vec<R>, u64), E>,
     ) -> GateOutcome<R, E> {
         let outcome = self.serve_many(key, &[phi], solve);
         GateOutcome {
@@ -147,6 +161,7 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                 .map(|mut results| results.pop().expect("one result per requested φ")),
             coalesced_rounds: outcome.coalesced_rounds,
             was_follower: outcome.was_follower,
+            leader_tag: outcome.leader_tag,
         }
     }
 
@@ -159,13 +174,14 @@ impl<R: Clone, E: Clone> Gate<R, E> {
         &self,
         key: GateKey,
         phis: &[f64],
-        solve: impl Fn(&[f64]) -> Result<Vec<R>, E>,
+        solve: impl Fn(&[f64]) -> Result<(Vec<R>, u64), E>,
     ) -> GateBatchOutcome<R, E> {
         if phis.is_empty() {
             return GateBatchOutcome {
                 results: Ok(Vec::new()),
                 coalesced_rounds: 0,
                 was_follower: false,
+                leader_tag: None,
             };
         }
         let bits: Vec<u64> = phis.iter().map(|p| p.to_bits()).collect();
@@ -177,12 +193,13 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                     // Register under the map lock: a flight still in the map is
                     // guaranteed to run at least one more round before closing.
                     let mut state = flight.state.lock().expect("flight lock poisoned");
-                    if let Some(results) = collect_results(&state, &bits) {
+                    if let Some((results, leader_tag)) = collect_results(&state, &bits) {
                         // Shared batches already answered every target.
                         return GateBatchOutcome {
                             results,
                             coalesced_rounds: 0,
                             was_follower: true,
+                            leader_tag,
                         };
                     }
                     for (&phi, b) in phis.iter().zip(&bits) {
@@ -217,11 +234,12 @@ impl<R: Clone, E: Clone> Gate<R, E> {
         // we are promoted to lead the round that contains the remainder.
         let mut state = flight.state.lock().expect("flight lock poisoned");
         loop {
-            if let Some(results) = collect_results(&state, &bits) {
+            if let Some((results, leader_tag)) = collect_results(&state, &bits) {
                 return GateBatchOutcome {
                     results,
                     coalesced_rounds: 0,
                     was_follower: true,
+                    leader_tag,
                 };
             }
             debug_assert!(!state.closed, "closed flight owes this waiter an answer");
@@ -243,10 +261,10 @@ impl<R: Clone, E: Clone> Gate<R, E> {
         key: GateKey,
         flight: &Arc<Flight<R, E>>,
         my_bits: &[u64],
-        solve: &impl Fn(&[f64]) -> Result<Vec<R>, E>,
+        solve: &impl Fn(&[f64]) -> Result<(Vec<R>, u64), E>,
     ) -> GateBatchOutcome<R, E> {
         let mut coalesced_rounds = 0u64;
-        let mut my_result: Option<Result<Vec<R>, E>> = None;
+        let mut my_result: Option<TaggedResults<R, E>> = None;
         loop {
             // Take the next round, or close the flight if nothing is pending.
             // Map lock first: removal must be atomic with the last pending check so
@@ -272,10 +290,10 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                 round
             };
             match solve(&round) {
-                Ok(results) => {
+                Ok((results, tag)) => {
                     let mut state = flight.state.lock().expect("flight lock poisoned");
                     for (target, result) in round.iter().zip(results) {
-                        state.results.insert(target.to_bits(), Ok(result));
+                        state.results.insert(target.to_bits(), Ok((result, tag)));
                     }
                     if my_result.is_none() {
                         my_result = collect_results(&state, my_bits);
@@ -312,37 +330,48 @@ impl<R: Clone, E: Clone> Gate<R, E> {
                     map.remove(&key);
                     flight.cv.notify_all();
                     if my_result.is_none() {
-                        my_result = Some(Err(e));
+                        my_result = Some((Err(e), None));
                     }
                     break;
                 }
             }
         }
+        let (results, leader_tag) =
+            my_result.expect("a led round always covers the leader's own φs");
         GateBatchOutcome {
-            results: my_result.expect("a led round always covers the leader's own φs"),
+            results,
             coalesced_rounds,
             // A promoted waiter solved its own targets; it never consumed another
             // request's batch, so it is not a coalesced waiter.
             was_follower: false,
+            leader_tag,
         }
     }
 }
 
 /// `Some` once every requested bit has a published answer: the answers in request
-/// order, or the first published error (errors fan out to the whole flight, so any
-/// error fails the whole request — identical to an un-gated batch solve).
+/// order plus the first non-zero solve tag among them, or the first published
+/// error (errors fan out to the whole flight, so any error fails the whole
+/// request — identical to an un-gated batch solve).
+#[allow(clippy::type_complexity)]
 fn collect_results<R: Clone, E: Clone>(
     state: &FlightState<R, E>,
     bits: &[u64],
-) -> Option<Result<Vec<R>, E>> {
+) -> Option<(Result<Vec<R>, E>, Option<u64>)> {
     let mut results = Vec::with_capacity(bits.len());
+    let mut leader_tag = None;
     for b in bits {
         match state.results.get(b)? {
-            Ok(result) => results.push(result.clone()),
-            Err(e) => return Some(Err(e.clone())),
+            Ok((result, tag)) => {
+                if leader_tag.is_none() && *tag != 0 {
+                    leader_tag = Some(*tag);
+                }
+                results.push(result.clone());
+            }
+            Err(e) => return Some((Err(e.clone()), None)),
         }
     }
-    Some(Ok(results))
+    Some((Ok(results), leader_tag))
 }
 
 #[cfg(test)]
@@ -362,7 +391,7 @@ mod tests {
         let out = gate.serve((1, 1), 0.5, |phis| {
             calls.fetch_add(1, Ordering::SeqCst);
             assert_eq!(phis, &[0.5]);
-            Ok(phis.iter().map(|p| p * 2.0).collect())
+            Ok((phis.iter().map(|p| p * 2.0).collect(), 0))
         });
         assert_eq!(out.result.unwrap(), 1.0);
         assert_eq!(out.coalesced_rounds, 0);
@@ -389,7 +418,7 @@ mod tests {
                     solves.fetch_add(1, Ordering::SeqCst);
                     in_solve.wait();
                     release.wait();
-                    Ok(phis.iter().map(|p| p + 1.0).collect())
+                    Ok((phis.iter().map(|p| p + 1.0).collect(), 42))
                 })
             })
         };
@@ -398,7 +427,7 @@ mod tests {
             .map(|_| {
                 let gate = Arc::clone(&gate);
                 thread::spawn(move || {
-                    gate.serve((7, 3), 0.25, |_| -> Result<Vec<f64>, String> {
+                    gate.serve((7, 3), 0.25, |_| -> Result<(Vec<f64>, u64), String> {
                         panic!("followers of an identical target must never solve")
                     })
                 })
@@ -415,6 +444,11 @@ mod tests {
             let out = f.join().unwrap();
             assert_eq!(out.result.unwrap(), 1.25);
             assert!(out.was_follower);
+            assert_eq!(
+                out.leader_tag,
+                Some(42),
+                "followers learn the leading solve's trace tag"
+            );
         }
         assert_eq!(
             solves.load(Ordering::SeqCst),
@@ -441,7 +475,7 @@ mod tests {
                         in_solve.wait();
                         release.wait();
                     }
-                    Ok(phis.to_vec())
+                    Ok((phis.to_vec(), 0))
                 })
             })
         };
@@ -455,7 +489,7 @@ mod tests {
                 thread::spawn(move || {
                     gate.serve((1, 1), phi, move |phis| {
                         rounds.lock().unwrap().push(phis.to_vec());
-                        Ok(phis.to_vec())
+                        Ok((phis.to_vec(), 0))
                     })
                 })
             })
@@ -487,7 +521,7 @@ mod tests {
             let gate = Arc::clone(&gate);
             let (in_solve, release) = (Arc::clone(&in_solve), Arc::clone(&release));
             thread::spawn(move || {
-                gate.serve((9, 9), 0.5, move |_| -> Result<Vec<f64>, String> {
+                gate.serve((9, 9), 0.5, move |_| -> Result<(Vec<f64>, u64), String> {
                     in_solve.wait();
                     release.wait();
                     Err("boom".to_string())
@@ -526,7 +560,7 @@ mod tests {
                         in_solve.wait();
                         release.wait();
                     }
-                    Ok(phis.to_vec())
+                    Ok((phis.to_vec(), 0))
                 })
             })
         };
@@ -540,7 +574,7 @@ mod tests {
                 thread::spawn(move || {
                     let out = gate.serve_many((4, 2), &phis, move |round| {
                         rounds.lock().unwrap().push(round.to_vec());
-                        Ok(round.to_vec())
+                        Ok((round.to_vec(), 0))
                     });
                     (phis, out)
                 })
@@ -573,7 +607,7 @@ mod tests {
         let gate = TestGate::new();
         let out = gate.serve_many((6, 1), &[0.5, 0.2, 0.5], |phis| {
             assert_eq!(phis, &[0.2, 0.5], "solver sees the deduplicated round");
-            Ok(phis.to_vec())
+            Ok((phis.to_vec(), 0))
         });
         assert_eq!(out.results.unwrap(), vec![0.5, 0.2, 0.5]);
         assert!(!out.was_follower);
@@ -582,8 +616,10 @@ mod tests {
     #[test]
     fn different_keys_never_share_a_flight() {
         let gate = TestGate::new();
-        let out_a = gate.serve((1, 1), 0.5, |p| Ok(p.to_vec()));
-        let out_b = gate.serve((1, 2), 0.5, |p| Ok(p.iter().map(|x| x + 1.0).collect()));
+        let out_a = gate.serve((1, 1), 0.5, |p| Ok((p.to_vec(), 0)));
+        let out_b = gate.serve((1, 2), 0.5, |p| {
+            Ok((p.iter().map(|x| x + 1.0).collect(), 0))
+        });
         assert_eq!(out_a.result.unwrap(), 0.5);
         assert_eq!(out_b.result.unwrap(), 1.5);
     }

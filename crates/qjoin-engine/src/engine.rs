@@ -42,17 +42,20 @@ use crate::catalog::Catalog;
 use crate::coalesce::Gate;
 use crate::error::EngineError;
 use crate::plan::{Accuracy, PreparedPlan};
-use crate::telemetry::RegistryTracer;
+use crate::telemetry::{RecordingTracer, RegistryTracer};
 use qjoin_core::batch::quantile_batch_by_pivoting_traced;
 use qjoin_core::{CoreError, PivotingOptions, QuantileResult};
 use qjoin_data::Database;
 use qjoin_query::JoinQuery;
 use qjoin_ranking::Ranking;
-use qjoin_telemetry::{Histogram, MetricsSnapshot, Registry};
+use qjoin_telemetry::{
+    current_trace_context, with_trace_context, ArgValue, FlightRecorder, Histogram,
+    MetricsSnapshot, Registry, TraceBuilder, TraceContext,
+};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 /// `(plan id, database generation, φ bits, accuracy bits)`.
@@ -75,6 +78,11 @@ pub struct EngineConfig {
     /// `None` uses the process-wide pool sized by `QJOIN_THREADS` (or the host's
     /// available parallelism). Answers are bit-identical at any setting.
     pub threads: Option<usize>,
+    /// Capacity of the per-request span-trace flight recorder (newest-first
+    /// eviction). `0` disables span tracing entirely — no trace is built and
+    /// requests pay nothing beyond one atomic load, the configuration the
+    /// tracing-overhead benchmark compares against.
+    pub flight_recorder_capacity: usize,
 }
 
 impl Default for EngineConfig {
@@ -84,6 +92,7 @@ impl Default for EngineConfig {
             cache_shards: 8,
             pivoting: PivotingOptions::default(),
             threads: None,
+            flight_recorder_capacity: 64,
         }
     }
 }
@@ -248,8 +257,31 @@ pub struct Engine {
     /// The engine's own chunk-executor pool when `config.threads` is set;
     /// `None` delegates to the process-wide [`qjoin_par::global`] pool.
     pool: Option<qjoin_par::Pool>,
+    /// The per-request span-trace ring: completed request traces land here and
+    /// the `trace` verbs read them back. Also the trace-id allocator.
+    recorder: Arc<FlightRecorder>,
+    /// Live per-plan cold-solve concurrency, published as
+    /// `qjoin_inflight_solves{plan}` at scrape time (the first observable for
+    /// per-plan admission control).
+    inflight_solves: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     /// Construction time, for the uptime gauge.
     started: Instant,
+}
+
+/// RAII decrement for one plan's in-flight cold-solve counter.
+struct InflightGuard(Arc<AtomicU64>);
+
+impl InflightGuard {
+    fn enter(cell: Arc<AtomicU64>) -> Self {
+        cell.fetch_add(1, Ordering::Relaxed);
+        InflightGuard(cell)
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
 }
 
 // The whole point of the `&self` refactor: an `Engine` can be shared across threads.
@@ -277,6 +309,7 @@ impl Engine {
         let registry = Arc::new(Registry::new());
         let cache_lookup = registry.histogram("qjoin_cache_lookup_seconds", &[]);
         let pool = config.threads.map(qjoin_par::Pool::new);
+        let recorder = Arc::new(FlightRecorder::new(config.flight_recorder_capacity));
         Engine {
             config,
             state: RwLock::new(EngineState::default()),
@@ -286,8 +319,47 @@ impl Engine {
             registry,
             cache_lookup,
             pool,
+            recorder,
+            inflight_solves: Mutex::new(BTreeMap::new()),
             started: Instant::now(),
         }
+    }
+
+    /// The per-request span-trace flight recorder (capacity 0 when tracing is
+    /// disabled). The serving layers allocate trace ids from it and the `trace`
+    /// verbs read completed traces back out.
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Runs `f` under a request-scoped trace context. When the caller already
+    /// installed an ambient context (the server traces the whole request
+    /// lifecycle), it is reused untouched; otherwise — engine-direct callers
+    /// like the REPL — a fresh root trace is created, `f`'s spans attach to its
+    /// root span, and the completed trace lands in the flight recorder. With
+    /// the recorder disabled this is a single atomic load plus the call.
+    fn with_request_trace<R>(
+        &self,
+        name: &'static str,
+        args: Vec<(&'static str, ArgValue)>,
+        f: impl FnOnce() -> R,
+    ) -> R {
+        if !self.recorder.is_enabled() || current_trace_context().is_some() {
+            return f();
+        }
+        let builder = TraceBuilder::new(self.recorder.next_trace_id());
+        let root = builder.next_span_id();
+        let started = builder.epoch();
+        let result = with_trace_context(
+            TraceContext {
+                builder: builder.clone(),
+                parent: root,
+            },
+            f,
+        );
+        builder.record(root, None, name, started, started.elapsed(), args);
+        self.recorder.push(builder.finish());
+        result
     }
 
     /// Runs `f` with the engine's executor pool installed as the thread's current
@@ -466,6 +538,23 @@ impl Engine {
         phi: f64,
         accuracy: Accuracy,
     ) -> Result<EngineAnswer, EngineError> {
+        self.with_request_trace(
+            "request",
+            vec![
+                ("verb", ArgValue::Str("quantile".to_string())),
+                ("plan", ArgValue::Str(plan_name.to_string())),
+                ("phi", ArgValue::F64(phi)),
+            ],
+            || self.quantile_with_inner(plan_name, phi, accuracy),
+        )
+    }
+
+    fn quantile_with_inner(
+        &self,
+        plan_name: &str,
+        phi: f64,
+        accuracy: Accuracy,
+    ) -> Result<EngineAnswer, EngineError> {
         let plan = self.plan(plan_name)?;
         self.counters
             .quantile_requests
@@ -483,6 +572,7 @@ impl Engine {
         }
         let result = match accuracy {
             Accuracy::Exact => {
+                let gate_entered = Instant::now();
                 let outcome = self.gate.serve((plan.id, plan.generation), phi, |phis| {
                     let results = self.solve_batch_uncached(&plan, phis, Accuracy::Exact)?;
                     // Publish to the LRU before the gate publishes to waiters, so
@@ -496,7 +586,12 @@ impl Engine {
                         );
                         self.insert_cached(&plan, key, result.clone());
                     }
-                    Ok(results)
+                    // Tag the published results with the leader's trace id so
+                    // follower traces can point at the solve they rode on.
+                    let tag = current_trace_context()
+                        .map(|ctx| ctx.builder.id().0)
+                        .unwrap_or(0);
+                    Ok((results, tag))
                 });
                 self.counters
                     .coalesced_batches
@@ -505,6 +600,7 @@ impl Engine {
                     self.counters
                         .coalesced_waiters
                         .fetch_add(1, Ordering::Relaxed);
+                    self.record_coalesce_wait(gate_entered, outcome.leader_tag);
                 }
                 outcome.result?
             }
@@ -536,7 +632,21 @@ impl Engine {
         accuracy: Accuracy,
     ) -> Result<Vec<QuantileResult>, EngineError> {
         let trimmer = plan.trimmer_for(accuracy)?;
-        let tracer = RegistryTracer::for_plan(&self.registry, &plan.name);
+        // When a request trace is live, allocate the solve span up front so the
+        // per-phase child spans the drivers emit can parent to it; the span
+        // itself is recorded below once the solve's duration and backend are
+        // known (children may be recorded before their parent).
+        let ambient = current_trace_context();
+        let solve_span = ambient
+            .as_ref()
+            .map(|ctx| (ctx.builder.clone(), ctx.parent, ctx.builder.next_span_id()));
+        let tracer = RecordingTracer::new(
+            RegistryTracer::for_plan(&self.registry, &plan.name),
+            solve_span
+                .as_ref()
+                .map(|(builder, _, span)| (builder.clone(), *span)),
+        );
+        let _inflight = InflightGuard::enter(self.inflight_cell(&plan.name));
         let solve_started = Instant::now();
         // Exact requests run on the plan's cached encoded instance (built once per
         // catalog generation); approximate requests and un-encodable instances use
@@ -573,11 +683,105 @@ impl Engine {
                     _ => Ok((row_solve()?, false)),
                 }
             })?;
-        tracer.finish(solve_started.elapsed(), used_encoded_path);
+        let solve_elapsed = solve_started.elapsed();
+        tracer.registry().finish(solve_elapsed, used_encoded_path);
+        if let Some((builder, parent, span)) = solve_span {
+            builder.record(
+                span,
+                Some(parent),
+                "solve",
+                solve_started,
+                solve_elapsed,
+                vec![
+                    ("plan", ArgValue::Str(plan.name.clone())),
+                    (
+                        "backend",
+                        ArgValue::Str(
+                            if used_encoded_path { "encoded" } else { "row" }.to_string(),
+                        ),
+                    ),
+                    ("phis", ArgValue::U64(phis.len() as u64)),
+                    ("rounds", ArgValue::U64(tracer.registry().rounds())),
+                ],
+            );
+        }
         self.counters
             .solved
             .fetch_add(results.len() as u64, Ordering::Relaxed);
         Ok(results)
+    }
+
+    /// Runs one **uncached** solve for `explain analyze` under a dedicated span
+    /// trace — bypassing the result cache and the coalescing gate, so the trace
+    /// always observes the plan's own rounds — and returns the completed trace.
+    /// The trace also lands in the flight recorder (when enabled), so the
+    /// `trace` verbs can replay exactly the solve the report summarizes.
+    pub(crate) fn traced_uncached_solve(
+        &self,
+        plan: &Arc<PreparedPlan>,
+        phi: f64,
+        accuracy: Accuracy,
+    ) -> Result<qjoin_telemetry::Trace, EngineError> {
+        let builder = TraceBuilder::new(self.recorder.next_trace_id());
+        let root = builder.next_span_id();
+        let started = builder.epoch();
+        let result = with_trace_context(
+            TraceContext {
+                builder: builder.clone(),
+                parent: root,
+            },
+            || self.solve_batch_uncached(plan, &[phi], accuracy),
+        );
+        builder.record(
+            root,
+            None,
+            "explain-analyze",
+            started,
+            started.elapsed(),
+            vec![
+                ("plan", ArgValue::Str(plan.name.clone())),
+                ("phi", ArgValue::F64(phi)),
+            ],
+        );
+        let trace = builder.finish();
+        if self.recorder.is_enabled() {
+            self.recorder.push(trace.clone());
+        }
+        result?;
+        Ok(trace)
+    }
+
+    /// The shared in-flight counter cell for one plan (created on first use;
+    /// cells persist so the `qjoin_inflight_solves{plan}` gauge keeps reporting
+    /// an explicit zero once a plan has solved at least once).
+    fn inflight_cell(&self, plan: &str) -> Arc<AtomicU64> {
+        let mut map = self
+            .inflight_solves
+            .lock()
+            .expect("inflight map never poisoned");
+        Arc::clone(
+            map.entry(plan.to_string())
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    /// Records a follower's time blocked in the coalescing gate as a
+    /// `coalesce-wait` span, referencing the leader's trace id when the leader
+    /// was itself traced.
+    fn record_coalesce_wait(&self, entered: Instant, leader_tag: Option<u64>) {
+        if let Some(ctx) = current_trace_context() {
+            let mut args = Vec::new();
+            if let Some(tag) = leader_tag {
+                args.push(("leader_trace", ArgValue::Str(format!("{tag:x}"))));
+            }
+            ctx.builder.record_new(
+                Some(ctx.parent),
+                "coalesce-wait",
+                entered,
+                entered.elapsed(),
+                args,
+            );
+        }
     }
 
     /// A cache lookup timed into the `qjoin_cache_lookup_seconds` histogram —
@@ -586,6 +790,15 @@ impl Engine {
         let started = Instant::now();
         let result = self.cache.get(plan_id, key);
         self.cache_lookup.record_duration(started.elapsed());
+        if let Some(ctx) = current_trace_context() {
+            ctx.builder.record_new(
+                Some(ctx.parent),
+                "cache-lookup",
+                started,
+                started.elapsed(),
+                vec![("hit", ArgValue::Bool(result.is_some()))],
+            );
+        }
         result
     }
 
@@ -622,6 +835,23 @@ impl Engine {
         phis: &[f64],
         accuracy: Accuracy,
     ) -> Result<Vec<EngineAnswer>, EngineError> {
+        self.with_request_trace(
+            "request",
+            vec![
+                ("verb", ArgValue::Str("batch".to_string())),
+                ("plan", ArgValue::Str(plan_name.to_string())),
+                ("phis", ArgValue::U64(phis.len() as u64)),
+            ],
+            || self.quantile_batch_with_inner(plan_name, phis, accuracy),
+        )
+    }
+
+    fn quantile_batch_with_inner(
+        &self,
+        plan_name: &str,
+        phis: &[f64],
+        accuracy: Accuracy,
+    ) -> Result<Vec<EngineAnswer>, EngineError> {
         let plan = self.plan(plan_name)?;
         self.counters.batch_requests.fetch_add(1, Ordering::Relaxed);
         self.counters
@@ -653,6 +883,7 @@ impl Engine {
             // concurrent batch requests fold into one shared solve round.
             let results = match accuracy {
                 Accuracy::Exact => {
+                    let gate_entered = Instant::now();
                     let outcome =
                         self.gate
                             .serve_many((plan.id, plan.generation), &miss_phis, |phis| {
@@ -667,7 +898,10 @@ impl Engine {
                                     );
                                     self.insert_cached(&plan, key, result.clone());
                                 }
-                                Ok(results)
+                                let tag = current_trace_context()
+                                    .map(|ctx| ctx.builder.id().0)
+                                    .unwrap_or(0);
+                                Ok((results, tag))
                             });
                     self.counters
                         .coalesced_batches
@@ -676,6 +910,7 @@ impl Engine {
                         self.counters
                             .coalesced_waiters
                             .fetch_add(1, Ordering::Relaxed);
+                        self.record_coalesce_wait(gate_entered, outcome.leader_tag);
                     }
                     outcome.results?
                 }
@@ -823,6 +1058,20 @@ impl Engine {
             &[],
             counters.coalesced_waiters,
         );
+
+        {
+            let inflight = self
+                .inflight_solves
+                .lock()
+                .expect("inflight map never poisoned");
+            for (plan, cell) in inflight.iter() {
+                registry.publish_gauge(
+                    "qjoin_inflight_solves",
+                    &[("plan", plan)],
+                    cell.load(Ordering::Relaxed) as f64,
+                );
+            }
+        }
 
         let cache = self.cache.stats();
         registry.publish_counter("qjoin_cache_hits_total", &[], cache.hits);

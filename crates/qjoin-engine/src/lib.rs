@@ -27,6 +27,7 @@
 //! | compile-once registrations | [`plan`] |
 //! | LRU result cache | [`cache`] |
 //! | the serving facade | [`engine`] |
+//! | `explain` / `explain analyze` reports | [`explain`] |
 //! | the `qjoin` CLI session | [`cli`] |
 //!
 //! ## Quick example
@@ -61,6 +62,7 @@ pub mod cli;
 mod coalesce;
 pub mod engine;
 mod error;
+pub mod explain;
 pub mod plan;
 mod telemetry;
 
@@ -70,4 +72,5 @@ pub use engine::{
     Engine, EngineAnswer, EngineConfig, EngineCounters, EngineStats, PlanStorageStats,
 };
 pub use error::EngineError;
+pub use explain::{AnalyzeReport, AnalyzeRound, ExplainReport};
 pub use plan::{Accuracy, PlanStrategy, PreparedPlan};

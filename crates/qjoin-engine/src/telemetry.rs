@@ -19,11 +19,11 @@
 //!   inside chunk-executor regions, so `parallel / phase` approximates how much
 //!   of a phase the work-stealing pool actually covers.
 
-use qjoin_core::{SolvePhase, SolveTracer};
-use qjoin_telemetry::{Counter, Histogram, Registry};
+use qjoin_core::{PhaseContext, SolvePhase, SolveTracer};
+use qjoin_telemetry::{ArgValue, Counter, Histogram, Registry, SpanId, TraceBuilder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A [`SolveTracer`] that records phase timings into per-plan histograms of a
 /// shared registry (see the module docs).
@@ -72,6 +72,86 @@ impl RegistryTracer {
         } else {
             self.row_total.inc();
         }
+    }
+
+    /// Pivoting rounds observed so far (one per [`SolvePhase::TrimRound`] event).
+    pub(crate) fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+}
+
+/// A [`SolveTracer`] that feeds the per-plan histograms *and* (when a trace is
+/// being recorded) turns every structured phase event into a child span of the
+/// solve span: round index, pre-trim candidate count, `n_lt`/`n_eq`/`n_gt`
+/// split, pivot slot count, routed-target count, and materialized-leaf size all
+/// land as span arguments, so one recorded trace explains where a solve's time
+/// went and why.
+pub(crate) struct RecordingTracer {
+    registry: RegistryTracer,
+    /// `(builder, solve span id)` when spans are being recorded; phases parent
+    /// to the solve span, which the engine records when the solve finishes.
+    recording: Option<(TraceBuilder, SpanId)>,
+}
+
+impl RecordingTracer {
+    pub(crate) fn new(registry: RegistryTracer, recording: Option<(TraceBuilder, SpanId)>) -> Self {
+        RecordingTracer {
+            registry,
+            recording,
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &RegistryTracer {
+        &self.registry
+    }
+
+    /// Places a span of length `elapsed` ending *now* (phase events are
+    /// reported at phase end, so the start is reconstructed by subtraction).
+    fn record_span(
+        &self,
+        name: &'static str,
+        elapsed: Duration,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        if let Some((builder, solve_span)) = &self.recording {
+            let start = Instant::now()
+                .checked_sub(elapsed)
+                .unwrap_or_else(|| builder.epoch());
+            builder.record_new(Some(*solve_span), name, start, elapsed, args);
+        }
+    }
+}
+
+impl SolveTracer for RecordingTracer {
+    fn phase(&self, phase: SolvePhase, elapsed: Duration) {
+        self.registry.phase(phase, elapsed);
+        self.record_span(phase.label(), elapsed, Vec::new());
+    }
+
+    fn phase_event(&self, phase: SolvePhase, elapsed: Duration, ctx: &PhaseContext) {
+        self.registry.phase(phase, elapsed);
+        if self.recording.is_none() {
+            return;
+        }
+        let mut args = Vec::with_capacity(8);
+        let mut push = |key, value: Option<u64>| {
+            if let Some(v) = value {
+                args.push((key, ArgValue::U64(v)));
+            }
+        };
+        push("round", ctx.round);
+        push("candidates", ctx.candidates);
+        push("n_lt", ctx.n_lt);
+        push("n_eq", ctx.n_eq);
+        push("n_gt", ctx.n_gt);
+        push("pivot_slots", ctx.pivot_slots);
+        push("targets", ctx.targets);
+        push("materialized", ctx.materialized);
+        self.record_span(phase.label(), elapsed, args);
+    }
+
+    fn parallel(&self, phase: SolvePhase, elapsed: Duration) {
+        self.registry.parallel(phase, elapsed);
     }
 }
 

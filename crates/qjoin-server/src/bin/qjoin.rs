@@ -12,7 +12,7 @@ qjoin serve — run the TCP serving layer
 
 USAGE:
   qjoin serve [addr=<host:port>] [workers=<n>] [queue=<n>] [cache=<n>]
-              [slowms=<ms>] [threads=<n>]
+              [slowms=<ms>] [threads=<n>] [tracecap=<n>]
 
   addr     bind address; port 0 (the default) picks a free ephemeral port.
            The bound address is printed as `qjoin-server listening on <addr> ...`.
@@ -27,6 +27,9 @@ USAGE:
            executor runs each solve over this many threads. 1 is purely
            sequential; answers are bit-identical at any setting
            (default: QJOIN_THREADS, else the host's parallelism)
+  tracecap retained per-request span traces in the flight recorder, read
+           back by the `trace` verbs; 0 disables span tracing entirely
+           (default 64)
 
 qjoin client — talk to a running server
 
@@ -80,7 +83,9 @@ fn parse_params(tokens: &[String], allowed: &[&str]) -> Result<BTreeMap<String, 
 fn cmd_serve(args: &[String]) -> i32 {
     let params = match parse_params(
         args,
-        &["addr", "workers", "queue", "cache", "slowms", "threads"],
+        &[
+            "addr", "workers", "queue", "cache", "slowms", "threads", "tracecap",
+        ],
     ) {
         Ok(p) => p,
         Err(e) => {
@@ -102,12 +107,13 @@ fn cmd_serve(args: &[String]) -> i32 {
             None => Ok(default),
         }
     };
-    let (workers, queue, cache, slowms, threads) = match (|| {
+    let (workers, queue, cache, slowms, tracecap, threads) = match (|| {
         Ok::<_, String>((
             parse_usize("workers", 4)?,
             parse_usize("queue", 64)?,
             parse_usize("cache", 1024)?,
             parse_usize("slowms", 100)?,
+            parse_usize("tracecap", 64)?,
             // `None` defers to the process-wide pool (QJOIN_THREADS or the
             // host's available parallelism); `threads=1` is purely sequential.
             params
@@ -132,6 +138,7 @@ fn cmd_serve(args: &[String]) -> i32 {
         qjoin_engine::EngineConfig {
             cache_capacity: cache,
             threads,
+            flight_recorder_capacity: tracecap,
             ..Default::default()
         },
     ));

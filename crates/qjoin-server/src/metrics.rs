@@ -15,11 +15,18 @@
 //! * `qjoin_execute_seconds` — command dispatch through the engine session;
 //! * `qjoin_write_seconds` — serializing the response back onto the socket.
 //!
+//! * `qjoin_queue_depth` — dispatched-but-unstarted jobs currently sitting in
+//!   the worker pool queue (the live backlog behind the reactor's
+//!   backpressure), updated on every enqueue/pickup.
+//!
 //! Requests whose queue-wait + execute time reaches the configured threshold
 //! additionally land in a bounded ring buffer, dumped on demand by the
-//! `slowlog` protocol verb — newest first, oldest evicted.
+//! `slowlog` protocol verb — newest first, oldest evicted. When the request
+//! recorded a span trace, the slow-log line carries `trace=<id>` so the trace
+//! explaining the slow request is one `trace id <id>` away (`trace=-` when
+//! tracing was off).
 
-use qjoin_telemetry::{Counter, Histogram, Registry};
+use qjoin_telemetry::{Counter, Gauge, Histogram, Registry, TraceId};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -31,6 +38,11 @@ pub struct ServerMetrics {
     queue_wait: Arc<Histogram>,
     execute: Arc<Histogram>,
     write: Arc<Histogram>,
+    /// Dispatched-but-unstarted jobs in the worker pool queue, mirrored into
+    /// the `qjoin_queue_depth` gauge on every change so a scrape sees the live
+    /// backlog the reactor's backpressure is holding.
+    queue_depth: AtomicU64,
+    queue_depth_gauge: Arc<Gauge>,
     slow: SlowLog,
 }
 
@@ -43,19 +55,46 @@ impl ServerMetrics {
             queue_wait: registry.histogram("qjoin_queue_wait_seconds", &[]),
             execute: registry.histogram("qjoin_execute_seconds", &[]),
             write: registry.histogram("qjoin_write_seconds", &[]),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_gauge: registry.gauge("qjoin_queue_depth", &[]),
             slow: SlowLog::new(slow_threshold, slow_capacity),
         }
     }
 
+    /// A job entered the worker pool queue (the reactor dispatched it).
+    pub fn queue_enter(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_gauge.set(depth as f64);
+    }
+
+    /// A worker picked the job up, ending its time in the queue.
+    pub fn queue_exit(&self) {
+        let depth = self
+            .queue_depth
+            .fetch_sub(1, Ordering::Relaxed)
+            .saturating_sub(1);
+        self.queue_depth_gauge.set(depth as f64);
+    }
+
     /// Records one served request: bumps the live counter, feeds the three
     /// lifecycle histograms, and captures a slow-log entry when queue-wait plus
-    /// execute time reaches the threshold.
-    pub fn record(&self, command: &str, queue_wait: Duration, execute: Duration, write: Duration) {
+    /// execute time reaches the threshold. `trace` is the request's span-trace
+    /// id when one was recorded, so a slow-log line links straight to the trace
+    /// that explains it.
+    pub fn record(
+        &self,
+        command: &str,
+        queue_wait: Duration,
+        execute: Duration,
+        write: Duration,
+        trace: Option<TraceId>,
+    ) {
         self.requests.inc();
         self.queue_wait.record_duration(queue_wait);
         self.execute.record_duration(execute);
         self.write.record_duration(write);
-        self.slow.observe(command, queue_wait, execute, write);
+        self.slow
+            .observe(command, queue_wait, execute, write, trace);
     }
 
     /// Renders the slow-query ring for the `slowlog` verb.
@@ -71,6 +110,7 @@ struct SlowEntry {
     queue_wait: Duration,
     execute: Duration,
     write: Duration,
+    trace: Option<TraceId>,
 }
 
 /// A bounded, newest-first ring of requests that crossed the slow threshold.
@@ -95,7 +135,14 @@ impl SlowLog {
         }
     }
 
-    fn observe(&self, command: &str, queue_wait: Duration, execute: Duration, write: Duration) {
+    fn observe(
+        &self,
+        command: &str,
+        queue_wait: Duration,
+        execute: Duration,
+        write: Duration,
+        trace: Option<TraceId>,
+    ) {
         if self.capacity == 0 || queue_wait + execute < self.threshold {
             return;
         }
@@ -115,6 +162,7 @@ impl SlowLog {
             queue_wait,
             execute,
             write,
+            trace,
         };
         let mut entries = self.entries.lock().expect("slow log lock poisoned");
         if entries.len() == self.capacity {
@@ -134,11 +182,14 @@ impl SlowLog {
         );
         for entry in entries.iter() {
             out.push_str(&format!(
-                "\n#{} queue={:.6}s execute={:.6}s write={:.6}s cmd={:?}",
+                "\n#{} queue={:.6}s execute={:.6}s write={:.6}s trace={} cmd={:?}",
                 entry.seq,
                 entry.queue_wait.as_secs_f64(),
                 entry.execute.as_secs_f64(),
                 entry.write.as_secs_f64(),
+                entry
+                    .trace
+                    .map_or_else(|| "-".to_string(), |id| id.to_string()),
                 entry.command
             ));
         }
@@ -155,10 +206,10 @@ mod tests {
         let registry = Registry::new();
         let metrics = ServerMetrics::new(&registry, Duration::from_millis(5), 2);
         let ms = Duration::from_millis;
-        metrics.record("quantile likes 0.5", ms(0), ms(1), ms(0)); // fast: not logged
-        metrics.record("slow one", ms(3), ms(4), ms(1)); // queue+execute = 7ms ≥ 5ms
-        metrics.record("slow two", ms(0), ms(9), ms(0));
-        metrics.record("slow three", ms(6), ms(0), ms(0)); // evicts "slow one"
+        metrics.record("quantile likes 0.5", ms(0), ms(1), ms(0), None); // fast: not logged
+        metrics.record("slow one", ms(3), ms(4), ms(1), None); // queue+execute = 7ms ≥ 5ms
+        metrics.record("slow two", ms(0), ms(9), ms(0), Some(TraceId(0x2a)));
+        metrics.record("slow three", ms(6), ms(0), ms(0), None); // evicts "slow one"
 
         let snapshot = registry.snapshot();
         assert_eq!(snapshot.counter("qjoin_requests_total", &[]), Some(4));
@@ -175,16 +226,46 @@ mod tests {
         // Newest first; the fast request and the evicted oldest are absent.
         let lines: Vec<&str> = dump.lines().collect();
         assert!(lines[1].contains("cmd=\"slow three\""), "{dump}");
+        assert!(lines[1].contains("trace=- "), "{dump}");
         assert!(lines[2].contains("cmd=\"slow two\""), "{dump}");
+        assert!(lines[2].contains("trace=2a "), "{dump}");
         assert!(!dump.contains("slow one"), "{dump}");
         assert!(!dump.contains("quantile"), "{dump}");
+    }
+
+    #[test]
+    fn queue_depth_gauge_tracks_enqueue_and_pickup() {
+        let registry = Registry::new();
+        let metrics = ServerMetrics::new(&registry, Duration::from_secs(1), 4);
+        metrics.queue_enter();
+        metrics.queue_enter();
+        assert_eq!(
+            registry.snapshot().gauge("qjoin_queue_depth", &[]),
+            Some(2.0)
+        );
+        metrics.queue_exit();
+        assert_eq!(
+            registry.snapshot().gauge("qjoin_queue_depth", &[]),
+            Some(1.0)
+        );
+        metrics.queue_exit();
+        assert_eq!(
+            registry.snapshot().gauge("qjoin_queue_depth", &[]),
+            Some(0.0)
+        );
     }
 
     #[test]
     fn zero_capacity_disables_the_ring_and_long_commands_truncate() {
         let registry = Registry::new();
         let disabled = ServerMetrics::new(&registry, Duration::ZERO, 0);
-        disabled.record("anything", Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        disabled.record(
+            "anything",
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+            None,
+        );
         assert!(
             disabled
                 .slowlog_dump()
@@ -195,7 +276,7 @@ mod tests {
 
         let logging = ServerMetrics::new(&registry, Duration::ZERO, 4);
         let long = "x".repeat(300);
-        logging.record(&long, Duration::ZERO, Duration::ZERO, Duration::ZERO);
+        logging.record(&long, Duration::ZERO, Duration::ZERO, Duration::ZERO, None);
         let dump = logging.slowlog_dump();
         assert!(dump.contains('…'), "{dump}");
         assert!(!dump.contains(&long), "{dump}");

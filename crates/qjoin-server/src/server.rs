@@ -45,6 +45,9 @@ use crate::poll::{self, Poller, Readiness, Waker};
 use crate::pool::WorkerPool;
 use crate::protocol::Response;
 use qjoin_engine::cli::CliSession;
+use qjoin_telemetry::{
+    with_trace_context, ArgValue, FlightRecorder, SpanId, TraceBuilder, TraceContext,
+};
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -154,6 +157,25 @@ struct Job {
     line: String,
     /// When the reactor handed the line to the pool — the start of queue-wait.
     enqueued: Instant,
+    /// The request's span trace, started by the reactor at dispatch with its
+    /// epoch at `enqueued` (so the queue-wait span starts at offset 0). `None`
+    /// when the flight recorder is disabled or the line is empty.
+    trace: Option<(TraceBuilder, SpanId)>,
+}
+
+/// Starts a request span trace whose offsets are measured from `epoch` (the
+/// enqueue instant), returning the builder plus the pre-allocated root span id
+/// that the lifecycle spans parent to. `None` when tracing is disabled.
+fn start_request_trace(
+    recorder: &FlightRecorder,
+    epoch: Instant,
+) -> Option<(TraceBuilder, SpanId)> {
+    if !recorder.is_enabled() {
+        return None;
+    }
+    let builder = TraceBuilder::with_epoch(recorder.next_trace_id(), epoch);
+    let root = builder.next_span_id();
+    Some((builder, root))
 }
 
 /// Reactor inbox traffic.
@@ -241,6 +263,8 @@ impl Server {
             pool,
             handle: handle.clone(),
             idle_tick: self.config.idle_tick,
+            recorder: Arc::clone(self.session.engine().recorder()),
+            metrics: Arc::clone(&metrics),
         };
         let reactor_thread = std::thread::Builder::new()
             .name("qjoin-reactor".to_string())
@@ -299,18 +323,81 @@ fn execute_job(
     done_tx: &Mutex<Sender<ReactorMsg>>,
     waker: &Waker,
 ) {
+    // This job just left the pool queue (pipelined follow-up lines below are
+    // served inline and never enter it).
+    metrics.queue_exit();
+    let recorder = Arc::clone(session.engine().recorder());
     let Job {
         mut conn,
         mut line,
         mut enqueued,
+        mut trace,
     } = job;
     loop {
         let picked_up = Instant::now();
         let queue_wait = picked_up.saturating_duration_since(enqueued);
         let trimmed = line.trim();
-        let (response, action) = dispatch(trimmed, session, metrics);
+        // The reactor started the first line's trace at dispatch (epoch =
+        // enqueue); pipelined lines start theirs here with (near-)zero wait.
+        let trace_now = trace.take().or_else(|| {
+            if trimmed.is_empty() {
+                None
+            } else {
+                start_request_trace(&recorder, enqueued)
+            }
+        });
+        // Execute under the request's trace context, so the engine's
+        // cache-lookup / coalesce-wait / solve spans attach to this request.
+        let (response, action) = match &trace_now {
+            Some((builder, root)) => {
+                builder.record_new(Some(*root), "queue-wait", enqueued, queue_wait, Vec::new());
+                with_trace_context(
+                    TraceContext {
+                        builder: builder.clone(),
+                        parent: *root,
+                    },
+                    || dispatch(trimmed, session, metrics),
+                )
+            }
+            None => dispatch(trimmed, session, metrics),
+        };
         let executed = Instant::now();
         let wrote = conn.write_response(&response).is_ok();
+        let write_time = executed.elapsed();
+        let trace_id = trace_now.as_ref().map(|(builder, _)| builder.id());
+        if let Some((builder, root)) = trace_now {
+            builder.record_new(
+                Some(root),
+                "execute",
+                picked_up,
+                executed.saturating_duration_since(picked_up),
+                Vec::new(),
+            );
+            builder.record_new(
+                Some(root),
+                "write",
+                executed,
+                write_time,
+                vec![("ok", ArgValue::Bool(wrote))],
+            );
+            let mut cmd = trimmed.to_string();
+            if cmd.len() > 64 {
+                let mut cut = 64;
+                while !cmd.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                cmd.truncate(cut);
+            }
+            builder.record(
+                root,
+                None,
+                "request",
+                enqueued,
+                enqueued.elapsed(),
+                vec![("cmd", ArgValue::Str(cmd))],
+            );
+            recorder.push(builder.finish());
+        }
         // Count only real served requests: non-empty commands whose reply made it
         // back to the client.
         if wrote && !trimmed.is_empty() {
@@ -319,7 +406,8 @@ fn execute_job(
                 trimmed,
                 queue_wait,
                 executed.saturating_duration_since(picked_up),
-                executed.elapsed(),
+                write_time,
+                trace_id,
             );
         }
         if !wrote {
@@ -377,6 +465,11 @@ struct Reactor {
     pool: WorkerPool<Job>,
     handle: ServerHandle,
     idle_tick: Duration,
+    /// The engine's flight recorder: request traces are started here at
+    /// dispatch so queue-wait is measured from the true enqueue instant.
+    recorder: Arc<FlightRecorder>,
+    /// Queue-depth accounting (enter at dispatch, exit at worker pickup).
+    metrics: Arc<ServerMetrics>,
 }
 
 impl Reactor {
@@ -476,12 +569,23 @@ impl Reactor {
     /// `queue_depth` dispatched-but-unstarted requests.
     fn dispatch(&mut self, i: usize, line: String) -> ConnVerdict {
         let conn = self.conns.swap_remove(i);
+        let enqueued = Instant::now();
+        // Start the request's trace now so its queue-wait span measures the
+        // full dispatch-to-pickup latency (empty keep-alive lines are never
+        // traced; they are not requests).
+        let trace = if line.trim().is_empty() {
+            None
+        } else {
+            start_request_trace(&self.recorder, enqueued)
+        };
+        self.metrics.queue_enter();
         // Submit can only fail after the pool shut down, which cannot happen
         // while the reactor owns it; the conn would just be dropped.
         let _ = self.pool.submit(Job {
             conn,
             line,
-            enqueued: Instant::now(),
+            enqueued,
+            trace,
         });
         ConnVerdict::Removed
     }

@@ -523,6 +523,84 @@ fn slowlog_captures_requests_over_the_threshold() {
 }
 
 #[test]
+fn trace_verbs_and_slowlog_links_over_the_wire() {
+    // Threshold zero so every request lands in the slow log with its trace id.
+    let config = ServerConfig {
+        workers: 2,
+        slow_threshold: Duration::ZERO,
+        slow_log_capacity: 16,
+        ..Default::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Arc::new(CliSession::new()), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = server.handle().unwrap();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    let mut client = Client::connect(addr).unwrap();
+    client.send("open s social rows=80 seed=3").unwrap();
+    client.send("register likes s").unwrap();
+    client.quantile("likes", 0.5).unwrap(); // cold: full solve trace
+
+    // The cold request's trace shows the whole lifecycle: server-side
+    // queue-wait/execute plus the engine's solve and all four phases.
+    let tree = client.send("trace last 1").unwrap().join("\n");
+    for name in [
+        "request",
+        "queue-wait",
+        "execute",
+        "cache-lookup",
+        "solve",
+        "prepare",
+        "pivot-scan",
+        "trim-round",
+        "materialize",
+    ] {
+        assert!(tree.contains(name), "no {name} span in:\n{tree}");
+    }
+    assert!(tree.contains("cmd=\"quantile likes 0.5\""), "{tree}");
+
+    // The slow-log entry for the quantile links to a retained trace.
+    let slowlog = client.send("slowlog").unwrap().join("\n");
+    let quantile_line = slowlog
+        .lines()
+        .find(|l| l.contains("cmd=\"quantile likes 0.5\""))
+        .unwrap_or_else(|| panic!("no quantile entry in:\n{slowlog}"));
+    let trace_id = quantile_line
+        .split("trace=")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("no trace= field in {quantile_line:?}"));
+    assert_ne!(trace_id, "-", "slow quantile must carry a trace id");
+    let by_id = client
+        .send(&format!("trace id {trace_id}"))
+        .unwrap()
+        .join("\n");
+    assert!(by_id.contains(&format!("trace {trace_id} (")), "{by_id}");
+    assert!(by_id.contains("solve"), "{by_id}");
+
+    // Chrome export of the linked trace is a one-line JSON array of complete
+    // ("ph":"X") events.
+    let chrome = client
+        .send(&format!("trace chrome {trace_id}"))
+        .unwrap()
+        .join("\n");
+    assert!(chrome.starts_with('[') && chrome.ends_with(']'), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    assert!(chrome.contains("\"name\":\"trim-round\""), "{chrome}");
+
+    // explain works over the wire and names the §5 dichotomy class.
+    let explain = client.send("explain likes 0.5").unwrap().join("\n");
+    assert!(
+        explain.contains("dichotomy class: sum-adjacent-pair"),
+        "{explain}"
+    );
+
+    client.shutdown().unwrap();
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+#[test]
 fn replace_over_the_wire_invalidates_caches() {
     let (addr, handle, join) = start_server(2);
     let mut client = Client::connect(addr).unwrap();

@@ -19,6 +19,10 @@
 //! * [`export`] — [`MetricsSnapshot`] rendering: Prometheus-style text
 //!   exposition lines ([`export::render_prometheus`]) and a single JSON object
 //!   ([`export::render_json`]).
+//! * [`span`] — per-request span tracing: counter-derived [`TraceId`]s, a
+//!   shareable [`TraceBuilder`], a bounded [`FlightRecorder`] ring of completed
+//!   span trees, an ambient thread-local [`TraceContext`], and exporters
+//!   (Chrome trace-event JSON, compact wire JSON, human-readable tree).
 //!
 //! ## Unit convention
 //!
@@ -33,7 +37,12 @@
 pub mod export;
 pub mod histogram;
 pub mod registry;
+pub mod span;
 
 pub use export::{render_json, render_prometheus};
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::{Counter, Gauge, MetricSample, MetricsSnapshot, Registry, SampleValue};
+pub use span::{
+    chrome_trace_json, compact_json, current_trace_context, render_tree, with_trace_context,
+    ArgValue, FlightRecorder, SpanId, SpanRecord, Trace, TraceBuilder, TraceContext, TraceId,
+};

@@ -1,0 +1,758 @@
+//! Per-request span tracing: trace/span identifiers, a shareable
+//! [`TraceBuilder`], a bounded [`FlightRecorder`] ring of completed traces, and
+//! exporters (Chrome trace-event JSON, compact wire JSON, human-readable tree).
+//!
+//! The histogram/registry layer answers "is p99 bad?"; this module answers
+//! "why was *this* request slow?". A trace is a tree of timed spans — one root
+//! per request, with children for queue-wait, execute, cache-lookup,
+//! coalesce-wait, the solve, and each solve phase (round-indexed, with trim
+//! sizes). Completed traces land in a flight recorder ring that the `trace`
+//! wire verbs read back.
+//!
+//! ## Identity and time
+//!
+//! [`TraceId`]s come from a per-recorder atomic counter — no wall clock, no
+//! randomness — and render as lowercase hex. Span timestamps are nanosecond
+//! offsets from the trace's *epoch* (the [`Instant`] the builder was created),
+//! so a trace is self-contained and never depends on system time.
+//!
+//! ## Ambient context
+//!
+//! [`with_trace_context`] scopes a [`TraceContext`] (builder + parent span) as
+//! the calling thread's current trace, mirroring `qjoin_par::with_pool`: the
+//! server installs a context around request execution and the engine attaches
+//! its spans to whatever context is current, so no handle is plumbed through
+//! the session layer.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Identifiers
+// ---------------------------------------------------------------------------
+
+/// Identifies one recorded trace (one request). Allocated from a per-recorder
+/// atomic counter, starting at 1; renders as lowercase hex.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct TraceId(pub u64);
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:x}", self.0)
+    }
+}
+
+impl TraceId {
+    /// Parses the hex form produced by [`Display`](fmt::Display).
+    pub fn parse(s: &str) -> Option<TraceId> {
+        u64::from_str_radix(s.trim(), 16).ok().map(TraceId)
+    }
+}
+
+/// Identifies one span within a trace. Allocated from the owning builder's
+/// atomic counter, starting at 1.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct SpanId(pub u64);
+
+impl fmt::Display for SpanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Span records
+// ---------------------------------------------------------------------------
+
+/// One argument value attached to a span. Numeric variants render unquoted in
+/// the JSON exporters so consumers get real numbers, not strings.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArgValue {
+    /// An unsigned count (round index, candidate count, trim size, …).
+    U64(u64),
+    /// A floating-point value (φ, a ratio, …).
+    F64(f64),
+    /// A short string tag (plan name, backend, command).
+    Str(String),
+    /// A boolean flag (cache hit, follower, …).
+    Bool(bool),
+}
+
+impl ArgValue {
+    /// The value as JSON (numbers/booleans bare, strings escaped and quoted).
+    fn to_json(&self) -> String {
+        match self {
+            ArgValue::U64(v) => v.to_string(),
+            ArgValue::F64(v) if v.is_finite() => format!("{v}"),
+            ArgValue::F64(_) => "null".to_string(),
+            ArgValue::Str(s) => format!("\"{}\"", json_escape_str(s)),
+            ArgValue::Bool(b) => b.to_string(),
+        }
+    }
+
+    /// The value as it appears in the human tree rendering.
+    fn to_display(&self) -> String {
+        match self {
+            ArgValue::Str(s) => format!("{s:?}"),
+            other => other.to_json(),
+        }
+    }
+
+    /// The value as a `u64`, when it is one (used by explain-analyze to pull
+    /// round indices and trim sizes back out of recorded spans).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            ArgValue::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as a `&str`, when it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One completed span: a named, timed interval within a trace, optionally
+/// parented to an enclosing span, with structured arguments.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    /// This span's id, unique within its trace.
+    pub id: SpanId,
+    /// The enclosing span, or `None` for the trace root.
+    pub parent: Option<SpanId>,
+    /// The span name (`request`, `queue-wait`, `solve`, `trim-round`, …).
+    /// Static so recording a span on the warm request path never allocates
+    /// for the name.
+    pub name: &'static str,
+    /// Start offset from the trace epoch, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Structured arguments (`round`, `n_lt`, `plan`, …).
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+impl SpanRecord {
+    /// End offset from the trace epoch, in nanoseconds.
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    /// Looks up an argument by key.
+    pub fn arg(&self, key: &str) -> Option<&ArgValue> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| v)
+    }
+}
+
+/// A completed trace: an id plus its spans, sorted by start offset.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// The trace id.
+    pub id: TraceId,
+    /// All recorded spans, sorted by `(start_ns, id)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// The first root span (no parent), if any.
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.parent.is_none())
+    }
+
+    /// Total trace duration: the maximum span end offset, in nanoseconds.
+    pub fn duration_ns(&self) -> u64 {
+        self.spans.iter().map(|s| s.end_ns()).max().unwrap_or(0)
+    }
+
+    /// Looks up a span by id.
+    pub fn span(&self, id: SpanId) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// All spans with the given name, in start order.
+    pub fn spans_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanRecord> {
+        self.spans.iter().filter(move |s| s.name == name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// TraceBuilder
+// ---------------------------------------------------------------------------
+
+struct BuilderInner {
+    id: TraceId,
+    epoch: Instant,
+    next_span: AtomicU64,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+/// A shareable, thread-safe accumulator for one trace's spans.
+///
+/// Clones share the same underlying trace. Span ids can be allocated eagerly
+/// (so children can reference a parent that is recorded later, when it
+/// finishes), and spans are recorded after-the-fact from a start [`Instant`]
+/// plus a [`Duration`]. [`TraceBuilder::finish`] drains the spans into an
+/// immutable [`Trace`].
+#[derive(Clone)]
+pub struct TraceBuilder {
+    inner: Arc<BuilderInner>,
+}
+
+impl TraceBuilder {
+    /// Creates a builder whose epoch is *now*.
+    pub fn new(id: TraceId) -> Self {
+        Self::with_epoch(id, Instant::now())
+    }
+
+    /// Creates a builder with an explicit epoch (e.g. the instant a request
+    /// was enqueued, so queue-wait starts at offset 0).
+    pub fn with_epoch(id: TraceId, epoch: Instant) -> Self {
+        TraceBuilder {
+            inner: Arc::new(BuilderInner {
+                id,
+                epoch,
+                next_span: AtomicU64::new(1),
+                spans: Mutex::new(Vec::with_capacity(16)),
+            }),
+        }
+    }
+
+    /// This trace's id.
+    pub fn id(&self) -> TraceId {
+        self.inner.id
+    }
+
+    /// The instant all span offsets are measured from.
+    pub fn epoch(&self) -> Instant {
+        self.inner.epoch
+    }
+
+    /// Allocates the next span id without recording anything, so a parent's id
+    /// can be handed to children before the parent span itself is recorded.
+    pub fn next_span_id(&self) -> SpanId {
+        SpanId(self.inner.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Records a span under a previously allocated id.
+    pub fn record(
+        &self,
+        id: SpanId,
+        parent: Option<SpanId>,
+        name: &'static str,
+        start: Instant,
+        dur: Duration,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        let start_ns = start
+            .saturating_duration_since(self.inner.epoch)
+            .as_nanos()
+            .min(u64::MAX as u128) as u64;
+        let record = SpanRecord {
+            id,
+            parent,
+            name,
+            start_ns,
+            dur_ns: dur.as_nanos().min(u64::MAX as u128) as u64,
+            args,
+        };
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(record);
+    }
+
+    /// Allocates an id and records a span under it in one step.
+    pub fn record_new(
+        &self,
+        parent: Option<SpanId>,
+        name: &'static str,
+        start: Instant,
+        dur: Duration,
+        args: Vec<(&'static str, ArgValue)>,
+    ) -> SpanId {
+        let id = self.next_span_id();
+        self.record(id, parent, name, start, dur, args);
+        id
+    }
+
+    /// Number of spans recorded so far.
+    pub fn len(&self) -> usize {
+        self.inner
+            .spans
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+
+    /// Whether no spans have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drains the recorded spans into an immutable [`Trace`], sorted by
+    /// `(start_ns, id)`. Further records on surviving clones accumulate into a
+    /// fresh (normally discarded) span list.
+    pub fn finish(&self) -> Trace {
+        let mut spans =
+            std::mem::take(&mut *self.inner.spans.lock().unwrap_or_else(|e| e.into_inner()));
+        spans.sort_by_key(|s| (s.start_ns, s.id));
+        Trace {
+            id: self.inner.id,
+            spans,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ambient trace context (thread-local, mirroring qjoin_par::with_pool)
+// ---------------------------------------------------------------------------
+
+/// The ambient tracing state a layer installs for its callees: the builder to
+/// record into, and the span the callee's spans should parent to.
+#[derive(Clone)]
+pub struct TraceContext {
+    /// The trace being built.
+    pub builder: TraceBuilder,
+    /// The span new child spans should attach to.
+    pub parent: SpanId,
+}
+
+thread_local! {
+    static CURRENT_TRACE: RefCell<Option<TraceContext>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `ctx` installed as the calling thread's current trace
+/// context, restoring the previous context afterwards (panic-safe).
+pub fn with_trace_context<R>(ctx: TraceContext, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<TraceContext>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CURRENT_TRACE.with(|c| *c.borrow_mut() = self.0.take());
+        }
+    }
+    let previous = CURRENT_TRACE.with(|c| c.borrow_mut().replace(ctx));
+    let _restore = Restore(previous);
+    f()
+}
+
+/// The calling thread's current trace context, if one is installed.
+pub fn current_trace_context() -> Option<TraceContext> {
+    CURRENT_TRACE.with(|c| c.borrow().clone())
+}
+
+// ---------------------------------------------------------------------------
+// FlightRecorder
+// ---------------------------------------------------------------------------
+
+/// A bounded ring of the most recently completed traces.
+///
+/// Pushes claim a slot with a single `fetch_add` on the cursor (the ring index
+/// is the counter modulo capacity) and swap the slot's `Arc<Trace>` under that
+/// slot's own mutex — held only for the pointer swap, never across trace
+/// construction — so concurrent pushes from many worker threads never contend
+/// on a shared lock. Newest traces evict oldest; capacity 0 disables recording
+/// entirely (pushes are dropped, [`FlightRecorder::is_enabled`] is `false`),
+/// which is the zero-overhead configuration benchmarks compare against.
+pub struct FlightRecorder {
+    slots: Vec<Mutex<Option<Arc<Trace>>>>,
+    cursor: AtomicU64,
+    next_trace: AtomicU64,
+}
+
+impl std::fmt::Debug for FlightRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightRecorder")
+            .field("capacity", &self.slots.len())
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder holding at most `capacity` traces.
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
+            cursor: AtomicU64::new(0),
+            next_trace: AtomicU64::new(1),
+        }
+    }
+
+    /// Maximum number of retained traces.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether recording is enabled (capacity > 0).
+    pub fn is_enabled(&self) -> bool {
+        !self.slots.is_empty()
+    }
+
+    /// Allocates the next trace id. Ids are handed out even when recording is
+    /// disabled so slowlog entries can still be correlated if the recorder is
+    /// later enabled.
+    pub fn next_trace_id(&self) -> TraceId {
+        TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Stores a completed trace, evicting the oldest when full. A no-op at
+    /// capacity 0.
+    pub fn push(&self, trace: Trace) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let slot = self.cursor.fetch_add(1, Ordering::Relaxed) as usize % self.slots.len();
+        *self.slots[slot].lock().unwrap_or_else(|e| e.into_inner()) = Some(Arc::new(trace));
+    }
+
+    /// The `n` most recent traces, newest first.
+    pub fn last(&self, n: usize) -> Vec<Arc<Trace>> {
+        let mut all = self.snapshot();
+        all.sort_by_key(|t| std::cmp::Reverse(t.id));
+        all.truncate(n);
+        all
+    }
+
+    /// Looks up a retained trace by id.
+    pub fn get(&self, id: TraceId) -> Option<Arc<Trace>> {
+        self.snapshot().into_iter().find(|t| t.id == id)
+    }
+
+    /// Number of currently retained traces (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.snapshot().len()
+    }
+
+    /// Whether no traces are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn snapshot(&self) -> Vec<Arc<Trace>> {
+        self.slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).clone())
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+fn json_escape_str(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1_000.0)
+}
+
+/// Renders a trace as Chrome trace-event JSON — a one-line array of complete
+/// (`"ph":"X"`) events with microsecond timestamps — loadable in
+/// `chrome://tracing` or [Perfetto](https://ui.perfetto.dev). All events share
+/// one pid/tid; the viewers nest them by time containment, which matches the
+/// span tree because children are recorded within their parent's interval.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("[");
+    for (i, span) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":1,\"args\":{{",
+            json_escape_str(span.name),
+            fmt_us(span.start_ns),
+            fmt_us(span.dur_ns),
+        ));
+        out.push_str(&format!("\"trace\":\"{}\",\"span\":{}", trace.id, span.id));
+        if let Some(parent) = span.parent {
+            out.push_str(&format!(",\"parent\":{parent}"));
+        }
+        for (key, value) in &span.args {
+            out.push_str(&format!(",\"{key}\":{}", value.to_json()));
+        }
+        out.push_str("}}");
+    }
+    out.push(']');
+    out
+}
+
+/// Renders a trace as a compact single-line JSON object for the wire:
+/// `{"trace":"<id>","duration_us":…,"spans":[…]}`.
+pub fn compact_json(trace: &Trace) -> String {
+    let mut out = format!(
+        "{{\"trace\":\"{}\",\"duration_us\":{},\"spans\":[",
+        trace.id,
+        fmt_us(trace.duration_ns())
+    );
+    for (i, span) in trace.spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"span\":{},\"name\":\"{}\",\"start_us\":{},\"dur_us\":{}",
+            span.id,
+            json_escape_str(span.name),
+            fmt_us(span.start_ns),
+            fmt_us(span.dur_ns),
+        ));
+        if let Some(parent) = span.parent {
+            out.push_str(&format!(",\"parent\":{parent}"));
+        }
+        for (key, value) in &span.args {
+            out.push_str(&format!(",\"{key}\":{}", value.to_json()));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders a trace as a human-readable indented tree, one span per line:
+/// `name start_us+dur_us key=value …`, children indented under parents.
+pub fn render_tree(trace: &Trace) -> String {
+    let mut children: HashMap<Option<SpanId>, Vec<&SpanRecord>> = HashMap::new();
+    let ids: std::collections::HashSet<SpanId> = trace.spans.iter().map(|s| s.id).collect();
+    for span in &trace.spans {
+        // Orphans (parent never recorded) render at the root level.
+        let key = span.parent.filter(|p| ids.contains(p));
+        children.entry(key).or_default().push(span);
+    }
+    let mut out = format!(
+        "trace {} ({} spans, {}us total)",
+        trace.id,
+        trace.spans.len(),
+        fmt_us(trace.duration_ns())
+    );
+    fn walk(
+        out: &mut String,
+        children: &HashMap<Option<SpanId>, Vec<&SpanRecord>>,
+        parent: Option<SpanId>,
+        depth: usize,
+    ) {
+        let Some(spans) = children.get(&parent) else {
+            return;
+        };
+        for span in spans {
+            out.push('\n');
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!(
+                "{} {}us +{}us",
+                span.name,
+                fmt_us(span.start_ns),
+                fmt_us(span.dur_ns)
+            ));
+            for (key, value) in &span.args {
+                out.push_str(&format!(" {key}={}", value.to_display()));
+            }
+            walk(out, children, Some(span.id), depth + 1);
+        }
+    }
+    walk(&mut out, &children, None, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_hex_roundtrip() {
+        let id = TraceId(0x2a);
+        assert_eq!(id.to_string(), "2a");
+        assert_eq!(TraceId::parse("2a"), Some(id));
+        assert_eq!(TraceId::parse(" 2a \n"), Some(id));
+        assert_eq!(TraceId::parse("zz"), None);
+    }
+
+    #[test]
+    fn builder_records_nested_spans_with_epoch_offsets() {
+        let builder = TraceBuilder::new(TraceId(7));
+        let epoch = builder.epoch();
+        let root = builder.next_span_id();
+        let child_start = epoch + Duration::from_micros(10);
+        builder.record_new(
+            Some(root),
+            "child",
+            child_start,
+            Duration::from_micros(5),
+            vec![("round", ArgValue::U64(0))],
+        );
+        builder.record(
+            root,
+            None,
+            "root",
+            epoch,
+            Duration::from_micros(20),
+            vec![("cmd", ArgValue::Str("quantile".into()))],
+        );
+        let trace = builder.finish();
+        assert_eq!(trace.id, TraceId(7));
+        assert_eq!(trace.spans.len(), 2);
+        let root_span = trace.root().expect("root present");
+        assert_eq!(root_span.name, "root");
+        assert_eq!(root_span.start_ns, 0);
+        let child = trace.spans_named("child").next().expect("child present");
+        assert_eq!(child.parent, Some(root_span.id));
+        assert_eq!(child.start_ns, 10_000);
+        assert_eq!(child.dur_ns, 5_000);
+        assert!(child.end_ns() <= root_span.end_ns());
+        assert_eq!(child.arg("round").and_then(ArgValue::as_u64), Some(0));
+        assert_eq!(trace.duration_ns(), 20_000);
+    }
+
+    #[test]
+    fn finish_drains_the_builder() {
+        let builder = TraceBuilder::new(TraceId(1));
+        builder.record_new(None, "a", builder.epoch(), Duration::ZERO, Vec::new());
+        assert_eq!(builder.len(), 1);
+        assert_eq!(builder.finish().spans.len(), 1);
+        assert!(builder.is_empty());
+    }
+
+    #[test]
+    fn trace_context_installs_and_restores() {
+        assert!(current_trace_context().is_none());
+        let builder = TraceBuilder::new(TraceId(3));
+        let parent = builder.next_span_id();
+        let ctx = TraceContext {
+            builder: builder.clone(),
+            parent,
+        };
+        with_trace_context(ctx, || {
+            let current = current_trace_context().expect("installed");
+            assert_eq!(current.builder.id(), TraceId(3));
+            assert_eq!(current.parent, parent);
+            let inner = TraceContext {
+                builder: builder.clone(),
+                parent: builder.next_span_id(),
+            };
+            with_trace_context(inner, || {
+                assert_ne!(current_trace_context().unwrap().parent, parent);
+            });
+            assert_eq!(current_trace_context().unwrap().parent, parent);
+        });
+        assert!(current_trace_context().is_none());
+    }
+
+    #[test]
+    fn flight_recorder_bounds_and_orders() {
+        let recorder = FlightRecorder::new(3);
+        assert!(recorder.is_enabled());
+        assert!(recorder.is_empty());
+        for _ in 0..5 {
+            let id = recorder.next_trace_id();
+            recorder.push(Trace {
+                id,
+                spans: Vec::new(),
+            });
+        }
+        assert_eq!(recorder.len(), 3);
+        let last = recorder.last(10);
+        let ids: Vec<u64> = last.iter().map(|t| t.id.0).collect();
+        assert_eq!(ids, vec![5, 4, 3]);
+        assert!(recorder.get(TraceId(4)).is_some());
+        assert!(recorder.get(TraceId(1)).is_none());
+        assert_eq!(recorder.last(1).len(), 1);
+    }
+
+    #[test]
+    fn zero_capacity_recorder_is_disabled() {
+        let recorder = FlightRecorder::new(0);
+        assert!(!recorder.is_enabled());
+        let id = recorder.next_trace_id();
+        recorder.push(Trace {
+            id,
+            spans: Vec::new(),
+        });
+        assert!(recorder.is_empty());
+        assert!(recorder.last(1).is_empty());
+    }
+
+    fn sample_trace() -> Trace {
+        let builder = TraceBuilder::new(TraceId(0xbeef));
+        let epoch = builder.epoch();
+        let root = builder.next_span_id();
+        builder.record_new(
+            Some(root),
+            "solve",
+            epoch + Duration::from_micros(2),
+            Duration::from_micros(90),
+            vec![
+                ("plan", ArgValue::Str("likes \"q\"".into())),
+                ("rounds", ArgValue::U64(4)),
+                ("hit", ArgValue::Bool(false)),
+                ("phi", ArgValue::F64(0.5)),
+            ],
+        );
+        builder.record(
+            root,
+            None,
+            "request",
+            epoch,
+            Duration::from_micros(100),
+            Vec::new(),
+        );
+        builder.finish()
+    }
+
+    #[test]
+    fn chrome_export_is_one_line_complete_events() {
+        let json = chrome_trace_json(&sample_trace());
+        assert!(json.starts_with('['));
+        assert!(json.ends_with(']'));
+        assert!(!json.contains('\n'));
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 2);
+        assert!(json.contains("\"name\":\"solve\""));
+        assert!(json.contains("\"ts\":2.000"));
+        assert!(json.contains("\"dur\":90.000"));
+        assert!(json.contains("\"rounds\":4"));
+        assert!(json.contains("\"hit\":false"));
+        assert!(json.contains("\"phi\":0.5"));
+        assert!(json.contains("\"plan\":\"likes \\\"q\\\"\""));
+        assert!(json.contains("\"parent\":1"));
+    }
+
+    #[test]
+    fn compact_json_is_one_line() {
+        let json = compact_json(&sample_trace());
+        assert!(json.starts_with("{\"trace\":\"beef\""));
+        assert!(!json.contains('\n'));
+        assert!(json.contains("\"duration_us\":100.000"));
+        assert!(json.contains("\"name\":\"request\""));
+    }
+
+    #[test]
+    fn tree_rendering_indents_children() {
+        let text = render_tree(&sample_trace());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("trace beef (2 spans"));
+        assert!(lines[1].starts_with("  request "));
+        assert!(lines[2].starts_with("    solve "));
+        assert!(lines[2].contains("rounds=4"));
+        assert!(lines[2].contains("plan=\"likes \\\"q\\\"\""));
+    }
+}

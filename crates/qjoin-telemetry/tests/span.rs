@@ -1,0 +1,139 @@
+//! Concurrency tests for the span-tracing flight recorder.
+//!
+//! The contract under test (see the `span` module docs):
+//!
+//! * the recorder NEVER retains more than `capacity` traces, no matter how many
+//!   threads push concurrently — eviction is oldest-first, pushes are lock-free
+//!   on the shared path (one `fetch_add` plus a per-slot pointer swap);
+//! * `last(n)` is newest-first by trace id and never fabricates entries;
+//! * trace ids are unique across threads (the atomic counter never hands the
+//!   same id out twice);
+//! * capacity 0 disables retention entirely while id allocation keeps working.
+
+use qjoin_telemetry::{FlightRecorder, TraceBuilder, TraceId};
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Builds a minimal but well-formed trace: one root span with one child.
+fn push_trace(recorder: &FlightRecorder) -> TraceId {
+    let id = recorder.next_trace_id();
+    let builder = TraceBuilder::new(id);
+    let root = builder.next_span_id();
+    let start = builder.epoch();
+    builder.record_new(Some(root), "child", start, Duration::from_nanos(10), vec![]);
+    builder.record(root, None, "root", start, Duration::from_nanos(50), vec![]);
+    recorder.push(builder.finish());
+    id
+}
+
+#[test]
+fn eight_thread_hammer_never_exceeds_capacity() {
+    const CAPACITY: usize = 7;
+    const THREADS: usize = 8;
+    const PUSHES_PER_THREAD: usize = 250;
+
+    let recorder = Arc::new(FlightRecorder::new(CAPACITY));
+    let ids: Vec<HashSet<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let recorder = Arc::clone(&recorder);
+                scope.spawn(move || {
+                    let mut mine = HashSet::new();
+                    for _ in 0..PUSHES_PER_THREAD {
+                        mine.insert(push_trace(&recorder).0);
+                        // The bound must hold mid-hammer, not just at the end.
+                        let len = recorder.len();
+                        assert!(len <= CAPACITY, "recorder grew to {len} > {CAPACITY}");
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Ids are globally unique across all threads.
+    let mut all_ids = HashSet::new();
+    for set in &ids {
+        assert_eq!(set.len(), PUSHES_PER_THREAD);
+        for &id in set {
+            assert!(all_ids.insert(id), "trace id {id:#x} handed out twice");
+        }
+    }
+
+    // After the dust settles: exactly `capacity` survivors, newest first.
+    assert_eq!(recorder.len(), CAPACITY);
+    let last = recorder.last(CAPACITY + 100);
+    assert_eq!(
+        last.len(),
+        CAPACITY,
+        "last(n) never exceeds what is retained"
+    );
+    for pair in last.windows(2) {
+        assert!(
+            pair[0].id > pair[1].id,
+            "last() must be newest-first: {:?} before {:?}",
+            pair[0].id,
+            pair[1].id
+        );
+    }
+    // Every survivor is a trace some thread actually pushed, and each is
+    // retrievable by id.
+    for trace in &last {
+        assert!(
+            all_ids.contains(&trace.id.0),
+            "phantom trace {:?}",
+            trace.id
+        );
+        let fetched = recorder.get(trace.id).expect("retained trace must resolve");
+        assert_eq!(fetched.id, trace.id);
+        assert_eq!(fetched.spans.len(), 2);
+    }
+    // last(1) is the single newest retained trace.
+    assert_eq!(recorder.last(1)[0].id, last[0].id);
+}
+
+#[test]
+fn capacity_zero_disables_retention_but_not_id_allocation() {
+    let recorder = FlightRecorder::new(0);
+    assert!(!recorder.is_enabled());
+    assert_eq!(recorder.capacity(), 0);
+
+    let first = push_trace(&recorder);
+    let second = push_trace(&recorder);
+    // Ids still advance (slowlog correlation keeps working)…
+    assert!(second.0 > first.0);
+    // …but nothing is ever retained.
+    assert!(recorder.is_empty());
+    assert!(recorder.last(10).is_empty());
+    assert!(recorder.get(first).is_none());
+}
+
+#[test]
+fn eviction_is_oldest_first_under_serial_pushes() {
+    let recorder = FlightRecorder::new(3);
+    let ids: Vec<TraceId> = (0..5).map(|_| push_trace(&recorder)).collect();
+    // The two oldest are gone, the three newest remain in newest-first order.
+    assert!(recorder.get(ids[0]).is_none());
+    assert!(recorder.get(ids[1]).is_none());
+    let survivors: Vec<TraceId> = recorder.last(3).iter().map(|t| t.id).collect();
+    assert_eq!(survivors, vec![ids[4], ids[3], ids[2]]);
+}
+
+#[test]
+fn retained_traces_are_immutable_snapshots() {
+    // A reader holding an `Arc<Trace>` keeps a consistent snapshot even while
+    // writers evict it from the ring.
+    let recorder = Arc::new(FlightRecorder::new(1));
+    let first = push_trace(&recorder);
+    let held = recorder.get(first).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while recorder.get(first).is_some() && Instant::now() < deadline {
+        push_trace(&recorder);
+    }
+    assert!(recorder.get(first).is_none(), "eviction never happened");
+    assert_eq!(held.id, first, "held snapshot survives eviction");
+    assert_eq!(held.spans.len(), 2);
+    assert_eq!(held.root().unwrap().name, "root");
+}
