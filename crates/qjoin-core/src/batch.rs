@@ -25,8 +25,8 @@
 //! [`quantile_by_pivoting`]: crate::quantile::quantile_by_pivoting
 
 use crate::quantile::{
-    keyed_answer_cmp, keyed_answer_to_assignment, report_parallel, target_rank, PivotingOptions,
-    QuantileResult, RowBackend, SolveBackend,
+    keyed_answer_cmp, report_parallel, target_rank, PivotingOptions, QuantileResult, RowBackend,
+    SolveBackend,
 };
 use crate::trace::{sat64, NoopTracer, PhaseContext, SolvePhase, SolveTracer};
 use crate::trim::Trimmer;
@@ -369,7 +369,9 @@ fn resolve_leaf<B: SolveBackend>(
         let k = ((t.rank - offset) as usize).min(keyed.len() - 1);
         let selected = &keyed[k];
         results[t.pos] = Some(QuantileResult {
-            answer: keyed_answer_to_assignment(state.original_vars, selected),
+            answer: state
+                .backend
+                .answer_from_key(state.original_vars, &selected.1),
             weight: selected.0.clone(),
             total_answers: state.total,
             target_index: t.rank,

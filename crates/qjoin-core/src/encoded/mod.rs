@@ -18,6 +18,7 @@
 //! groups than the packed interval code holds) surface as
 //! [`CoreError::EncodedUnsupported`], and callers fall back to the row path.
 
+pub(crate) mod lossy;
 pub(crate) mod pivot;
 pub(crate) mod trim;
 pub(crate) mod weights;
@@ -29,11 +30,76 @@ use crate::quantile::{
     quantile_by_pivoting_backend, PivotingOptions, QuantileResult, SolveBackend,
 };
 use crate::{CoreError, Result};
-use qjoin_data::Value;
-use qjoin_exec::encoded::{self as exec_encoded, EncodedContext};
-use qjoin_query::{EncodedInstance, Variable};
-use qjoin_ranking::{RankPredicate, Ranking, Weight};
+use qjoin_exec::encoded::{self as exec_encoded};
+use qjoin_query::{Assignment, EncodedInstance, Variable};
+use qjoin_ranking::{AggregateKind, RankPredicate, Ranking, Weight};
 use weights::{contribution, CodeWeights};
+
+/// How many projected codes a [`CodeKey`] stores without a heap allocation.
+/// Sized for the workloads' widest projections (the star schema projects five
+/// variables); wider queries spill to a `Vec`.
+const CODE_KEY_INLINE: usize = 6;
+
+/// A leaf answer key: the answer's projected dictionary codes. Keys up to
+/// [`CODE_KEY_INLINE`] codes wide live inline — at a million answers per leaf,
+/// a heap allocation per key is the difference between a compare walking a
+/// contiguous buffer and one chasing a pointer per candidate.
+///
+/// Ordering (and equality) is the lexicographic order of the code slice,
+/// regardless of representation; codes are order-preserving, so this equals the
+/// row path's projected-value order.
+#[derive(Clone, Debug)]
+pub(crate) enum CodeKey {
+    Inline {
+        len: u8,
+        buf: [u64; CODE_KEY_INLINE],
+    },
+    Heap(Vec<u64>),
+}
+
+impl CodeKey {
+    fn from_iter_of_len(len: usize, codes: impl Iterator<Item = u64>) -> CodeKey {
+        if len <= CODE_KEY_INLINE {
+            let mut buf = [0u64; CODE_KEY_INLINE];
+            for (slot, code) in buf.iter_mut().zip(codes) {
+                *slot = code;
+            }
+            CodeKey::Inline {
+                len: len as u8,
+                buf,
+            }
+        } else {
+            CodeKey::Heap(codes.collect())
+        }
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u64] {
+        match self {
+            CodeKey::Inline { len, buf } => &buf[..*len as usize],
+            CodeKey::Heap(v) => v,
+        }
+    }
+}
+
+impl PartialEq for CodeKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for CodeKey {}
+
+impl PartialOrd for CodeKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for CodeKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
 
 /// The encoded solve backend: counts, pivots, trims, and materializes over an
 /// [`EncodedInstance`], decoding only at the answer boundary.
@@ -41,6 +107,7 @@ pub(crate) struct EncodedBackend<'a> {
     ranking: &'a Ranking,
     strategy: ExactStrategy,
     weights: CodeWeights,
+    dictionary: std::sync::Arc<qjoin_data::Dictionary>,
 }
 
 impl<'a> EncodedBackend<'a> {
@@ -51,6 +118,7 @@ impl<'a> EncodedBackend<'a> {
             ranking,
             strategy: ExactStrategy::for_ranking(ranking),
             weights: CodeWeights::build(instance.dictionary(), ranking),
+            dictionary: std::sync::Arc::clone(instance.dictionary()),
         }
     }
 }
@@ -84,30 +152,45 @@ impl SolveBackend for EncodedBackend<'_> {
         )
     }
 
+    type Key = CodeKey;
+
     fn keyed_answers(
         &self,
         instance: &EncodedInstance,
         original_vars: &[Variable],
-    ) -> Result<Vec<(Weight, Vec<Value>)>> {
+    ) -> Result<Vec<(Weight, CodeKey)>> {
         keyed_answers_encoded(instance, self.ranking, &self.weights, original_vars)
+    }
+
+    fn answer_from_key(&self, original_vars: &[Variable], key: &CodeKey) -> Assignment {
+        decode_answer_key(&self.dictionary, original_vars, key.as_slice())
     }
 }
 
-/// Enumerates an encoded instance's answers as `(weight, projected values)` pairs:
-/// the encoded twin of the row path's `materialized_keyed_answers`. Weights fold in
-/// the ranking's canonical order; only the original variables are decoded.
+/// Enumerates an encoded instance's answers as `(weight, projected codes)` pairs:
+/// the encoded twin of the row path's `materialized_keyed_answers`. Weights fold
+/// in the ranking's canonical order. Nothing is decoded here: the dictionary's
+/// codes are order-preserving, so the projected code vectors sort exactly like
+/// the projected value vectors would — the leaf selection runs entirely in code
+/// space and only the answers actually selected are decoded
+/// (via [`decode_answer_key`]).
 fn keyed_answers_encoded(
     instance: &EncodedInstance,
     ranking: &Ranking,
     weights: &CodeWeights,
     original_vars: &[Variable],
-) -> Result<Vec<(Weight, Vec<Value>)>> {
-    let ctx = EncodedContext::build(instance)?;
+) -> Result<Vec<(Weight, CodeKey)>> {
+    let ctx = exec_encoded::shared_context(instance)?;
     let schema = ctx.query().variables();
-    let weighted_positions: Vec<(usize, &Variable)> = ranking
+    let weighted_positions: Vec<(usize, &Variable, &[f64])> = ranking
         .weighted_vars()
         .iter()
-        .filter_map(|v| schema.iter().position(|s| s == v).map(|p| (p, v)))
+        .filter_map(|v| {
+            schema
+                .iter()
+                .position(|s| s == v)
+                .map(|p| (p, v, weights.table(v)))
+        })
         .collect();
     let projected_positions: Vec<usize> = original_vars
         .iter()
@@ -118,23 +201,63 @@ fn keyed_answers_encoded(
                 .expect("trimmed queries retain the original variables")
         })
         .collect();
-    let dictionary = instance.dictionary();
-    let mut out = Vec::new();
-    exec_encoded::for_each_answer_codes(&ctx, |codes| {
-        let mut weight = ranking.identity();
-        for &(pos, var) in &weighted_positions {
-            weight = ranking.combine(
-                &weight,
-                &contribution(ranking, var, weights.code_weight(var, codes[pos])),
-            );
+    // The per-answer weight fold, with a direct-`f64` fast path for SUM (by far
+    // the hottest ranking at this leaf): `0.0 + w_1 + ... + w_m` in weighted-var
+    // order is exactly the generic `identity`/`combine` fold, bit for bit.
+    let sum_fold = matches!(ranking.kind(), AggregateKind::Sum);
+    let fold = |codes: &[u64]| -> Weight {
+        if sum_fold {
+            let mut s = 0.0f64;
+            for &(pos, _, table) in &weighted_positions {
+                s += table[codes[pos] as usize];
+            }
+            Weight::Num(s)
+        } else {
+            let mut weight = ranking.identity();
+            for &(pos, var, table) in &weighted_positions {
+                weight = ranking.combine(
+                    &weight,
+                    &contribution(ranking, var, table[codes[pos] as usize]),
+                );
+            }
+            weight
         }
-        let projected: Vec<Value> = projected_positions
-            .iter()
-            .map(|&p| dictionary.decode(codes[p]).clone())
-            .collect();
-        out.push((weight, projected));
-    });
+    };
+    // Enumerate in root-row chunks over the executor pool: each chunk's answers
+    // accumulate locally and the chunks concatenate in canonical order, so the
+    // result is the exact sequence the sequential walk produces (and therefore
+    // the leaf selection sees identical candidates at any thread count).
+    let key_width = projected_positions.len();
+    let chunks = exec_encoded::map_answer_code_chunks(
+        &ctx,
+        qjoin_par::DEFAULT_CHUNK,
+        Vec::new,
+        |out: &mut Vec<(Weight, CodeKey)>, codes| {
+            let key =
+                CodeKey::from_iter_of_len(key_width, projected_positions.iter().map(|&p| codes[p]));
+            out.push((fold(codes), key));
+        },
+    );
+    let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+    for chunk in chunks {
+        out.extend(chunk);
+    }
     Ok(out)
+}
+
+/// Decodes one selected leaf key back to an [`Assignment`] over the original
+/// variables — the encoded paths' single decode point per leaf target.
+pub(crate) fn decode_answer_key(
+    dictionary: &qjoin_data::Dictionary,
+    original_vars: &[Variable],
+    key: &[u64],
+) -> Assignment {
+    Assignment::from_pairs(
+        original_vars
+            .iter()
+            .cloned()
+            .zip(key.iter().map(|&code| dictionary.decode(code).clone())),
+    )
 }
 
 /// Computes an exact `φ`-quantile over an already-encoded instance (the engine's
@@ -184,6 +307,67 @@ pub fn exact_quantile_batch_encoded_traced(
     tracer: &dyn crate::trace::SolveTracer,
 ) -> Result<Vec<QuantileResult>> {
     let backend = EncodedBackend::new(instance, ranking);
+    let original_vars = instance.query().variables();
+    crate::batch::quantile_batch_backend(&backend, instance, phis, options, &original_vars, tracer)
+}
+
+/// Computes an ε-approximate SUM `φ`-quantile over an encoded instance: the same
+/// pivoting driver as [`exact_quantile_encoded`], but every trim runs the encoded
+/// ε-lossy construction (Algorithm 4 over selection-vector views).
+///
+/// `per_trim_epsilon` is the *per-invocation* loss budget — callers (see
+/// [`crate::solver::approximate_sum_quantile`]) divide the end-to-end ε across
+/// the expected trim count. Answers are pointwise identical to the row path's
+/// [`LossySumTrimmer`](crate::lossy_trim::LossySumTrimmer) solve.
+pub fn approximate_sum_quantile_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phi: f64,
+    per_trim_epsilon: f64,
+    options: &PivotingOptions,
+) -> Result<QuantileResult> {
+    let backend = lossy::ApproxSumBackend::new(instance, ranking, per_trim_epsilon);
+    let original_vars = instance.query().variables();
+    quantile_by_pivoting_backend(
+        &backend,
+        instance,
+        phi,
+        options,
+        &original_vars,
+        &crate::trace::NoopTracer,
+    )
+}
+
+/// Batched multi-φ variant of [`approximate_sum_quantile_encoded`]: one shared
+/// recursion for all fractions.
+pub fn approximate_sum_quantile_batch_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phis: &[f64],
+    per_trim_epsilon: f64,
+    options: &PivotingOptions,
+) -> Result<Vec<QuantileResult>> {
+    approximate_sum_quantile_batch_encoded_traced(
+        instance,
+        ranking,
+        phis,
+        per_trim_epsilon,
+        options,
+        &crate::trace::NoopTracer,
+    )
+}
+
+/// [`approximate_sum_quantile_batch_encoded`] with per-phase timing reported to
+/// `tracer`. Results are identical to the untraced entry point.
+pub fn approximate_sum_quantile_batch_encoded_traced(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phis: &[f64],
+    per_trim_epsilon: f64,
+    options: &PivotingOptions,
+    tracer: &dyn crate::trace::SolveTracer,
+) -> Result<Vec<QuantileResult>> {
+    let backend = lossy::ApproxSumBackend::new(instance, ranking, per_trim_epsilon);
     let original_vars = instance.query().variables();
     crate::batch::quantile_batch_backend(&backend, instance, phis, options, &original_vars, tracer)
 }

@@ -15,7 +15,7 @@ use crate::pivot::{pivot_quality, PivotResult};
 use crate::selection::weighted_median_by;
 use crate::{CoreError, Result};
 use qjoin_data::Value;
-use qjoin_exec::encoded::{EncodedContext, Key};
+use qjoin_exec::encoded::Key;
 use qjoin_query::{Assignment, EncodedInstance, Variable};
 use qjoin_ranking::{Ranking, Weight};
 use std::collections::HashMap;
@@ -38,7 +38,7 @@ pub(crate) fn select_pivot_encoded(
     ranking: &Ranking,
     weights: &CodeWeights,
 ) -> Result<PivotResult> {
-    let ctx = EncodedContext::build(instance)?;
+    let ctx = qjoin_exec::encoded::shared_context(instance)?;
     if ctx.has_no_answers() {
         return Err(CoreError::NoAnswers);
     }

@@ -250,7 +250,7 @@ fn weighted_pairs(
 /// Prefix row offsets of a view's segments (`offsets[s]` is the global index of
 /// segment `s`'s first row; the last entry is the total row count). Turns a
 /// global row index into `(segment, row)` coordinates for chunked scans.
-fn segment_offsets(rel: &EncodedRelation) -> Vec<usize> {
+pub(super) fn segment_offsets(rel: &EncodedRelation) -> Vec<usize> {
     let mut offsets = Vec::with_capacity(rel.segments().len() + 1);
     let mut total = 0usize;
     offsets.push(0);
@@ -264,7 +264,7 @@ fn segment_offsets(rel: &EncodedRelation) -> Vec<usize> {
 /// The partial sum carried by one view row (mirrors `SumTupleWeights::tuple_sum`,
 /// including the fold order).
 #[inline]
-fn row_sum(
+pub(super) fn row_sum(
     rel: &EncodedRelation,
     weights: &CodeWeights,
     pairs: &[(Variable, usize)],
@@ -331,14 +331,14 @@ struct BMember {
 
 /// Accumulates the output rows of one rewritten view: base-row selections, gathered
 /// pre-existing synthesized columns, and the fresh packed-interval column.
-struct ViewBuilder {
+pub(super) struct ViewBuilder {
     sel: Vec<u32>,
     old_synth: Vec<Vec<u64>>,
     interval: Vec<u64>,
 }
 
 impl ViewBuilder {
-    fn new(synth_arity: usize) -> ViewBuilder {
+    pub(super) fn new(synth_arity: usize) -> ViewBuilder {
         ViewBuilder {
             sel: Vec::new(),
             old_synth: vec![Vec::new(); synth_arity],
@@ -346,7 +346,13 @@ impl ViewBuilder {
         }
     }
 
-    fn push(&mut self, rel: &EncodedRelation, seg: usize, row: usize, interval_code: u64) {
+    pub(super) fn push(
+        &mut self,
+        rel: &EncodedRelation,
+        seg: usize,
+        row: usize,
+        interval_code: u64,
+    ) {
         let segment = &rel.segments()[seg];
         self.sel.push(segment.sel.get(row));
         for (k, col) in segment.synth.iter().enumerate() {
@@ -357,7 +363,7 @@ impl ViewBuilder {
 
     /// Appends another builder's rows (used to concatenate chunk-local partials
     /// in canonical chunk order).
-    fn append(&mut self, mut other: ViewBuilder) {
+    pub(super) fn append(&mut self, mut other: ViewBuilder) {
         self.sel.append(&mut other.sel);
         for (dst, mut src) in self.old_synth.iter_mut().zip(other.old_synth) {
             dst.append(&mut src);
@@ -365,7 +371,7 @@ impl ViewBuilder {
         self.interval.append(&mut other.interval);
     }
 
-    fn build(self, rel: &EncodedRelation) -> Result<EncodedRelation> {
+    pub(super) fn build(self, rel: &EncodedRelation) -> Result<EncodedRelation> {
         let mut synth: Vec<SynthCol> = self
             .old_synth
             .into_iter()

@@ -51,6 +51,12 @@ impl CodeWeights {
     pub(crate) fn code_weight(&self, var: &Variable, code: u64) -> f64 {
         self.tables[var][code as usize]
     }
+
+    /// One variable's whole per-code table. Hot loops resolve the table once and
+    /// index it directly instead of re-hashing the variable per answer.
+    pub(crate) fn table(&self, var: &Variable) -> &[f64] {
+        &self.tables[var]
+    }
 }
 
 /// The contribution of binding one weighted variable to a value of weight `w` —

@@ -33,6 +33,12 @@ pub enum CoreError {
     /// The encoded (dictionary-coded) execution path cannot represent this
     /// instance or construction; the caller should fall back to the row path.
     EncodedUnsupported(String),
+    /// The approximate (sampling) path refuses this error/join regime: the
+    /// requested guarantee would cost at least as much as solving exactly
+    /// (e.g. the Hoeffding sample budget meets or exceeds the join size —
+    /// the AQP-hardness regime of Liu & Wang). The payload is the witness;
+    /// callers should downgrade to an exact or deterministic-ε solve.
+    ApproxRefused(String),
     /// An execution-layer error.
     Exec(qjoin_exec::ExecError),
     /// A query-layer error.
@@ -63,6 +69,9 @@ impl fmt::Display for CoreError {
             ),
             CoreError::EncodedUnsupported(msg) => {
                 write!(f, "encoded execution path unavailable: {msg}")
+            }
+            CoreError::ApproxRefused(witness) => {
+                write!(f, "approximate solve refused: {witness}")
             }
             CoreError::Exec(e) => write!(f, "execution error: {e}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),

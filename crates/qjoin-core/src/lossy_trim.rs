@@ -142,7 +142,13 @@ impl Trimmer for LossySumTrimmer {
                 let mut group_buckets: HashMap<Vec<Value>, Vec<(i64, f64, u128)>> = HashMap::new();
                 // Per child tuple: the id of the bucket it was assigned to.
                 let mut child_bucket: Vec<i64> = vec![0; states[child].tuples.len()];
-                for (key, members) in &group_members {
+                // Iterate groups in sorted key order so bucket ids are deterministic
+                // (and identical to the encoded construction, whose dictionary codes
+                // are order-preserving).
+                let mut sorted_keys: Vec<&Vec<Value>> = group_members.keys().collect();
+                sorted_keys.sort();
+                for key in sorted_keys {
+                    let members = &group_members[key];
                     let entries: Vec<SketchEntry<usize>> = members
                         .iter()
                         .map(|&i| SketchEntry {

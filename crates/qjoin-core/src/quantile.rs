@@ -108,13 +108,27 @@ pub(crate) trait SolveBackend: Sync {
     /// Trims the instance by a ranking predicate (Section 5).
     fn trim(&self, instance: &Self::Inst, predicate: &RankPredicate) -> Result<Self::Inst>;
 
-    /// Materializes the instance's answers as `(weight, values projected onto
+    /// The leaf key a materialized answer is projected onto: the tie-break of the
+    /// final direct selection. Must order **identically** to the projected
+    /// `original_vars` values — the row backend uses the values themselves, the
+    /// encoded backends use the projected dictionary codes (order-preserving by
+    /// construction, so the two orders coincide and the selected answer is the
+    /// same on every path).
+    type Key: Ord + Clone + Send;
+
+    /// Materializes the instance's answers as `(weight, key projected onto
     /// `original_vars`)` pairs for the final direct selection.
     fn keyed_answers(
         &self,
         instance: &Self::Inst,
         original_vars: &[Variable],
-    ) -> Result<Vec<(Weight, Vec<Value>)>>;
+    ) -> Result<Vec<(Weight, Self::Key)>>;
+
+    /// Reassembles one selected key into an [`Assignment`] over the original
+    /// variables — the only point a backend has to produce row values, so the
+    /// encoded backends decode exactly one answer per leaf target instead of
+    /// every candidate.
+    fn answer_from_key(&self, original_vars: &[Variable], key: &Self::Key) -> Assignment;
 }
 
 /// The row backend: materialized instances trimmed by a [`Trimmer`].
@@ -142,12 +156,18 @@ impl SolveBackend for RowBackend<'_> {
         self.trimmer.trim(instance, self.ranking, predicate)
     }
 
+    type Key = Vec<Value>;
+
     fn keyed_answers(
         &self,
         instance: &Instance,
         original_vars: &[Variable],
     ) -> Result<Vec<(Weight, Vec<Value>)>> {
         materialized_keyed_answers(instance, self.ranking, original_vars)
+    }
+
+    fn answer_from_key(&self, original_vars: &[Variable], key: &Vec<Value>) -> Assignment {
+        Assignment::from_pairs(original_vars.iter().cloned().zip(key.iter().cloned()))
     }
 }
 
@@ -341,8 +361,16 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
         return Err(CoreError::NoAnswers);
     }
     let k = (k as usize).min(keyed.len() - 1);
-    let selected = select_kth_by(&keyed, k, &keyed_answer_cmp);
-    let answer = keyed_answer_to_assignment(original_vars, &selected);
+    // Select by index: the selection machinery clones its working set, and
+    // cloning `usize`s instead of (weight, key) pairs keeps the leaf linear in
+    // practice, not just in theory. Answers with equal (weight, key) are
+    // interchangeable, so index ties cannot change the returned answer.
+    let indices: Vec<usize> = (0..keyed.len()).collect();
+    let selected_idx = select_kth_by(&indices, k, &|&a, &b| {
+        keyed_answer_cmp(&keyed[a], &keyed[b])
+    });
+    let selected = &keyed[selected_idx];
+    let answer = backend.answer_from_key(original_vars, &selected.1);
     tracer.phase_event(
         SolvePhase::Materialize,
         materialize_started.elapsed(),
@@ -356,7 +384,7 @@ pub(crate) fn quantile_by_pivoting_backend<B: SolveBackend>(
     report_parallel(tracer, SolvePhase::Materialize, materialize_par);
     Ok(QuantileResult {
         answer,
-        weight: selected.0,
+        weight: selected.0.clone(),
         total_answers: total,
         target_index,
         iterations,
@@ -395,20 +423,11 @@ pub(crate) fn materialized_keyed_answers(
 }
 
 /// The total order used when selecting from materialized answers: by weight, ties
-/// broken by the projected values.
-pub(crate) fn keyed_answer_cmp(
-    a: &(Weight, Vec<qjoin_data::Value>),
-    b: &(Weight, Vec<qjoin_data::Value>),
-) -> std::cmp::Ordering {
+/// broken by the backend's projected key (values on the row path, dictionary
+/// codes on the encoded paths — identical orders by the dictionary's
+/// order-preservation invariant).
+pub(crate) fn keyed_answer_cmp<K: Ord>(a: &(Weight, K), b: &(Weight, K)) -> std::cmp::Ordering {
     a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1))
-}
-
-/// Reassembles a keyed answer into an [`Assignment`] over the original variables.
-pub(crate) fn keyed_answer_to_assignment(
-    original_vars: &[Variable],
-    keyed: &(Weight, Vec<qjoin_data::Value>),
-) -> Assignment {
-    Assignment::from_pairs(original_vars.iter().cloned().zip(keyed.1.iter().cloned()))
 }
 
 /// Computes the exact rank window of a weight within the instance's answers:

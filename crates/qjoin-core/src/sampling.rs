@@ -5,11 +5,23 @@
 //! sample of `O(ε⁻² log(1/δ))` answers is a `(φ ± ε)`-quantile of the full answer set
 //! with probability `1 − δ` (Hoeffding's inequality). This is the randomized baseline
 //! against which the paper's *deterministic* approximation (Theorem 6.2) is positioned.
+//!
+//! The sampler runs on the **encoded** substrate by default
+//! ([`EncodedDirectAccess`](qjoin_exec::EncodedDirectAccess) walks dictionary codes
+//! and decodes only sampled answers), falling back to the row path when the instance
+//! cannot be encoded. Both paths consume the RNG identically and enumerate answers in
+//! the same fixed order, so a seed fully determines the result regardless of backend.
+//!
+//! When the Hoeffding budget `m` meets or exceeds the answer count — the regime where
+//! approximate query processing provably cannot beat exact evaluation (cf. Liu & Wang's
+//! AQP hardness results) — the sampler **refuses** with
+//! [`CoreError::ApproxRefused`] rather than burning more work than an exact solve;
+//! callers should downgrade to an exact or deterministic-ε solve.
 
 use crate::quantile::{target_rank, QuantileResult};
 use crate::{CoreError, Result};
-use qjoin_exec::DirectAccess;
-use qjoin_query::Instance;
+use qjoin_exec::{DirectAccess, EncodedDirectAccess};
+use qjoin_query::{Assignment, EncodedInstance, Instance};
 use qjoin_ranking::Ranking;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -43,44 +55,139 @@ impl SamplingOptions {
     }
 }
 
-/// Computes a randomized `(φ ± ε)`-approximate quantile by uniform sampling.
+/// Computes a randomized `(φ ± ε)`-approximate quantile by uniform sampling, on the
+/// encoded path when the instance encodes and on the row path otherwise.
 pub fn quantile_by_sampling(
     instance: &Instance,
     ranking: &Ranking,
     phi: f64,
     options: &SamplingOptions,
 ) -> Result<QuantileResult> {
-    if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
-        return Err(CoreError::InvalidPhi(phi));
+    Ok(
+        quantile_by_sampling_batch(instance, ranking, &[phi], options)?
+            .pop()
+            .expect("one phi in, one result out"),
+    )
+}
+
+/// Batched multi-φ sampling: the Hoeffding sample is drawn and sorted **once** (it
+/// does not depend on φ), then each fraction picks its rank from the shared sorted
+/// sample. Results are pointwise identical to independent single-φ calls with the
+/// same seed.
+pub fn quantile_by_sampling_batch(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &SamplingOptions,
+) -> Result<Vec<QuantileResult>> {
+    validate(phis, options)?;
+    crate::encoded::or_row_fallback(
+        crate::encoded::encode_instance(instance)
+            .and_then(|enc| quantile_by_sampling_batch_encoded(&enc, ranking, phis, options)),
+        || quantile_by_sampling_batch_via_rows(instance, ranking, phis, options),
+    )
+}
+
+/// [`quantile_by_sampling_batch`] forced onto the row path (the benchmark and
+/// equivalence-test baseline).
+pub fn quantile_by_sampling_batch_via_rows(
+    instance: &Instance,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &SamplingOptions,
+) -> Result<Vec<QuantileResult>> {
+    validate(phis, options)?;
+    let access = DirectAccess::new(instance)?;
+    sampled_quantiles(access.total(), ranking, phis, options, |rng| {
+        Ok(access.sample(rng)?)
+    })
+}
+
+/// Computes a randomized `(φ ± ε)`-approximate quantile over an already-encoded
+/// instance (the engine's prepared-plan path). Seed-identical to the row sampler.
+pub fn quantile_by_sampling_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phi: f64,
+    options: &SamplingOptions,
+) -> Result<QuantileResult> {
+    Ok(
+        quantile_by_sampling_batch_encoded(instance, ranking, &[phi], options)?
+            .pop()
+            .expect("one phi in, one result out"),
+    )
+}
+
+/// Batched multi-φ variant of [`quantile_by_sampling_encoded`].
+pub fn quantile_by_sampling_batch_encoded(
+    instance: &EncodedInstance,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &SamplingOptions,
+) -> Result<Vec<QuantileResult>> {
+    validate(phis, options)?;
+    let access = EncodedDirectAccess::new(instance)?;
+    sampled_quantiles(access.total(), ranking, phis, options, |rng| {
+        Ok(access.sample(rng)?)
+    })
+}
+
+fn validate(phis: &[f64], options: &SamplingOptions) -> Result<()> {
+    for &phi in phis {
+        if !(0.0..=1.0).contains(&phi) || phi.is_nan() {
+            return Err(CoreError::InvalidPhi(phi));
+        }
     }
     if !(options.epsilon > 0.0 && options.epsilon < 1.0) {
         return Err(CoreError::InvalidEpsilon(options.epsilon));
     }
-    let access = DirectAccess::new(instance)?;
-    let total = access.total();
+    Ok(())
+}
+
+/// The shared sampling core: draws the φ-independent Hoeffding sample, sorts it once
+/// by weight, and answers every fraction from the shared order. Refuses outright when
+/// the sample budget is no smaller than the answer set.
+fn sampled_quantiles(
+    total: u128,
+    ranking: &Ranking,
+    phis: &[f64],
+    options: &SamplingOptions,
+    mut sample: impl FnMut(&mut StdRng) -> Result<Assignment>,
+) -> Result<Vec<QuantileResult>> {
     if total == 0 {
         return Err(CoreError::NoAnswers);
     }
-    let target_index = target_rank(phi, total);
+    let m = options.sample_count().max(1);
+    if m as u128 >= total {
+        return Err(CoreError::ApproxRefused(format!(
+            "Hoeffding budget m = {m} (epsilon = {}, delta = {}) >= |Q(D)| = {total}; \
+             sampling cannot beat an exact solve in this regime",
+            options.epsilon, options.delta
+        )));
+    }
 
     let mut rng = StdRng::seed_from_u64(options.seed);
-    let m = options.sample_count().max(1);
-    let mut sampled: Vec<(qjoin_ranking::Weight, qjoin_query::Assignment)> = Vec::with_capacity(m);
+    let mut sampled: Vec<(qjoin_ranking::Weight, Assignment)> = Vec::with_capacity(m);
     for _ in 0..m {
-        let answer = access.sample(&mut rng)?;
+        let answer = sample(&mut rng)?;
         sampled.push((ranking.weight_of(&answer), answer));
     }
     sampled.sort_by(|a, b| a.0.cmp(&b.0));
-    let pick = (target_rank(phi, m as u128) as usize).min(m - 1);
-    let (weight, answer) = sampled.swap_remove(pick);
 
-    Ok(QuantileResult {
-        answer,
-        weight,
-        total_answers: total,
-        target_index,
-        iterations: 0,
-    })
+    Ok(phis
+        .iter()
+        .map(|&phi| {
+            let pick = (target_rank(phi, m as u128) as usize).min(m - 1);
+            let (weight, answer) = sampled[pick].clone();
+            QuantileResult {
+                answer,
+                weight,
+                total_answers: total,
+                target_index: target_rank(phi, total),
+                iterations: 0,
+            }
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -162,10 +269,71 @@ mod tests {
     fn deterministic_given_a_seed() {
         let inst = instance(30);
         let ranking = Ranking::sum(inst.query().variables());
-        let options = SamplingOptions::default();
+        // ~300 answers; a loose ε keeps the Hoeffding budget below the answer count.
+        let options = SamplingOptions {
+            epsilon: 0.2,
+            delta: 0.1,
+            seed: 0x5eed,
+        };
         let a = quantile_by_sampling(&inst, &ranking, 0.5, &options).unwrap();
         let b = quantile_by_sampling(&inst, &ranking, 0.5, &options).unwrap();
         assert_eq!(a.weight, b.weight);
         assert_eq!(a.answer, b.answer);
+    }
+
+    #[test]
+    fn encoded_and_row_samplers_are_seed_identical() {
+        let inst = instance(40);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = SamplingOptions {
+            epsilon: 0.15,
+            delta: 0.1,
+            seed: 42,
+        };
+        let phis = [0.0, 0.25, 0.5, 0.9, 1.0];
+        let row = quantile_by_sampling_batch_via_rows(&inst, &ranking, &phis, &options).unwrap();
+        let enc_inst = EncodedInstance::from_instance(&inst).unwrap();
+        let enc = quantile_by_sampling_batch_encoded(&enc_inst, &ranking, &phis, &options).unwrap();
+        assert_eq!(row.len(), enc.len());
+        for (r, e) in row.iter().zip(&enc) {
+            assert_eq!(r.answer, e.answer);
+            assert_eq!(r.weight, e.weight);
+            assert_eq!(r.total_answers, e.total_answers);
+            assert_eq!(r.target_index, e.target_index);
+        }
+    }
+
+    #[test]
+    fn batch_matches_independent_single_phi_solves() {
+        let inst = instance(40);
+        let ranking = Ranking::sum(inst.query().variables());
+        let options = SamplingOptions {
+            epsilon: 0.15,
+            delta: 0.1,
+            seed: 11,
+        };
+        let phis = [0.1, 0.5, 0.99];
+        let batch = quantile_by_sampling_batch(&inst, &ranking, &phis, &options).unwrap();
+        for (i, &phi) in phis.iter().enumerate() {
+            let single = quantile_by_sampling(&inst, &ranking, phi, &options).unwrap();
+            assert_eq!(batch[i].answer, single.answer, "phi {phi}");
+            assert_eq!(batch[i].weight, single.weight, "phi {phi}");
+        }
+    }
+
+    #[test]
+    fn hopeless_regimes_are_refused_with_a_witness() {
+        // instance(5): ~8 answers, far below the default Hoeffding budget (~1060).
+        let inst = instance(5);
+        let ranking = Ranking::sum(inst.query().variables());
+        let err =
+            quantile_by_sampling(&inst, &ranking, 0.5, &SamplingOptions::default()).unwrap_err();
+        match err {
+            CoreError::ApproxRefused(witness) => {
+                assert!(witness.contains("Hoeffding"), "witness: {witness}");
+                assert!(witness.contains("exact solve"), "witness: {witness}");
+            }
+            other => panic!("expected ApproxRefused, got {other:?}"),
+        }
     }
 }

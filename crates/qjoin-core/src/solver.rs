@@ -166,16 +166,15 @@ pub fn exact_quantile_batch_with_options(
     )
 }
 
-/// Computes a deterministic `(φ ± ε)`-approximate quantile for SUM ranking functions
-/// on arbitrary acyclic queries (Theorem 6.2), including the ones that are intractable
-/// exactly.
-pub fn approximate_sum_quantile(
+/// Validates the approximate-SUM request and derives the per-trim loss budget
+/// from the requested overall ε. Shared by the encoded and row entry points so
+/// both paths sketch with literally the same ε′.
+fn per_trim_epsilon_for(
     instance: &Instance,
     ranking: &Ranking,
-    phi: f64,
     epsilon: f64,
     budget: ErrorBudget,
-) -> Result<QuantileResult> {
+) -> Result<f64> {
     if ranking.kind() != AggregateKind::Sum {
         return Err(CoreError::UnsupportedRanking(
             "the deterministic approximation targets SUM ranking functions".to_string(),
@@ -187,7 +186,7 @@ pub fn approximate_sum_quantile(
     if acyclicity::gyo_join_tree(instance.query()).is_none() {
         return Err(CoreError::CyclicQuery(instance.query().to_string()));
     }
-    let per_trim_epsilon = match budget {
+    Ok(match budget {
         ErrorBudget::Direct => epsilon,
         ErrorBudget::Guaranteed => {
             let n = instance.database_size().max(2) as f64;
@@ -197,7 +196,54 @@ pub fn approximate_sum_quantile(
             let iterations = (ell * n.ln() / (1.0 / (1.0 - c)).ln()).ceil().max(1.0);
             (epsilon / (2.0 * iterations)).max(1e-6)
         }
-    };
+    })
+}
+
+/// Computes a deterministic `(φ ± ε)`-approximate quantile for SUM ranking functions
+/// on arbitrary acyclic queries (Theorem 6.2), including the ones that are intractable
+/// exactly.
+///
+/// Like the exact solvers, the approximation runs on the **encoded** execution
+/// layer by default (ε-sketches over per-code weight tables, trim output as
+/// selection-vector views); instances the encoded representation cannot express
+/// fall back to the row path. Both paths return pointwise-identical answers.
+pub fn approximate_sum_quantile(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    epsilon: f64,
+    budget: ErrorBudget,
+) -> Result<QuantileResult> {
+    let per_trim_epsilon = per_trim_epsilon_for(instance, ranking, epsilon, budget)?;
+    let options = PivotingOptions::default();
+    crate::encoded::or_row_fallback(
+        crate::encoded::encode_instance(instance).and_then(|enc| {
+            crate::encoded::approximate_sum_quantile_encoded(
+                &enc,
+                ranking,
+                phi,
+                per_trim_epsilon,
+                &options,
+            )
+        }),
+        || {
+            let trimmer = LossySumTrimmer::new(per_trim_epsilon);
+            quantile_by_pivoting(instance, ranking, phi, &trimmer, &options)
+        },
+    )
+}
+
+/// [`approximate_sum_quantile`] forced onto the row (materialized-tuple) path.
+/// The reference implementation the encoded default is property-tested against,
+/// and the baseline `exp_approx_sum` / `exp_scaling` measure speedups over.
+pub fn approximate_sum_quantile_via_rows(
+    instance: &Instance,
+    ranking: &Ranking,
+    phi: f64,
+    epsilon: f64,
+    budget: ErrorBudget,
+) -> Result<QuantileResult> {
+    let per_trim_epsilon = per_trim_epsilon_for(instance, ranking, epsilon, budget)?;
     let trimmer = LossySumTrimmer::new(per_trim_epsilon);
     quantile_by_pivoting(
         instance,

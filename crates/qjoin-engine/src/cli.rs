@@ -4,7 +4,7 @@
 //! in-process engine; the one-shot subcommands (`register`, `quantile`, `batch`,
 //! `stats`) synthesize the equivalent REPL script against a fresh engine, which makes
 //! them convenient for smoke tests and CI. Databases are produced by the workspace's
-//! workload generators (`social`, `path`, `star`, `random`), so a realistic catalog
+//! workload generators (`social`, `path`, `star`, `starschema`, `random`), so a realistic catalog
 //! can be spun up from a single command line.
 //!
 //! All command handling lives in [`CliSession`] so it is unit-testable and shareable:
@@ -20,6 +20,7 @@ use qjoin_workload::path::PathConfig;
 use qjoin_workload::random_acyclic::RandomAcyclicConfig;
 use qjoin_workload::social::SocialConfig;
 use qjoin_workload::star::StarConfig;
+use qjoin_workload::star_schema::StarSchemaConfig;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::io::{BufRead, IsTerminal, Write as _};
@@ -44,6 +45,7 @@ WORKLOADS (database generators; all keys optional):
   social   rows= seed= users= events= likes= skew=     (default ranking sum:l2,l3)
   path     atoms= rows= domain= weights= skew= seed=   (default ranking max:*)
   star     arms= rows= domain= weights= skew= seed=    (default ranking max:*)
+  starschema  lineitems= orders= parts= weights= skew= seed=  (default ranking sum:wl)
   random   atoms= arity= rows= domain= seed=           (default ranking max:*)
 
 RANKING SPECS:
@@ -54,6 +56,7 @@ REPL COMMANDS:
   replace <db> <workload> [key=value ...]   swap a database (invalidates caches)
   register <plan> <db> [ranking=<spec>]     compile a prepared plan
   quantile <plan> <phi> [eps=<ε>]           serve one quantile
+                        [delta=<δ> seed=<s>]  (with eps=: randomized sampling route)
   batch <plan> <phi> [<phi> ...] [eps=<ε>]  serve many quantiles in one pass
   plans                                     list prepared plans
   stats                                     engine statistics + per-plan storage sharing
@@ -194,11 +197,13 @@ impl CliSession {
 
     fn cmd_quantile(&self, args: &[&str]) -> Result<String, String> {
         let [plan, phi, params @ ..] = args else {
-            return Err("usage: quantile <plan> <phi> [eps=<ε>]".to_string());
+            return Err(
+                "usage: quantile <plan> <phi> [eps=<ε>] [delta=<δ>] [seed=<s>]".to_string(),
+            );
         };
         let phi = parse_phi(phi)?;
         let params = parse_params(params)?;
-        ensure_known_keys(&params, &["eps"])?;
+        ensure_known_keys(&params, &["eps", "delta", "seed"])?;
         let accuracy = parse_accuracy(&params)?;
         let answer = self
             .engine
@@ -209,7 +214,10 @@ impl CliSession {
 
     fn cmd_batch(&self, args: &[&str]) -> Result<String, String> {
         let [plan, rest @ ..] = args else {
-            return Err("usage: batch <plan> <phi> [<phi> ...] [eps=<ε>]".to_string());
+            return Err(
+                "usage: batch <plan> <phi> [<phi> ...] [eps=<ε>] [delta=<δ>] [seed=<s>]"
+                    .to_string(),
+            );
         };
         let (phi_tokens, param_tokens): (Vec<&str>, Vec<&str>) =
             rest.iter().partition(|t| !t.contains('='));
@@ -221,7 +229,7 @@ impl CliSession {
             .map(|t| parse_phi(t))
             .collect::<Result<_, _>>()?;
         let params = parse_params(&param_tokens)?;
-        ensure_known_keys(&params, &["eps"])?;
+        ensure_known_keys(&params, &["eps", "delta", "seed"])?;
         let accuracy = parse_accuracy(&params)?;
         let answers = self
             .engine
@@ -423,6 +431,11 @@ fn describe_answer(answer: &crate::engine::EngineAnswer) -> String {
     let accuracy = match answer.accuracy {
         Accuracy::Exact => String::new(),
         Accuracy::Approximate { epsilon } => format!(" eps={epsilon}"),
+        Accuracy::Bounded {
+            epsilon,
+            delta,
+            seed,
+        } => format!(" eps={epsilon} delta={delta} seed={seed}"),
     };
     format!(
         "phi={:.4}{}: weight={} rank={}/{} iterations={}{}",
@@ -483,13 +496,42 @@ fn parse_phi(token: &str) -> Result<f64, String> {
     Ok(phi)
 }
 
+/// `eps=` alone selects the deterministic ε-approximation; adding `delta=` and/or
+/// `seed=` switches to the randomized sampler (Hoeffding bound, reproducible by
+/// seed), defaulting δ = 0.01 and seed = 0x5eed.
 fn parse_accuracy(params: &BTreeMap<String, String>) -> Result<Accuracy, String> {
-    match params.get("eps") {
-        Some(raw) => {
-            let epsilon: f64 = raw.parse().map_err(|_| format!("invalid eps {raw:?}"))?;
-            Ok(Accuracy::Approximate { epsilon })
+    let epsilon = params
+        .get("eps")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .map_err(|_| format!("invalid eps {raw:?}"))
+        })
+        .transpose()?;
+    let delta = params
+        .get("delta")
+        .map(|raw| {
+            raw.parse::<f64>()
+                .map_err(|_| format!("invalid delta {raw:?}"))
+        })
+        .transpose()?;
+    let seed = params
+        .get("seed")
+        .map(|raw| {
+            raw.parse::<u64>()
+                .map_err(|_| format!("invalid seed {raw:?}"))
+        })
+        .transpose()?;
+    match (epsilon, delta.is_some() || seed.is_some()) {
+        (None, false) => Ok(Accuracy::Exact),
+        (None, true) => {
+            Err("delta=/seed= request randomized sampling and need eps= too".to_string())
         }
-        None => Ok(Accuracy::Exact),
+        (Some(epsilon), false) => Ok(Accuracy::Approximate { epsilon }),
+        (Some(epsilon), true) => Ok(Accuracy::Bounded {
+            epsilon,
+            delta: delta.unwrap_or(0.01),
+            seed: seed.unwrap_or(0x5eed),
+        }),
     }
 }
 
@@ -587,6 +629,21 @@ fn generate_workload(
             let ranking = Ranking::max(instance.query().variables());
             Ok((instance, ranking))
         }
+        "starschema" => {
+            ensure_known_keys(
+                params,
+                &["lineitems", "orders", "parts", "weights", "skew", "seed"],
+            )?;
+            let lineitems = param(params, "lineitems", 10_000usize)?;
+            let mut config = StarSchemaConfig::with_scale(lineitems);
+            config.orders = param(params, "orders", config.orders)?;
+            config.parts = param(params, "parts", config.parts)?;
+            config.weight_range = param(params, "weights", config.weight_range)?;
+            config.skew = param(params, "skew", config.skew)?;
+            config.seed = param(params, "seed", config.seed)?;
+            let ranking = config.revenue_ranking();
+            Ok((config.generate(), ranking))
+        }
         "random" => {
             ensure_known_keys(params, &["atoms", "arity", "rows", "domain", "seed"])?;
             let config = RandomAcyclicConfig {
@@ -601,7 +658,7 @@ fn generate_workload(
             Ok((instance, ranking))
         }
         other => Err(format!(
-            "unknown workload {other:?} (expected social, path, star, or random)"
+            "unknown workload {other:?} (expected social, path, star, starschema, or random)"
         )),
     }
 }
@@ -846,6 +903,29 @@ mod tests {
         assert!(err.contains("cannot serve"), "{err}");
         let approx = ok(&session, "quantile fullsum 0.5 eps=0.1");
         assert!(approx.contains("eps=0.1"), "{approx}");
+    }
+
+    #[test]
+    fn sampling_route_answers_and_refuses_via_the_command_language() {
+        let session = CliSession::new();
+        ok(&session, "open s social rows=150 seed=42");
+        ok(&session, "register likes s");
+        // eps+delta/seed select the randomized sampler; the answer echoes the params.
+        let sampled = ok(&session, "quantile likes 0.5 eps=0.2 delta=0.1 seed=9");
+        assert!(sampled.contains("eps=0.2 delta=0.1 seed=9"), "{sampled}");
+        let again = ok(&session, "quantile likes 0.5 eps=0.2 delta=0.1 seed=9");
+        assert!(again.contains("(cached)"), "{again}");
+        // Hopeless regime: the Hoeffding budget dwarfs the answer count, so the
+        // request is refused with the witness on one clean error line.
+        ok(&session, "open tiny social rows=10 seed=3");
+        ok(&session, "register tinyplan tiny");
+        let err = session
+            .execute("quantile tinyplan 0.5 eps=0.05 delta=0.01 seed=1")
+            .unwrap_err();
+        assert!(err.contains("approximate solve refused"), "{err}");
+        assert!(!err.contains('\n'), "wire errors must be one line: {err}");
+        // delta/seed without eps is a parse error, not a silent exact solve.
+        assert!(session.execute("quantile likes 0.5 delta=0.1").is_err());
     }
 
     #[test]

@@ -604,7 +604,10 @@ impl Engine {
                 }
                 outcome.result?
             }
-            Accuracy::Approximate { .. } => {
+            // Approximate and sampled requests skip the coalescing gate: their
+            // answers depend on the request's own (ε, δ, seed) parameters, so
+            // rounds cannot be shared across requests with different budgets.
+            _ => {
                 let mut results = self.solve_batch_uncached(&plan, &[phi], accuracy)?;
                 let result = results.pop().expect("one result per requested φ");
                 self.insert_cached(&plan, key, result.clone());
@@ -631,7 +634,16 @@ impl Engine {
         phis: &[f64],
         accuracy: Accuracy,
     ) -> Result<Vec<QuantileResult>, EngineError> {
-        let trimmer = plan.trimmer_for(accuracy)?;
+        // Validate up front; randomized sampling requests have no trimmer (the
+        // sampler serves them directly), so the trimmer is only selected for the
+        // exact and deterministic-ε routes.
+        let trimmer = match accuracy {
+            Accuracy::Bounded { epsilon, delta, .. } => {
+                plan.validate_bounded(epsilon, delta)?;
+                None
+            }
+            _ => Some(plan.trimmer_for(accuracy)?),
+        };
         // When a request trace is live, allocate the solve span up front so the
         // per-phase child spans the drivers emit can parent to it; the span
         // itself is recorded below once the solve's duration and backend are
@@ -648,15 +660,19 @@ impl Engine {
         );
         let _inflight = InflightGuard::enter(self.inflight_cell(&plan.name));
         let solve_started = Instant::now();
-        // Exact requests run on the plan's cached encoded instance (built once per
-        // catalog generation); approximate requests and un-encodable instances use
-        // the row path. Both return pointwise-identical exact answers.
+        // Exact and deterministic-ε requests run on the plan's cached encoded
+        // instance (built once per catalog generation); un-encodable instances use
+        // the row path. Both return pointwise-identical answers. Randomized
+        // sampling requests run on the encoded direct-access structure, with a
+        // seed-identical row fallback.
         let row_solve = || {
             quantile_batch_by_pivoting_traced(
                 &plan.instance,
                 &plan.ranking,
                 phis,
-                trimmer.as_ref(),
+                trimmer
+                    .as_deref()
+                    .expect("row solves serve trimmer-based accuracies"),
                 &self.config.pivoting,
                 &tracer,
             )
@@ -678,6 +694,57 @@ impl Engine {
                         ) {
                             Err(CoreError::EncodedUnsupported(_)) => Ok((row_solve()?, false)),
                             other => Ok((other?, true)),
+                        }
+                    }
+                    (Accuracy::Approximate { epsilon }, Some(encoded)) => {
+                        match qjoin_core::encoded::approximate_sum_quantile_batch_encoded_traced(
+                            encoded,
+                            &plan.ranking,
+                            phis,
+                            *epsilon,
+                            &self.config.pivoting,
+                            &tracer,
+                        ) {
+                            Err(CoreError::EncodedUnsupported(_)) => Ok((row_solve()?, false)),
+                            other => Ok((other?, true)),
+                        }
+                    }
+                    (
+                        Accuracy::Bounded {
+                            epsilon,
+                            delta,
+                            seed,
+                        },
+                        encoded,
+                    ) => {
+                        let options = qjoin_core::sampling::SamplingOptions {
+                            epsilon: *epsilon,
+                            delta: *delta,
+                            seed: *seed,
+                        };
+                        let row_sample = || {
+                            qjoin_core::sampling::quantile_by_sampling_batch_via_rows(
+                                &plan.instance,
+                                &plan.ranking,
+                                phis,
+                                &options,
+                            )
+                        };
+                        match encoded {
+                            Some(encoded) => {
+                                match qjoin_core::sampling::quantile_by_sampling_batch_encoded(
+                                    encoded,
+                                    &plan.ranking,
+                                    phis,
+                                    &options,
+                                ) {
+                                    Err(CoreError::EncodedUnsupported(_)) => {
+                                        Ok((row_sample()?, false))
+                                    }
+                                    other => Ok((other?, true)),
+                                }
+                            }
+                            None => Ok((row_sample()?, false)),
                         }
                     }
                     _ => Ok((row_solve()?, false)),
@@ -914,9 +981,7 @@ impl Engine {
                     }
                     outcome.results?
                 }
-                Accuracy::Approximate { .. } => {
-                    self.solve_batch_uncached(&plan, &miss_phis, accuracy)?
-                }
+                _ => self.solve_batch_uncached(&plan, &miss_phis, accuracy)?,
             };
             for ((pos, phi), result) in missing.into_iter().zip(results) {
                 let key = (plan.id, plan.generation, phi.to_bits(), accuracy.key_bits());
@@ -1272,6 +1337,118 @@ mod tests {
             .quantile_with("fullsum", 0.5, Accuracy::Approximate { epsilon: 0.1 })
             .unwrap();
         assert!(again.from_cache);
+    }
+
+    #[test]
+    fn approximate_requests_use_the_encoded_path_and_tag_telemetry() {
+        let config = qjoin_workload::path::PathConfig {
+            atoms: 3,
+            tuples_per_relation: 40,
+            join_domain: 5,
+            weight_range: 100,
+            skew: 0.0,
+            seed: 5,
+        };
+        let instance = config.generate();
+        let (query, database) = instance.into_parts();
+        let engine = Engine::new();
+        engine.create_database("paths", database).unwrap();
+        engine
+            .register(
+                "fullsum",
+                "paths",
+                query.clone(),
+                Ranking::sum(query.variables()),
+            )
+            .unwrap();
+        let approx = engine
+            .quantile_with("fullsum", 0.5, Accuracy::Approximate { epsilon: 0.1 })
+            .unwrap();
+        assert!(approx.result.total_answers > 0);
+        let snapshot = engine.metrics_snapshot();
+        let plan = [("plan", "fullsum")];
+        assert_eq!(
+            snapshot.counter("qjoin_solve_encoded_total", &plan),
+            Some(1),
+            "approximate solves must run on the encoded backend"
+        );
+        assert_eq!(snapshot.counter("qjoin_solve_row_total", &plan), Some(0));
+    }
+
+    #[test]
+    fn bounded_requests_sample_reproducibly_and_cache_under_their_own_key() {
+        let (engine, _) = social_engine(150, 42);
+        let accuracy = Accuracy::Bounded {
+            epsilon: 0.2,
+            delta: 0.1,
+            seed: 9,
+        };
+        let a = engine.quantile_with("likes", 0.5, accuracy).unwrap();
+        let b = engine.quantile_with("likes", 0.5, accuracy).unwrap();
+        assert!(!a.from_cache);
+        assert!(b.from_cache);
+        assert_eq!(a.result.weight, b.result.weight);
+
+        // A different seed misses the cache (distinct key) and may answer elsewhere.
+        let other = engine
+            .quantile_with(
+                "likes",
+                0.5,
+                Accuracy::Bounded {
+                    epsilon: 0.2,
+                    delta: 0.1,
+                    seed: 10,
+                },
+            )
+            .unwrap();
+        assert!(!other.from_cache);
+
+        // The sampler ran on the encoded direct-access structure.
+        let snapshot = engine.metrics_snapshot();
+        let plan = [("plan", "likes")];
+        assert_eq!(
+            snapshot.counter("qjoin_solve_encoded_total", &plan),
+            Some(2)
+        );
+        assert_eq!(snapshot.counter("qjoin_solve_row_total", &plan), Some(0));
+    }
+
+    #[test]
+    fn bounded_requests_refuse_hopeless_regimes() {
+        // 60 rows → few hundred answers, far below the default Hoeffding budget.
+        let (engine, _) = social_engine(10, 3);
+        let err = engine
+            .quantile_with(
+                "likes",
+                0.5,
+                Accuracy::Bounded {
+                    epsilon: 0.05,
+                    delta: 0.01,
+                    seed: 1,
+                },
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            EngineError::Core(CoreError::ApproxRefused(_))
+        ));
+        assert!(err.to_string().contains("exact solve"), "{err}");
+
+        // Invalid sampling parameters are rejected before any solve.
+        assert!(matches!(
+            engine
+                .quantile_with(
+                    "likes",
+                    0.5,
+                    Accuracy::Bounded {
+                        epsilon: 0.2,
+                        delta: 1.5,
+                        seed: 1,
+                    },
+                )
+                .unwrap_err(),
+            EngineError::PlanCannotServe { .. }
+        ));
     }
 
     #[test]

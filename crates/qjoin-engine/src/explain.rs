@@ -184,6 +184,9 @@ impl ExplainReport {
                 match analyze.accuracy {
                     Accuracy::Exact => "exact".to_string(),
                     Accuracy::Approximate { epsilon } => format!("approximate eps={epsilon}"),
+                    Accuracy::Bounded { epsilon, delta, .. } => {
+                        format!("sampled eps={epsilon} delta={delta}")
+                    }
                 },
                 analyze.trace,
             );

@@ -33,14 +33,41 @@ pub enum Accuracy {
         /// The per-trim loss budget ε ∈ (0, 1) (the practical "direct" budget).
         epsilon: f64,
     },
+    /// A randomized `(φ ± ε)`-approximation with failure probability δ, served by
+    /// uniform sampling over a direct-access structure (§3.1, Hoeffding bound).
+    /// Works for **any** ranking kind; the seed makes answers reproducible. Refused
+    /// ([`qjoin_core::CoreError::ApproxRefused`]) when the sample budget meets or
+    /// exceeds the answer count — the regime where sampling cannot beat an exact
+    /// solve.
+    Bounded {
+        /// The rank-error tolerance ε ∈ (0, 1).
+        epsilon: f64,
+        /// The failure probability δ ∈ (0, 1).
+        delta: f64,
+        /// RNG seed; equal seeds give pointwise-identical answers on every backend.
+        seed: u64,
+    },
 }
 
 impl Accuracy {
-    /// A stable cache-key component: `None` for exact, the ε bit pattern otherwise.
+    /// A stable cache-key component: `None` for exact, the ε bit pattern for the
+    /// deterministic approximation, and an (ε, δ, seed) mix with the top bit forced
+    /// for the sampler — a valid deterministic ε is positive, so its sign bit is
+    /// zero and the two routes can never collide at equal ε.
     pub(crate) fn key_bits(&self) -> Option<u64> {
         match self {
             Accuracy::Exact => None,
             Accuracy::Approximate { epsilon } => Some(epsilon.to_bits()),
+            Accuracy::Bounded {
+                epsilon,
+                delta,
+                seed,
+            } => {
+                let mut bits = epsilon.to_bits();
+                bits = bits.rotate_left(21) ^ delta.to_bits();
+                bits = bits.rotate_left(21) ^ seed;
+                Some(bits | 1 << 63)
+            }
         }
     }
 }
@@ -209,7 +236,30 @@ impl PreparedPlan {
                 }
                 Ok(Box::new(LossySumTrimmer::new(epsilon)))
             }
+            Accuracy::Bounded { .. } => Err(EngineError::PlanCannotServe {
+                plan: self.name.clone(),
+                reason: "randomized sampling requests are served by the sampler, not a \
+                         trimmer"
+                    .to_string(),
+            }),
         }
+    }
+
+    /// Validates the parameters of a randomized sampling request (which has no
+    /// trimmer to select — the sampler serves it directly).
+    pub(crate) fn validate_bounded(&self, epsilon: f64, delta: f64) -> Result<(), EngineError> {
+        if !(epsilon > 0.0 && epsilon < 1.0) {
+            return Err(EngineError::Core(CoreError::InvalidEpsilon(epsilon)));
+        }
+        if !(delta > 0.0 && delta < 1.0) {
+            return Err(EngineError::PlanCannotServe {
+                plan: self.name.clone(),
+                reason: format!(
+                    "sampling failure probability delta must be in (0, 1), got {delta}"
+                ),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -340,6 +390,29 @@ mod tests {
         assert_ne!(
             Accuracy::Approximate { epsilon: 0.1 }.key_bits(),
             Accuracy::Approximate { epsilon: 0.2 }.key_bits()
+        );
+        let bounded = |epsilon, delta, seed| Accuracy::Bounded {
+            epsilon,
+            delta,
+            seed,
+        };
+        // The sampler's key can never collide with a deterministic-ε key, and every
+        // parameter participates in it.
+        assert_ne!(
+            bounded(0.1, 0.01, 7).key_bits(),
+            Accuracy::Approximate { epsilon: 0.1 }.key_bits()
+        );
+        assert_ne!(
+            bounded(0.1, 0.01, 7).key_bits(),
+            bounded(0.2, 0.01, 7).key_bits()
+        );
+        assert_ne!(
+            bounded(0.1, 0.01, 7).key_bits(),
+            bounded(0.1, 0.05, 7).key_bits()
+        );
+        assert_ne!(
+            bounded(0.1, 0.01, 7).key_bits(),
+            bounded(0.1, 0.01, 8).key_bits()
         );
     }
 }

@@ -9,11 +9,13 @@
 //! a top-down walk that peels off mixed-radix digits.
 
 use crate::count::subtree_counts;
+use crate::encoded::{self, EncodedContext, Key};
 use crate::{ExecError, JoinTreeContext, Result};
-use qjoin_data::Value;
-use qjoin_query::{Assignment, Instance};
+use qjoin_data::{Dictionary, Value};
+use qjoin_query::{Assignment, EncodedInstance, Instance};
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// A direct-access index over the answers of an acyclic instance.
 ///
@@ -200,6 +202,173 @@ impl DirectAccess {
     }
 }
 
+/// The encoded twin of [`DirectAccess`]: a direct-access index over the answers of
+/// an acyclic [`EncodedInstance`], decoding codes back to values only at the answer
+/// boundary.
+///
+/// The enumeration order is **pointwise identical** to [`DirectAccess`] over the
+/// corresponding row instance: both contexts keep surviving tuples in relation
+/// order and group members ascending, so `answer_at(i)` returns the same
+/// assignment on both paths — which is what makes seeded sampling reproducible
+/// across backends.
+///
+/// Precondition: every column of the instance is a dictionary code (no synthesized
+/// columns), i.e. the instance is an un-trimmed encoding of a row database.
+pub struct EncodedDirectAccess {
+    ctx: EncodedContext,
+    dictionary: Arc<Dictionary>,
+    /// Prefix sums over the root's surviving rows.
+    root_prefix: Vec<u128>,
+    /// For every non-root node: join key → (row indices of the group, prefix sums of
+    /// their subtree counts).
+    group_index: Vec<HashMap<Key, GroupPrefix>>,
+    total: u128,
+}
+
+impl EncodedDirectAccess {
+    /// Builds the index for an acyclic encoded instance.
+    pub fn new(instance: &EncodedInstance) -> Result<Self> {
+        let ctx = EncodedContext::build(instance)?;
+        Ok(Self::from_context(ctx, Arc::clone(instance.dictionary())))
+    }
+
+    /// Builds the index from an already-constructed encoded context.
+    pub fn from_context(ctx: EncodedContext, dictionary: Arc<Dictionary>) -> Self {
+        if ctx.has_no_answers() {
+            let n_nodes = ctx.nodes().len();
+            return EncodedDirectAccess {
+                ctx,
+                dictionary,
+                root_prefix: Vec::new(),
+                group_index: vec![HashMap::new(); n_nodes],
+                total: 0,
+            };
+        }
+        let counts = encoded::subtree_counts(&ctx).per_tuple;
+        let root = ctx.root();
+        let mut root_prefix = Vec::with_capacity(counts[root].len());
+        let mut acc = 0u128;
+        for &c in &counts[root] {
+            acc += c;
+            root_prefix.push(acc);
+        }
+        let total = acc;
+
+        let mut group_index: Vec<HashMap<Key, GroupPrefix>> =
+            vec![HashMap::new(); ctx.nodes().len()];
+        for node in ctx.nodes() {
+            if node.node_id == root {
+                continue;
+            }
+            let mut map = HashMap::with_capacity(node.groups.len());
+            for (key, members) in &node.groups {
+                let mut prefix = Vec::with_capacity(members.len());
+                let mut acc = 0u128;
+                for &m in members {
+                    acc += counts[node.node_id][m as usize];
+                    prefix.push(acc);
+                }
+                map.insert(
+                    key.clone(),
+                    GroupPrefix {
+                        members: members.iter().map(|&m| m as usize).collect(),
+                        prefix,
+                    },
+                );
+            }
+            group_index[node.node_id] = map;
+        }
+
+        EncodedDirectAccess {
+            ctx,
+            dictionary,
+            root_prefix,
+            group_index,
+            total,
+        }
+    }
+
+    /// The total number of answers `|Q(D)|`.
+    pub fn total(&self) -> u128 {
+        self.total
+    }
+
+    /// The underlying context.
+    pub fn context(&self) -> &EncodedContext {
+        &self.ctx
+    }
+
+    /// Returns the answer at position `index` (0-based) in the structure's fixed
+    /// enumeration order, decoded to an assignment over the query's variables.
+    pub fn answer_at(&self, index: u128) -> Result<Assignment> {
+        if index >= self.total {
+            return Err(ExecError::IndexOutOfRange {
+                requested: index,
+                total: self.total,
+            });
+        }
+        let root = self.ctx.root();
+        let mut lo = 0usize;
+        let mut hi = self.root_prefix.len();
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if self.root_prefix[mid] > index {
+                hi = mid;
+            } else {
+                lo = mid + 1;
+            }
+        }
+        let before = if lo == 0 { 0 } else { self.root_prefix[lo - 1] };
+        let mut assignment = Assignment::empty();
+        self.descend(root, lo, index - before, &mut assignment);
+        Ok(assignment)
+    }
+
+    /// Samples an answer uniformly at random. The RNG consumption is identical to
+    /// [`DirectAccess::sample`], so seeded draws agree across backends.
+    pub fn sample(&self, rng: &mut impl Rng) -> Result<Assignment> {
+        if self.total == 0 {
+            return Err(ExecError::NoAnswers);
+        }
+        let idx = rng.random_range(0..self.total);
+        self.answer_at(idx)
+    }
+
+    fn descend(&self, node: usize, row_idx: usize, offset: u128, out: &mut Assignment) {
+        let atom = self.ctx.query().atom(self.ctx.node(node).atom_index);
+        for (v, pos) in atom.distinct_variable_positions() {
+            let value = self
+                .dictionary
+                .decode(self.ctx.code(node, row_idx, pos))
+                .clone();
+            out.bind(v, value);
+        }
+
+        let children = &self.ctx.tree().node(node).children;
+        if children.is_empty() {
+            debug_assert_eq!(offset, 0);
+            return;
+        }
+        let totals: Vec<u128> = children
+            .iter()
+            .map(|&c| {
+                let key = self.ctx.key_from_parent(c, row_idx);
+                self.group_index[c][&key].total()
+            })
+            .collect();
+        let mut remainder = offset;
+        for (i, &child) in children.iter().enumerate() {
+            let radix_rest: u128 = totals[i + 1..].iter().product();
+            let digit = remainder / radix_rest;
+            remainder %= radix_rest;
+            let key = self.ctx.key_from_parent(child, row_idx);
+            let group = &self.group_index[child][&key];
+            let (child_row, child_offset) = group.locate(digit);
+            self.descend(child, child_row, child_offset, out);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,6 +454,54 @@ mod tests {
             seen.insert(format!("{a:?}"));
         }
         assert_eq!(seen.len(), 13, "uniform sampling should reach all answers");
+    }
+
+    #[test]
+    fn encoded_access_is_pointwise_identical_to_row_access() {
+        let inst = figure1_instance();
+        let row = DirectAccess::new(&inst).unwrap();
+        let enc_inst = qjoin_query::EncodedInstance::from_instance(&inst).unwrap();
+        let enc = EncodedDirectAccess::new(&enc_inst).unwrap();
+        assert_eq!(row.total(), enc.total());
+        for i in 0..row.total() {
+            assert_eq!(
+                row.answer_at(i).unwrap(),
+                enc.answer_at(i).unwrap(),
+                "index {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_sampling_is_seed_identical_to_row_sampling() {
+        let inst = figure1_instance();
+        let row = DirectAccess::new(&inst).unwrap();
+        let enc_inst = qjoin_query::EncodedInstance::from_instance(&inst).unwrap();
+        let enc = EncodedDirectAccess::new(&enc_inst).unwrap();
+        let mut rng_a = rand::rngs::StdRng::seed_from_u64(99);
+        let mut rng_b = rand::rngs::StdRng::seed_from_u64(99);
+        for _ in 0..100 {
+            assert_eq!(
+                row.sample(&mut rng_a).unwrap(),
+                enc.sample(&mut rng_b).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn encoded_access_on_empty_instance_has_zero_total() {
+        let r1 = Relation::from_rows("R1", &[&[1, 1]]).unwrap();
+        let r2 = Relation::from_rows("R2", &[&[2, 5]]).unwrap();
+        let inst =
+            Instance::new(path_query(2), Database::from_relations([r1, r2]).unwrap()).unwrap();
+        let enc_inst = qjoin_query::EncodedInstance::from_instance(&inst).unwrap();
+        let enc = EncodedDirectAccess::new(&enc_inst).unwrap();
+        assert_eq!(enc.total(), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert!(matches!(
+            enc.sample(&mut rng).unwrap_err(),
+            ExecError::NoAnswers
+        ));
     }
 
     #[test]

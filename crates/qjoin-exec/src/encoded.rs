@@ -18,6 +18,7 @@
 use crate::{ExecError, Result};
 use qjoin_query::{acyclicity, EncodedInstance, JoinQuery, JoinTree, Variable};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// A join key: the codes of the variables shared with the parent node, in sorted
 /// variable order. Most keys have one or two components; larger keys box a slice.
@@ -45,6 +46,57 @@ impl Key {
     }
 }
 
+/// A fast, deterministic hasher for dictionary-code join keys (the classic
+/// multiply-rotate "Fx" scheme). The reducer and the answer walk hash a key per
+/// row — millions per solve at benchmark scale — and SipHash's keyed security
+/// buys nothing here: key maps are probed for membership and grouped in
+/// canonical row order, never iterated in hash order, so an unkeyed
+/// multiplicative hash changes nothing observable.
+#[derive(Clone, Default)]
+pub struct KeyHasher(u64);
+
+impl KeyHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(SEED);
+    }
+}
+
+impl std::hash::Hasher for KeyHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// A join-key map with the [`KeyHasher`].
+pub type KeyMap<V> = HashMap<Key, V, std::hash::BuildHasherDefault<KeyHasher>>;
+/// A join-key set with the [`KeyHasher`].
+pub type KeySet = HashSet<Key, std::hash::BuildHasherDefault<KeyHasher>>;
+
 /// Per-node state of an [`EncodedContext`].
 #[derive(Clone, Debug)]
 pub struct EncodedNode {
@@ -61,7 +113,7 @@ pub struct EncodedNode {
     /// Positions of the same variables within the parent node's atom.
     pub parent_key_positions: Vec<usize>,
     /// Pre-grouped adjacency index: join key → indices into `rows`.
-    pub groups: HashMap<Key, Vec<u32>>,
+    pub groups: KeyMap<Vec<u32>>,
 }
 
 /// A rooted join tree with, per node, the semi-join reduced row set of an encoded
@@ -126,7 +178,7 @@ impl EncodedContext {
                 rows,
                 own_key_positions,
                 parent_key_positions,
-                groups: HashMap::new(),
+                groups: KeyMap::default(),
             });
             rels.push(rel);
         }
@@ -174,11 +226,11 @@ impl EncodedContext {
             if node_id == ctx.tree.root() {
                 continue;
             }
-            let chunk_maps: Vec<HashMap<Key, Vec<u32>>> = qjoin_par::par_map_chunks(
+            let chunk_maps: Vec<KeyMap<Vec<u32>>> = qjoin_par::par_map_chunks(
                 ctx.nodes[node_id].rows.len(),
                 qjoin_par::DEFAULT_CHUNK,
                 |_, range| {
-                    let mut local: HashMap<Key, Vec<u32>> = HashMap::new();
+                    let mut local: KeyMap<Vec<u32>> = KeyMap::default();
                     for i in range {
                         local
                             .entry(ctx.own_key(node_id, i))
@@ -188,7 +240,7 @@ impl EncodedContext {
                     local
                 },
             );
-            let mut groups: HashMap<Key, Vec<u32>> = HashMap::new();
+            let mut groups: KeyMap<Vec<u32>> = KeyMap::default();
             for local in chunk_maps {
                 for (key, members) in local {
                     groups.entry(key).or_default().extend(members);
@@ -328,12 +380,11 @@ fn consistent_coords(
 
 /// Builds the set of join keys `key(0) .. key(n - 1)` with chunk-local sets
 /// unioned afterwards (set membership is order-independent).
-fn key_set(key: impl Fn(usize) -> Key + Sync, n: usize) -> HashSet<Key> {
-    let parts: Vec<HashSet<Key>> =
-        qjoin_par::par_map_chunks(n, qjoin_par::DEFAULT_CHUNK, |_, range| {
-            range.map(&key).collect()
-        });
-    let mut keys = HashSet::new();
+fn key_set(key: impl Fn(usize) -> Key + Sync, n: usize) -> KeySet {
+    let parts: Vec<KeySet> = qjoin_par::par_map_chunks(n, qjoin_par::DEFAULT_CHUNK, |_, range| {
+        range.map(&key).collect()
+    });
+    let mut keys = KeySet::default();
     for part in parts {
         keys.extend(part);
     }
@@ -363,14 +414,14 @@ pub struct EncodedCounts {
     /// at row `i` of `node`.
     pub per_tuple: Vec<Vec<u128>>,
     /// `per_group[node]` maps a join key to the summed count of its group.
-    pub per_group: Vec<HashMap<Key, u128>>,
+    pub per_group: Vec<KeyMap<u128>>,
 }
 
 /// Computes per-row subtree counts bottom-up (Example 2.1 of the paper).
 pub fn subtree_counts(ctx: &EncodedContext) -> EncodedCounts {
     let n_nodes = ctx.nodes().len();
     let mut per_tuple: Vec<Vec<u128>> = vec![Vec::new(); n_nodes];
-    let mut per_group: Vec<HashMap<Key, u128>> = vec![HashMap::new(); n_nodes];
+    let mut per_group: Vec<KeyMap<u128>> = vec![KeyMap::default(); n_nodes];
 
     for &node_id in &ctx.tree().bottom_up_order() {
         let children = ctx.tree().node(node_id).children.clone();
@@ -414,7 +465,8 @@ pub fn subtree_counts(ctx: &EncodedContext) -> EncodedCounts {
                         .map(|g| entries[g].1.iter().map(|&i| values[i as usize]).sum())
                         .collect()
                 });
-            let mut groups: HashMap<Key, u128> = HashMap::with_capacity(entries.len());
+            let mut groups: KeyMap<u128> =
+                KeyMap::with_capacity_and_hasher(entries.len(), Default::default());
             let mut flat = sums.into_iter().flatten();
             for (key, _) in entries {
                 groups.insert(key.clone(), flat.next().expect("one sum per group"));
@@ -441,17 +493,36 @@ pub fn count_answers_ctx(ctx: &EncodedContext) -> u128 {
 
 /// The number of answers `|Q(D)|` of an acyclic encoded instance, in linear time.
 pub fn count_answers(instance: &EncodedInstance) -> Result<u128> {
-    let ctx = EncodedContext::build(instance)?;
+    let ctx = shared_context(instance)?;
     Ok(count_answers_ctx(&ctx))
 }
 
-/// Calls `f` once per query answer with the answer's codes laid out according to
-/// `ctx.query().variables()` (the same schema order as the row path's
-/// [`yannakakis::for_each_answer`](crate::yannakakis::for_each_answer)).
-pub fn for_each_answer_codes(ctx: &EncodedContext, mut f: impl FnMut(&[u64])) {
-    if ctx.has_no_answers() {
-        return;
+/// The instance's default-tree [`EncodedContext`], built at most once per instance:
+/// the first caller builds (GYO tree, semi-join reduction, group indexes) and parks
+/// the result in the instance's [exec memo](EncodedInstance::exec_memo); later
+/// callers — count, pivot scan, leaf materialization of the same solve — reuse it.
+/// Clones share the memo, so the quantile driver's `instance.clone()` at the leaf
+/// still hits the cache. Callers that need a *custom* join tree must use
+/// [`EncodedContext::build_with_tree`] directly and bypass the memo.
+pub fn shared_context(instance: &EncodedInstance) -> Result<Arc<EncodedContext>> {
+    if let Some(ctx) = instance.exec_memo().get::<EncodedContext>() {
+        return Ok(ctx);
     }
+    let ctx = Arc::new(EncodedContext::build(instance)?);
+    instance.exec_memo().set(Arc::clone(&ctx));
+    Ok(ctx)
+}
+
+/// The per-enumeration scaffolding shared by the sequential and chunked answer
+/// walks: the top-down node order, per-node code→answer-slot copy plans, and the
+/// answer row width.
+struct AnswerPlan {
+    order: Vec<usize>,
+    copy_plan: Vec<Vec<(usize, usize)>>,
+    n_vars: usize,
+}
+
+fn answer_plan(ctx: &EncodedContext) -> AnswerPlan {
     let variables = ctx.query().variables();
     let var_positions: HashMap<Variable, usize> = variables
         .iter()
@@ -471,11 +542,73 @@ pub fn for_each_answer_codes(ctx: &EncodedContext, mut f: impl FnMut(&[u64])) {
                 .collect()
         })
         .collect();
+    AnswerPlan {
+        order: ctx.tree().top_down_order().to_vec(),
+        copy_plan,
+        n_vars: variables.len(),
+    }
+}
 
-    let order = ctx.tree().top_down_order();
+/// Calls `f` once per query answer with the answer's codes laid out according to
+/// `ctx.query().variables()` (the same schema order as the row path's
+/// [`yannakakis::for_each_answer`](crate::yannakakis::for_each_answer)).
+pub fn for_each_answer_codes(ctx: &EncodedContext, mut f: impl FnMut(&[u64])) {
+    if ctx.has_no_answers() {
+        return;
+    }
+    let plan = answer_plan(ctx);
     let mut selected: Vec<usize> = vec![0; ctx.nodes().len()];
-    let mut row: Vec<u64> = vec![0; variables.len()];
-    descend(ctx, &order, 0, &copy_plan, &mut selected, &mut row, &mut f);
+    let mut row: Vec<u64> = vec![0; plan.n_vars];
+    descend(
+        ctx,
+        &plan.order,
+        0,
+        &plan.copy_plan,
+        &mut selected,
+        &mut row,
+        &mut f,
+    );
+}
+
+/// Chunked answer enumeration for million-answer leaves: the root node's rows are
+/// split into `chunk`-sized ranges over the executor pool; each range gets a fresh
+/// accumulator from `make` and `per_answer` is invoked for every answer rooted in
+/// the range. The accumulators come back in canonical chunk order, so
+/// concatenating them yields exactly the answer sequence of
+/// [`for_each_answer_codes`] — determinism comes from chunk order, not from how
+/// chunks land on threads (the repo-wide parallelism discipline).
+pub fn map_answer_code_chunks<T: Send>(
+    ctx: &EncodedContext,
+    chunk: usize,
+    make: impl Fn() -> T + Sync,
+    per_answer: impl Fn(&mut T, &[u64]) + Sync,
+) -> Vec<T> {
+    if ctx.has_no_answers() {
+        return Vec::new();
+    }
+    let plan = answer_plan(ctx);
+    let root = plan.order[0];
+    let n_root = ctx.node(root).rows.len();
+    qjoin_par::par_map_chunks(n_root, chunk, |_, range| {
+        let mut acc = make();
+        let mut selected: Vec<usize> = vec![0; ctx.nodes().len()];
+        let mut row: Vec<u64> = vec![0; plan.n_vars];
+        let mut emit = |r: &[u64]| per_answer(&mut acc, r);
+        for i in range {
+            visit(
+                ctx,
+                &plan.order,
+                0,
+                &plan.copy_plan,
+                &mut selected,
+                &mut row,
+                &mut emit,
+                root,
+                i,
+            );
+        }
+        acc
+    })
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -493,20 +626,45 @@ fn descend(
         return;
     }
     let node = order[depth];
-    let candidates: Vec<u32> = match ctx.tree().node(node).parent {
-        None => (0..ctx.node(node).rows.len() as u32).collect(),
+    // Iterate the candidate groups in place — cloning a group per visit would
+    // allocate once per parent row, which dominates million-answer leaves.
+    match ctx.tree().node(node).parent {
+        None => {
+            for i in 0..ctx.node(node).rows.len() {
+                visit(ctx, order, depth, copy_plan, selected, row, f, node, i);
+            }
+        }
         Some(parent) => {
             let key = ctx.key_from_parent(node, selected[parent]);
-            ctx.child_group(node, &key).to_vec()
+            for &i in ctx.child_group(node, &key) {
+                visit(
+                    ctx, order, depth, copy_plan, selected, row, f, node, i as usize,
+                );
+            }
         }
-    };
-    for i in candidates {
-        selected[node] = i as usize;
-        for &(atom_pos, row_pos) in &copy_plan[node] {
-            row[row_pos] = ctx.code(node, i as usize, atom_pos);
-        }
-        descend(ctx, order, depth + 1, copy_plan, selected, row, f);
     }
+}
+
+/// One candidate row of `descend`'s current node: copy its codes into the answer
+/// row and recurse to the next node.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn visit(
+    ctx: &EncodedContext,
+    order: &[usize],
+    depth: usize,
+    copy_plan: &[Vec<(usize, usize)>],
+    selected: &mut Vec<usize>,
+    row: &mut [u64],
+    f: &mut impl FnMut(&[u64]),
+    node: usize,
+    i: usize,
+) {
+    selected[node] = i;
+    for &(atom_pos, row_pos) in &copy_plan[node] {
+        row[row_pos] = ctx.code(node, i, atom_pos);
+    }
+    descend(ctx, order, depth + 1, copy_plan, selected, row, f);
 }
 
 #[cfg(test)]

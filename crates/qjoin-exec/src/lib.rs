@@ -32,7 +32,7 @@ pub mod yannakakis;
 
 pub use answer::AnswerSet;
 pub use context::{JoinTreeContext, NodeData};
-pub use direct_access::DirectAccess;
+pub use direct_access::{DirectAccess, EncodedDirectAccess};
 pub use encoded::{EncodedContext, EncodedNode, Key};
 pub use error::ExecError;
 

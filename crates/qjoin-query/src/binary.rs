@@ -12,8 +12,10 @@
 //! are distributed along the chain. Answers are preserved one-to-one (same variables),
 //! acyclicity is preserved, and the resulting tree is binary with height at most `2ℓ`.
 
+use crate::encoded::EncodedInstance;
 use crate::{acyclicity, Instance, JoinQuery, JoinTree, QueryError, Result};
-use qjoin_data::Database;
+use qjoin_data::{Database, EncodedRelation};
+use std::collections::BTreeMap;
 
 /// Result of [`binarize`]: the rewritten instance and a binary join tree for it.
 #[derive(Clone, Debug)]
@@ -102,6 +104,110 @@ pub fn binarize(instance: &Instance) -> Result<Binarized> {
     debug_assert!(new_tree.is_binary());
     let new_instance = Instance::new(new_query, db)?;
     Ok(Binarized {
+        instance: new_instance,
+        tree: new_tree,
+    })
+}
+
+/// Result of [`binarize_encoded`]: the rewritten encoded instance and a binary join
+/// tree for it.
+#[derive(Clone, Debug)]
+pub struct BinarizedEncoded {
+    /// The rewritten encoded instance (possibly identical to the input).
+    pub instance: EncodedInstance,
+    /// A binary join tree of `instance.query()`.
+    pub tree: JoinTree,
+}
+
+/// The encoded twin of [`binarize`]: identical query rewriting, but the relation
+/// copies are renamed selection-vector views sharing the original's code columns
+/// instead of materialized row copies.
+///
+/// The rewriting is *name-identical* to the row path's whenever the input's
+/// relation name-set matches the row instance's database (which
+/// [`EncodedInstance::from_instance`] and the engine's shared-encoding constructor
+/// guarantee): `fresh_relation_name` mirrors `Database::fresh_name`, so the chain
+/// copies receive the same `R~bin` / `R~bin#k` names in the same order, and the
+/// resulting query and join tree are equal to the row path's.
+pub fn binarize_encoded(instance: &EncodedInstance) -> Result<BinarizedEncoded> {
+    let query = instance.query();
+    let tree = acyclicity::gyo_join_tree(query)
+        .ok_or_else(|| QueryError::CyclicQuery(query.to_string()))?;
+    if tree.is_binary() {
+        return Ok(BinarizedEncoded {
+            instance: instance.clone(),
+            tree,
+        });
+    }
+
+    let mut atoms = query.atoms().to_vec();
+    let mut relations: BTreeMap<String, EncodedRelation> = instance
+        .relations()
+        .map(|(n, r)| (n.to_string(), r.clone()))
+        .collect();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+
+    // Mirrors `binarize`'s `lay_out` exactly; only the copy mechanism differs.
+    fn lay_out(
+        tree: &JoinTree,
+        node: usize,
+        atoms: &mut Vec<crate::Atom>,
+        relations: &mut BTreeMap<String, EncodedRelation>,
+        edges: &mut Vec<(usize, usize)>,
+    ) -> usize {
+        let atom_index = tree.node(node).atom_index;
+        let children = tree.node(node).children.clone();
+        let child_heads: Vec<usize> = children
+            .iter()
+            .map(|&c| lay_out(tree, c, atoms, relations, edges))
+            .collect();
+        let self_index = atom_index;
+        if child_heads.len() <= 2 {
+            for h in child_heads {
+                edges.push((self_index, h));
+            }
+            return self_index;
+        }
+        edges.push((self_index, child_heads[0]));
+        let mut chain_tail = self_index;
+        for (i, &head) in child_heads[1..].iter().enumerate() {
+            let is_last = i == child_heads.len() - 2;
+            if is_last {
+                edges.push((chain_tail, head));
+            } else {
+                let original_atom = atoms[atom_index].clone();
+                let fresh_rel = crate::encoded::fresh_relation_name(
+                    relations,
+                    &format!("{}~bin", original_atom.relation()),
+                );
+                let copy_rel = relations
+                    .get(original_atom.relation())
+                    .expect("validated")
+                    .renamed(fresh_rel.clone());
+                relations.insert(fresh_rel.clone(), copy_rel);
+                let copy_atom = original_atom.renamed(fresh_rel);
+                atoms.push(copy_atom);
+                let copy_index = atoms.len() - 1;
+                edges.push((chain_tail, copy_index));
+                edges.push((copy_index, head));
+                chain_tail = copy_index;
+            }
+        }
+        self_index
+    }
+
+    let root_index = lay_out(&tree, tree.root(), &mut atoms, &mut relations, &mut edges);
+    let new_query = JoinQuery::new(atoms);
+    let num_nodes = new_query.num_atoms();
+    let new_tree = JoinTree::from_edges(num_nodes, &edges, root_index);
+    debug_assert!(new_tree.satisfies_running_intersection(&new_query));
+    debug_assert!(new_tree.is_binary());
+    let new_instance = EncodedInstance::new(
+        new_query,
+        std::sync::Arc::clone(instance.dictionary()),
+        relations,
+    )?;
+    Ok(BinarizedEncoded {
         instance: new_instance,
         tree: new_tree,
     })

@@ -18,8 +18,41 @@
 
 use crate::{Instance, JoinQuery, QueryError, Result};
 use qjoin_data::{Dictionary, EncodedDatabase, EncodedRelation};
+use std::any::Any;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// A write-once memo slot the execution layer uses to cache per-instance derived
+/// structures (e.g. its reduced join-tree context) without this crate depending on
+/// their types. Clones of an instance share the slot — sound because instances are
+/// immutable after construction, so every clone derives the identical structure.
+/// Rewrites ([`EncodedInstance::with_rewritten`] and friends) construct fresh
+/// instances and therefore fresh, empty slots.
+#[derive(Default)]
+pub struct ExecMemo(OnceLock<Arc<dyn Any + Send + Sync>>);
+
+impl ExecMemo {
+    /// The cached structure, if one of type `T` has been stored.
+    pub fn get<T: Any + Send + Sync>(&self) -> Option<Arc<T>> {
+        self.0
+            .get()
+            .and_then(|a| Arc::clone(a).downcast::<T>().ok())
+    }
+
+    /// Stores a structure; the first store wins and later stores are dropped
+    /// (concurrent initializers build identical values, so either is fine).
+    pub fn set<T: Any + Send + Sync>(&self, value: Arc<T>) {
+        let _ = self.0.set(value);
+    }
+}
+
+impl std::fmt::Debug for ExecMemo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("ExecMemo")
+            .field(&self.0.get().map(|_| "<cached>"))
+            .finish()
+    }
+}
 
 /// A join query paired with encoded relation views and the dictionary they decode
 /// through. See the module docs.
@@ -28,6 +61,7 @@ pub struct EncodedInstance {
     query: JoinQuery,
     dictionary: Arc<Dictionary>,
     relations: BTreeMap<String, EncodedRelation>,
+    memo: Arc<ExecMemo>,
 }
 
 impl EncodedInstance {
@@ -57,6 +91,7 @@ impl EncodedInstance {
             query,
             dictionary,
             relations,
+            memo: Arc::new(ExecMemo::default()),
         })
     }
 
@@ -90,6 +125,11 @@ impl EncodedInstance {
     /// The shared dictionary.
     pub fn dictionary(&self) -> &Arc<Dictionary> {
         &self.dictionary
+    }
+
+    /// The instance's execution memo slot (see [`ExecMemo`]).
+    pub fn exec_memo(&self) -> &ExecMemo {
+        &self.memo
     }
 
     /// The view interpreting the atom at `atom_index`.
@@ -144,6 +184,7 @@ impl EncodedInstance {
                 .iter()
                 .map(|(n, r)| (n.clone(), r.cleared()))
                 .collect(),
+            memo: Arc::new(ExecMemo::default()),
         }
     }
 
@@ -181,7 +222,10 @@ impl EncodedInstance {
 }
 
 /// Mirrors `Database::fresh_name` for the encoded relation map.
-fn fresh_relation_name(relations: &BTreeMap<String, EncodedRelation>, base: &str) -> String {
+pub(crate) fn fresh_relation_name(
+    relations: &BTreeMap<String, EncodedRelation>,
+    base: &str,
+) -> String {
     if !relations.contains_key(base) {
         return base.to_string();
     }

@@ -13,6 +13,9 @@
 //!   controllable join fan-out (the canonical tractable/intractable examples of the
 //!   dichotomy).
 //! * [`star`] — star joins sharing a central variable.
+//! * [`star_schema`] — a data-warehouse orders/lineitem/part star schema with a
+//!   Zipf-skewed fact table, parameterized up to 10^6–10^7 tuples (the scaling
+//!   experiment's workload).
 //! * [`figures`] — the exact worked instances of Figures 1/2/4 and Example 5.1, used
 //!   by unit tests and by the figure-reproduction examples.
 //! * [`random_acyclic`] — random acyclic queries with random databases, used by
@@ -28,29 +31,73 @@ pub mod path;
 pub mod random_acyclic;
 pub mod social;
 pub mod star;
+pub mod star_schema;
 
 use rand::Rng;
+
+/// A reusable Zipf-like (power-law) sampler over `0..domain` with exponent `skew`:
+/// `skew = 0` is uniform, larger values concentrate mass on small indices.
+///
+/// The cumulative distribution is precomputed once (`O(domain)`), so each draw costs
+/// one uniform variate plus a binary search (`O(log domain)`). At million-tuple
+/// scale this is the difference between generating a database in milliseconds and
+/// in hours — the one-shot [`zipf_index`] rebuilds the CDF on every call and is only
+/// appropriate for small domains.
+#[derive(Clone, Debug)]
+pub struct ZipfSampler {
+    domain: usize,
+    /// Cumulative unnormalized weights `Σ_{j<=i} j^{-skew}`; empty for the uniform
+    /// (`skew <= 0`) shortcut.
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
+    /// Precomputes the CDF for the given domain and exponent.
+    pub fn new(domain: usize, skew: f64) -> Self {
+        assert!(domain > 0, "domain must be non-empty");
+        if skew <= 0.0 {
+            return ZipfSampler {
+                domain,
+                cumulative: Vec::new(),
+            };
+        }
+        let mut cumulative = Vec::with_capacity(domain);
+        let mut acc = 0.0f64;
+        for i in 1..=domain {
+            acc += (i as f64).powf(-skew);
+            cumulative.push(acc);
+        }
+        ZipfSampler { domain, cumulative }
+    }
+
+    /// Draws one index in `0..domain`. Consumes exactly one RNG variate, so seeded
+    /// generation stays reproducible regardless of domain size.
+    pub fn sample(&self, rng: &mut impl Rng) -> usize {
+        if self.cumulative.is_empty() {
+            return rng.random_range(0..self.domain);
+        }
+        let total = *self.cumulative.last().expect("non-empty domain");
+        let target = rng.random_range(0.0..total);
+        self.cumulative
+            .partition_point(|&c| c <= target)
+            .min(self.domain - 1)
+    }
+
+    /// The domain size the sampler draws from.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+}
 
 /// Draws a value in `0..domain` from a Zipf-like (power-law) distribution with
 /// exponent `skew`; `skew = 0` is uniform, larger values concentrate mass on small
 /// indices. Used to control join fan-out skew across all generators.
+///
+/// One-shot convenience over [`ZipfSampler`]: rebuilds the CDF on every call. Hot
+/// loops (anything drawing more than a handful of values from the same
+/// distribution) should build the sampler once and reuse it.
 pub fn zipf_index(rng: &mut impl Rng, domain: usize, skew: f64) -> usize {
-    assert!(domain > 0, "domain must be non-empty");
-    if skew <= 0.0 {
-        return rng.random_range(0..domain);
-    }
-    // Inverse-CDF sampling over unnormalized weights i^{-skew}. For the moderate
-    // domains used in experiments this direct scan is fast enough and exact.
-    let total: f64 = (1..=domain).map(|i| (i as f64).powf(-skew)).sum();
-    let mut target = rng.random_range(0.0..total);
-    for i in 1..=domain {
-        let w = (i as f64).powf(-skew);
-        if target < w {
-            return i - 1;
-        }
-        target -= w;
-    }
-    domain - 1
+    ZipfSampler::new(domain, skew).sample(rng)
 }
 
 #[cfg(test)]

@@ -1,6 +1,6 @@
 //! k-path join instances.
 
-use crate::zipf_index;
+use crate::ZipfSampler;
 use qjoin_data::{Database, Relation, Value};
 use qjoin_query::query::path_query;
 use qjoin_query::Instance;
@@ -48,6 +48,7 @@ impl PathConfig {
         assert!(self.atoms >= 1);
         assert!(self.join_domain >= 1);
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let join_key = ZipfSampler::new(self.join_domain, self.skew);
         let mut relations = Vec::with_capacity(self.atoms);
         for i in 1..=self.atoms {
             let mut rel = Relation::new(format!("R{i}"), 2);
@@ -57,12 +58,12 @@ impl PathConfig {
                 let first = if i == 1 {
                     rng.random_range(0..self.weight_range.max(1))
                 } else {
-                    zipf_index(&mut rng, self.join_domain, self.skew) as i64
+                    join_key.sample(&mut rng) as i64
                 };
                 let second = if i == self.atoms {
                     rng.random_range(0..self.weight_range.max(1))
                 } else {
-                    zipf_index(&mut rng, self.join_domain, self.skew) as i64
+                    join_key.sample(&mut rng) as i64
                 };
                 rel.push(vec![Value::from(first), Value::from(second)])
                     .expect("arity is fixed");

@@ -1,6 +1,6 @@
 //! The social-network workload of the paper's introduction.
 
-use crate::zipf_index;
+use crate::ZipfSampler;
 use qjoin_data::{Database, Relation, Value};
 use qjoin_query::query::social_network_query;
 use qjoin_query::variable::vars;
@@ -50,18 +50,19 @@ impl SocialConfig {
     pub fn generate(&self) -> Instance {
         assert!(self.users >= 1 && self.events >= 1);
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let event_dist = ZipfSampler::new(self.events, self.event_skew);
         let mut admin = Relation::new("Admin", 2);
         let mut share = Relation::new("Share", 3);
         let mut attend = Relation::new("Attend", 3);
         for _ in 0..self.rows_per_relation {
             let user = rng.random_range(0..self.users) as i64;
-            let event = zipf_index(&mut rng, self.events, self.event_skew) as i64;
+            let event = event_dist.sample(&mut rng) as i64;
             admin
                 .push(vec![Value::from(user), Value::from(event)])
                 .expect("arity");
 
             let user = rng.random_range(0..self.users) as i64;
-            let event = zipf_index(&mut rng, self.events, self.event_skew) as i64;
+            let event = event_dist.sample(&mut rng) as i64;
             let likes = rng.random_range(0..self.max_likes.max(1));
             share
                 .push(vec![
@@ -72,7 +73,7 @@ impl SocialConfig {
                 .expect("arity");
 
             let user = rng.random_range(0..self.users) as i64;
-            let event = zipf_index(&mut rng, self.events, self.event_skew) as i64;
+            let event = event_dist.sample(&mut rng) as i64;
             let likes = rng.random_range(0..self.max_likes.max(1));
             attend
                 .push(vec![

@@ -1,6 +1,6 @@
 //! Star-join instances.
 
-use crate::zipf_index;
+use crate::ZipfSampler;
 use qjoin_data::{Database, Relation, Value};
 use qjoin_query::query::star_query;
 use qjoin_query::Instance;
@@ -48,11 +48,12 @@ impl StarConfig {
     pub fn generate(&self) -> Instance {
         assert!(self.arms >= 1 && self.center_domain >= 1);
         let mut rng = StdRng::seed_from_u64(self.seed);
+        let center_dist = ZipfSampler::new(self.center_domain, self.skew);
         let mut relations = Vec::with_capacity(self.arms);
         for i in 1..=self.arms {
             let mut rel = Relation::new(format!("R{i}"), 2);
             for _ in 0..self.tuples_per_relation {
-                let center = zipf_index(&mut rng, self.center_domain, self.skew) as i64;
+                let center = center_dist.sample(&mut rng) as i64;
                 let leaf = rng.random_range(0..self.weight_range.max(1));
                 rel.push(vec![Value::from(center), Value::from(leaf)])
                     .expect("arity");

@@ -68,12 +68,15 @@ pub mod prelude {
     pub use qjoin_core::encoded::{exact_quantile_batch_encoded, exact_quantile_encoded};
     pub use qjoin_core::lossy_trim::LossySumTrimmer;
     pub use qjoin_core::quantile::{quantile_by_pivoting, target_rank, PivotingOptions};
-    pub use qjoin_core::sampling::{quantile_by_sampling, SamplingOptions};
+    pub use qjoin_core::sampling::{
+        quantile_by_sampling, quantile_by_sampling_batch, quantile_by_sampling_batch_via_rows,
+        SamplingOptions,
+    };
     pub use qjoin_core::sketch::{sketch, RoundDirection, SketchBucket, SketchEntry};
     pub use qjoin_core::solver::{
-        approximate_sum_quantile, exact_quantile, exact_quantile_batch,
-        exact_quantile_batch_via_rows, exact_quantile_batch_with_options, exact_quantile_via_rows,
-        exact_quantile_with_options, ErrorBudget,
+        approximate_sum_quantile, approximate_sum_quantile_via_rows, exact_quantile,
+        exact_quantile_batch, exact_quantile_batch_via_rows, exact_quantile_batch_with_options,
+        exact_quantile_via_rows, exact_quantile_with_options, ErrorBudget,
     };
     pub use qjoin_core::trim::{AdjacentSumTrimmer, LexTrimmer, MinMaxTrimmer, Trimmer};
     pub use qjoin_core::QuantileResult;
@@ -91,4 +94,5 @@ pub mod prelude {
     pub use qjoin_workload::path::PathConfig;
     pub use qjoin_workload::social::SocialConfig;
     pub use qjoin_workload::star::StarConfig;
+    pub use qjoin_workload::star_schema::StarSchemaConfig;
 }

@@ -283,6 +283,132 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Approximate path: deterministic lossy trims and the randomized sampler
+// ---------------------------------------------------------------------------
+
+/// A full SUM ranking over every variable — intractable exactly on most shapes,
+/// which is precisely the regime the lossy path exists for (Theorem 6.2 applies
+/// to every acyclic query).
+fn full_sum_ranking(instance: &Instance) -> Ranking {
+    Ranking::sum(instance.query().variables())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The encoded lossy solve (`approximate_sum_quantile`, ε-sketches over
+    /// per-code weight tables, selection-vector trim views) is pointwise
+    /// identical to the row `LossySumTrimmer` solve — same answer, same weight,
+    /// same iteration count — across ε values, boundary φ, and executor degrees
+    /// 1 and 4. The trims are deterministic, so this is exact equality, not an
+    /// error-bound check.
+    #[test]
+    fn lossy_encoded_and_row_solves_are_pointwise_identical(
+        seed in 0u64..3000,
+        atoms in 1usize..4,
+        eps_idx in 0usize..3,
+    ) {
+        let instance = random_instance(seed, atoms);
+        let ranking = full_sum_ranking(&instance);
+        let total = count_answers(&instance).unwrap();
+        if total == 0 {
+            return Ok(());
+        }
+        let epsilon = [0.25, 0.1, 0.05][eps_idx];
+        for phi in boundary_phis(total) {
+            let mut baseline: Option<(QuantileResult, QuantileResult)> = None;
+            for (threads, pool) in sweep_pools().iter().filter(|(t, _)| *t == 1 || *t == 4) {
+                let (encoded, row) = quantile_joins::par::with_pool(pool, || {
+                    let encoded = approximate_sum_quantile(
+                        &instance, &ranking, phi, epsilon, ErrorBudget::Direct,
+                    )?;
+                    let row = approximate_sum_quantile_via_rows(
+                        &instance, &ranking, phi, epsilon, ErrorBudget::Direct,
+                    )?;
+                    Ok::<_, quantile_joins::CoreError>((encoded, row))
+                })
+                .unwrap();
+                let context = format!("lossy ε={epsilon} φ={phi} T={threads}");
+                assert_pointwise_equal(&encoded, &row, &context);
+                prop_assert_eq!(
+                    weight_bits(&encoded.weight),
+                    weight_bits(&row.weight),
+                    "{}: weight bits differ",
+                    context
+                );
+                match &baseline {
+                    None => baseline = Some((encoded, row)),
+                    Some((seq_enc, _)) => {
+                        assert_pointwise_equal(&encoded, seq_enc, &format!("{context} vs T=1"));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The randomized sampler is seed-identical across the encoded and row
+    /// paths: the same `SamplingOptions { seed }` draws the same Hoeffding
+    /// sample on both, so every returned quantile matches exactly. When the
+    /// sample budget reaches the answer count, both paths refuse identically
+    /// with [`CoreError::ApproxRefused`] and a witness naming the regime.
+    #[test]
+    fn sampler_is_seed_identical_across_paths(
+        seed in 0u64..3000,
+        atoms in 1usize..4,
+        sample_seed in 0u64..1000,
+    ) {
+        let instance = random_instance(seed, atoms);
+        let ranking = full_sum_ranking(&instance);
+        let total = count_answers(&instance).unwrap();
+        if total == 0 {
+            return Ok(());
+        }
+        let phis = boundary_phis(total);
+        // Small instances sit under the Hoeffding budget for tight ε; pick a
+        // loose ε that samples when possible, and assert the refusal contract
+        // when even that budget reaches |Q(D)|.
+        let options = SamplingOptions { epsilon: 0.2, delta: 0.1, seed: sample_seed };
+        for (threads, pool) in sweep_pools().iter().filter(|(t, _)| *t == 1 || *t == 4) {
+            let (encoded, row) = quantile_joins::par::with_pool(pool, || {
+                let encoded = quantile_by_sampling_batch(&instance, &ranking, &phis, &options);
+                let row = quantile_by_sampling_batch_via_rows(&instance, &ranking, &phis, &options);
+                (encoded, row)
+            });
+            if (options.sample_count() as u128) >= total {
+                for (label, result) in [("encoded", &encoded), ("row", &row)] {
+                    match result {
+                        Err(quantile_joins::CoreError::ApproxRefused(witness)) => {
+                            prop_assert!(
+                                witness.contains("Hoeffding"),
+                                "{label} T={threads}: witness lacks regime: {witness}"
+                            );
+                        }
+                        other => prop_assert!(
+                            false,
+                            "{label} T={threads}: expected ApproxRefused, got {other:?}"
+                        ),
+                    }
+                }
+                continue;
+            }
+            let encoded = encoded.unwrap();
+            let row = row.unwrap();
+            prop_assert_eq!(encoded.len(), row.len());
+            for ((phi, e), r) in phis.iter().zip(&encoded).zip(&row) {
+                let context = format!("sampler seed={sample_seed} φ={phi} T={threads}");
+                assert_pointwise_equal(e, r, &context);
+                prop_assert_eq!(
+                    weight_bits(&e.weight),
+                    weight_bits(&r.weight),
+                    "{}: weight bits differ",
+                    context
+                );
+            }
+        }
+    }
+}
+
 /// The engine end to end at explicit thread counts: `EngineConfig { threads }`
 /// must not change any served answer, and T=1 must not spawn executor workers.
 #[test]
